@@ -1,0 +1,20 @@
+//! A4: regenerates the feedback-delay sensitivity sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{ablate_delay, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_delay");
+    group.sample_size(10);
+    group.bench_function("delay_sweep_quick", |b| {
+        b.iter(|| {
+            let a4 = ablate_delay(Scale::Quick);
+            assert_eq!(a4.delays.len(), 4);
+            a4
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

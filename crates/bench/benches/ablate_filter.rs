@@ -1,0 +1,20 @@
+//! A5: regenerates the feedback-filter comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{ablate_filter, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_filter");
+    group.sample_size(10);
+    group.bench_function("filter_sweep_quick", |b| {
+        b.iter(|| {
+            let a5 = ablate_filter(Scale::Quick);
+            assert_eq!(a5.filters.len(), 4);
+            a5
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! A2: regenerates the integral-action ergodicity-loss experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{ablate_integral, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_integral");
+    group.sample_size(10);
+    group.bench_function("integral_vs_proportional_quick", |b| {
+        b.iter(|| {
+            let a2 = ablate_integral(Scale::Quick);
+            assert!(a2.integral_gap.max_spread > a2.proportional_gap.max_spread);
+            a2
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! A3: regenerates the invariant-measure attractivity experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{ablate_markov, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_markov");
+    group.sample_size(10);
+    group.bench_function("attractivity_quick", |b| {
+        b.iter(|| {
+            let a3 = ablate_markov(Scale::Quick);
+            assert!(a3.ifs_converged);
+            a3
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! A1: regenerates the uniform-vs-income-multiple policy comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{ablate_policy, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablate_policy");
+    group.sample_size(10);
+    group.bench_function("uniform_vs_income_quick", |b| {
+        b.iter(|| {
+            let a1 = ablate_policy(Scale::Quick);
+            assert!(a1.approval_gaps.0 > a1.approval_gaps.1);
+            a1
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

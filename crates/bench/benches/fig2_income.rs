@@ -1,0 +1,17 @@
+//! F2: regenerates the Fig. 2 income distribution rows.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::fig2_rows;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig2/income_distribution_rows", |b| {
+        b.iter(|| {
+            let rows = fig2_rows();
+            assert_eq!(rows.len(), 9);
+            rows
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

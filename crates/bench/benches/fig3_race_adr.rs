@@ -1,0 +1,26 @@
+//! F3: regenerates the race-wise ADR mean ± std series of Fig. 3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{credit_outcomes, fig3_series, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("race_adr_series_quick", |b| {
+        b.iter(|| {
+            let outcomes = credit_outcomes(Scale::Quick);
+            let series = fig3_series(&outcomes);
+            assert_eq!(series.len(), 3);
+            series
+        })
+    });
+    // Extraction alone, amortizing the simulation.
+    let outcomes = credit_outcomes(Scale::Quick);
+    group.bench_function("race_adr_extraction_only", |b| {
+        b.iter(|| fig3_series(&outcomes))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! F4: regenerates the per-user ADR trajectories of Fig. 4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{credit_outcomes, fig4_series, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    let outcomes = credit_outcomes(Scale::Quick);
+    group.bench_function("user_adr_extraction", |b| {
+        b.iter(|| {
+            let series = fig4_series(&outcomes);
+            assert!(!series.is_empty());
+            series
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! F5: regenerates the (year x ADR) density histogram of Fig. 5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{credit_outcomes, fig5_histogram, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    let outcomes = credit_outcomes(Scale::Quick);
+    group.bench_function("density_histogram", |b| {
+        b.iter(|| {
+            let hist = fig5_histogram(&outcomes);
+            assert_eq!(hist.x_len(), 19);
+            hist
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! P1-P4: performance microbenchmarks of the building blocks (not paper
+//! artifacts): loop step throughput, IRLS fitting, Markov operator
+//! application, and invariant-measure estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqimpact_credit::sim::{run_trial, CreditConfig, LenderKind};
+use eqimpact_markov::ifs::{affine1d, Ifs};
+use eqimpact_markov::invariant::estimate_invariant_measure;
+use eqimpact_markov::operator::{markov_operator_apply, ParticleMeasure};
+use eqimpact_ml::logistic::{sigmoid, LogisticRegression};
+use eqimpact_ml::Dataset;
+use eqimpact_stats::SimRng;
+
+fn bench_loop_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/credit_loop");
+    group.sample_size(10);
+    for &users in &[100usize, 500, 1000] {
+        group.bench_with_input(BenchmarkId::new("full_run_19_steps", users), &users, |b, &n| {
+            let config = CreditConfig {
+                users: n,
+                steps: 19,
+                trials: 1,
+                seed: 1,
+                lender: LenderKind::Scorecard,
+                delay: 1,
+            };
+            b.iter(|| run_trial(&config, 0));
+        });
+    }
+    group.finish();
+}
+
+fn bench_irls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/irls");
+    for &n in &[1_000usize, 10_000] {
+        let mut rng = SimRng::new(3);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.uniform(), rng.uniform_in(-1.0, 1.0)])
+            .collect();
+        let labels: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                if rng.bernoulli(sigmoid(-4.0 * r[0] + 3.0 * r[1])) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let data = Dataset::new(&rows, &labels).unwrap();
+        group.bench_with_input(BenchmarkId::new("fit", n), &data, |b, data| {
+            let fitter = LogisticRegression::default();
+            b.iter(|| fitter.fit(data).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_markov_operator(c: &mut Criterion) {
+    let ifs = Ifs::builder(1)
+        .map_const(affine1d(0.5, 0.0), 0.5)
+        .map_const(affine1d(0.5, 0.5), 0.5)
+        .build()
+        .unwrap();
+    let ms = ifs.as_markov_system().clone();
+    let mut group = c.benchmark_group("perf/markov");
+    group.bench_function("operator_apply", |b| {
+        b.iter(|| markov_operator_apply(&ms, |x| x[0] * x[0], &[0.37]))
+    });
+    group.bench_function("trajectory_10k_steps", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(5);
+            ms.trajectory(&[0.5], 10_000, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_invariant_measure(c: &mut Criterion) {
+    let ifs = Ifs::builder(1)
+        .map_const(affine1d(0.5, 0.0), 0.5)
+        .map_const(affine1d(0.5, 0.5), 0.5)
+        .build()
+        .unwrap();
+    let ms = ifs.as_markov_system().clone();
+    let mut group = c.benchmark_group("perf/invariant");
+    group.sample_size(10);
+    group.bench_function("particle_estimation_1k", |b| {
+        b.iter(|| {
+            let mut rng = SimRng::new(6);
+            estimate_invariant_measure(
+                &ms,
+                &ParticleMeasure::dirac(&[0.9]),
+                1_000,
+                100,
+                0.02,
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_loop_step,
+    bench_irls,
+    bench_markov_operator,
+    bench_invariant_measure
+);
+criterion_main!(benches);

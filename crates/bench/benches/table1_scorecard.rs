@@ -1,0 +1,22 @@
+//! T1: regenerates the Table I scorecard (learned coefficients) and
+//! measures the cost of the full retraining loop behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eqimpact_bench::{table1_scorecard, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("scorecard_from_loop_quick", |b| {
+        b.iter(|| {
+            let t1 = table1_scorecard(Scale::Quick);
+            assert!(t1.history_points < 0.0);
+            assert!(t1.income_points > 0.0);
+            t1
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Experiment harness: one function per paper artifact (Table I,
+//! Figs. 2-5) and per ablation (A1 policy comparison, A2 integral-action
+//! ergodicity loss, A3 Markov-system attractivity), shared between the
+//! `experiments` binary and the Criterion benches.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::*;

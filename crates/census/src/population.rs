@@ -1,0 +1,185 @@
+//! Generated household populations.
+
+use crate::sampler::HouseholdSampler;
+use crate::tables::{IncomeTable, Race, TableError};
+use eqimpact_stats::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// One simulated household: a fixed race and a per-year resampled income.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Household {
+    /// Stable index in the population.
+    pub id: usize,
+    /// Race, sampled once at generation (the protected attribute the
+    /// lender must not score on).
+    pub race: Race,
+    /// Current annual income in $K (`z_i(k)` of the paper), refreshed by
+    /// [`Population::resample_incomes`].
+    pub income: f64,
+}
+
+impl Household {
+    /// The paper's visible income code `1_{z ≥ 15}` (eq. before (10)): the
+    /// lender sees only whether income exceeds $15K.
+    pub fn income_code(&self) -> f64 {
+        if self.income >= 15.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A generated population of households.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Population {
+    households: Vec<Household>,
+}
+
+impl Population {
+    /// Generates `n` households: races from the 2002 shares, incomes from
+    /// the given starting year.
+    pub fn generate(
+        table: &IncomeTable,
+        n: usize,
+        start_year: u32,
+        rng: &mut SimRng,
+    ) -> Result<Self, TableError> {
+        let sampler = HouseholdSampler::new(table);
+        let mut households = Vec::with_capacity(n);
+        for id in 0..n {
+            let race = sampler.sample_race(rng);
+            let income = sampler.sample_income(start_year, race, rng)?;
+            households.push(Household { id, race, income });
+        }
+        Ok(Population { households })
+    }
+
+    /// Number of households.
+    pub fn len(&self) -> usize {
+        self.households.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.households.is_empty()
+    }
+
+    /// The households.
+    pub fn households(&self) -> &[Household] {
+        &self.households
+    }
+
+    /// Mutable access for the simulation driver.
+    pub fn households_mut(&mut self) -> &mut [Household] {
+        &mut self.households
+    }
+
+    /// Resamples every household's income for a new year, holding races
+    /// fixed — the paper's "following the income distribution of the year
+    /// 2002 + k and race s, we sample the income z_i(k)".
+    pub fn resample_incomes(
+        &mut self,
+        table: &IncomeTable,
+        year: u32,
+        rng: &mut SimRng,
+    ) -> Result<(), TableError> {
+        let sampler = HouseholdSampler::new(table);
+        for h in &mut self.households {
+            h.income = sampler.sample_income(year, h.race, rng)?;
+        }
+        Ok(())
+    }
+
+    /// Indices of households of a given race (`N_s` of the paper).
+    pub fn indices_of_race(&self, race: Race) -> Vec<usize> {
+        self.households
+            .iter()
+            .filter(|h| h.race == race)
+            .map(|h| h.id)
+            .collect()
+    }
+
+    /// Count per race in `Race::ALL` order.
+    pub fn race_counts(&self) -> [usize; 3] {
+        let mut counts = [0usize; 3];
+        for h in &self.households {
+            counts[h.race.index()] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_respects_size_and_ids() {
+        let table = IncomeTable::embedded();
+        let mut rng = SimRng::new(1);
+        let pop = Population::generate(&table, 500, 2002, &mut rng).unwrap();
+        assert_eq!(pop.len(), 500);
+        assert!(!pop.is_empty());
+        for (i, h) in pop.households().iter().enumerate() {
+            assert_eq!(h.id, i);
+            assert!(h.income > 0.0);
+        }
+    }
+
+    #[test]
+    fn race_counts_roughly_match_shares() {
+        let table = IncomeTable::embedded();
+        let mut rng = SimRng::new(2);
+        let pop = Population::generate(&table, 10_000, 2002, &mut rng).unwrap();
+        let counts = pop.race_counts();
+        assert!((counts[1] as f64 / 10_000.0 - 0.8406).abs() < 0.02);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+        // Index lists partition consistently.
+        let total: usize = Race::ALL
+            .iter()
+            .map(|&r| pop.indices_of_race(r).len())
+            .sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn income_code_threshold() {
+        let h = Household {
+            id: 0,
+            race: Race::White,
+            income: 14.9,
+        };
+        assert_eq!(h.income_code(), 0.0);
+        let h2 = Household { income: 15.0, ..h };
+        assert_eq!(h2.income_code(), 1.0);
+    }
+
+    #[test]
+    fn resampling_changes_incomes_but_not_races() {
+        let table = IncomeTable::embedded();
+        let mut rng = SimRng::new(3);
+        let mut pop = Population::generate(&table, 200, 2002, &mut rng).unwrap();
+        let races_before: Vec<Race> = pop.households().iter().map(|h| h.race).collect();
+        let incomes_before: Vec<f64> = pop.households().iter().map(|h| h.income).collect();
+        pop.resample_incomes(&table, 2010, &mut rng).unwrap();
+        let races_after: Vec<Race> = pop.households().iter().map(|h| h.race).collect();
+        let incomes_after: Vec<f64> = pop.households().iter().map(|h| h.income).collect();
+        assert_eq!(races_before, races_after);
+        let changed = incomes_before
+            .iter()
+            .zip(&incomes_after)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 190, "only {changed} incomes changed");
+    }
+
+    #[test]
+    fn bad_year_propagates() {
+        let table = IncomeTable::embedded();
+        let mut rng = SimRng::new(4);
+        assert!(Population::generate(&table, 10, 2050, &mut rng).is_err());
+        let mut pop = Population::generate(&table, 10, 2002, &mut rng).unwrap();
+        assert!(pop.resample_incomes(&table, 1999, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the census substrate.
+
+use eqimpact_census::brackets::{bracket_of, BRACKETS};
+use eqimpact_census::{
+    HouseholdSampler, IncomeTable, Population, Race, FIRST_YEAR, LAST_YEAR,
+};
+use eqimpact_stats::SimRng;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn every_income_lands_in_its_bracket(income in 1.0f64..499.0) {
+        let b = bracket_of(income);
+        prop_assert!(BRACKETS[b].contains(income));
+    }
+
+    #[test]
+    fn shares_normalized_for_every_year(year in FIRST_YEAR..=LAST_YEAR) {
+        let t = IncomeTable::embedded();
+        for race in Race::ALL {
+            let shares = t.shares(year, race).unwrap();
+            let total: f64 = shares.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(shares.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        }
+    }
+
+    #[test]
+    fn share_at_least_is_monotone(year in FIRST_YEAR..=LAST_YEAR, a in 0.0f64..400.0, b in 0.0f64..400.0) {
+        let t = IncomeTable::embedded();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        for race in Race::ALL {
+            let s_lo = t.share_at_least(year, race, lo).unwrap();
+            let s_hi = t.share_at_least(year, race, hi).unwrap();
+            prop_assert!(s_lo >= s_hi - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampled_incomes_in_valid_range(seed in 0u64..200, year in FIRST_YEAR..=LAST_YEAR) {
+        let t = IncomeTable::embedded();
+        let s = HouseholdSampler::new(&t);
+        let mut rng = SimRng::new(seed);
+        for race in Race::ALL {
+            let income = s.sample_income(year, race, &mut rng).unwrap();
+            prop_assert!((1.0..500.0).contains(&income));
+        }
+    }
+
+    #[test]
+    fn population_generation_is_deterministic(seed in 0u64..100, n in 1usize..100) {
+        let t = IncomeTable::embedded();
+        let a = Population::generate(&t, n, 2002, &mut SimRng::new(seed)).unwrap();
+        let b = Population::generate(&t, n, 2002, &mut SimRng::new(seed)).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn race_partition_is_exact(seed in 0u64..50, n in 1usize..200) {
+        let t = IncomeTable::embedded();
+        let pop = Population::generate(&t, n, 2002, &mut SimRng::new(seed)).unwrap();
+        let counts = pop.race_counts();
+        prop_assert_eq!(counts.iter().sum::<usize>(), n);
+        let by_index: usize = Race::ALL.iter().map(|&r| pop.indices_of_race(r).len()).sum();
+        prop_assert_eq!(by_index, n);
+    }
+
+    #[test]
+    fn income_code_threshold_respected(seed in 0u64..100) {
+        let t = IncomeTable::embedded();
+        let pop = Population::generate(&t, 50, 2002, &mut SimRng::new(seed)).unwrap();
+        for h in pop.households() {
+            prop_assert_eq!(h.income_code(), if h.income >= 15.0 { 1.0 } else { 0.0 });
+        }
+    }
+}

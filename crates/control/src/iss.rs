@@ -1,0 +1,323 @@
+//! Numerical incremental input-to-state stability (Def. 7, after Angeli
+//! 2002).
+//!
+//! A system `x(k+1) = F(x(k), u(k))` is incrementally ISS when
+//!
+//! ```text
+//! ‖x(k, ξ1, u1) − x(k, ξ2, u2)‖ ≤ β(‖ξ1 − ξ2‖, k) + γ(‖u1 − u2‖_∞)
+//! ```
+//!
+//! for class-KL `β` and class-K `γ`. The property cannot be certified for
+//! black-box `F`, but it can be *falsified* and its `β`, `γ` envelopes
+//! estimated from trajectories, which is what closed-loop design needs:
+//! internal asymptotic stability of controller and filter is the paper's
+//! route to contractivity of the loop (Sec. VI).
+
+use eqimpact_stats::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Exponential class-KL candidate `β(s, t) = c · s · λ^t`.
+///
+/// A *bona fide* class-KL function needs `λ < 1`; fitted values with
+/// `λ ≥ 1` are allowed so that an estimation sweep can report instability
+/// (the [`IssReport::consistent`] flag then rejects the system).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpKl {
+    /// Multiplicative constant `c ≥ 0`.
+    pub c: f64,
+    /// Decay factor `λ ≥ 0` (`< 1` for a true KL function).
+    pub lambda: f64,
+}
+
+impl ExpKl {
+    /// Creates the candidate.
+    ///
+    /// # Panics
+    /// Panics unless `c >= 0` and `lambda >= 0` are finite.
+    pub fn new(c: f64, lambda: f64) -> Self {
+        assert!(c >= 0.0 && c.is_finite(), "ExpKl: negative c");
+        assert!(lambda >= 0.0 && lambda.is_finite(), "ExpKl: negative lambda");
+        ExpKl { c, lambda }
+    }
+
+    /// Whether this is a genuine class-KL function (decaying in `t`).
+    pub fn is_kl(&self) -> bool {
+        self.lambda < 1.0
+    }
+
+    /// Evaluates `β(s, t)`.
+    pub fn eval(&self, s: f64, t: u32) -> f64 {
+        self.c * s * self.lambda.powi(t as i32)
+    }
+}
+
+/// Linear class-K candidate `γ(s) = g · s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearK {
+    /// Gain `g ≥ 0`.
+    pub g: f64,
+}
+
+impl LinearK {
+    /// Creates the candidate.
+    ///
+    /// # Panics
+    /// Panics for negative gain.
+    pub fn new(g: f64) -> Self {
+        assert!(g >= 0.0, "LinearK: negative gain");
+        LinearK { g }
+    }
+
+    /// Evaluates `γ(s)`.
+    pub fn eval(&self, s: f64) -> f64 {
+        self.g * s
+    }
+}
+
+/// Result of the incremental-ISS estimation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IssReport {
+    /// Fitted exponential KL envelope for the zero-input-difference runs.
+    pub beta: ExpKl,
+    /// Fitted linear input gain from the equal-initial-condition runs.
+    pub gamma: LinearK,
+    /// Fraction of validation trajectories satisfying the fitted bound.
+    pub validation_pass_rate: f64,
+    /// Whether the sweep is consistent with incremental ISS
+    /// (`beta.lambda < 1`, finite gain, pass rate ≥ 0.99).
+    pub consistent: bool,
+}
+
+/// Estimates incremental-ISS envelopes for a system `step(x, u) -> x'` on
+/// `R^dim` with scalar input, over initial conditions and inputs drawn from
+/// the provided samplers.
+///
+/// Procedure:
+/// 1. runs pairs with identical input, different initial conditions, and
+///    fits `λ` as the worst-pair geometric decay rate of the state
+///    difference (with `c` the worst overshoot);
+/// 2. runs pairs with identical initial conditions and constant-offset
+///    inputs, fitting the gain `g` as the worst ratio of asymptotic state
+///    difference to input difference;
+/// 3. validates the combined bound on fresh pairs differing in both.
+pub fn estimate_iss(
+    mut step: impl FnMut(&[f64], f64) -> Vec<f64>,
+    dim: usize,
+    horizon: usize,
+    n_pairs: usize,
+    rng: &mut SimRng,
+    mut x_sampler: impl FnMut(&mut SimRng) -> Vec<f64>,
+    mut u_sampler: impl FnMut(&mut SimRng) -> f64,
+) -> IssReport {
+    assert!(horizon >= 2, "estimate_iss: horizon too short");
+    assert!(dim > 0, "estimate_iss: zero dimension");
+
+    let norm = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    // Phase 1: β from same-input pairs.
+    let mut worst_lambda = 0.0f64;
+    let mut worst_c = 1.0f64;
+    for _ in 0..n_pairs {
+        let x1 = x_sampler(rng);
+        let x2 = x_sampler(rng);
+        let d0 = norm(&x1, &x2);
+        if d0 < 1e-12 {
+            continue;
+        }
+        let mut a = x1.clone();
+        let mut b = x2.clone();
+        let mut prev = d0;
+        for k in 1..=horizon {
+            let u = u_sampler(rng);
+            a = step(&a, u);
+            b = step(&b, u);
+            let d = norm(&a, &b);
+            // Per-step contraction estimate.
+            if prev > 1e-12 {
+                worst_lambda = worst_lambda.max((d / prev).min(10.0));
+            }
+            // Overshoot relative to the pure-decay envelope.
+            let envelope = d0 * worst_lambda.max(1e-9).powi(k as i32);
+            if envelope > 1e-12 {
+                worst_c = worst_c.max(d / envelope);
+            }
+            prev = d;
+        }
+    }
+    let beta = ExpKl::new(worst_c.min(1e6), worst_lambda);
+
+    // Phase 2: γ from same-state, offset-input pairs.
+    let mut worst_gain = 0.0f64;
+    for _ in 0..n_pairs {
+        let x0 = x_sampler(rng);
+        let du = rng.uniform_in(0.01, 1.0);
+        let mut a = x0.clone();
+        let mut b = x0;
+        let mut max_d = 0.0f64;
+        for _ in 0..horizon {
+            let u = u_sampler(rng);
+            a = step(&a, u);
+            b = step(&b, u + du);
+            max_d = max_d.max(norm(&a, &b));
+        }
+        worst_gain = worst_gain.max(max_d / du);
+    }
+    let gamma = LinearK::new(worst_gain.min(1e9));
+
+    // Phase 3: validation with both differences active.
+    let mut checked = 0usize;
+    let mut passed = 0usize;
+    for _ in 0..n_pairs {
+        let x1 = x_sampler(rng);
+        let x2 = x_sampler(rng);
+        let du = rng.uniform_in(0.0, 0.5);
+        let d0 = norm(&x1, &x2);
+        let mut a = x1;
+        let mut b = x2;
+        let mut ok = true;
+        for k in 1..=horizon {
+            let u = u_sampler(rng);
+            a = step(&a, u);
+            b = step(&b, u + du);
+            let bound = beta.eval(d0, k as u32) + gamma.eval(du) + 1e-9;
+            if norm(&a, &b) > bound * 1.05 {
+                ok = false;
+                break;
+            }
+        }
+        checked += 1;
+        if ok {
+            passed += 1;
+        }
+    }
+    let validation_pass_rate = if checked == 0 {
+        0.0
+    } else {
+        passed as f64 / checked as f64
+    };
+
+    IssReport {
+        beta,
+        gamma,
+        validation_pass_rate,
+        consistent: beta.lambda < 1.0 - 1e-9
+            && gamma.g.is_finite()
+            && validation_pass_rate >= 0.99,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A contractive scalar system: x' = a x + u, |a| < 1 is inc. ISS with
+    /// β(s,t) = s|a|^t and γ(s) = s/(1-|a|).
+    fn linear_step(a: f64) -> impl FnMut(&[f64], f64) -> Vec<f64> {
+        move |x: &[f64], u: f64| vec![a * x[0] + u]
+    }
+
+    #[test]
+    fn contractive_linear_system_is_consistent() {
+        let mut rng = SimRng::new(1);
+        let report = estimate_iss(
+            linear_step(0.7),
+            1,
+            40,
+            60,
+            &mut rng,
+            |r| vec![r.uniform_in(-5.0, 5.0)],
+            |r| r.uniform_in(-1.0, 1.0),
+        );
+        assert!(report.consistent, "{report:?}");
+        assert!((report.beta.lambda - 0.7).abs() < 0.05, "{:?}", report.beta);
+        // True gain is 1/(1-0.7) ≈ 3.33; finite-horizon estimate ≤ that.
+        assert!(report.gamma.g <= 3.5);
+        assert!(report.gamma.g > 2.0);
+    }
+
+    #[test]
+    fn unstable_linear_system_is_flagged() {
+        let mut rng = SimRng::new(2);
+        let report = estimate_iss(
+            linear_step(1.1),
+            1,
+            30,
+            40,
+            &mut rng,
+            |r| vec![r.uniform_in(-1.0, 1.0)],
+            |r| r.uniform_in(-1.0, 1.0),
+        );
+        assert!(!report.consistent);
+        assert!(report.beta.lambda >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn nonlinear_contraction_detected() {
+        // x' = 0.5 sin(x) + 0.3 u: Lipschitz 0.5 in x.
+        let mut rng = SimRng::new(3);
+        let report = estimate_iss(
+            |x, u| vec![0.5 * x[0].sin() + 0.3 * u],
+            1,
+            40,
+            60,
+            &mut rng,
+            |r| vec![r.uniform_in(-3.0, 3.0)],
+            |r| r.uniform_in(-1.0, 1.0),
+        );
+        assert!(report.consistent, "{report:?}");
+        assert!(report.beta.lambda <= 0.55);
+    }
+
+    #[test]
+    fn kl_and_k_evaluation() {
+        let b = ExpKl::new(2.0, 0.5);
+        assert_eq!(b.eval(1.0, 0), 2.0);
+        assert_eq!(b.eval(1.0, 1), 1.0);
+        assert_eq!(b.eval(3.0, 2), 1.5);
+        let g = LinearK::new(4.0);
+        assert_eq!(g.eval(0.25), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative lambda")]
+    fn expkl_rejects_negative_lambda() {
+        ExpKl::new(1.0, -0.5);
+    }
+
+    #[test]
+    fn expkl_kl_classification() {
+        assert!(ExpKl::new(1.0, 0.9).is_kl());
+        assert!(!ExpKl::new(1.0, 1.1).is_kl());
+    }
+
+    #[test]
+    #[should_panic(expected = "negative gain")]
+    fn lineark_rejects_negative() {
+        LinearK::new(-1.0);
+    }
+
+    #[test]
+    fn two_dimensional_rotation_contraction() {
+        // Contractive rotation in R²: x' = 0.8 R(θ) x + u e1.
+        let theta: f64 = 0.7;
+        let (s, c) = theta.sin_cos();
+        let mut rng = SimRng::new(4);
+        let report = estimate_iss(
+            move |x, u| vec![0.8 * (c * x[0] - s * x[1]) + u, 0.8 * (s * x[0] + c * x[1])],
+            2,
+            40,
+            50,
+            &mut rng,
+            |r| vec![r.uniform_in(-2.0, 2.0), r.uniform_in(-2.0, 2.0)],
+            |r| r.uniform_in(-0.5, 0.5),
+        );
+        assert!(report.consistent, "{report:?}");
+        assert!((report.beta.lambda - 0.8).abs() < 0.05);
+    }
+}

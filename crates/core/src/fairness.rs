@@ -1,0 +1,278 @@
+//! Classical fairness notions (the paper's Related Work, Sec. II-A),
+//! computed on closed-loop telemetry so they can be contrasted with the
+//! paper's equal treatment / equal impact.
+//!
+//! * **Demographic parity** (Calder et al. 2009): equal positive-decision
+//!   rates across groups;
+//! * **Equal opportunity** (Hardt et al. 2016): equal positive-decision
+//!   rates among the "qualified" (here: users whose action would be
+//!   favourable) across groups;
+//! * **Individual fairness** (Dwork et al. 2012): similar users receive
+//!   similar decisions — checked as a Lipschitz condition between a user
+//!   similarity metric and a decision distance.
+//!
+//! All are *single-pass* (per-step or pooled) notions; the paper's point is
+//! precisely that they do not see the loop's long-run behaviour.
+
+use crate::recorder::LoopRecord;
+use serde::{Deserialize, Serialize};
+
+/// Per-group rate with its sample size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupRate {
+    /// The measured rate in `[0, 1]` (`NaN` when the group is empty).
+    pub rate: f64,
+    /// Number of (user, step) observations behind it.
+    pub count: usize,
+}
+
+/// Result of a group-fairness computation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupFairnessReport {
+    /// One rate per group, in the order the groups were supplied.
+    pub group_rates: Vec<GroupRate>,
+    /// Largest pairwise gap between defined group rates.
+    pub max_gap: f64,
+    /// Ratio of smallest to largest defined rate (the "80 % rule"
+    /// statistic); `NaN` when undefined.
+    pub disparate_impact_ratio: f64,
+}
+
+fn group_report(rates: Vec<GroupRate>) -> GroupFairnessReport {
+    let defined: Vec<f64> = rates
+        .iter()
+        .filter(|r| !r.rate.is_nan())
+        .map(|r| r.rate)
+        .collect();
+    let (max_gap, ratio) = if defined.len() < 2 {
+        (0.0, f64::NAN)
+    } else {
+        let hi = defined.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = defined.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ratio = if hi > 0.0 { lo / hi } else { f64::NAN };
+        (hi - lo, ratio)
+    };
+    GroupFairnessReport {
+        group_rates: rates,
+        max_gap,
+        disparate_impact_ratio: ratio,
+    }
+}
+
+/// Demographic parity over a recorded run: positive-decision rate
+/// (`signal > threshold`) per group, pooled over all steps.
+pub fn demographic_parity(
+    record: &LoopRecord,
+    groups: &[Vec<usize>],
+    decision_threshold: f64,
+) -> GroupFairnessReport {
+    let rates = groups
+        .iter()
+        .map(|members| {
+            let mut positive = 0usize;
+            let mut count = 0usize;
+            for k in 0..record.steps() {
+                let signals = record.signals(k);
+                for &i in members {
+                    count += 1;
+                    if signals[i] > decision_threshold {
+                        positive += 1;
+                    }
+                }
+            }
+            GroupRate {
+                rate: if count == 0 {
+                    f64::NAN
+                } else {
+                    positive as f64 / count as f64
+                },
+                count,
+            }
+        })
+        .collect();
+    group_report(rates)
+}
+
+/// Equal opportunity over a recorded run: positive-decision rate among
+/// observations whose *action* was favourable (`action > action_threshold`)
+/// — in the credit reading, approval rates among users who would repay.
+///
+/// Note the loop-censoring caveat: denied users' actions are forced
+/// unfavourable, so this is the *observational* equal opportunity the
+/// regulator can actually compute — exactly the quantity the paper argues
+/// is insufficient without the long-run view.
+pub fn equal_opportunity(
+    record: &LoopRecord,
+    groups: &[Vec<usize>],
+    decision_threshold: f64,
+    action_threshold: f64,
+) -> GroupFairnessReport {
+    let rates = groups
+        .iter()
+        .map(|members| {
+            let mut positive = 0usize;
+            let mut count = 0usize;
+            for k in 0..record.steps() {
+                let signals = record.signals(k);
+                let actions = record.actions(k);
+                for &i in members {
+                    if actions[i] > action_threshold {
+                        count += 1;
+                        if signals[i] > decision_threshold {
+                            positive += 1;
+                        }
+                    }
+                }
+            }
+            GroupRate {
+                rate: if count == 0 {
+                    f64::NAN
+                } else {
+                    positive as f64 / count as f64
+                },
+                count,
+            }
+        })
+        .collect();
+    group_report(rates)
+}
+
+/// Result of the individual-fairness Lipschitz audit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndividualFairnessReport {
+    /// Largest observed ratio `|d_decision| / d_user` over audited pairs.
+    pub worst_lipschitz_ratio: f64,
+    /// The pair (step, user a, user b) achieving it, if any pair was
+    /// audited.
+    pub worst_pair: Option<(usize, usize, usize)>,
+    /// Number of (step, pair) combinations audited.
+    pub pairs_audited: usize,
+}
+
+/// Individual fairness (Dwork et al.): audits whether similar users (under
+/// `user_distance` on their recorded filtered features) received similar
+/// signals, step by step. A small `worst_lipschitz_ratio` certifies "similar
+/// people treated similarly" on this run.
+///
+/// `user_distance` receives the two users' filtered values at the step.
+pub fn individual_fairness(
+    record: &LoopRecord,
+    user_distance: impl Fn(f64, f64) -> f64,
+    min_distance: f64,
+) -> IndividualFairnessReport {
+    let n = record.user_count();
+    let mut worst = 0.0f64;
+    let mut worst_pair = None;
+    let mut audited = 0usize;
+    for k in 0..record.steps() {
+        let signals = record.signals(k);
+        let filtered = record.filtered(k);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d_user = user_distance(filtered[a], filtered[b]);
+                if d_user < min_distance {
+                    continue;
+                }
+                let d_dec = (signals[a] - signals[b]).abs();
+                let ratio = d_dec / d_user;
+                audited += 1;
+                if ratio > worst {
+                    worst = ratio;
+                    worst_pair = Some((k, a, b));
+                }
+            }
+        }
+    }
+    IndividualFairnessReport {
+        worst_lipschitz_ratio: worst,
+        worst_pair,
+        pairs_audited: audited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Record with two groups: group A (users 0,1) always approved, group
+    /// B (users 2,3) approved half the time; actions favour group A.
+    fn biased_record() -> LoopRecord {
+        let mut r = LoopRecord::new(4);
+        for k in 0..10 {
+            let b_signal = if k % 2 == 0 { 1.0 } else { 0.0 };
+            r.push_step(
+                &[1.0, 1.0, b_signal, b_signal],
+                &[1.0, 1.0, 1.0, 0.0],
+                &[0.1, 0.1, 0.5, 0.9],
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn demographic_parity_detects_decision_gap() {
+        let r = biased_record();
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let report = demographic_parity(&r, &groups, 0.5);
+        assert_eq!(report.group_rates[0].rate, 1.0);
+        assert_eq!(report.group_rates[1].rate, 0.5);
+        assert_eq!(report.max_gap, 0.5);
+        assert_eq!(report.disparate_impact_ratio, 0.5);
+        assert_eq!(report.group_rates[0].count, 20);
+    }
+
+    #[test]
+    fn demographic_parity_equal_groups() {
+        let mut r = LoopRecord::new(2);
+        r.push_step(&[1.0, 1.0], &[0.0, 1.0], &[0.0, 0.0]);
+        let report = demographic_parity(&r, &[vec![0], vec![1]], 0.5);
+        assert_eq!(report.max_gap, 0.0);
+        assert_eq!(report.disparate_impact_ratio, 1.0);
+    }
+
+    #[test]
+    fn equal_opportunity_conditions_on_favourable_actions() {
+        let r = biased_record();
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let report = equal_opportunity(&r, &groups, 0.5, 0.5);
+        // Group A: all 20 favourable observations approved.
+        assert_eq!(report.group_rates[0].rate, 1.0);
+        // Group B: only user 2 ever has favourable action (10 obs), and is
+        // approved on the 5 even steps.
+        assert_eq!(report.group_rates[1].count, 10);
+        assert_eq!(report.group_rates[1].rate, 0.5);
+    }
+
+    #[test]
+    fn equal_opportunity_empty_group_is_nan() {
+        let mut r = LoopRecord::new(2);
+        r.push_step(&[1.0, 1.0], &[0.0, 0.0], &[0.0, 0.0]);
+        let report = equal_opportunity(&r, &[vec![0], vec![1]], 0.5, 0.5);
+        assert!(report.group_rates[0].rate.is_nan());
+        assert!(report.disparate_impact_ratio.is_nan());
+    }
+
+    #[test]
+    fn individual_fairness_flags_dissimilar_treatment_of_similar_users() {
+        // Users 2 and 3 have filtered values 0.5 and 0.9 (distance 0.4)
+        // and get identical signals; users 0 and 2 are 0.4 apart but can
+        // get different signals on odd steps.
+        let r = biased_record();
+        let report = individual_fairness(&r, |a, b| (a - b).abs(), 0.05);
+        assert!(report.pairs_audited > 0);
+        // Worst pair: signal gap 1.0 over user distance 0.4 = 2.5.
+        assert!((report.worst_lipschitz_ratio - 2.5).abs() < 1e-12);
+        let (_, a, b) = report.worst_pair.unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn individual_fairness_clean_when_signals_uniform() {
+        let mut r = LoopRecord::new(3);
+        for _ in 0..5 {
+            r.push_step(&[1.0, 1.0, 1.0], &[1.0, 0.0, 1.0], &[0.1, 0.5, 0.9]);
+        }
+        let report = individual_fairness(&r, |a, b| (a - b).abs(), 0.05);
+        assert_eq!(report.worst_lipschitz_ratio, 0.0);
+    }
+}

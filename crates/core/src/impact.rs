@@ -1,0 +1,218 @@
+//! Equal impact (Defs. 3-4): the long-run, ergodic property of the loop.
+//!
+//! Def. 3 requires each user's Cesàro average
+//! `(1/(k+1)) Σ_{j≤k} y_i(j) → r_i` (independent of initial conditions)
+//! with all `r_i` coinciding. On a finite record we (a) test that each
+//! user's Cesàro tail has settled, (b) estimate `r_i` from the tail, and
+//! (c) measure the spread of the estimates, unconditionally or per class.
+
+use crate::recorder::LoopRecord;
+use eqimpact_stats::timeseries::{cesaro_trajectory, has_settled, tail_mean};
+use serde::{Deserialize, Serialize};
+
+/// Result of the equal-impact estimation on a recorded run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EqualImpactReport {
+    /// Estimated limit `r_i` per user (tail mean of the Cesàro sequence).
+    pub limits: Vec<f64>,
+    /// Whether each user's Cesàro sequence has settled.
+    pub converged: Vec<bool>,
+    /// Fraction of users whose sequences settled.
+    pub convergence_rate: f64,
+    /// Largest pairwise spread of the (in-class) limits.
+    pub max_spread: f64,
+    /// Whether all (in-class) limits coincide within tolerance.
+    pub all_coincide: bool,
+    /// The conjunction: convergence for everyone and coinciding limits.
+    pub satisfied: bool,
+}
+
+/// Estimates unconditional equal impact (Def. 3).
+///
+/// `tail_fraction` controls which suffix of the Cesàro sequence estimates
+/// the limit and tests settlement; `tolerance` bounds both the settlement
+/// fluctuation and the cross-user spread.
+pub fn equal_impact_report(
+    record: &LoopRecord,
+    tail_fraction: f64,
+    tolerance: f64,
+) -> EqualImpactReport {
+    let classes = vec![(0..record.user_count()).collect::<Vec<usize>>()];
+    conditioned_equal_impact_report(record, &classes, tail_fraction, tolerance)
+}
+
+/// Estimates equal impact conditioned on classes of users (Def. 4).
+pub fn conditioned_equal_impact_report(
+    record: &LoopRecord,
+    classes: &[Vec<usize>],
+    tail_fraction: f64,
+    tolerance: f64,
+) -> EqualImpactReport {
+    assert!(
+        tail_fraction > 0.0 && tail_fraction <= 1.0,
+        "tail_fraction outside (0,1]"
+    );
+    let n = record.user_count();
+    let steps = record.steps();
+    let mut limits = Vec::with_capacity(n);
+    let mut converged = Vec::with_capacity(n);
+    let window = ((steps as f64 * tail_fraction) as usize).max(1);
+
+    for i in 0..n {
+        let cesaro = cesaro_trajectory(&record.user_actions(i));
+        if cesaro.is_empty() {
+            limits.push(f64::NAN);
+            converged.push(false);
+            continue;
+        }
+        limits.push(tail_mean(&cesaro, tail_fraction));
+        converged.push(has_settled(&cesaro, window, tolerance));
+    }
+
+    let convergence_rate = if n == 0 {
+        0.0
+    } else {
+        converged.iter().filter(|&&c| c).count() as f64 / n as f64
+    };
+
+    let mut max_spread = 0.0f64;
+    for class in classes {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &i in class {
+            if limits[i].is_nan() {
+                continue;
+            }
+            lo = lo.min(limits[i]);
+            hi = hi.max(limits[i]);
+        }
+        if class.len() > 1 && hi >= lo {
+            max_spread = max_spread.max(hi - lo);
+        }
+    }
+    let all_coincide = max_spread <= tolerance;
+
+    EqualImpactReport {
+        convergence_rate,
+        satisfied: all_coincide && convergence_rate >= 1.0 - 1e-12,
+        all_coincide,
+        max_spread,
+        limits,
+        converged,
+    }
+}
+
+/// Group-level limit estimates (the `r_s` of eq. (13)): mean of the
+/// in-class user limits per class.
+pub fn group_limits(report: &EqualImpactReport, classes: &[Vec<usize>]) -> Vec<f64> {
+    classes
+        .iter()
+        .map(|class| {
+            let vals: Vec<f64> = class
+                .iter()
+                .map(|&i| report.limits[i])
+                .filter(|v| !v.is_nan())
+                .collect();
+            if vals.is_empty() {
+                f64::NAN
+            } else {
+                vals.iter().sum::<f64>() / vals.len() as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqimpact_stats::SimRng;
+
+    /// Record where every user flips a fair coin: limits coincide at 0.5.
+    fn iid_record(n: usize, steps: usize, seed: u64) -> LoopRecord {
+        let mut rng = SimRng::new(seed);
+        let mut r = LoopRecord::new(n);
+        for _ in 0..steps {
+            let actions: Vec<f64> = (0..n)
+                .map(|_| if rng.bernoulli(0.5) { 1.0 } else { 0.0 })
+                .collect();
+            let signals = vec![1.0; n];
+            let filtered = vec![0.0; n];
+            r.push_step(&signals, &actions, &filtered);
+        }
+        r
+    }
+
+    /// Record with two persistent user groups at different levels.
+    fn biased_record(steps: usize) -> LoopRecord {
+        let mut r = LoopRecord::new(4);
+        for _ in 0..steps {
+            r.push_step(&[1.0; 4], &[1.0, 1.0, 0.0, 0.0], &[0.0; 4]);
+        }
+        r
+    }
+
+    #[test]
+    fn iid_users_have_equal_impact() {
+        let r = iid_record(20, 5_000, 1);
+        let report = equal_impact_report(&r, 0.2, 0.05);
+        assert!(report.all_coincide, "spread = {}", report.max_spread);
+        assert!(report.convergence_rate > 0.99);
+        assert!(report.satisfied);
+        for &l in &report.limits {
+            assert!((l - 0.5).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn persistent_bias_fails_equal_impact() {
+        let r = biased_record(1_000);
+        let report = equal_impact_report(&r, 0.2, 0.05);
+        // Cesàro sequences converge (rates 1 and 0) but the limits differ.
+        assert!(report.convergence_rate > 0.99);
+        assert!(!report.all_coincide);
+        assert!((report.max_spread - 1.0).abs() < 1e-12);
+        assert!(!report.satisfied);
+    }
+
+    #[test]
+    fn conditioning_on_groups_rescues_def4() {
+        let r = biased_record(1_000);
+        let classes = vec![vec![0, 1], vec![2, 3]];
+        let report = conditioned_equal_impact_report(&r, &classes, 0.2, 0.05);
+        assert!(report.all_coincide);
+        assert!(report.satisfied);
+        let groups = group_limits(&report, &classes);
+        assert!((groups[0] - 1.0).abs() < 1e-12);
+        assert!(groups[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_converged_series_flagged() {
+        // A user whose action keeps trending (Cesàro not settled over the
+        // tail window).
+        let mut r = LoopRecord::new(1);
+        for k in 0..100 {
+            let y = if k < 50 { 0.0 } else { 1.0 };
+            r.push_step(&[0.0], &[y], &[0.0]);
+        }
+        let report = equal_impact_report(&r, 0.3, 1e-4);
+        assert!(!report.converged[0]);
+        assert!(!report.satisfied);
+    }
+
+    #[test]
+    fn empty_record_degenerates() {
+        let r = LoopRecord::new(2);
+        let report = equal_impact_report(&r, 0.5, 0.1);
+        assert_eq!(report.limits.len(), 2);
+        assert!(report.limits.iter().all(|l| l.is_nan()));
+        assert_eq!(report.convergence_rate, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail_fraction")]
+    fn rejects_bad_tail_fraction() {
+        let r = LoopRecord::new(1);
+        equal_impact_report(&r, 0.0, 0.1);
+    }
+}

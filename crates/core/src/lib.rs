@@ -1,0 +1,81 @@
+//! The closed-loop view of an AI system and its users (the paper's Fig. 1),
+//! with executable definitions of **equal treatment** (Defs. 1-2) and
+//! **equal impact** (Defs. 3-4).
+//!
+//! The loop is decomposed exactly as in the figure:
+//!
+//! ```text
+//!  Goal + AiSystem ──π(k)──▶ UserPopulation ──y(k)──▶ FeedbackFilter
+//!        ▲                                                  │
+//!        └────────────── Delay (retraining) ◀───────────────┘
+//! ```
+//!
+//! * [`closed_loop`] — the [`closed_loop::AiSystem`],
+//!   [`closed_loop::UserPopulation`] and [`closed_loop::FeedbackFilter`]
+//!   traits plus the [`closed_loop::LoopRunner`] that wires them together
+//!   with an explicit delay line;
+//! * [`recorder`] — the complete telemetry of a run ([`recorder::LoopRecord`]);
+//! * [`treatment`] — checkers for equal treatment, unconditional and
+//!   conditioned on non-protected attributes;
+//! * [`impact`] — estimators of the per-user Cesàro limits `r_i` and their
+//!   coincidence, unconditional and group-conditioned;
+//! * [`trials`] — deterministic multi-seed trial running, parallelized
+//!   across threads.
+//!
+//! # Example
+//!
+//! A one-dimensional toy loop where the AI system broadcasts the filtered
+//! average of past actions and users respond stochastically:
+//!
+//! ```
+//! use eqimpact_core::closed_loop::*;
+//! use eqimpact_core::impact::equal_impact_report;
+//! use eqimpact_stats::SimRng;
+//!
+//! struct Broadcast(f64);
+//! impl AiSystem for Broadcast {
+//!     fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
+//!         vec![self.0; visible.len()]
+//!     }
+//!     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
+//!         self.0 = 0.5 * self.0 + 0.5 * feedback.aggregate;
+//!     }
+//! }
+//!
+//! struct Coins(usize);
+//! impl UserPopulation for Coins {
+//!     fn user_count(&self) -> usize { self.0 }
+//!     fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> Vec<Vec<f64>> {
+//!         vec![vec![]; self.0]
+//!     }
+//!     fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
+//!         signals.iter().map(|&s| if rng.bernoulli(0.2 + 0.6 * s.clamp(0.0, 1.0)) { 1.0 } else { 0.0 }).collect()
+//!     }
+//! }
+//!
+//! let mut runner = LoopRunner::new(
+//!     Box::new(Broadcast(0.9)),
+//!     Box::new(Coins(50)),
+//!     Box::new(MeanFilter::default()),
+//!     1,
+//! );
+//! let record = runner.run(3000, &mut SimRng::new(7));
+//! let report = equal_impact_report(&record, 0.2, 0.1);
+//! assert!(report.all_coincide);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod closed_loop;
+pub mod fairness;
+pub mod impact;
+pub mod recorder;
+pub mod treatment;
+pub mod trials;
+
+pub use closed_loop::{AiSystem, Feedback, FeedbackFilter, LoopRunner, MeanFilter, UserPopulation};
+pub use fairness::{demographic_parity, equal_opportunity, individual_fairness};
+pub use impact::{equal_impact_report, EqualImpactReport};
+pub use recorder::LoopRecord;
+pub use treatment::{equal_treatment_report, EqualTreatmentReport};
+pub use trials::{run_trials, TrialSet};

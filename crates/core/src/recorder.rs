@@ -1,0 +1,174 @@
+//! Telemetry of a closed-loop run.
+
+use serde::{Deserialize, Serialize};
+
+/// The full record of a loop run: per-step signals, actions, and filtered
+/// per-user values, with derived Cesàro trajectories.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopRecord {
+    user_count: usize,
+    /// `signals[k][i]` = π(k, i).
+    signals: Vec<Vec<f64>>,
+    /// `actions[k][i]` = y_i(k).
+    actions: Vec<Vec<f64>>,
+    /// `filtered[k][i]` = the filter's per-user output at step k (e.g.
+    /// running ADR).
+    filtered: Vec<Vec<f64>>,
+}
+
+impl LoopRecord {
+    /// Creates an empty record for `user_count` users.
+    pub fn new(user_count: usize) -> Self {
+        LoopRecord {
+            user_count,
+            signals: Vec::new(),
+            actions: Vec::new(),
+            filtered: Vec::new(),
+        }
+    }
+
+    /// Appends one step of telemetry.
+    ///
+    /// # Panics
+    /// Panics when any slice length differs from the user count.
+    pub fn push_step(&mut self, signals: &[f64], actions: &[f64], filtered: &[f64]) {
+        assert_eq!(signals.len(), self.user_count, "signals length");
+        assert_eq!(actions.len(), self.user_count, "actions length");
+        assert_eq!(filtered.len(), self.user_count, "filtered length");
+        self.signals.push(signals.to_vec());
+        self.actions.push(actions.to_vec());
+        self.filtered.push(filtered.to_vec());
+    }
+
+    /// Number of recorded steps.
+    pub fn steps(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of users.
+    pub fn user_count(&self) -> usize {
+        self.user_count
+    }
+
+    /// Signals of step `k`.
+    pub fn signals(&self, k: usize) -> &[f64] {
+        &self.signals[k]
+    }
+
+    /// Actions of step `k`.
+    pub fn actions(&self, k: usize) -> &[f64] {
+        &self.actions[k]
+    }
+
+    /// Filtered per-user values of step `k`.
+    pub fn filtered(&self, k: usize) -> &[f64] {
+        &self.filtered[k]
+    }
+
+    /// The action time series of user `i`.
+    pub fn user_actions(&self, i: usize) -> Vec<f64> {
+        self.actions.iter().map(|row| row[i]).collect()
+    }
+
+    /// The signal time series of user `i`.
+    pub fn user_signals(&self, i: usize) -> Vec<f64> {
+        self.signals.iter().map(|row| row[i]).collect()
+    }
+
+    /// The filtered time series of user `i` (e.g. `{ADR_i(k)}_k`).
+    pub fn user_filtered(&self, i: usize) -> Vec<f64> {
+        self.filtered.iter().map(|row| row[i]).collect()
+    }
+
+    /// Cesàro (running-average) trajectory of user `i`'s actions — the
+    /// quantity of Def. 3.
+    pub fn user_cesaro(&self, i: usize) -> Vec<f64> {
+        eqimpact_stats::timeseries::cesaro_trajectory(&self.user_actions(i))
+    }
+
+    /// Final Cesàro average per user.
+    pub fn final_cesaro(&self) -> Vec<f64> {
+        (0..self.user_count)
+            .map(|i| {
+                let t = self.user_cesaro(i);
+                t.last().copied().unwrap_or(f64::NAN)
+            })
+            .collect()
+    }
+
+    /// Aggregate action `y(k) = Σ_i y_i(k)` per step.
+    pub fn aggregate_actions(&self) -> Vec<f64> {
+        self.actions.iter().map(|row| row.iter().sum()).collect()
+    }
+
+    /// Mean action per step.
+    pub fn mean_actions(&self) -> Vec<f64> {
+        self.actions
+            .iter()
+            .map(|row| row.iter().sum::<f64>() / row.len().max(1) as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> LoopRecord {
+        let mut r = LoopRecord::new(2);
+        r.push_step(&[1.0, 1.0], &[1.0, 0.0], &[1.0, 0.0]);
+        r.push_step(&[0.5, 0.5], &[0.0, 0.0], &[0.5, 0.0]);
+        r.push_step(&[0.2, 0.2], &[1.0, 1.0], &[2.0 / 3.0, 1.0 / 3.0]);
+        r
+    }
+
+    #[test]
+    fn dimensions_and_access() {
+        let r = sample_record();
+        assert_eq!(r.steps(), 3);
+        assert_eq!(r.user_count(), 2);
+        assert_eq!(r.signals(1), &[0.5, 0.5]);
+        assert_eq!(r.actions(2), &[1.0, 1.0]);
+        assert_eq!(r.filtered(0), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn per_user_series() {
+        let r = sample_record();
+        assert_eq!(r.user_actions(0), vec![1.0, 0.0, 1.0]);
+        assert_eq!(r.user_signals(1), vec![1.0, 0.5, 0.2]);
+        assert_eq!(r.user_filtered(0), vec![1.0, 0.5, 2.0 / 3.0]);
+    }
+
+    #[test]
+    fn cesaro_trajectories() {
+        let r = sample_record();
+        let c0 = r.user_cesaro(0);
+        assert_eq!(c0, vec![1.0, 0.5, 2.0 / 3.0]);
+        let finals = r.final_cesaro();
+        assert!((finals[0] - 2.0 / 3.0).abs() < 1e-15);
+        assert!((finals[1] - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn aggregates() {
+        let r = sample_record();
+        assert_eq!(r.aggregate_actions(), vec![1.0, 0.0, 2.0]);
+        assert_eq!(r.mean_actions(), vec![0.5, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_record() {
+        let r = LoopRecord::new(4);
+        assert_eq!(r.steps(), 0);
+        assert!(r.final_cesaro().iter().all(|v| v.is_nan()));
+        assert!(r.aggregate_actions().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "actions length")]
+    fn push_checks_lengths() {
+        let mut r = LoopRecord::new(2);
+        r.push_step(&[0.0, 0.0], &[0.0], &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Multi-trial execution: the paper's protocol of five independent trials,
+//! each with a fresh batch of users, run in parallel with deterministic
+//! per-trial seeds.
+
+use crate::recorder::LoopRecord;
+use eqimpact_stats::describe::Summary;
+use serde::{Deserialize, Serialize};
+
+/// The records of a set of trials.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialSet {
+    /// One record per trial, in trial order.
+    pub records: Vec<LoopRecord>,
+}
+
+/// Runs `trials` independent trials in parallel. `factory(trial_index)`
+/// must build and run one complete loop and return its record; it receives
+/// the trial index so it can derive a deterministic seed (the convention
+/// is `base_seed + trial_index`).
+pub fn run_trials<F>(trials: usize, factory: F) -> TrialSet
+where
+    F: Fn(usize) -> LoopRecord + Sync,
+{
+    assert!(trials > 0, "run_trials: zero trials");
+    let mut records: Vec<Option<LoopRecord>> = (0..trials).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(trials);
+        for (t, slot) in records.iter_mut().enumerate() {
+            let factory = &factory;
+            handles.push(scope.spawn(move || {
+                *slot = Some(factory(t));
+            }));
+        }
+        for h in handles {
+            h.join().expect("trial thread panicked");
+        }
+    });
+    TrialSet {
+        records: records
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect(),
+    }
+}
+
+impl TrialSet {
+    /// Number of trials.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the set is empty (never true for `run_trials` output).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Cross-trial mean and standard deviation of a per-trial scalar
+    /// statistic.
+    pub fn summarize(&self, stat: impl Fn(&LoopRecord) -> f64) -> Summary {
+        let mut s = Summary::new();
+        for r in &self.records {
+            s.push(stat(r));
+        }
+        s
+    }
+
+    /// Cross-trial mean ± std of a per-trial *time series* (e.g. a group's
+    /// ADR trajectory): returns `(mean[k], std[k])` per step. Trials must
+    /// produce series of equal length.
+    pub fn summarize_series(
+        &self,
+        series: impl Fn(&LoopRecord) -> Vec<f64>,
+    ) -> (Vec<f64>, Vec<f64>) {
+        let all: Vec<Vec<f64>> = self.records.iter().map(&series).collect();
+        let len = all.first().map(|s| s.len()).unwrap_or(0);
+        assert!(
+            all.iter().all(|s| s.len() == len),
+            "summarize_series: unequal series lengths"
+        );
+        let mut means = Vec::with_capacity(len);
+        let mut stds = Vec::with_capacity(len);
+        for k in 0..len {
+            let mut s = Summary::new();
+            for trial in &all {
+                s.push(trial[k]);
+            }
+            means.push(s.mean());
+            // Population std over the trial dimension, matching the error
+            // shades of the paper's Fig. 3.
+            stds.push(s.std_dev_population());
+        }
+        (means, stds)
+    }
+
+    /// All per-user action series across all trials (the 5 x 1000 curves
+    /// of the paper's Fig. 4), as (trial, user, series) triples flattened
+    /// to a vector of series.
+    pub fn all_user_series(&self, extract: impl Fn(&LoopRecord, usize) -> Vec<f64>) -> Vec<Vec<f64>> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            for i in 0..r.user_count() {
+                out.push(extract(r, i));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqimpact_stats::SimRng;
+
+    fn make_record(seed: usize, steps: usize) -> LoopRecord {
+        let mut rng = SimRng::new(seed as u64);
+        let mut r = LoopRecord::new(3);
+        for _ in 0..steps {
+            let actions: Vec<f64> = (0..3)
+                .map(|_| if rng.bernoulli(0.3) { 1.0 } else { 0.0 })
+                .collect();
+            r.push_step(&[0.0; 3], &actions, &[0.0; 3]);
+        }
+        r
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_index() {
+        let a = run_trials(4, |t| make_record(t, 50));
+        let b = run_trials(4, |t| make_record(t, 50));
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn different_trials_differ() {
+        let set = run_trials(2, |t| make_record(t, 200));
+        assert_ne!(set.records[0], set.records[1]);
+    }
+
+    #[test]
+    fn summarize_scalar() {
+        let set = run_trials(8, |t| make_record(t, 500));
+        let s = set.summarize(|r| r.mean_actions().iter().sum::<f64>() / r.steps() as f64);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 0.3).abs() < 0.08, "mean = {}", s.mean());
+    }
+
+    #[test]
+    fn summarize_series_shapes() {
+        let set = run_trials(5, |t| make_record(t, 100));
+        let (mean, std) = set.summarize_series(|r| r.mean_actions());
+        assert_eq!(mean.len(), 100);
+        assert_eq!(std.len(), 100);
+        assert!(std.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn all_user_series_flattens() {
+        let set = run_trials(5, |t| make_record(t, 10));
+        let series = set.all_user_series(|r, i| r.user_actions(i));
+        // 5 trials x 3 users.
+        assert_eq!(series.len(), 15);
+        assert!(series.iter().all(|s| s.len() == 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero trials")]
+    fn zero_trials_rejected() {
+        run_trials(0, |t| make_record(t, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal series lengths")]
+    fn unequal_series_rejected() {
+        let set = run_trials(2, |t| make_record(t, 10 + t));
+        let _ = set.summarize_series(|r| r.mean_actions());
+    }
+}

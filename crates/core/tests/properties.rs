@@ -1,0 +1,174 @@
+//! Property-based tests for the closed-loop core.
+
+use eqimpact_core::closed_loop::{
+    AiSystem, Feedback, FeedbackFilter, LoopRunner, MeanFilter, UserPopulation,
+};
+use eqimpact_core::fairness::demographic_parity;
+use eqimpact_core::impact::equal_impact_report;
+use eqimpact_core::recorder::LoopRecord;
+use eqimpact_core::treatment::{classes_by_attribute, equal_treatment_report};
+use eqimpact_stats::SimRng;
+use proptest::prelude::*;
+
+struct ConstAi(f64);
+impl AiSystem for ConstAi {
+    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
+        vec![self.0; visible.len()]
+    }
+    fn retrain(&mut self, _k: usize, _f: &Feedback) {}
+}
+
+struct CoinUsers {
+    n: usize,
+    p: f64,
+}
+impl UserPopulation for CoinUsers {
+    fn user_count(&self) -> usize {
+        self.n
+    }
+    fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> Vec<Vec<f64>> {
+        vec![vec![]; self.n]
+    }
+    fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
+        signals
+            .iter()
+            .map(|_| if rng.bernoulli(self.p) { 1.0 } else { 0.0 })
+            .collect()
+    }
+}
+
+proptest! {
+    #[test]
+    fn loop_record_dimensions_always_consistent(
+        n in 1usize..20,
+        steps in 1usize..30,
+        seed in 0u64..100,
+        signal in -2.0f64..2.0,
+    ) {
+        let mut runner = LoopRunner::new(
+            Box::new(ConstAi(signal)),
+            Box::new(CoinUsers { n, p: 0.4 }),
+            Box::new(MeanFilter::default()),
+            1,
+        );
+        let record = runner.run(steps, &mut SimRng::new(seed));
+        prop_assert_eq!(record.steps(), steps);
+        prop_assert_eq!(record.user_count(), n);
+        for k in 0..steps {
+            prop_assert_eq!(record.signals(k).len(), n);
+            prop_assert_eq!(record.actions(k).len(), n);
+            prop_assert_eq!(record.filtered(k).len(), n);
+        }
+        // Cesàro trajectories end at the final running mean.
+        for i in 0..n {
+            let actions = record.user_actions(i);
+            let mean: f64 = actions.iter().sum::<f64>() / steps as f64;
+            let cesaro = record.user_cesaro(i);
+            prop_assert!((cesaro.last().unwrap() - mean).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signals_always_pass_treatment_signal_check(
+        n in 2usize..15,
+        steps in 1usize..20,
+        seed in 0u64..50,
+    ) {
+        let mut runner = LoopRunner::new(
+            Box::new(ConstAi(0.7)),
+            Box::new(CoinUsers { n, p: 0.5 }),
+            Box::new(MeanFilter::default()),
+            0,
+        );
+        let record = runner.run(steps, &mut SimRng::new(seed));
+        let report = equal_treatment_report(&record, 1e-9);
+        prop_assert!(report.same_signal);
+        prop_assert_eq!(report.max_signal_spread, 0.0);
+    }
+
+    #[test]
+    fn impact_limits_are_within_action_range(
+        n in 1usize..10,
+        steps in 5usize..40,
+        seed in 0u64..50,
+    ) {
+        let mut runner = LoopRunner::new(
+            Box::new(ConstAi(1.0)),
+            Box::new(CoinUsers { n, p: 0.3 }),
+            Box::new(MeanFilter::default()),
+            0,
+        );
+        let record = runner.run(steps, &mut SimRng::new(seed));
+        let report = equal_impact_report(&record, 0.5, 1.0);
+        for &l in &report.limits {
+            prop_assert!((0.0..=1.0).contains(&l));
+        }
+        prop_assert!(report.max_spread <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn classes_by_attribute_covers_all_users(attrs in prop::collection::vec(0u32..5, 1..40)) {
+        let classes = classes_by_attribute(&attrs);
+        let total: usize = classes.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, attrs.len());
+        // Within a class, all attributes equal.
+        for class in &classes {
+            let a0 = attrs[class[0]];
+            prop_assert!(class.iter().all(|&i| attrs[i] == a0));
+        }
+    }
+
+    #[test]
+    fn demographic_parity_rates_are_probabilities(
+        steps in 1usize..20,
+        seed in 0u64..50,
+    ) {
+        let n = 8;
+        let mut runner = LoopRunner::new(
+            Box::new(ConstAi(1.0)),
+            Box::new(CoinUsers { n, p: 0.5 }),
+            Box::new(MeanFilter::default()),
+            0,
+        );
+        let record = runner.run(steps, &mut SimRng::new(seed));
+        let groups = vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7]];
+        let report = demographic_parity(&record, &groups, 0.5);
+        for r in &report.group_rates {
+            prop_assert!((0.0..=1.0).contains(&r.rate));
+            prop_assert_eq!(r.count, r.count); // counted
+        }
+        prop_assert!(report.max_gap >= 0.0);
+    }
+
+    #[test]
+    fn mean_filter_per_user_matches_cesaro(values in prop::collection::vec(0.0f64..1.0, 1..25)) {
+        let mut f = MeanFilter::default();
+        let visible = vec![vec![]];
+        let mut last = f64::NAN;
+        for (k, &v) in values.iter().enumerate() {
+            let fb = f.apply(k, &visible, &[1.0], &[v]);
+            last = fb.per_user[0];
+        }
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        prop_assert!((last - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_serde_roundtrip(
+        n in 1usize..6,
+        steps in 0usize..10,
+        seed in 0u64..20,
+    ) {
+        let mut record = LoopRecord::new(n);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..steps {
+            let s: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+            let a: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+            let f: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
+            record.push_step(&s, &a, &f);
+        }
+        let json = serde_json::to_string(&record).unwrap();
+        let back: LoopRecord = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back, record);
+    }
+}

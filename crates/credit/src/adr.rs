@@ -1,0 +1,209 @@
+//! Average default rates (eq. (12)): per-user and per-race, both as a
+//! standalone tracker and as the closed loop's feedback filter.
+//!
+//! A *default* is a mortgage offered but not repaid
+//! (`y_i(k) = 0 | π(k, i) = 1`); the average default rate of user `i` at
+//! time `k` is the fraction of defaults among all offers made to `i` up to
+//! `k`. Users never offered anything carry a clean history (`ADR = 0`),
+//! matching the initialization of the paper (everyone approved in
+//! 2002-2003 before any scorecard exists).
+
+use eqimpact_core::closed_loop::{Feedback, FeedbackFilter};
+use serde::{Deserialize, Serialize};
+
+/// Per-user running default statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdrTracker {
+    offers: Vec<u64>,
+    defaults: Vec<u64>,
+}
+
+impl AdrTracker {
+    /// Creates a tracker for `n` users.
+    pub fn new(n: usize) -> Self {
+        AdrTracker {
+            offers: vec![0; n],
+            defaults: vec![0; n],
+        }
+    }
+
+    /// Number of users tracked.
+    pub fn user_count(&self) -> usize {
+        self.offers.len()
+    }
+
+    /// Records one step: `loans[i] > 0` means an offer; an offer with
+    /// `repaid[i] == 0` is a default.
+    ///
+    /// # Panics
+    /// Panics on length mismatches.
+    pub fn record(&mut self, loans: &[f64], repaid: &[f64]) {
+        assert_eq!(loans.len(), self.offers.len(), "loans length");
+        assert_eq!(repaid.len(), self.offers.len(), "repaid length");
+        for i in 0..loans.len() {
+            if loans[i] > 0.0 {
+                self.offers[i] += 1;
+                if repaid[i] == 0.0 {
+                    self.defaults[i] += 1;
+                }
+            }
+        }
+    }
+
+    /// `ADR_i(k)`: defaults over offers for user `i`; 0 for users never
+    /// offered credit (clean history).
+    pub fn adr(&self, i: usize) -> f64 {
+        if self.offers[i] == 0 {
+            0.0
+        } else {
+            self.defaults[i] as f64 / self.offers[i] as f64
+        }
+    }
+
+    /// The full per-user ADR vector.
+    pub fn adr_all(&self) -> Vec<f64> {
+        (0..self.offers.len()).map(|i| self.adr(i)).collect()
+    }
+
+    /// `ADR_s(k)`: mean individual ADR over a set of user indices (eq.
+    /// (12)'s race-wise version). `NaN` for an empty set.
+    pub fn adr_group(&self, members: &[usize]) -> f64 {
+        if members.is_empty() {
+            return f64::NAN;
+        }
+        members.iter().map(|&i| self.adr(i)).sum::<f64>() / members.len() as f64
+    }
+
+    /// Total offers made to user `i`.
+    pub fn offers(&self, i: usize) -> u64 {
+        self.offers[i]
+    }
+
+    /// Total defaults of user `i`.
+    pub fn defaults(&self, i: usize) -> u64 {
+        self.defaults[i]
+    }
+}
+
+/// The loop's feedback filter: maintains the [`AdrTracker`] and emits
+/// `per_user = ADR_i(k)` — the "filter calculates the average default
+/// rates of each user, using historical repayment actions" of Sec. VII.
+#[derive(Debug, Clone, Default)]
+pub struct AdrFilter {
+    tracker: Option<AdrTracker>,
+}
+
+impl AdrFilter {
+    /// Creates an empty filter (sized on first use).
+    pub fn new() -> Self {
+        AdrFilter::default()
+    }
+
+    /// The tracker, if any step has been filtered.
+    pub fn tracker(&self) -> Option<&AdrTracker> {
+        self.tracker.as_ref()
+    }
+}
+
+impl FeedbackFilter for AdrFilter {
+    fn apply(
+        &mut self,
+        k: usize,
+        visible: &[Vec<f64>],
+        signals: &[f64],
+        actions: &[f64],
+    ) -> Feedback {
+        let tracker = self
+            .tracker
+            .get_or_insert_with(|| AdrTracker::new(actions.len()));
+        tracker.record(signals, actions);
+        let per_user = tracker.adr_all();
+        let offered = signals.iter().filter(|&&l| l > 0.0).count();
+        let aggregate = if offered == 0 {
+            0.0
+        } else {
+            signals
+                .iter()
+                .zip(actions)
+                .filter(|(&l, _)| l > 0.0)
+                .map(|(_, &y)| 1.0 - y)
+                .sum::<f64>()
+                / offered as f64
+        };
+        Feedback {
+            step: k,
+            per_user,
+            aggregate,
+            visible: visible.to_vec(),
+            signals: signals.to_vec(),
+            actions: actions.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_offers_and_defaults() {
+        let mut t = AdrTracker::new(3);
+        assert_eq!(t.user_count(), 3);
+        // User 0 offered & repaid, user 1 offered & defaulted, user 2 not offered.
+        t.record(&[100.0, 50.0, 0.0], &[1.0, 0.0, 0.0]);
+        assert_eq!(t.adr(0), 0.0);
+        assert_eq!(t.adr(1), 1.0);
+        assert_eq!(t.adr(2), 0.0); // clean history, not a default
+        assert_eq!(t.offers(2), 0);
+
+        t.record(&[100.0, 50.0, 10.0], &[0.0, 1.0, 1.0]);
+        assert_eq!(t.adr(0), 0.5);
+        assert_eq!(t.adr(1), 0.5);
+        assert_eq!(t.adr(2), 0.0);
+        assert_eq!(t.defaults(0), 1);
+    }
+
+    #[test]
+    fn group_adr_is_mean_of_individuals() {
+        let mut t = AdrTracker::new(4);
+        t.record(&[1.0, 1.0, 1.0, 1.0], &[1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(t.adr_group(&[0, 1]), 0.5);
+        assert_eq!(t.adr_group(&[2, 3]), 0.5);
+        assert_eq!(t.adr_group(&[0, 3]), 0.0);
+        assert!(t.adr_group(&[]).is_nan());
+        assert_eq!(t.adr_all(), vec![0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn filter_emits_adr_per_user() {
+        let mut f = AdrFilter::new();
+        assert!(f.tracker().is_none());
+        let visible = vec![vec![1.0], vec![0.0]];
+        let fb = f.apply(0, &visible, &[100.0, 100.0], &[1.0, 0.0]);
+        assert_eq!(fb.per_user, vec![0.0, 1.0]);
+        assert_eq!(fb.aggregate, 0.5);
+        assert_eq!(fb.step, 0);
+        assert_eq!(fb.visible, visible);
+
+        // Second step: user 1 denied; their ADR freezes at 1.0.
+        let fb2 = f.apply(1, &visible, &[100.0, 0.0], &[1.0, 0.0]);
+        assert_eq!(fb2.per_user, vec![0.0, 1.0]);
+        assert_eq!(fb2.aggregate, 0.0);
+        assert!(f.tracker().is_some());
+    }
+
+    #[test]
+    fn filter_aggregate_with_no_offers() {
+        let mut f = AdrFilter::new();
+        let fb = f.apply(0, &[vec![]], &[0.0], &[0.0]);
+        assert_eq!(fb.aggregate, 0.0);
+        assert_eq!(fb.per_user, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "loans length")]
+    fn tracker_rejects_mismatch() {
+        let mut t = AdrTracker::new(2);
+        t.record(&[1.0], &[1.0, 0.0]);
+    }
+}

@@ -1,0 +1,344 @@
+//! The lender: three implementations of the loop's AI-system block.
+//!
+//! * [`ScorecardLender`] — the paper's Sec. VII protocol: approve everyone
+//!   for the first two years, then retrain a logistic scorecard each year
+//!   on `(ADR_i(k−1), 1_{z≥15})` and decide by cut-off;
+//! * [`UniformExclusionLender`] — the introduction's "most equal
+//!   treatment" baseline: a flat $50K to everyone who has never defaulted,
+//!   permanent exclusion afterwards;
+//! * [`IncomeMultipleLender`] — the introduction's differentiated
+//!   baseline: always approve, size the loan at a multiple of income.
+//!
+//! The broadcast signal `π(k, i)` is the offered loan amount in $K, with
+//! `0` meaning denial. Visible features per user are
+//! `[income_code, income]`: the scorecard only ever *scores* on the code
+//! (and the default history), while the raw income is used solely to size
+//! the 3.5x mortgage, as in the paper.
+
+use crate::model;
+use eqimpact_core::closed_loop::{AiSystem, Feedback};
+use eqimpact_ml::logistic::{LogisticModel, LogisticRegression};
+use eqimpact_ml::scorecard::Scorecard;
+
+/// Index of the income code in the visible feature rows.
+pub const VISIBLE_INCOME_CODE: usize = 0;
+
+/// Index of the raw income ($K) in the visible feature rows.
+pub const VISIBLE_INCOME_K: usize = 1;
+
+/// The paper's retrained scorecard lender.
+pub struct ScorecardLender {
+    /// Steps (years) during which everyone is approved before the first
+    /// scorecard exists (the paper uses 2).
+    warmup_steps: usize,
+    /// Scorecard decision cut-off (the paper's 0.4).
+    cutoff: f64,
+    /// Loan sizing multiple (the paper's 3.5).
+    multiple: f64,
+    fitter: LogisticRegression,
+    /// `ADR_i(k−1)` as known to the lender (from the last feedback).
+    prev_adr: Vec<f64>,
+    /// Accumulated training rows `(adr_prev, income_code)`.
+    train_rows: Vec<Vec<f64>>,
+    /// Accumulated labels `y_i(j)` (offered users only).
+    train_labels: Vec<f64>,
+    /// The current model, if fitted.
+    model: Option<LogisticModel>,
+    /// Refits performed.
+    refits: usize,
+}
+
+impl ScorecardLender {
+    /// Creates the lender with the paper's parameters.
+    pub fn paper_default() -> Self {
+        ScorecardLender::new(2, model::CUTOFF, model::INCOME_MULTIPLE)
+    }
+
+    /// Creates a lender with explicit warmup, cut-off and sizing multiple.
+    pub fn new(warmup_steps: usize, cutoff: f64, multiple: f64) -> Self {
+        ScorecardLender {
+            warmup_steps,
+            cutoff,
+            multiple,
+            fitter: LogisticRegression::default(),
+            prev_adr: Vec::new(),
+            train_rows: Vec::new(),
+            train_labels: Vec::new(),
+            model: None,
+            refits: 0,
+        }
+    }
+
+    /// The current model, if any retraining has happened.
+    pub fn model(&self) -> Option<&LogisticModel> {
+        self.model.as_ref()
+    }
+
+    /// The current scorecard (factor order: History = ADR, Income = code).
+    pub fn scorecard(&self) -> Option<Scorecard> {
+        self.model
+            .as_ref()
+            .map(|m| Scorecard::from_model(m, &["History", "Income"], self.cutoff))
+    }
+
+    /// Number of refits performed.
+    pub fn refits(&self) -> usize {
+        self.refits
+    }
+
+    /// Accumulated training-set size.
+    pub fn training_size(&self) -> usize {
+        self.train_labels.len()
+    }
+}
+
+impl AiSystem for ScorecardLender {
+    fn signals(&mut self, k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
+        if self.prev_adr.len() != visible.len() {
+            self.prev_adr = vec![0.0; visible.len()];
+        }
+        visible
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let loan = self.multiple * v[VISIBLE_INCOME_K];
+                if k < self.warmup_steps {
+                    return loan;
+                }
+                match &self.model {
+                    None => loan, // no scorecard yet: keep approving
+                    Some(m) => {
+                        let features = [self.prev_adr[i], v[VISIBLE_INCOME_CODE]];
+                        let score = m.linear_score(&features);
+                        if score >= self.cutoff {
+                            loan
+                        } else {
+                            0.0
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn retrain(&mut self, _k: usize, feedback: &Feedback) {
+        // Training rows pair the lender's *previous* knowledge of ADR with
+        // this step's income code and repayment outcome, offered users only.
+        if self.prev_adr.len() != feedback.actions.len() {
+            self.prev_adr = vec![0.0; feedback.actions.len()];
+        }
+        for i in 0..feedback.actions.len() {
+            if feedback.signals[i] > 0.0 {
+                self.train_rows.push(vec![
+                    self.prev_adr[i],
+                    feedback.visible[i][VISIBLE_INCOME_CODE],
+                ]);
+                self.train_labels.push(feedback.actions[i]);
+            }
+        }
+        // The filter's per-user output is ADR_i up to the feedback step —
+        // which is exactly ADR_i(k−1) at the next decision.
+        self.prev_adr = feedback.per_user.clone();
+
+        if !self.train_labels.is_empty() {
+            let data = eqimpact_ml::Dataset::new(&self.train_rows, &self.train_labels)
+                .expect("rows built consistently");
+            if let Ok(model) = self.fitter.fit(&data) {
+                self.model = Some(model);
+                self.refits += 1;
+            }
+        }
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// The introduction's uniform policy: a flat loan to anyone who has never
+/// defaulted, permanent denial afterwards. Maximal equal treatment,
+/// failing equal impact.
+pub struct UniformExclusionLender {
+    /// The flat loan amount ($K), the introduction's $50K.
+    pub amount_k: f64,
+    /// Lender-side memory of who has ever defaulted.
+    defaulted: Vec<bool>,
+}
+
+impl UniformExclusionLender {
+    /// Creates the lender with the introduction's $50K amount.
+    pub fn paper_default() -> Self {
+        UniformExclusionLender::new(50.0)
+    }
+
+    /// Creates the lender with an explicit amount.
+    pub fn new(amount_k: f64) -> Self {
+        UniformExclusionLender {
+            amount_k,
+            defaulted: Vec::new(),
+        }
+    }
+
+    /// Number of users currently excluded.
+    pub fn excluded_count(&self) -> usize {
+        self.defaulted.iter().filter(|&&d| d).count()
+    }
+}
+
+impl AiSystem for UniformExclusionLender {
+    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
+        if self.defaulted.len() != visible.len() {
+            self.defaulted = vec![false; visible.len()];
+        }
+        self.defaulted
+            .iter()
+            .map(|&d| if d { 0.0 } else { self.amount_k })
+            .collect()
+    }
+
+    fn retrain(&mut self, _k: usize, feedback: &Feedback) {
+        if self.defaulted.len() != feedback.actions.len() {
+            self.defaulted = vec![false; feedback.actions.len()];
+        }
+        for i in 0..feedback.actions.len() {
+            if feedback.signals[i] > 0.0 && feedback.actions[i] == 0.0 {
+                self.defaulted[i] = true;
+            }
+        }
+    }
+}
+
+/// The introduction's differentiated policy: always approve, size the loan
+/// at a multiple of income. Unequal treatment, aiming for equal impact.
+pub struct IncomeMultipleLender {
+    /// The sizing multiple (the introduction's "three times the annual
+    /// salary"; the Sec. VII experiments use 3.5).
+    pub multiple: f64,
+}
+
+impl IncomeMultipleLender {
+    /// Creates the lender.
+    pub fn new(multiple: f64) -> Self {
+        IncomeMultipleLender { multiple }
+    }
+}
+
+impl AiSystem for IncomeMultipleLender {
+    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
+        visible
+            .iter()
+            .map(|v| self.multiple * v[VISIBLE_INCOME_K])
+            .collect()
+    }
+
+    fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn visible_row(income: f64) -> Vec<f64> {
+        vec![model::income_code(income), income]
+    }
+
+    #[test]
+    fn scorecard_lender_warmup_approves_everyone() {
+        let mut lender = ScorecardLender::paper_default();
+        let visible = vec![visible_row(8.0), visible_row(60.0)];
+        let signals = lender.signals(0, &visible);
+        assert_eq!(signals, vec![28.0, 210.0]);
+        let signals1 = lender.signals(1, &visible);
+        assert_eq!(signals1.len(), 2);
+        assert!(signals1.iter().all(|&l| l > 0.0));
+        assert!(lender.model().is_none());
+        assert!(lender.scorecard().is_none());
+    }
+
+    #[test]
+    fn scorecard_lender_learns_and_denies() {
+        let mut lender = ScorecardLender::paper_default();
+        // Feed it a synthetic history where low-code users default and
+        // high-code users repay, plus ADR contrast.
+        let n = 400;
+        let visible: Vec<Vec<f64>> = (0..n)
+            .map(|i| visible_row(if i % 2 == 0 { 10.0 } else { 60.0 }))
+            .collect();
+        let signals: Vec<f64> = visible.iter().map(|v| 3.5 * v[VISIBLE_INCOME_K]).collect();
+        let actions: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let per_user: Vec<f64> = actions.iter().map(|&y| 1.0 - y).collect();
+        let feedback = Feedback {
+            step: 0,
+            per_user,
+            aggregate: 0.5,
+            visible: visible.clone(),
+            signals,
+            actions,
+        };
+        lender.retrain(0, &feedback);
+        assert_eq!(lender.refits(), 1);
+        assert_eq!(lender.training_size(), n);
+        let model = lender.model().unwrap();
+        // Income code raises the score (positive coefficient).
+        assert!(model.coefficients[1] > 0.0, "income coef = {}", model.coefficients[1]);
+
+        // Decisions at k >= warmup use the scorecard: a defaulted low-income
+        // user is denied, a clean high-income user approved.
+        let signals = lender.signals(2, &visible);
+        assert_eq!(signals[0], 0.0, "defaulted low-income user still approved");
+        assert!(signals[1] > 0.0, "clean high-income user denied");
+        // The scorecard table renders.
+        let card = lender.scorecard().unwrap();
+        assert!(card.to_table().contains("History"));
+    }
+
+    #[test]
+    fn uniform_lender_excludes_after_default() {
+        let mut lender = UniformExclusionLender::paper_default();
+        let visible = vec![visible_row(12.0), visible_row(80.0)];
+        let s0 = lender.signals(0, &visible);
+        assert_eq!(s0, vec![50.0, 50.0]);
+        // User 0 defaults.
+        let feedback = Feedback {
+            step: 0,
+            per_user: vec![1.0, 0.0],
+            aggregate: 0.5,
+            visible: visible.clone(),
+            signals: s0,
+            actions: vec![0.0, 1.0],
+        };
+        lender.retrain(0, &feedback);
+        assert_eq!(lender.excluded_count(), 1);
+        let s1 = lender.signals(1, &visible);
+        assert_eq!(s1, vec![0.0, 50.0]);
+        // Exclusion is permanent: another clean round changes nothing.
+        let feedback2 = Feedback {
+            step: 1,
+            per_user: vec![1.0, 0.0],
+            aggregate: 0.0,
+            visible: visible.clone(),
+            signals: s1.clone(),
+            actions: vec![0.0, 1.0],
+        };
+        lender.retrain(1, &feedback2);
+        assert_eq!(lender.signals(2, &visible), vec![0.0, 50.0]);
+    }
+
+    #[test]
+    fn income_multiple_lender_always_approves() {
+        let mut lender = IncomeMultipleLender::new(3.0);
+        let visible = vec![visible_row(10.0), visible_row(100.0)];
+        assert_eq!(lender.signals(0, &visible), vec![30.0, 300.0]);
+        // Retrain is a no-op.
+        let feedback = Feedback {
+            step: 0,
+            per_user: vec![0.0, 0.0],
+            aggregate: 0.0,
+            visible: visible.clone(),
+            signals: vec![30.0, 300.0],
+            actions: vec![1.0, 1.0],
+        };
+        lender.retrain(0, &feedback);
+        assert_eq!(lender.signals(5, &visible), vec![30.0, 300.0]);
+    }
+}

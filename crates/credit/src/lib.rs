@@ -1,0 +1,37 @@
+//! The credit-scoring case study of the paper's Sec. VII: a lender, a
+//! census-sampled household population, repayment per the Gaussian
+//! conditional-independence model, average default rates, and the yearly
+//! scorecard retraining loop for 2002-2020.
+//!
+//! * [`model`] — eq. (10) state and eq. (11) repayment;
+//! * [`adr`] — eq. (12) average default rates, as tracker and as the
+//!   loop's feedback filter;
+//! * [`lender`] — the AI-system block: the retrained scorecard lender plus
+//!   the uniform-$50K and income-multiple baselines of the introduction;
+//! * [`users`] — the population block over `eqimpact-census` households;
+//! * [`sim`] — configuration, single runs and the 5-trial protocol;
+//! * [`report`] — extraction of the Table I / Fig. 2-5 artifacts.
+//!
+//! # Example
+//!
+//! ```
+//! use eqimpact_credit::sim::{CreditConfig, run_trial};
+//!
+//! let config = CreditConfig { users: 100, ..CreditConfig::default() };
+//! let outcome = run_trial(&config, 0);
+//! assert_eq!(outcome.record.steps(), 19); // 2002..=2020
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod adr;
+pub mod lender;
+pub mod model;
+pub mod report;
+pub mod sim;
+pub mod users;
+
+pub use adr::{AdrFilter, AdrTracker};
+pub use lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLender};
+pub use sim::{run_trial, run_trials_protocol, CreditConfig, CreditOutcome, LenderKind};
+pub use users::CreditPopulation;

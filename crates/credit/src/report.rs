@@ -1,0 +1,346 @@
+//! Extraction of the paper's artifacts (Table I, Figs. 2-5) from trial
+//! outcomes, as plain data structures and CSV renderers.
+
+use crate::sim::CreditOutcome;
+use eqimpact_census::{IncomeTable, Race, BRACKETS};
+use eqimpact_stats::describe::Summary;
+use eqimpact_stats::hist::Histogram2D;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 3 data: per race, the cross-trial mean and ±1 standard deviation
+/// of `{ADR_s(k)}` per step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RaceAdrSummary {
+    /// The race.
+    pub race: String,
+    /// Per-step mean across trials.
+    pub mean: Vec<f64>,
+    /// Per-step population standard deviation across trials.
+    pub std: Vec<f64>,
+}
+
+/// Builds the Fig. 3 series from a set of trial outcomes.
+///
+/// # Panics
+/// Panics when `outcomes` is empty or trials disagree on step counts.
+pub fn fig3_race_adr(outcomes: &[CreditOutcome]) -> Vec<RaceAdrSummary> {
+    assert!(!outcomes.is_empty(), "fig3: no outcomes");
+    let steps = outcomes[0].record.steps();
+    assert!(
+        outcomes.iter().all(|o| o.record.steps() == steps),
+        "fig3: unequal step counts"
+    );
+    Race::ALL
+        .iter()
+        .map(|&race| {
+            let series: Vec<Vec<f64>> = outcomes
+                .iter()
+                .map(|o| o.race_adr_series(race))
+                .collect();
+            let mut mean = Vec::with_capacity(steps);
+            let mut std = Vec::with_capacity(steps);
+            for k in 0..steps {
+                let mut s = Summary::new();
+                for trial in &series {
+                    if !trial[k].is_nan() {
+                        s.push(trial[k]);
+                    }
+                }
+                mean.push(s.mean());
+                std.push(s.std_dev_population());
+            }
+            RaceAdrSummary {
+                race: race.label().to_string(),
+                mean,
+                std,
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4 data: every `{ADR_i(k)}` trajectory across all trials, tagged
+/// with its race label (the paper's 5 x 1000 coloured curves).
+pub fn fig4_user_adr(outcomes: &[CreditOutcome]) -> Vec<(String, Vec<f64>)> {
+    let mut out = Vec::new();
+    for o in outcomes {
+        for i in 0..o.record.user_count() {
+            out.push((o.races[i].label().to_string(), o.user_adr_series(i)));
+        }
+    }
+    out
+}
+
+/// Fig. 5 data: the (step x ADR) density histogram over all users and
+/// trials, race information erased.
+pub fn fig5_density(outcomes: &[CreditOutcome], adr_bins: usize) -> Histogram2D {
+    assert!(!outcomes.is_empty(), "fig5: no outcomes");
+    let steps = outcomes[0].record.steps();
+    let mut hist = Histogram2D::new(steps, 0.0, 1.0 + 1e-9, adr_bins);
+    for o in outcomes {
+        for k in 0..steps.min(o.record.steps()) {
+            for &adr in o.record.filtered(k) {
+                hist.add(k, adr);
+            }
+        }
+    }
+    hist
+}
+
+/// Fig. 2 data: the income distribution of a year by race, as
+/// `(bracket label, [share per race in Race::ALL order])` rows.
+pub fn fig2_income_distribution(table: &IncomeTable, year: u32) -> Vec<(String, [f64; 3])> {
+    BRACKETS
+        .iter()
+        .enumerate()
+        .map(|(b, bracket)| {
+            let mut row = [0.0; 3];
+            for race in Race::ALL {
+                row[race.index()] = table
+                    .shares(year, race)
+                    .expect("caller passes a valid year")[b];
+            }
+            (bracket.label.to_string(), row)
+        })
+        .collect()
+}
+
+/// Renders the Fig. 3 series as CSV:
+/// `year,race,mean,std`.
+pub fn fig3_csv(summaries: &[RaceAdrSummary], first_year: u32) -> String {
+    let mut csv = String::from("year,race,mean_adr,std_adr\n");
+    for s in summaries {
+        for (k, (m, sd)) in s.mean.iter().zip(&s.std).enumerate() {
+            csv.push_str(&format!(
+                "{},{},{:.6},{:.6}\n",
+                first_year + k as u32,
+                s.race,
+                m,
+                sd
+            ));
+        }
+    }
+    csv
+}
+
+/// Renders the Fig. 4 trajectories as CSV: `series_id,race,year,adr`.
+pub fn fig4_csv(series: &[(String, Vec<f64>)], first_year: u32) -> String {
+    let mut csv = String::from("series_id,race,year,adr\n");
+    for (id, (race, traj)) in series.iter().enumerate() {
+        for (k, adr) in traj.iter().enumerate() {
+            csv.push_str(&format!(
+                "{},{},{},{:.6}\n",
+                id,
+                race,
+                first_year + k as u32,
+                adr
+            ));
+        }
+    }
+    csv
+}
+
+/// Renders the Fig. 5 density as CSV: `year,adr_bin_center,density`.
+pub fn fig5_csv(hist: &Histogram2D, first_year: u32) -> String {
+    let mut csv = String::from("year,adr,density\n");
+    for x in 0..hist.x_len() {
+        for b in 0..hist.y_bins() {
+            csv.push_str(&format!(
+                "{},{:.4},{:.6}\n",
+                first_year + x as u32,
+                hist.y_bin_center(b),
+                hist.col_density(x, b)
+            ));
+        }
+    }
+    csv
+}
+
+/// Renders the Fig. 2 distribution as CSV: `bracket,black,white,asian`.
+pub fn fig2_csv(rows: &[(String, [f64; 3])]) -> String {
+    let mut csv = String::from("bracket,black_alone,white_alone,asian_alone\n");
+    for (label, shares) in rows {
+        csv.push_str(&format!(
+            "{},{:.4},{:.4},{:.4}\n",
+            label, shares[0], shares[1], shares[2]
+        ));
+    }
+    csv
+}
+
+/// Approval-rate series by race: `rates[race_index][k]` = fraction of the
+/// race approved at step `k`, averaged across trials. The access view of
+/// the introduction's example.
+pub fn approval_rates_by_race(outcomes: &[CreditOutcome]) -> Vec<Vec<f64>> {
+    assert!(!outcomes.is_empty(), "approval rates: no outcomes");
+    let steps = outcomes[0].record.steps();
+    Race::ALL
+        .iter()
+        .map(|&race| {
+            (0..steps)
+                .map(|k| {
+                    let mut approved = 0usize;
+                    let mut total = 0usize;
+                    for o in outcomes {
+                        let members = o.race_indices(race);
+                        let signals = o.record.signals(k);
+                        for &i in &members {
+                            total += 1;
+                            if signals[i] > 0.0 {
+                                approved += 1;
+                            }
+                        }
+                    }
+                    if total == 0 {
+                        f64::NAN
+                    } else {
+                        approved as f64 / total as f64
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders the approval series as CSV: `year,race,approval_rate`.
+pub fn approval_csv(rates: &[Vec<f64>], first_year: u32) -> String {
+    let mut csv = String::from("year,race,approval_rate
+");
+    for (race, series) in Race::ALL.iter().zip(rates) {
+        for (k, r) in series.iter().enumerate() {
+            csv.push_str(&format!(
+                "{},{},{:.6}
+",
+                first_year + k as u32,
+                race.label(),
+                r
+            ));
+        }
+    }
+    csv
+}
+
+/// Bootstrap confidence interval for a race's final-year ADR, resampling
+/// **users** within the race pooled across trials. A distribution-free
+/// companion to Fig. 3's ±1-std shades.
+pub fn final_adr_bootstrap_ci(
+    outcomes: &[CreditOutcome],
+    race: Race,
+    level: f64,
+    resamples: usize,
+    rng: &mut eqimpact_stats::SimRng,
+) -> eqimpact_stats::ConfidenceInterval {
+    assert!(!outcomes.is_empty(), "bootstrap: no outcomes");
+    let mut sample = Vec::new();
+    for o in outcomes {
+        let last = o.record.steps() - 1;
+        let filtered = o.record.filtered(last);
+        for i in o.race_indices(race) {
+            sample.push(filtered[i]);
+        }
+    }
+    eqimpact_stats::bootstrap_mean_ci(&sample, resamples, level, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_trials_protocol, CreditConfig, LenderKind};
+
+    fn outcomes() -> Vec<CreditOutcome> {
+        run_trials_protocol(&CreditConfig {
+            users: 150,
+            steps: 19,
+            trials: 2,
+            seed: 42,
+            lender: LenderKind::Scorecard,
+            delay: 1,
+        })
+    }
+
+    #[test]
+    fn fig3_shapes_and_content() {
+        let o = outcomes();
+        let summaries = fig3_race_adr(&o);
+        assert_eq!(summaries.len(), 3);
+        for s in &summaries {
+            assert_eq!(s.mean.len(), 19);
+            assert_eq!(s.std.len(), 19);
+            assert!(s.std.iter().all(|&v| v >= 0.0 || v.is_nan()));
+        }
+        let csv = fig3_csv(&summaries, 2002);
+        assert!(csv.starts_with("year,race"));
+        assert!(csv.contains("2002,BLACK ALONE"));
+        assert!(csv.contains("2020,ASIAN ALONE"));
+        // 3 races x 19 years + header.
+        assert_eq!(csv.lines().count(), 3 * 19 + 1);
+    }
+
+    #[test]
+    fn fig4_has_all_trajectories() {
+        let o = outcomes();
+        let series = fig4_user_adr(&o);
+        assert_eq!(series.len(), 2 * 150);
+        assert!(series.iter().all(|(_, t)| t.len() == 19));
+        let csv = fig4_csv(&series, 2002);
+        assert_eq!(csv.lines().count(), 2 * 150 * 19 + 1);
+    }
+
+    #[test]
+    fn fig5_density_masses() {
+        let o = outcomes();
+        let hist = fig5_density(&o, 20);
+        assert_eq!(hist.x_len(), 19);
+        assert_eq!(hist.y_bins(), 20);
+        // Every column holds all users of all trials.
+        for k in 0..19 {
+            assert_eq!(hist.col_total(k), 2 * 150);
+        }
+        let csv = fig5_csv(&hist, 2002);
+        assert_eq!(csv.lines().count(), 19 * 20 + 1);
+    }
+
+    #[test]
+    fn approval_series_shapes() {
+        let o = outcomes();
+        let rates = approval_rates_by_race(&o);
+        assert_eq!(rates.len(), 3);
+        for series in &rates {
+            assert_eq!(series.len(), 19);
+            // Warmup years approve everyone.
+            assert_eq!(series[0], 1.0);
+            assert_eq!(series[1], 1.0);
+            for &r in series.iter() {
+                assert!((0.0..=1.0).contains(&r) || r.is_nan());
+            }
+        }
+        let csv = approval_csv(&rates, 2002);
+        assert_eq!(csv.lines().count(), 3 * 19 + 1);
+        assert!(csv.contains("2002,BLACK ALONE,1.000000"));
+    }
+
+    #[test]
+    fn bootstrap_ci_brackets_point_estimate() {
+        let o = outcomes();
+        let mut rng = eqimpact_stats::SimRng::new(99);
+        let ci = final_adr_bootstrap_ci(&o, Race::White, 0.9, 300, &mut rng);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert!(ci.estimate >= 0.0 && ci.estimate <= 1.0);
+        assert!(ci.width() < 0.2);
+    }
+
+    #[test]
+    fn fig2_rows_cover_brackets() {
+        let table = IncomeTable::embedded();
+        let rows = fig2_income_distribution(&table, 2020);
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].0, "under 15");
+        // Shares per race sum to ~1 down the column.
+        for race in 0..3 {
+            let total: f64 = rows.iter().map(|(_, s)| s[race]).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        let csv = fig2_csv(&rows);
+        assert!(csv.contains("over 200"));
+        assert_eq!(csv.lines().count(), 10);
+    }
+}

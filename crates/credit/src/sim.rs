@@ -1,0 +1,277 @@
+//! Simulation drivers: one trial and the paper's five-trial protocol.
+
+use crate::adr::AdrFilter;
+use crate::lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLender};
+use crate::users::CreditPopulation;
+use eqimpact_census::Race;
+use eqimpact_core::closed_loop::LoopRunner;
+use eqimpact_core::recorder::LoopRecord;
+use eqimpact_ml::scorecard::Scorecard;
+use eqimpact_stats::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Which lender drives the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LenderKind {
+    /// The paper's retrained scorecard (Sec. VII).
+    Scorecard,
+    /// The introduction's flat-$50K / permanent-exclusion baseline.
+    UniformExclusion,
+    /// The introduction's always-approve income-multiple baseline.
+    IncomeMultiple,
+}
+
+/// Configuration of a credit-scoring experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CreditConfig {
+    /// Number of households (the paper's N = 1000).
+    pub users: usize,
+    /// Number of yearly steps (the paper's 19: 2002..=2020).
+    pub steps: usize,
+    /// Number of independent trials (the paper's 5).
+    pub trials: usize,
+    /// Base seed; trial `t` uses stream `seed + t`.
+    pub seed: u64,
+    /// The lender.
+    pub lender: LenderKind,
+    /// Feedback delay in steps (the paper's Fig. 1 delay; 1 by default).
+    pub delay: usize,
+}
+
+impl Default for CreditConfig {
+    fn default() -> Self {
+        CreditConfig {
+            users: 1000,
+            steps: 19,
+            trials: 5,
+            seed: 2002,
+            lender: LenderKind::Scorecard,
+            delay: 1,
+        }
+    }
+}
+
+/// Everything produced by one trial.
+#[derive(Debug, Clone)]
+pub struct CreditOutcome {
+    /// Full loop telemetry; `filtered[k][i]` is `ADR_i(k)`.
+    pub record: LoopRecord,
+    /// Race per user (fixed at generation).
+    pub races: Vec<Race>,
+    /// The lender's final scorecard, when the lender is
+    /// [`LenderKind::Scorecard`] and at least one refit happened.
+    pub scorecard: Option<Scorecard>,
+}
+
+impl CreditOutcome {
+    /// User indices of a race.
+    pub fn race_indices(&self, race: Race) -> Vec<usize> {
+        self.races
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == race)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The race-wise series `{ADR_s(k)}_k`: mean of the race's individual
+    /// ADRs at each step (eq. (12)).
+    pub fn race_adr_series(&self, race: Race) -> Vec<f64> {
+        let members = self.race_indices(race);
+        (0..self.record.steps())
+            .map(|k| {
+                if members.is_empty() {
+                    f64::NAN
+                } else {
+                    let filtered = self.record.filtered(k);
+                    members.iter().map(|&i| filtered[i]).sum::<f64>() / members.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// The individual series `{ADR_i(k)}_k`.
+    pub fn user_adr_series(&self, i: usize) -> Vec<f64> {
+        self.record.user_filtered(i)
+    }
+
+    /// Approval rate at step `k` (fraction of positive loan signals).
+    pub fn approval_rate(&self, k: usize) -> f64 {
+        let signals = self.record.signals(k);
+        signals.iter().filter(|&&l| l > 0.0).count() as f64 / signals.len() as f64
+    }
+}
+
+/// Runs one trial of the configured experiment. Deterministic in
+/// `(config, trial_index)`.
+pub fn run_trial(config: &CreditConfig, trial_index: usize) -> CreditOutcome {
+    assert!(config.users > 0, "run_trial: zero users");
+    assert!(config.steps > 0, "run_trial: zero steps");
+    let rng = SimRng::new(config.seed + trial_index as u64);
+    let mut pop_rng = rng.split(1);
+    let mut loop_rng = rng.split(2);
+
+    let population = CreditPopulation::generate(config.users, &mut pop_rng);
+    let races = population.races();
+
+    let ai: Box<dyn eqimpact_core::closed_loop::AiSystem> = match config.lender {
+        LenderKind::Scorecard => Box::new(ScorecardLender::paper_default()),
+        LenderKind::UniformExclusion => Box::new(UniformExclusionLender::paper_default()),
+        LenderKind::IncomeMultiple => {
+            Box::new(IncomeMultipleLender::new(crate::model::INCOME_MULTIPLE))
+        }
+    };
+
+    let mut runner = LoopRunner::new(
+        ai,
+        Box::new(population),
+        Box::new(AdrFilter::new()),
+        config.delay,
+    );
+    let record = runner.run(config.steps, &mut loop_rng);
+
+    let scorecard = runner
+        .ai()
+        .as_any()
+        .and_then(|any| any.downcast_ref::<ScorecardLender>())
+        .and_then(|lender| lender.scorecard());
+
+    CreditOutcome {
+        record,
+        races,
+        scorecard,
+    }
+}
+
+/// Runs the full multi-trial protocol in parallel (the paper's five trials
+/// with a fresh batch of users each).
+pub fn run_trials_protocol(config: &CreditConfig) -> Vec<CreditOutcome> {
+    assert!(config.trials > 0, "run_trials_protocol: zero trials");
+    let mut outcomes: Vec<Option<CreditOutcome>> = (0..config.trials).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.trials);
+        for (t, slot) in outcomes.iter_mut().enumerate() {
+            handles.push(scope.spawn(move || {
+                *slot = Some(run_trial(config, t));
+            }));
+        }
+        for h in handles {
+            h.join().expect("trial thread panicked");
+        }
+    });
+    outcomes
+        .into_iter()
+        .map(|o| o.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(lender: LenderKind) -> CreditConfig {
+        CreditConfig {
+            users: 200,
+            steps: 19,
+            trials: 2,
+            seed: 7,
+            lender,
+            delay: 1,
+        }
+    }
+
+    #[test]
+    fn trial_is_deterministic() {
+        let config = small_config(LenderKind::Scorecard);
+        let a = run_trial(&config, 0);
+        let b = run_trial(&config, 0);
+        assert_eq!(a.record, b.record);
+        assert_eq!(a.races, b.races);
+    }
+
+    #[test]
+    fn trials_differ_across_indices() {
+        let config = small_config(LenderKind::Scorecard);
+        let a = run_trial(&config, 0);
+        let b = run_trial(&config, 1);
+        assert_ne!(a.record, b.record);
+    }
+
+    #[test]
+    fn warmup_years_approve_everyone() {
+        let config = small_config(LenderKind::Scorecard);
+        let outcome = run_trial(&config, 0);
+        assert_eq!(outcome.approval_rate(0), 1.0);
+        assert_eq!(outcome.approval_rate(1), 1.0);
+    }
+
+    #[test]
+    fn scorecard_emerges_with_paper_shape() {
+        let config = CreditConfig {
+            users: 1000,
+            ..small_config(LenderKind::Scorecard)
+        };
+        let outcome = run_trial(&config, 0);
+        let card = outcome.scorecard.expect("scorecard fitted");
+        // Table I shape: negative history points, positive income points.
+        assert!(
+            card.rows[0].points_per_unit < 0.0,
+            "history points = {}",
+            card.rows[0].points_per_unit
+        );
+        assert!(
+            card.rows[1].points_per_unit > 0.0,
+            "income points = {}",
+            card.rows[1].points_per_unit
+        );
+    }
+
+    #[test]
+    fn adr_series_dwindle_like_fig3() {
+        let config = CreditConfig {
+            users: 1000,
+            ..small_config(LenderKind::Scorecard)
+        };
+        let outcome = run_trial(&config, 0);
+        for race in Race::ALL {
+            let series = outcome.race_adr_series(race);
+            assert_eq!(series.len(), 19);
+            let final_adr = *series.last().unwrap();
+            // All races settle at a low default level by 2020.
+            assert!(
+                final_adr < 0.15,
+                "{race}: final ADR = {final_adr}"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_lender_excludes_over_time() {
+        let config = small_config(LenderKind::UniformExclusion);
+        let outcome = run_trial(&config, 0);
+        // Approval rate is 1 at the start and strictly lower at the end.
+        assert_eq!(outcome.approval_rate(0), 1.0);
+        assert!(outcome.approval_rate(18) < 1.0);
+    }
+
+    #[test]
+    fn income_multiple_lender_always_approves() {
+        let config = small_config(LenderKind::IncomeMultiple);
+        let outcome = run_trial(&config, 0);
+        for k in 0..19 {
+            assert_eq!(outcome.approval_rate(k), 1.0, "step {k}");
+        }
+    }
+
+    #[test]
+    fn protocol_runs_all_trials() {
+        let config = small_config(LenderKind::Scorecard);
+        let outcomes = run_trials_protocol(&config);
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].record.steps(), 19);
+        // Deterministic: re-running matches.
+        let again = run_trials_protocol(&config);
+        assert_eq!(outcomes[0].record, again[0].record);
+        assert_eq!(outcomes[1].record, again[1].record);
+    }
+}

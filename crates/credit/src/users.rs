@@ -1,0 +1,162 @@
+//! The user-population block: census households with eq. (10)-(11)
+//! repayment behaviour.
+
+use crate::lender::{VISIBLE_INCOME_CODE, VISIBLE_INCOME_K};
+use crate::model;
+use eqimpact_census::{IncomeTable, Population, Race, FIRST_YEAR, LAST_YEAR};
+use eqimpact_core::closed_loop::UserPopulation;
+use eqimpact_stats::SimRng;
+
+/// The Sec. VII population: `N` households whose incomes are resampled
+/// every year from the census tables (clamped at the table's last year for
+/// longer ablation runs), responding per the Gaussian conditional
+/// independence model.
+pub struct CreditPopulation {
+    table: IncomeTable,
+    population: Population,
+    start_year: u32,
+}
+
+impl CreditPopulation {
+    /// Generates a population of `n` users with a deterministic stream.
+    pub fn generate(n: usize, rng: &mut SimRng) -> Self {
+        let table = IncomeTable::embedded();
+        let population = Population::generate(&table, n, FIRST_YEAR, rng)
+            .expect("FIRST_YEAR is always in range");
+        CreditPopulation {
+            table,
+            population,
+            start_year: FIRST_YEAR,
+        }
+    }
+
+    /// Race of user `i`.
+    pub fn race(&self, i: usize) -> Race {
+        self.population.households()[i].race
+    }
+
+    /// All races in user order.
+    pub fn races(&self) -> Vec<Race> {
+        self.population.households().iter().map(|h| h.race).collect()
+    }
+
+    /// User indices per race (`N_s`).
+    pub fn race_indices(&self, race: Race) -> Vec<usize> {
+        self.population.indices_of_race(race)
+    }
+
+    /// The calendar year simulated at step `k` (clamped to the table).
+    pub fn year_of_step(&self, k: usize) -> u32 {
+        (self.start_year + k as u32).min(LAST_YEAR)
+    }
+}
+
+impl UserPopulation for CreditPopulation {
+    fn user_count(&self) -> usize {
+        self.population.len()
+    }
+
+    fn observe(&mut self, k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+        let year = self.year_of_step(k);
+        // Step 0 keeps the generation-time incomes; later steps resample
+        // from that year's distribution (the paper's yearly `z_i(k)`).
+        if k > 0 {
+            self.population
+                .resample_incomes(&self.table, year, rng)
+                .expect("year clamped into range");
+        }
+        self.population
+            .households()
+            .iter()
+            .map(|h| {
+                let mut row = vec![0.0; 2];
+                row[VISIBLE_INCOME_CODE] = model::income_code(h.income);
+                row[VISIBLE_INCOME_K] = h.income;
+                row
+            })
+            .collect()
+    }
+
+    fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
+        assert_eq!(signals.len(), self.population.len(), "signals length");
+        self.population
+            .households()
+            .iter()
+            .zip(signals)
+            .map(|(h, &loan)| model::sample_repayment(h.income, loan, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_and_race_access() {
+        let mut rng = SimRng::new(1);
+        let pop = CreditPopulation::generate(300, &mut rng);
+        assert_eq!(pop.user_count(), 300);
+        let total: usize = Race::ALL.iter().map(|&r| pop.race_indices(r).len()).sum();
+        assert_eq!(total, 300);
+        assert_eq!(pop.races().len(), 300);
+        assert_eq!(pop.race(0), pop.races()[0]);
+    }
+
+    #[test]
+    fn year_clamping() {
+        let mut rng = SimRng::new(2);
+        let pop = CreditPopulation::generate(10, &mut rng);
+        assert_eq!(pop.year_of_step(0), 2002);
+        assert_eq!(pop.year_of_step(18), 2020);
+        assert_eq!(pop.year_of_step(50), 2020);
+    }
+
+    #[test]
+    fn observe_exposes_code_and_income() {
+        let mut rng = SimRng::new(3);
+        let mut pop = CreditPopulation::generate(50, &mut rng);
+        let visible = pop.observe(0, &mut rng);
+        assert_eq!(visible.len(), 50);
+        for row in &visible {
+            assert_eq!(row.len(), 2);
+            let code = row[VISIBLE_INCOME_CODE];
+            let income = row[VISIBLE_INCOME_K];
+            assert_eq!(code, model::income_code(income));
+            assert!(income > 0.0);
+        }
+    }
+
+    #[test]
+    fn observe_resamples_after_step_zero() {
+        let mut rng = SimRng::new(4);
+        let mut pop = CreditPopulation::generate(100, &mut rng);
+        let v0 = pop.observe(0, &mut rng);
+        let v1 = pop.observe(1, &mut rng);
+        let changed = v0
+            .iter()
+            .zip(&v1)
+            .filter(|(a, b)| a[VISIBLE_INCOME_K] != b[VISIBLE_INCOME_K])
+            .count();
+        assert!(changed > 95, "only {changed} incomes changed");
+    }
+
+    #[test]
+    fn respond_follows_the_model() {
+        let mut rng = SimRng::new(5);
+        let mut pop = CreditPopulation::generate(200, &mut rng);
+        let visible = pop.observe(0, &mut rng);
+        // Denied users never repay.
+        let denied = vec![0.0; 200];
+        let actions = pop.respond(0, &denied, &mut rng);
+        assert!(actions.iter().all(|&y| y == 0.0));
+        // Generous incomes with the paper's sizing mostly repay.
+        let loans: Vec<f64> = visible
+            .iter()
+            .map(|v| model::income_multiple_loan(v[VISIBLE_INCOME_K]))
+            .collect();
+        let actions = pop.respond(0, &loans, &mut rng);
+        let repay_rate = actions.iter().sum::<f64>() / 200.0;
+        assert!(repay_rate > 0.7, "repay rate = {repay_rate}");
+    }
+}

@@ -1,0 +1,149 @@
+//! Graph period (index of imprimitivity) and aperiodicity.
+//!
+//! For a strongly connected directed graph, the *period* is the greatest
+//! common divisor of the lengths of all its cycles. A strongly connected
+//! graph with period 1 is *aperiodic*; combined with irreducibility this is
+//! exactly primitivity of the adjacency matrix, which is what the paper's
+//! Sec. VI requires for the invariant measure to be **attractive**.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Computes the period of a strongly connected graph: the gcd of all cycle
+/// lengths.
+///
+/// Returns `None` when the graph is not strongly connected or has no cycle
+/// (in particular for graphs with 0 nodes, or 1 node without a self-loop),
+/// because the period is then undefined for our purposes.
+///
+/// Uses the BFS-level technique: fix a root, BFS assigning levels, and take
+/// the gcd of `level(u) + 1 - level(v)` over all edges `u -> v`.
+pub fn period(g: &DiGraph) -> Option<u64> {
+    let n = g.node_count();
+    if n == 0 || !g.is_strongly_connected() {
+        return None;
+    }
+    if g.edge_count() == 0 {
+        // A single node with no self-loop has no cycles.
+        return None;
+    }
+
+    let root: NodeId = 0;
+    let mut level = vec![i64::MIN; n];
+    level[root] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(root);
+    let mut g_acc: u64 = 0;
+
+    while let Some(u) = queue.pop_front() {
+        for &(_, v) in g.out_edges(u) {
+            if level[v] == i64::MIN {
+                level[v] = level[u] + 1;
+                queue.push_back(v);
+            } else {
+                // gcd(x, 0) = x, so zero differences are no-ops and skipped.
+                let diff = (level[u] + 1 - level[v]).unsigned_abs();
+                if diff != 0 {
+                    g_acc = gcd(g_acc, diff);
+                }
+            }
+        }
+    }
+
+    if g_acc == 0 {
+        // All edges advanced the BFS frontier (tree edges only) — cannot
+        // happen for a strongly connected graph with a cycle, except n == 1
+        // with a self-loop handled below.
+        if n == 1 && g.edge_count() > 0 {
+            return Some(1);
+        }
+        return None;
+    }
+    Some(g_acc)
+}
+
+/// Whether the graph is aperiodic: strongly connected with period 1.
+pub fn is_aperiodic(g: &DiGraph) -> bool {
+    period(g) == Some(1)
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if a == 0 {
+        b
+    } else {
+        gcd(b % a, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_period_equals_length() {
+        for len in 2..8usize {
+            let edges: Vec<(usize, usize)> = (0..len).map(|i| (i, (i + 1) % len)).collect();
+            let g = DiGraph::from_edges(len, &edges);
+            assert_eq!(period(&g), Some(len as u64), "cycle of length {len}");
+        }
+    }
+
+    #[test]
+    fn self_loop_period_one() {
+        let g = DiGraph::from_edges(1, &[(0, 0)]);
+        assert_eq!(period(&g), Some(1));
+        assert!(is_aperiodic(&g));
+    }
+
+    #[test]
+    fn two_cycles_gcd() {
+        // Cycles of length 2 and 3 sharing node 0: gcd(2, 3) = 1.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (0, 2), (2, 3), (3, 0)]);
+        assert_eq!(period(&g), Some(1));
+    }
+
+    #[test]
+    fn two_even_cycles_gcd_two() {
+        // Cycles of length 2 and 4 sharing node 0: gcd(2, 4) = 2.
+        let g = DiGraph::from_edges(
+            5,
+            &[(0, 1), (1, 0), (0, 2), (2, 3), (3, 4), (4, 0)],
+        );
+        assert_eq!(period(&g), Some(2));
+        assert!(!is_aperiodic(&g));
+    }
+
+    #[test]
+    fn cycle_with_self_loop_is_aperiodic() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (1, 1)]);
+        assert_eq!(period(&g), Some(1));
+    }
+
+    #[test]
+    fn undefined_for_non_strongly_connected() {
+        let g = DiGraph::from_edges(2, &[(0, 1)]);
+        assert_eq!(period(&g), None);
+        assert!(!is_aperiodic(&g));
+    }
+
+    #[test]
+    fn undefined_for_acyclic_single_node() {
+        let g = DiGraph::new(1);
+        assert_eq!(period(&g), None);
+    }
+
+    #[test]
+    fn undefined_for_empty_graph() {
+        let g = DiGraph::new(0);
+        assert_eq!(period(&g), None);
+    }
+
+    #[test]
+    fn bipartite_like_period_two() {
+        // Complete bipartite orientation: {0,1} <-> {2,3}; all cycles even.
+        let g = DiGraph::from_edges(
+            4,
+            &[(0, 2), (2, 0), (0, 3), (3, 0), (1, 2), (2, 1), (1, 3), (3, 1)],
+        );
+        assert_eq!(period(&g), Some(2));
+    }
+}

@@ -1,0 +1,130 @@
+//! Random directed-graph generators, for stress-testing the structural
+//! checkers and sizing benchmark inputs.
+
+use crate::digraph::DiGraph;
+use eqimpact_stats::SimRng;
+
+/// Erdős-Rényi digraph `G(n, p)`: every ordered pair (including self-loops)
+/// carries an edge independently with probability `p`.
+///
+/// # Panics
+/// Panics for `p` outside `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut SimRng) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "erdos_renyi: p outside [0,1]");
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if rng.bernoulli(p) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A random strongly connected digraph: a Hamiltonian cycle through a
+/// random permutation plus `extra_edges` random chords.
+///
+/// # Panics
+/// Panics for `n == 0`.
+pub fn random_strongly_connected(n: usize, extra_edges: usize, rng: &mut SimRng) -> DiGraph {
+    assert!(n > 0, "random_strongly_connected: empty graph");
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        g.add_edge(order[i], order[(i + 1) % n]);
+    }
+    for _ in 0..extra_edges {
+        let u = rng.index(n);
+        let v = rng.index(n);
+        g.add_edge(u, v);
+    }
+    g
+}
+
+/// A random DAG: edges only from lower to higher indices of a random
+/// topological order, each present with probability `p`.
+///
+/// # Panics
+/// Panics for `p` outside `[0, 1]`.
+pub fn random_dag(n: usize, p: f64, rng: &mut SimRng) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "random_dag: p outside [0,1]");
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut g = DiGraph::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.bernoulli(p) {
+                g.add_edge(order[i], order[j]);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::StronglyConnectedComponents;
+
+    #[test]
+    fn erdos_renyi_edge_density() {
+        let mut rng = SimRng::new(1);
+        let n = 60;
+        let p = 0.1;
+        let g = erdos_renyi(n, p, &mut rng);
+        assert_eq!(g.node_count(), n);
+        let expected = (n * n) as f64 * p;
+        let actual = g.edge_count() as f64;
+        assert!(
+            (actual - expected).abs() < 4.0 * expected.sqrt(),
+            "edges = {actual}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = SimRng::new(2);
+        assert_eq!(erdos_renyi(5, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(erdos_renyi(5, 1.0, &mut rng).edge_count(), 25);
+    }
+
+    #[test]
+    fn random_strongly_connected_is_strongly_connected() {
+        let mut rng = SimRng::new(3);
+        for n in [1usize, 2, 7, 30] {
+            for extra in [0usize, 5] {
+                let g = random_strongly_connected(n, extra, &mut rng);
+                assert!(g.is_strongly_connected(), "n = {n}, extra = {extra}");
+                assert_eq!(g.edge_count(), n + extra);
+            }
+        }
+    }
+
+    #[test]
+    fn random_dag_has_no_cycles() {
+        let mut rng = SimRng::new(4);
+        for _ in 0..10 {
+            let g = random_dag(15, 0.3, &mut rng);
+            let scc = StronglyConnectedComponents::compute(&g);
+            assert_eq!(scc.count(), 15, "a DAG has only singleton SCCs");
+            for (u, v) in g.edges() {
+                assert_ne!(u, v, "self-loop in DAG");
+            }
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = erdos_renyi(10, 0.4, &mut SimRng::new(9));
+        let b = erdos_renyi(10, 0.4, &mut SimRng::new(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_probability() {
+        erdos_renyi(3, 1.5, &mut SimRng::new(0));
+    }
+}

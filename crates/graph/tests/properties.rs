@@ -1,0 +1,119 @@
+//! Property-based tests for the graph substrate.
+
+use eqimpact_graph::{Condensation, DiGraph, StronglyConnectedComponents};
+use proptest::prelude::*;
+
+/// Random graph strategy: up to `n` nodes, arbitrary edge set.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = DiGraph> {
+    (1..=max_n).prop_flat_map(|n| {
+        prop::collection::vec((0..n, 0..n), 0..(n * n).min(40))
+            .prop_map(move |edges| DiGraph::from_edges(n, &edges))
+    })
+}
+
+/// Brute-force mutual-reachability check used as an SCC oracle.
+fn reaches(g: &DiGraph, u: usize, v: usize) -> bool {
+    g.reachable_from(u)[v]
+}
+
+proptest! {
+    #[test]
+    fn scc_matches_mutual_reachability(g in arb_graph(8)) {
+        let scc = StronglyConnectedComponents::compute(&g);
+        let n = g.node_count();
+        for u in 0..n {
+            for v in 0..n {
+                let same = scc.same_component(u, v);
+                let mutual = reaches(&g, u, v) && reaches(&g, v, u);
+                prop_assert_eq!(same, mutual, "nodes {} and {}", u, v);
+            }
+        }
+    }
+
+    #[test]
+    fn scc_partitions_nodes(g in arb_graph(10)) {
+        let scc = StronglyConnectedComponents::compute(&g);
+        let mut seen = vec![false; g.node_count()];
+        for comp in scc.components() {
+            for &v in comp {
+                prop_assert!(!seen[v], "node {} in two components", v);
+                seen[v] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn condensation_is_dag(g in arb_graph(10)) {
+        let c = Condensation::compute(&g);
+        let inner = StronglyConnectedComponents::compute(c.dag());
+        prop_assert_eq!(inner.count(), c.dag().node_count());
+        // And its DAG never has a self-loop.
+        for (u, v) in c.dag().edges() {
+            prop_assert!(u != v);
+        }
+    }
+
+    #[test]
+    fn strong_connectivity_consistent_with_scc(g in arb_graph(8)) {
+        let scc = StronglyConnectedComponents::compute(&g);
+        prop_assert_eq!(g.is_strongly_connected(), scc.count() <= 1);
+    }
+
+    #[test]
+    fn primitivity_checks_agree(g in arb_graph(5)) {
+        prop_assert_eq!(
+            eqimpact_graph::primitivity::is_primitive(&g),
+            eqimpact_graph::primitivity::is_primitive_by_powers(&g)
+        );
+    }
+
+    #[test]
+    fn primitive_implies_strongly_connected_and_aperiodic(g in arb_graph(6)) {
+        if g.is_primitive() {
+            prop_assert!(g.is_strongly_connected());
+            prop_assert_eq!(g.period(), Some(1));
+        }
+    }
+
+    #[test]
+    fn period_divides_every_cycle_through_node_zero(g in arb_graph(6)) {
+        if let Some(p) = g.period() {
+            // Find shortest cycle through node 0 by BFS back to 0.
+            let n = g.node_count();
+            let mut dist = vec![usize::MAX; n];
+            let mut queue = std::collections::VecDeque::new();
+            for &(_, v) in g.out_edges(0) {
+                if v == 0 {
+                    prop_assert_eq!(1 % p, 0);
+                } else if dist[v] == usize::MAX {
+                    dist[v] = 1;
+                    queue.push_back(v);
+                }
+            }
+            while let Some(u) = queue.pop_front() {
+                for &(_, v) in g.out_edges(u) {
+                    if v == 0 {
+                        prop_assert_eq!((dist[u] as u64 + 1) % p, 0,
+                            "cycle of length {} not divisible by period {}", dist[u] + 1, p);
+                    } else if dist[v] == usize::MAX {
+                        dist[v] = dist[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reversal_preserves_scc(g in arb_graph(8)) {
+        let scc_f = StronglyConnectedComponents::compute(&g);
+        let scc_r = StronglyConnectedComponents::compute(&g.reversed());
+        prop_assert_eq!(scc_f.count(), scc_r.count());
+        for u in 0..g.node_count() {
+            for v in 0..g.node_count() {
+                prop_assert_eq!(scc_f.same_component(u, v), scc_r.same_component(u, v));
+            }
+        }
+    }
+}

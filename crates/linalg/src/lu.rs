@@ -1,0 +1,212 @@
+//! LU decomposition with partial pivoting.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Relative pivot threshold below which a matrix is declared singular.
+const SINGULARITY_EPS: f64 = 1e-13;
+
+/// An LU decomposition `P A = L U` with partial (row) pivoting.
+///
+/// `L` is unit lower triangular and `U` upper triangular, stored packed in a
+/// single matrix; `P` is stored as a permutation vector.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors (L below diagonal without the unit diagonal, U on
+    /// and above the diagonal).
+    lu: Matrix,
+    /// Row permutation: row `i` of the factored matrix is row `perm[i]` of
+    /// the original.
+    perm: Vec<usize>,
+    /// Sign of the permutation (`+1` or `-1`), used for the determinant.
+    perm_sign: f64,
+}
+
+impl Lu {
+    /// Computes the decomposition; errors for non-square or singular input.
+    pub fn decompose(a: &Matrix) -> Result<Lu> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+        // Scale reference for relative singularity detection.
+        let scale = lu.max_abs().max(1.0);
+
+        for k in 0..n {
+            // Find pivot row.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val <= SINGULARITY_EPS * scale {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+        })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the precomputed factors.
+    pub fn solve(&self, b: &Vector) -> Result<Vector> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward substitution (L y = P b).
+        let mut y = Vector::from_fn(n, |i| b[self.perm[i]]);
+        for i in 0..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = acc;
+        }
+        // Back substitution (U x = y).
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.dim();
+        let mut det = self.perm_sign;
+        for i in 0..n {
+            det *= self.lu[(i, i)];
+        }
+        det
+    }
+
+    /// Inverse of the original matrix, one solve per unit vector.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        let mut e = Vector::zeros(n);
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_well_conditioned_system() {
+        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
+            .unwrap();
+        let b = Vector::from_slice(&[1.0, -2.0, 0.0]);
+        let lu = Lu::decompose(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        // Known solution x = (1, -2, -2).
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+        assert!((x[2] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Lu::decompose(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rhs_length_mismatch() {
+        let a = Matrix::identity(2);
+        let lu = Lu::decompose(&a).unwrap();
+        assert!(lu.solve(&Vector::zeros(3)).is_err());
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        // Requires a row swap: leading zero pivot.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap();
+        let lu = Lu::decompose(&a).unwrap();
+        assert!((lu.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_rows(&[&[4.0, 7.0], &[2.0, 6.0]]).unwrap();
+        let inv = Lu::decompose(&a).unwrap().inverse().unwrap();
+        let id = &a * &inv;
+        assert!((&id - &Matrix::identity(2)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_sign_tracked() {
+        let a = Matrix::from_rows(&[&[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
+            .unwrap();
+        // Cyclic permutation matrix has determinant +1.
+        let lu = Lu::decompose(&a).unwrap();
+        assert!((lu.determinant() - 1.0).abs() < 1e-12);
+    }
+}

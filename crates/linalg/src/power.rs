@@ -1,0 +1,217 @@
+//! Power iteration and spectral utilities.
+//!
+//! The primitivity and contractivity analysis of Markov systems needs the
+//! spectral radius of non-negative matrices (Perron-Frobenius eigenvalue)
+//! and the associated eigenvector; power iteration is exact enough and
+//! dependency-free.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Outcome of a successful power iteration.
+#[derive(Debug, Clone)]
+pub struct PowerIterationResult {
+    /// Dominant eigenvalue estimate (Rayleigh quotient at the final step).
+    pub eigenvalue: f64,
+    /// Corresponding unit (ℓ²) eigenvector estimate.
+    pub eigenvector: Vector,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+/// Runs power iteration on a square matrix from a deterministic start.
+///
+/// Converges for matrices with a unique dominant eigenvalue; for
+/// non-negative primitive matrices (our use case) Perron-Frobenius
+/// guarantees that. Errors if the matrix is not square, iteration exceeds
+/// `max_iter` without the eigenvector stabilizing to `tol`, or the iterate
+/// collapses to (numerically) zero.
+pub fn power_iteration(a: &Matrix, max_iter: usize, tol: f64) -> Result<PowerIterationResult> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Err(LinalgError::InvalidShape {
+            reason: "power iteration on empty matrix".to_string(),
+        });
+    }
+    // Deterministic, non-degenerate start: slightly tilted uniform vector so
+    // we do not start orthogonal to the dominant eigenvector of symmetric
+    // sign-structured matrices.
+    let mut v = Vector::from_fn(n, |i| 1.0 + (i as f64 + 1.0) * 1e-3);
+    let norm = v.norm2();
+    v.scale_mut(1.0 / norm);
+
+    for it in 1..=max_iter {
+        let w = a.mat_vec(&v);
+        let w_norm = w.norm2();
+        if w_norm < 1e-300 {
+            // The matrix annihilates the iterate: dominant eigenvalue is 0.
+            return Ok(PowerIterationResult {
+                eigenvalue: 0.0,
+                eigenvector: v,
+                iterations: it,
+            });
+        }
+        let next = w.scaled(1.0 / w_norm);
+        // Rayleigh quotient with the normalized iterate.
+        let eigenvalue = next.dot(&a.mat_vec(&next)).expect("same length");
+        // Eigenvector convergence, up to sign.
+        let diff_plus = (&next - &v).norm2();
+        let diff_minus = (&next + &v).norm2();
+        let diff = diff_plus.min(diff_minus);
+        v = next;
+        if diff < tol {
+            return Ok(PowerIterationResult {
+                eigenvalue,
+                eigenvector: v,
+                iterations: it,
+            });
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        method: "power iteration",
+        iterations: max_iter,
+    })
+}
+
+/// Estimates the spectral radius |λ_max| of a square matrix.
+///
+/// For matrices whose dominant eigenvalue is complex the power iteration on
+/// the matrix itself may cycle; we therefore fall back to the Gelfand
+/// formula `ρ(A) = lim ‖A^k‖^{1/k}` with the ∞-norm when direct iteration
+/// fails.
+pub fn spectral_radius(a: &Matrix) -> Result<f64> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare {
+            rows: a.rows(),
+            cols: a.cols(),
+        });
+    }
+    if a.rows() == 0 {
+        return Ok(0.0);
+    }
+    match power_iteration(a, 10_000, 1e-12) {
+        Ok(r) => Ok(r.eigenvalue.abs()),
+        Err(LinalgError::NoConvergence { .. }) => {
+            // Gelfand fallback: ‖A^k‖_∞^{1/k} for a few doubling powers.
+            let mut p = a.clone();
+            let mut k: u32 = 1;
+            let mut estimate = row_sum_norm(&p);
+            for _ in 0..10 {
+                p = p.checked_mul(&p)?;
+                k *= 2;
+                let norm = row_sum_norm(&p);
+                if norm == 0.0 {
+                    return Ok(0.0);
+                }
+                estimate = norm.powf(1.0 / k as f64);
+                if !estimate.is_finite() {
+                    break;
+                }
+            }
+            Ok(estimate)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Induced ∞-norm (maximum absolute row sum).
+pub fn row_sum_norm(a: &Matrix) -> f64 {
+    let mut best = 0.0f64;
+    for i in 0..a.rows() {
+        let s: f64 = a.row_slice(i).iter().map(|x| x.abs()).sum();
+        best = best.max(s);
+    }
+    best
+}
+
+/// Induced 1-norm (maximum absolute column sum).
+pub fn col_sum_norm(a: &Matrix) -> f64 {
+    let mut best = 0.0f64;
+    for j in 0..a.cols() {
+        let mut s = 0.0;
+        for i in 0..a.rows() {
+            s += a[(i, j)].abs();
+        }
+        best = best.max(s);
+    }
+    best
+}
+
+/// Frobenius norm.
+pub fn frobenius_norm(a: &Matrix) -> f64 {
+    a.as_slice().iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominant_eigenvalue_of_diagonal() {
+        let a = Matrix::diag(&Vector::from_slice(&[1.0, 3.0, 2.0]));
+        let r = power_iteration(&a, 1000, 1e-12).unwrap();
+        assert!((r.eigenvalue - 3.0).abs() < 1e-9);
+        // Eigenvector concentrates on index 1.
+        assert!(r.eigenvector[1].abs() > 0.999);
+    }
+
+    #[test]
+    fn stochastic_matrix_has_radius_one() {
+        let a = Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]).unwrap();
+        let rho = spectral_radius(&a).unwrap();
+        assert!((rho - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn substochastic_matrix_has_radius_below_one() {
+        let a = Matrix::from_rows(&[&[0.5, 0.2], &[0.1, 0.4]]).unwrap();
+        let rho = spectral_radius(&a).unwrap();
+        assert!(rho < 1.0);
+        assert!(rho > 0.0);
+    }
+
+    #[test]
+    fn rotation_matrix_radius_via_gelfand() {
+        // 90-degree rotation: eigenvalues ±i, power iteration cycles, the
+        // Gelfand fallback must return 1.
+        let a = Matrix::from_rows(&[&[0.0, -1.0], &[1.0, 0.0]]).unwrap();
+        let rho = spectral_radius(&a).unwrap();
+        assert!((rho - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nilpotent_matrix_radius_zero() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let rho = spectral_radius(&a).unwrap();
+        assert!(rho < 1e-6);
+    }
+
+    #[test]
+    fn zero_matrix_short_circuits() {
+        let a = Matrix::zeros(3, 3);
+        let r = power_iteration(&a, 10, 1e-12).unwrap();
+        assert_eq!(r.eigenvalue, 0.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(row_sum_norm(&a), 7.0);
+        assert_eq!(col_sum_norm(&a), 6.0);
+        assert!((frobenius_norm(&a) - 30f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(power_iteration(&Matrix::zeros(2, 3), 10, 1e-6).is_err());
+        assert!(spectral_radius(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! Labeled design matrices.
+
+use eqimpact_linalg::{Matrix, Vector};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors from dataset construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// The number of rows and labels differ.
+    LengthMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// Rows have inconsistent widths.
+    RaggedRows,
+    /// The dataset has no rows.
+    Empty,
+    /// A label is not 0 or 1.
+    NonBinaryLabel {
+        /// Index of the offending label.
+        index: usize,
+    },
+    /// A feature is NaN or infinite.
+    NonFiniteFeature {
+        /// Row of the offending feature.
+        row: usize,
+        /// Column of the offending feature.
+        col: usize,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { rows, labels } => {
+                write!(f, "{rows} rows but {labels} labels")
+            }
+            DatasetError::RaggedRows => write!(f, "rows have inconsistent widths"),
+            DatasetError::Empty => write!(f, "dataset has no rows"),
+            DatasetError::NonBinaryLabel { index } => {
+                write!(f, "label at index {index} is not 0/1")
+            }
+            DatasetError::NonFiniteFeature { row, col } => {
+                write!(f, "non-finite feature at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// A binary-labeled dataset: feature matrix `X` (no intercept column — the
+/// model adds it) plus labels `y ∈ {0, 1}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    x: Matrix,
+    y: Vector,
+}
+
+impl Dataset {
+    /// Builds a dataset from feature rows and binary labels.
+    pub fn new(rows: &[Vec<f64>], labels: &[f64]) -> Result<Self, DatasetError> {
+        if rows.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if rows.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                rows: rows.len(),
+                labels: labels.len(),
+            });
+        }
+        let width = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != width {
+                return Err(DatasetError::RaggedRows);
+            }
+            for (j, &v) in r.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(DatasetError::NonFiniteFeature { row: i, col: j });
+                }
+            }
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            if l != 0.0 && l != 1.0 {
+                return Err(DatasetError::NonBinaryLabel { index: i });
+            }
+        }
+        let mut flat = Vec::with_capacity(rows.len() * width);
+        for r in rows {
+            flat.extend_from_slice(r);
+        }
+        Ok(Dataset {
+            x: Matrix::from_vec(rows.len(), width, flat).expect("consistent by construction"),
+            y: Vector::from_slice(labels),
+        })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Whether the dataset has no rows (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// Number of features (without intercept).
+    pub fn feature_count(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// The feature matrix.
+    pub fn features(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &Vector {
+        &self.y
+    }
+
+    /// Feature row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        self.x.row_slice(i)
+    }
+
+    /// Fraction of positive labels.
+    pub fn positive_rate(&self) -> f64 {
+        self.y.sum() / self.y.len() as f64
+    }
+
+    /// Concatenates another dataset with the same width below this one —
+    /// the "accumulating the training data" filter of Fig. 1.
+    ///
+    /// # Panics
+    /// Panics when widths differ.
+    pub fn extend(&mut self, other: &Dataset) {
+        assert_eq!(
+            self.feature_count(),
+            other.feature_count(),
+            "Dataset::extend: width mismatch"
+        );
+        let mut rows: Vec<Vec<f64>> = (0..self.len()).map(|i| self.row(i).to_vec()).collect();
+        rows.extend((0..other.len()).map(|i| other.row(i).to_vec()));
+        let mut labels: Vec<f64> = self.y.as_slice().to_vec();
+        labels.extend_from_slice(other.y.as_slice());
+        *self = Dataset::new(&rows, &labels).expect("both datasets were valid");
+    }
+
+    /// Per-column mean and standard deviation (population), used for
+    /// standardization. Degenerate columns (zero spread) report sd = 1 so
+    /// that standardization is a no-op on them.
+    pub fn column_stats(&self) -> (Vec<f64>, Vec<f64>) {
+        let n = self.len() as f64;
+        let d = self.feature_count();
+        let mut means = vec![0.0; d];
+        for i in 0..self.len() {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                means[j] += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut sds = vec![0.0; d];
+        for i in 0..self.len() {
+            for (j, &v) in self.row(i).iter().enumerate() {
+                sds[j] += (v - means[j]) * (v - means[j]);
+            }
+        }
+        for s in &mut sds {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        (means, sds)
+    }
+
+    /// Returns a standardized copy (per-column z-scores) together with the
+    /// `(means, sds)` used, so predictions can apply the same transform.
+    pub fn standardized(&self) -> (Dataset, Vec<f64>, Vec<f64>) {
+        let (means, sds) = self.column_stats();
+        let rows: Vec<Vec<f64>> = (0..self.len())
+            .map(|i| {
+                self.row(i)
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v - means[j]) / sds[j])
+                    .collect()
+            })
+            .collect();
+        let ds = Dataset::new(&rows, self.y.as_slice()).expect("transform preserves validity");
+        (ds, means, sds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            &[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            &[0.0, 1.0, 1.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.feature_count(), 2);
+        assert_eq!(ds.row(1), &[3.0, 4.0]);
+        assert!((ds.positive_rate() - 2.0 / 3.0).abs() < 1e-15);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert_eq!(Dataset::new(&[], &[]).unwrap_err(), DatasetError::Empty);
+        assert!(matches!(
+            Dataset::new(&[vec![1.0]], &[1.0, 0.0]).unwrap_err(),
+            DatasetError::LengthMismatch { .. }
+        ));
+        assert_eq!(
+            Dataset::new(&[vec![1.0], vec![1.0, 2.0]], &[0.0, 1.0]).unwrap_err(),
+            DatasetError::RaggedRows
+        );
+        assert!(matches!(
+            Dataset::new(&[vec![1.0]], &[0.5]).unwrap_err(),
+            DatasetError::NonBinaryLabel { index: 0 }
+        ));
+        assert!(matches!(
+            Dataset::new(&[vec![f64::NAN]], &[0.0]).unwrap_err(),
+            DatasetError::NonFiniteFeature { row: 0, col: 0 }
+        ));
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut a = toy();
+        let b = Dataset::new(&[vec![7.0, 8.0]], &[0.0]).unwrap();
+        a.extend(&b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.row(3), &[7.0, 8.0]);
+        assert_eq!(a.labels()[3], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn extend_rejects_width_mismatch() {
+        let mut a = toy();
+        let b = Dataset::new(&[vec![1.0]], &[0.0]).unwrap();
+        a.extend(&b);
+    }
+
+    #[test]
+    fn column_stats_and_standardization() {
+        let ds = toy();
+        let (means, sds) = ds.column_stats();
+        assert!((means[0] - 3.0).abs() < 1e-12);
+        assert!((means[1] - 4.0).abs() < 1e-12);
+        let expected_sd = (8.0f64 / 3.0).sqrt();
+        assert!((sds[0] - expected_sd).abs() < 1e-12);
+
+        let (z, zm, zs) = ds.standardized();
+        assert_eq!(zm.len(), 2);
+        assert_eq!(zs.len(), 2);
+        let (zmeans, zsds) = z.column_stats();
+        assert!(zmeans.iter().all(|m| m.abs() < 1e-12));
+        assert!(zsds.iter().all(|s| (s - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn degenerate_column_sd_is_one() {
+        let ds = Dataset::new(&[vec![5.0], vec![5.0]], &[0.0, 1.0]).unwrap();
+        let (_, sds) = ds.column_stats();
+        assert_eq!(sds[0], 1.0);
+        // Standardizing a constant column must not produce NaN.
+        let (z, _, _) = ds.standardized();
+        assert!(z.row(0)[0].is_finite());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = DatasetError::NonFiniteFeature { row: 1, col: 2 };
+        assert!(e.to_string().contains("(1, 2)"));
+    }
+}

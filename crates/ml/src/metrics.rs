@@ -1,0 +1,223 @@
+//! Classification metrics for the retrained models.
+
+/// Accuracy of hard predictions against binary labels.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn accuracy(predictions: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "accuracy: length mismatch");
+    assert!(!labels.is_empty(), "accuracy: empty input");
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| (**p >= 0.5) == (**y >= 0.5))
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Area under the ROC curve via the Mann-Whitney U statistic, with tie
+/// correction (ties contribute 1/2).
+///
+/// Returns `NaN` when either class is absent.
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn auc(scores: &[f64], labels: &[f64]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    assert!(!labels.is_empty(), "auc: empty input");
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for (s, y) in scores.iter().zip(labels) {
+        if *y >= 0.5 {
+            pos.push(*s);
+        } else {
+            neg.push(*s);
+        }
+    }
+    if pos.is_empty() || neg.is_empty() {
+        return f64::NAN;
+    }
+    let mut wins = 0.0;
+    for p in &pos {
+        for n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    wins / (pos.len() as f64 * neg.len() as f64)
+}
+
+/// A confusion matrix at threshold 0.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// Computes the confusion matrix of probability scores against labels.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn at_threshold(scores: &[f64], labels: &[f64], threshold: f64) -> Self {
+        assert_eq!(scores.len(), labels.len(), "confusion: length mismatch");
+        let mut c = Confusion {
+            tp: 0,
+            fp: 0,
+            tn: 0,
+            fn_: 0,
+        };
+        for (s, y) in scores.iter().zip(labels) {
+            let predicted = *s >= threshold;
+            let actual = *y >= 0.5;
+            match (predicted, actual) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        c
+    }
+
+    /// Precision `tp/(tp+fp)`; `NaN` when no positive predictions.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            f64::NAN
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall (true positive rate); `NaN` when no positive labels.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            f64::NAN
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// False positive rate; `NaN` when no negative labels.
+    pub fn false_positive_rate(&self) -> f64 {
+        let denom = self.fp + self.tn;
+        if denom == 0 {
+            f64::NAN
+        } else {
+            self.fp as f64 / denom as f64
+        }
+    }
+}
+
+/// Expected calibration error with `bins` equal-width probability bins:
+/// `Σ_b (n_b / n) |mean_conf_b − mean_acc_b|`.
+///
+/// # Panics
+/// Panics on length mismatch, empty input, or zero bins.
+pub fn expected_calibration_error(scores: &[f64], labels: &[f64], bins: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "ece: length mismatch");
+    assert!(!labels.is_empty(), "ece: empty input");
+    assert!(bins > 0, "ece: zero bins");
+    let mut conf_sum = vec![0.0; bins];
+    let mut label_sum = vec![0.0; bins];
+    let mut counts = vec![0usize; bins];
+    for (s, y) in scores.iter().zip(labels) {
+        let b = ((s * bins as f64) as usize).min(bins - 1);
+        conf_sum[b] += s;
+        label_sum[b] += y;
+        counts[b] += 1;
+    }
+    let n = labels.len() as f64;
+    let mut ece = 0.0;
+    for b in 0..bins {
+        if counts[b] == 0 {
+            continue;
+        }
+        let cnt = counts[b] as f64;
+        ece += (cnt / n) * ((conf_sum[b] / cnt) - (label_sum[b] / cnt)).abs();
+    }
+    ece
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let p = [0.9, 0.1, 0.8, 0.2];
+        let y = [1.0, 0.0, 0.0, 0.0];
+        assert_eq!(accuracy(&p, &y), 0.75);
+    }
+
+    #[test]
+    fn auc_perfect_and_random() {
+        let perfect_scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0.0, 0.0, 1.0, 1.0];
+        assert_eq!(auc(&perfect_scores, &labels), 1.0);
+        let inverted = [0.9, 0.8, 0.2, 0.1];
+        assert_eq!(auc(&inverted, &labels), 0.0);
+        let constant = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(auc(&constant, &labels), 0.5);
+    }
+
+    #[test]
+    fn auc_single_class_is_nan() {
+        assert!(auc(&[0.5, 0.6], &[1.0, 1.0]).is_nan());
+    }
+
+    #[test]
+    fn confusion_matrix_and_rates() {
+        let scores = [0.9, 0.8, 0.3, 0.2, 0.6];
+        let labels = [1.0, 0.0, 1.0, 0.0, 1.0];
+        let c = Confusion::at_threshold(&scores, &labels, 0.5);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 1);
+        assert_eq!(c.tn, 1);
+        assert_eq!(c.fn_, 1);
+        assert!((c.precision() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((c.recall() - 2.0 / 3.0).abs() < 1e-15);
+        assert!((c.false_positive_rate() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn confusion_degenerate_rates_nan() {
+        let c = Confusion::at_threshold(&[0.1], &[0.0], 0.5);
+        assert!(c.precision().is_nan());
+        assert!(c.recall().is_nan());
+    }
+
+    #[test]
+    fn calibration_of_perfect_calibrated_scores() {
+        // Scores equal to the empirical frequency in each bin.
+        let scores = [0.25, 0.25, 0.25, 0.25, 0.75, 0.75, 0.75, 0.75];
+        let labels = [0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 1.0, 0.0];
+        let ece = expected_calibration_error(&scores, &labels, 2);
+        assert!(ece < 1e-12, "ece = {ece}");
+    }
+
+    #[test]
+    fn calibration_of_overconfident_scores() {
+        let scores = [0.99, 0.99, 0.99, 0.99];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let ece = expected_calibration_error(&scores, &labels, 10);
+        assert!((ece - 0.49).abs() < 1e-12, "ece = {ece}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatch() {
+        accuracy(&[0.5], &[0.0, 1.0]);
+    }
+}

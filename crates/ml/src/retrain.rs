@@ -1,0 +1,238 @@
+//! The accumulating retraining pipeline: Fig. 1's delay + filter +
+//! retraining made explicit.
+//!
+//! Each round, freshly observed `(features, action)` pairs are appended to
+//! the training corpus (optionally windowed) and a new model is fitted.
+//! Article 15 of the EU AI Act proposal — quoted in the paper — demands
+//! exactly this: systems that "continue to learn after being placed on the
+//! market" must address biased outputs feeding back as future inputs.
+
+use crate::dataset::{Dataset, DatasetError};
+use crate::logistic::{LogisticModel, LogisticRegression, TrainError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the pipeline keeps its corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RetentionPolicy {
+    /// Keep everything ever observed (the paper's accumulating filter).
+    KeepAll,
+    /// Keep only the most recent `rounds` rounds of data.
+    Window {
+        /// Number of most recent rounds retained.
+        rounds: usize,
+    },
+}
+
+/// Errors from the retraining pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RetrainError {
+    /// The observed batch was malformed.
+    BadBatch(DatasetError),
+    /// Training failed.
+    Train(TrainError),
+    /// `fit` called before any data was ingested.
+    NoData,
+}
+
+impl fmt::Display for RetrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetrainError::BadBatch(e) => write!(f, "bad batch: {e}"),
+            RetrainError::Train(e) => write!(f, "training failed: {e}"),
+            RetrainError::NoData => write!(f, "no data ingested yet"),
+        }
+    }
+}
+
+impl std::error::Error for RetrainError {}
+
+/// An accumulating retraining pipeline around a logistic fitter.
+#[derive(Debug, Clone)]
+pub struct RetrainingPipeline {
+    fitter: LogisticRegression,
+    policy: RetentionPolicy,
+    /// One dataset per ingested round (kept separate so windowing can drop
+    /// whole rounds).
+    rounds: Vec<Dataset>,
+    /// The latest fitted model.
+    model: Option<LogisticModel>,
+    /// Number of refits performed.
+    refit_count: usize,
+}
+
+impl RetrainingPipeline {
+    /// Creates a pipeline.
+    pub fn new(fitter: LogisticRegression, policy: RetentionPolicy) -> Self {
+        RetrainingPipeline {
+            fitter,
+            policy,
+            rounds: Vec::new(),
+            model: None,
+            refit_count: 0,
+        }
+    }
+
+    /// Number of rounds currently retained.
+    pub fn retained_rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Total observations currently retained.
+    pub fn retained_observations(&self) -> usize {
+        self.rounds.iter().map(|d| d.len()).sum()
+    }
+
+    /// Number of refits performed so far.
+    pub fn refit_count(&self) -> usize {
+        self.refit_count
+    }
+
+    /// The latest model, if any refit has happened.
+    pub fn model(&self) -> Option<&LogisticModel> {
+        self.model.as_ref()
+    }
+
+    /// Ingests one round of observations and applies the retention policy.
+    pub fn ingest(&mut self, rows: &[Vec<f64>], labels: &[f64]) -> Result<(), RetrainError> {
+        let batch = Dataset::new(rows, labels).map_err(RetrainError::BadBatch)?;
+        self.rounds.push(batch);
+        if let RetentionPolicy::Window { rounds } = self.policy {
+            while self.rounds.len() > rounds.max(1) {
+                self.rounds.remove(0);
+            }
+        }
+        Ok(())
+    }
+
+    /// Refits the model on the retained corpus and returns it.
+    pub fn refit(&mut self) -> Result<&LogisticModel, RetrainError> {
+        let mut corpus: Option<Dataset> = None;
+        for round in &self.rounds {
+            match corpus.as_mut() {
+                None => corpus = Some(round.clone()),
+                Some(c) => c.extend(round),
+            }
+        }
+        let corpus = corpus.ok_or(RetrainError::NoData)?;
+        let model = self.fitter.fit(&corpus).map_err(RetrainError::Train)?;
+        self.refit_count += 1;
+        self.model = Some(model);
+        Ok(self.model.as_ref().expect("just set"))
+    }
+
+    /// Convenience: ingest one round then refit.
+    pub fn ingest_and_refit(
+        &mut self,
+        rows: &[Vec<f64>],
+        labels: &[f64],
+    ) -> Result<&LogisticModel, RetrainError> {
+        self.ingest(rows, labels)?;
+        self.refit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logistic::sigmoid;
+    use eqimpact_stats::SimRng;
+
+    fn batch(slope: f64, n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut rng = SimRng::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..n {
+            let x = rng.uniform_in(-2.0, 2.0);
+            let y = if rng.bernoulli(sigmoid(slope * x)) { 1.0 } else { 0.0 };
+            rows.push(vec![x]);
+            labels.push(y);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn pipeline_accumulates_and_refits() {
+        let mut p = RetrainingPipeline::new(LogisticRegression::default(), RetentionPolicy::KeepAll);
+        assert!(p.model().is_none());
+        assert!(matches!(p.refit(), Err(RetrainError::NoData)));
+
+        let (rows, labels) = batch(2.0, 2000, 1);
+        let model = p.ingest_and_refit(&rows, &labels).unwrap();
+        assert!(model.coefficients[0] > 1.0);
+        assert_eq!(p.retained_rounds(), 1);
+        assert_eq!(p.retained_observations(), 2000);
+        assert_eq!(p.refit_count(), 1);
+
+        let (rows2, labels2) = batch(2.0, 2000, 2);
+        p.ingest_and_refit(&rows2, &labels2).unwrap();
+        assert_eq!(p.retained_rounds(), 2);
+        assert_eq!(p.retained_observations(), 4000);
+        assert_eq!(p.refit_count(), 2);
+    }
+
+    #[test]
+    fn window_policy_forgets_old_rounds() {
+        let mut p = RetrainingPipeline::new(
+            LogisticRegression::default(),
+            RetentionPolicy::Window { rounds: 2 },
+        );
+        for seed in 0..5 {
+            let (rows, labels) = batch(1.0, 100, seed);
+            p.ingest(&rows, &labels).unwrap();
+        }
+        assert_eq!(p.retained_rounds(), 2);
+        assert_eq!(p.retained_observations(), 200);
+    }
+
+    #[test]
+    fn concept_drift_tracked_by_window() {
+        // Regime A: positive slope; regime B: negative slope. A windowed
+        // pipeline flips its coefficient after the drift, an accumulating
+        // one averages the regimes and reacts slowly.
+        let mut windowed = RetrainingPipeline::new(
+            LogisticRegression::default(),
+            RetentionPolicy::Window { rounds: 1 },
+        );
+        let mut accumulating =
+            RetrainingPipeline::new(LogisticRegression::default(), RetentionPolicy::KeepAll);
+
+        for seed in 0..3 {
+            let (rows, labels) = batch(3.0, 1500, seed);
+            windowed.ingest_and_refit(&rows, &labels).unwrap();
+            accumulating.ingest_and_refit(&rows, &labels).unwrap();
+        }
+        // Drift: slope flips sign.
+        let (rows, labels) = batch(-3.0, 1500, 99);
+        let w = windowed.ingest_and_refit(&rows, &labels).unwrap().clone();
+        let a = accumulating.ingest_and_refit(&rows, &labels).unwrap().clone();
+        assert!(w.coefficients[0] < -1.0, "windowed coef = {}", w.coefficients[0]);
+        assert!(
+            a.coefficients[0] > w.coefficients[0] + 1.0,
+            "accumulating should lag: acc = {}, win = {}",
+            a.coefficients[0],
+            w.coefficients[0]
+        );
+    }
+
+    #[test]
+    fn bad_batch_reported() {
+        let mut p = RetrainingPipeline::new(LogisticRegression::default(), RetentionPolicy::KeepAll);
+        let err = p.ingest(&[vec![1.0]], &[0.5]).unwrap_err();
+        assert!(matches!(err, RetrainError::BadBatch(_)));
+        assert!(err.to_string().contains("bad batch"));
+    }
+
+    #[test]
+    fn degenerate_training_reported() {
+        let mut p = RetrainingPipeline::new(
+            LogisticRegression {
+                ridge: 0.0,
+                ..Default::default()
+            },
+            RetentionPolicy::KeepAll,
+        );
+        p.ingest(&[vec![1.0], vec![2.0]], &[1.0, 1.0]).unwrap();
+        assert!(matches!(p.refit(), Err(RetrainError::Train(_))));
+    }
+}

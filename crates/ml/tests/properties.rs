@@ -1,0 +1,145 @@
+//! Property-based tests for the ML crate.
+
+use eqimpact_ml::counterfactual::{minimal_counterfactual, CounterfactualError, FeatureBounds};
+use eqimpact_ml::logistic::{sigmoid, LogisticRegression};
+use eqimpact_ml::scorecard::{CreditDecision, Scorecard, ScorecardRow};
+use eqimpact_ml::Dataset;
+use eqimpact_stats::SimRng;
+use proptest::prelude::*;
+
+fn arb_scorecard() -> impl Strategy<Value = Scorecard> {
+    (
+        -2.0f64..2.0,
+        prop::collection::vec(-10.0f64..10.0, 1..5),
+        -1.0f64..1.0,
+    )
+        .prop_map(|(base, weights, cutoff)| {
+            Scorecard::from_rows(
+                base,
+                weights
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, w)| ScorecardRow {
+                        factor: format!("f{i}"),
+                        points_per_unit: w,
+                    })
+                    .collect(),
+                cutoff,
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn sigmoid_monotone_and_bounded(a in -700.0f64..700.0, b in -700.0f64..700.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(sigmoid(lo) <= sigmoid(hi) + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&sigmoid(a)));
+    }
+
+    #[test]
+    fn scorecard_score_is_linear(card in arb_scorecard(), scale in 0.1f64..3.0) {
+        let n = card.factor_count();
+        let x: Vec<f64> = (0..n).map(|i| i as f64 * 0.3).collect();
+        let x_scaled: Vec<f64> = x.iter().map(|v| v * scale).collect();
+        let zero = vec![0.0; n];
+        let s0 = card.score(&zero);
+        // score(ax) - s0 == a (score(x) - s0) for linear scorecards.
+        let lhs = card.score(&x_scaled) - s0;
+        let rhs = scale * (card.score(&x) - s0);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn decision_consistent_with_score(card in arb_scorecard()) {
+        let n = card.factor_count();
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 - 1.0) * 0.4).collect();
+        let decided = card.decide(&x);
+        let expected = if card.score(&x) >= card.cutoff {
+            CreditDecision::Approved
+        } else {
+            CreditDecision::Denied
+        };
+        prop_assert_eq!(decided, expected);
+    }
+
+    #[test]
+    fn counterfactual_always_reaches_cutoff_or_reports_infeasible(
+        card in arb_scorecard(),
+        raw in prop::collection::vec(0.0f64..1.0, 1..5),
+    ) {
+        let n = card.factor_count();
+        prop_assume!(raw.len() >= n);
+        let x: Vec<f64> = raw[..n].to_vec();
+        let bounds: Vec<FeatureBounds> = (0..n).map(|_| FeatureBounds::free(0.0, 1.0)).collect();
+        match minimal_counterfactual(&card, &x, &bounds) {
+            Ok(cf) => {
+                prop_assert!(cf.counterfactual_score >= card.cutoff - 1e-9);
+                prop_assert!(cf.effort >= 0.0);
+                // All counterfactual values stay within bounds.
+                for c in &cf.changes {
+                    prop_assert!((-1e-9..=1.0 + 1e-9).contains(&c.to));
+                }
+            }
+            Err(CounterfactualError::AlreadyApproved) => {
+                prop_assert_eq!(card.decide(&x), CreditDecision::Approved);
+            }
+            Err(CounterfactualError::Infeasible) => {
+                // The best admissible score must indeed fall short.
+                let best: f64 = card.base_points
+                    + card
+                        .rows
+                        .iter()
+                        .map(|r| {
+                            if r.points_per_unit > 0.0 {
+                                r.points_per_unit
+                            } else {
+                                0.0
+                            }
+                        })
+                        .sum::<f64>();
+                prop_assert!(best < card.cutoff + 1e-9, "best {best} vs cutoff {}", card.cutoff);
+            }
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn logistic_predictions_are_probabilities(seed in 0u64..500) {
+        let mut rng = SimRng::new(seed);
+        let rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.uniform_in(-3.0, 3.0)])
+            .collect();
+        let labels: Vec<f64> = rows
+            .iter()
+            .map(|r| if rng.bernoulli(sigmoid(r[0])) { 1.0 } else { 0.0 })
+            .collect();
+        prop_assume!(labels.contains(&0.0) && labels.contains(&1.0));
+        let data = Dataset::new(&rows, &labels).unwrap();
+        let model = LogisticRegression::default().fit(&data).unwrap();
+        for r in rows.iter().take(20) {
+            let p = model.predict_proba(r);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+        prop_assert!(model.log_loss(&data).is_finite());
+    }
+
+    #[test]
+    fn dataset_standardization_is_idempotent_in_shape(
+        raw in prop::collection::vec((0.0f64..10.0, prop::bool::ANY), 2..30),
+    ) {
+        let rows: Vec<Vec<f64>> = raw.iter().map(|(x, _)| vec![*x]).collect();
+        let labels: Vec<f64> = raw.iter().map(|(_, y)| if *y { 1.0 } else { 0.0 }).collect();
+        let data = Dataset::new(&rows, &labels).unwrap();
+        let (z, means, sds) = data.standardized();
+        prop_assert_eq!(z.len(), data.len());
+        prop_assert_eq!(means.len(), 1);
+        prop_assert_eq!(sds.len(), 1);
+        prop_assert!(sds[0] > 0.0);
+        // Round-trip: un-standardizing recovers the original.
+        for i in 0..data.len() {
+            let back = z.row(i)[0] * sds[0] + means[0];
+            prop_assert!((back - data.row(i)[0]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Histograms: 1-D for marginal laws, 2-D for the (time x value) density of
+//! the paper's Fig. 5.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width 1-D histogram over `[lo, hi)` with values outside the
+/// range clamped into the boundary bins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram1D {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram1D {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0`, `lo >= hi`, or bounds are non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram1D: zero bins");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "Histogram1D: invalid range [{lo}, {hi})"
+        );
+        Histogram1D {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram directly from samples.
+    pub fn from_samples(lo: f64, hi: f64, bins: usize, samples: &[f64]) -> Self {
+        let mut h = Histogram1D::new(lo, hi, bins);
+        for &s in samples {
+            h.add(s);
+        }
+        h
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Lower range bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper range bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Bin index for a value (clamped to the boundary bins; NaN goes to
+    /// bin 0 deterministically rather than poisoning the histogram).
+    pub fn bin_of(&self, x: f64) -> usize {
+        if x.is_nan() {
+            return 0;
+        }
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / w).floor();
+        if idx < 0.0 {
+            0
+        } else {
+            (idx as usize).min(self.counts.len() - 1)
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        let b = self.bin_of(x);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Count in bin `b`.
+    pub fn count(&self, b: usize) -> u64 {
+        self.counts[b]
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Normalized bin masses (probabilities); all zeros when empty.
+    pub fn masses(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Midpoint of bin `b`.
+    pub fn bin_center(&self, b: usize) -> f64 {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (b as f64 + 0.5) * w
+    }
+
+    /// Approximate mean from bin centers.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(b, &c)| c as f64 * self.bin_center(b))
+            .sum::<f64>()
+            / self.total as f64
+    }
+
+    /// Merges another histogram with identical geometry.
+    ///
+    /// # Panics
+    /// Panics when the geometries differ.
+    pub fn merge(&mut self, other: &Histogram1D) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins() == other.bins(),
+            "Histogram1D::merge: geometry mismatch"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+}
+
+/// A 2-D histogram: `x` is a discrete index (e.g. the year / time step) and
+/// `y` is continuous, binned like [`Histogram1D`].
+///
+/// This is the density structure behind the paper's Fig. 5, where darker
+/// shades denote a higher density of `ADR_i(k)` at each time step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram2D {
+    x_len: usize,
+    y_lo: f64,
+    y_hi: f64,
+    y_bins: usize,
+    /// Row-major: `counts[x * y_bins + y_bin]`.
+    counts: Vec<u64>,
+    /// Per-column totals.
+    col_totals: Vec<u64>,
+}
+
+impl Histogram2D {
+    /// Creates a 2-D histogram with `x_len` columns and `y_bins` bins over
+    /// `[y_lo, y_hi)`.
+    ///
+    /// # Panics
+    /// Panics for zero dimensions or an invalid `y` range.
+    pub fn new(x_len: usize, y_lo: f64, y_hi: f64, y_bins: usize) -> Self {
+        assert!(x_len > 0 && y_bins > 0, "Histogram2D: zero dimension");
+        assert!(
+            y_lo < y_hi && y_lo.is_finite() && y_hi.is_finite(),
+            "Histogram2D: invalid y range"
+        );
+        Histogram2D {
+            x_len,
+            y_lo,
+            y_hi,
+            y_bins,
+            counts: vec![0; x_len * y_bins],
+            col_totals: vec![0; x_len],
+        }
+    }
+
+    /// Number of columns (x values).
+    pub fn x_len(&self) -> usize {
+        self.x_len
+    }
+
+    /// Number of y bins.
+    pub fn y_bins(&self) -> usize {
+        self.y_bins
+    }
+
+    /// Adds an observation at column `x`.
+    ///
+    /// # Panics
+    /// Panics when `x` is out of range.
+    pub fn add(&mut self, x: usize, y: f64) {
+        assert!(x < self.x_len, "Histogram2D::add: x = {x} out of range");
+        let w = (self.y_hi - self.y_lo) / self.y_bins as f64;
+        let idx = ((y - self.y_lo) / w).floor();
+        let b = if y.is_nan() || idx < 0.0 {
+            0
+        } else {
+            (idx as usize).min(self.y_bins - 1)
+        };
+        self.counts[x * self.y_bins + b] += 1;
+        self.col_totals[x] += 1;
+    }
+
+    /// Raw count in cell `(x, y_bin)`.
+    pub fn count(&self, x: usize, y_bin: usize) -> u64 {
+        self.counts[x * self.y_bins + y_bin]
+    }
+
+    /// Total observations in column `x`.
+    pub fn col_total(&self, x: usize) -> u64 {
+        self.col_totals[x]
+    }
+
+    /// Density of cell `(x, y_bin)` normalized **within its column** — the
+    /// shading used in Fig. 5 (each time step is a distribution over ADR).
+    pub fn col_density(&self, x: usize, y_bin: usize) -> f64 {
+        let t = self.col_totals[x];
+        if t == 0 {
+            0.0
+        } else {
+            self.count(x, y_bin) as f64 / t as f64
+        }
+    }
+
+    /// Column `x` as a vector of densities (length `y_bins`).
+    pub fn column(&self, x: usize) -> Vec<f64> {
+        (0..self.y_bins).map(|b| self.col_density(x, b)).collect()
+    }
+
+    /// Midpoint of y bin `b`.
+    pub fn y_bin_center(&self, b: usize) -> f64 {
+        let w = (self.y_hi - self.y_lo) / self.y_bins as f64;
+        self.y_lo + (b as f64 + 0.5) * w
+    }
+
+    /// Renders the histogram as an ASCII shade map (rows = y bins from high
+    /// to low, columns = x), using ` .:-=+*#%@` as the density ramp.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::new();
+        for b in (0..self.y_bins).rev() {
+            for x in 0..self.x_len {
+                let d = self.col_density(x, b);
+                let idx = ((d * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist1d_binning() {
+        let mut h = Histogram1D::new(0.0, 1.0, 4);
+        h.add(0.1); // bin 0
+        h.add(0.3); // bin 1
+        h.add(0.99); // bin 3
+        h.add(1.5); // clamped to bin 3
+        h.add(-0.5); // clamped to bin 0
+        assert_eq!(h.count(0), 2);
+        assert_eq!(h.count(1), 1);
+        assert_eq!(h.count(2), 0);
+        assert_eq!(h.count(3), 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn hist1d_masses_sum_to_one() {
+        let h = Histogram1D::from_samples(0.0, 1.0, 10, &[0.05, 0.15, 0.25, 0.35]);
+        let s: f64 = h.masses().iter().sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        // Empty histogram has zero masses.
+        let e = Histogram1D::new(0.0, 1.0, 3);
+        assert_eq!(e.masses(), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn hist1d_centers_and_mean() {
+        let h = Histogram1D::from_samples(0.0, 1.0, 2, &[0.2, 0.2, 0.8, 0.8]);
+        assert!((h.bin_center(0) - 0.25).abs() < 1e-15);
+        assert!((h.bin_center(1) - 0.75).abs() < 1e-15);
+        assert!((h.mean() - 0.5).abs() < 1e-12);
+        assert!(Histogram1D::new(0.0, 1.0, 2).mean().is_nan());
+    }
+
+    #[test]
+    fn hist1d_merge() {
+        let mut a = Histogram1D::from_samples(0.0, 1.0, 4, &[0.1, 0.6]);
+        let b = Histogram1D::from_samples(0.0, 1.0, 4, &[0.7, 0.9]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2); // 0.6 and 0.7
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn hist1d_merge_rejects_mismatch() {
+        let mut a = Histogram1D::new(0.0, 1.0, 4);
+        let b = Histogram1D::new(0.0, 2.0, 4);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn hist1d_nan_goes_to_bin_zero() {
+        let mut h = Histogram1D::new(0.0, 1.0, 3);
+        h.add(f64::NAN);
+        assert_eq!(h.count(0), 1);
+    }
+
+    #[test]
+    fn hist2d_columns() {
+        let mut h = Histogram2D::new(3, 0.0, 1.0, 2);
+        h.add(0, 0.2);
+        h.add(0, 0.3);
+        h.add(0, 0.8);
+        h.add(2, 0.9);
+        assert_eq!(h.col_total(0), 3);
+        assert_eq!(h.col_total(1), 0);
+        assert_eq!(h.count(0, 0), 2);
+        assert!((h.col_density(0, 0) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(h.col_density(1, 0), 0.0);
+        assert_eq!(h.column(2), vec![0.0, 1.0]);
+        assert!((h.y_bin_center(1) - 0.75).abs() < 1e-15);
+    }
+
+    #[test]
+    fn hist2d_ascii_has_right_shape() {
+        let mut h = Histogram2D::new(4, 0.0, 1.0, 3);
+        h.add(0, 0.1);
+        h.add(3, 0.95);
+        let art = h.to_ascii();
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Dense cells render as the darkest ramp character '@'.
+        assert_eq!(lines[2].chars().next().unwrap(), '@'); // (x=0, lowest bin)
+        assert_eq!(lines[0].chars().nth(3).unwrap(), '@'); // (x=3, highest bin)
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn hist2d_rejects_bad_column() {
+        let mut h = Histogram2D::new(2, 0.0, 1.0, 2);
+        h.add(2, 0.5);
+    }
+}

@@ -1,0 +1,141 @@
+//! Gaussian kernel density estimation.
+//!
+//! Used to render smooth versions of the Fig. 5 density shading and to
+//! inspect invariant-measure estimates.
+
+use crate::dist::std_normal_pdf;
+
+/// A Gaussian kernel density estimate over a fixed sample.
+#[derive(Debug, Clone)]
+pub struct Kde {
+    samples: Vec<f64>,
+    bandwidth: f64,
+}
+
+impl Kde {
+    /// Builds a KDE with explicit bandwidth.
+    ///
+    /// # Panics
+    /// Panics for empty samples, NaN values, or non-positive bandwidth.
+    pub fn with_bandwidth(samples: &[f64], bandwidth: f64) -> Self {
+        assert!(!samples.is_empty(), "Kde: empty sample");
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "Kde: bad bandwidth {bandwidth}"
+        );
+        assert!(samples.iter().all(|x| !x.is_nan()), "Kde: NaN sample");
+        Kde {
+            samples: samples.to_vec(),
+            bandwidth,
+        }
+    }
+
+    /// Builds a KDE with Silverman's rule-of-thumb bandwidth
+    /// `0.9 min(σ, IQR/1.34) n^(-1/5)` (floored at a small positive value
+    /// for degenerate samples).
+    pub fn silverman(samples: &[f64]) -> Self {
+        assert!(!samples.is_empty(), "Kde: empty sample");
+        let sd = crate::describe::std_dev(samples);
+        let iqr = if samples.len() >= 2 {
+            crate::describe::quantile(samples, 0.75) - crate::describe::quantile(samples, 0.25)
+        } else {
+            0.0
+        };
+        let spread = if sd.is_nan() || sd == 0.0 {
+            (iqr / 1.34).max(1e-9)
+        } else if iqr > 0.0 {
+            sd.min(iqr / 1.34)
+        } else {
+            sd
+        };
+        let bw = (0.9 * spread * (samples.len() as f64).powf(-0.2)).max(1e-9);
+        Kde::with_bandwidth(samples, bw)
+    }
+
+    /// The bandwidth in use.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth
+    }
+
+    /// Density estimate at `x`.
+    pub fn density(&self, x: f64) -> f64 {
+        let h = self.bandwidth;
+        self.samples
+            .iter()
+            .map(|&s| std_normal_pdf((x - s) / h))
+            .sum::<f64>()
+            / (self.samples.len() as f64 * h)
+    }
+
+    /// Density evaluated on an equally spaced grid of `n` points over
+    /// `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics when `n < 2` or `lo >= hi`.
+    pub fn grid(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "Kde::grid: need at least 2 points");
+        assert!(lo < hi, "Kde::grid: invalid range");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.density(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let mut rng = SimRng::new(1);
+        let samples: Vec<f64> = (0..500).map(|_| rng.standard_normal()).collect();
+        let kde = Kde::silverman(&samples);
+        // Trapezoid integration over a wide range.
+        let grid = kde.grid(-6.0, 6.0, 1201);
+        let dx = grid[1].0 - grid[0].0;
+        let integral: f64 = grid.windows(2).map(|w| 0.5 * (w[0].1 + w[1].1) * dx).sum();
+        assert!((integral - 1.0).abs() < 0.01, "integral = {integral}");
+    }
+
+    #[test]
+    fn density_peaks_near_mode() {
+        let samples = [0.0, 0.1, -0.1, 0.05, -0.05, 3.0];
+        let kde = Kde::with_bandwidth(&samples, 0.2);
+        assert!(kde.density(0.0) > kde.density(1.5));
+        assert!(kde.density(3.0) > kde.density(1.5));
+        assert!(kde.density(0.0) > kde.density(3.0));
+    }
+
+    #[test]
+    fn silverman_bandwidth_positive_even_for_constant_sample() {
+        let kde = Kde::silverman(&[2.0, 2.0, 2.0]);
+        assert!(kde.bandwidth() > 0.0);
+        assert!(kde.density(2.0).is_finite());
+    }
+
+    #[test]
+    fn grid_is_monotone_in_x() {
+        let kde = Kde::with_bandwidth(&[0.0], 1.0);
+        let g = kde.grid(-1.0, 1.0, 5);
+        assert_eq!(g.len(), 5);
+        assert!(g.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(g[0].0, -1.0);
+        assert_eq!(g[4].0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn rejects_empty() {
+        Kde::silverman(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bandwidth")]
+    fn rejects_bad_bandwidth() {
+        Kde::with_bandwidth(&[1.0], 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Probability and statistics substrate for the `eqimpact` workspace.
+//!
+//! Provides everything stochastic the closed-loop framework needs:
+//!
+//! * [`rng`] — deterministic, splittable random-number streams so every
+//!   simulation is reproducible from a single seed;
+//! * [`dist`] — the distributions the paper uses (Bernoulli via the normal
+//!   CDF, categorical race sampling, bracket-uniform income sampling), with
+//!   our own `erf`-based normal CDF and Acklam inverse;
+//! * [`describe`] — means, variances, quantiles;
+//! * [`timeseries`] — Cesàro (running time-average) sequences, the object
+//!   equal impact (Def. 3) is about;
+//! * [`hist`] — 1-D and 2-D histograms (Fig. 5's density panel);
+//! * [`converge`] — Kolmogorov-Smirnov and total-variation diagnostics used
+//!   to verify weak convergence to the invariant measure;
+//! * [`kde`] — Gaussian kernel density estimates for smooth density plots.
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod converge;
+pub mod describe;
+pub mod dist;
+pub mod hist;
+pub mod kde;
+pub mod plot;
+pub mod rng;
+pub mod timeseries;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, ConfidenceInterval};
+pub use converge::{kolmogorov_smirnov, total_variation_histogram, wasserstein1};
+pub use describe::Summary;
+pub use dist::{Bernoulli, Categorical, Empirical, Normal, Uniform};
+pub use hist::{Histogram1D, Histogram2D};
+pub use rng::SimRng;
+pub use timeseries::CesaroAverage;

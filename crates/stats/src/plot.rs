@@ -1,0 +1,192 @@
+//! Terminal line charts for time series — the harness's Fig. 3/4 renderer.
+
+/// One named series of a chart.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The values, one per x position.
+    pub values: Vec<f64>,
+    /// The glyph used for this series' points.
+    pub glyph: char,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, values: Vec<f64>, glyph: char) -> Self {
+        Series {
+            label: label.into(),
+            values,
+            glyph,
+        }
+    }
+}
+
+/// A fixed-size ASCII line chart.
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    series: Vec<Series>,
+}
+
+impl AsciiChart {
+    /// Creates a chart canvas.
+    ///
+    /// # Panics
+    /// Panics when `width < 2` or `height < 2`.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "AsciiChart: canvas too small");
+        AsciiChart {
+            width,
+            height,
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a series (chainable).
+    pub fn series(mut self, s: Series) -> Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Renders the chart with a y-axis scale and a legend line.
+    ///
+    /// Non-finite values are skipped. Returns a placeholder message when no
+    /// finite data exists.
+    pub fn render(&self) -> String {
+        let finite: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.values.iter().copied())
+            .filter(|v| v.is_finite())
+            .collect();
+        if finite.is_empty() {
+            return "(no finite data)".to_string();
+        }
+        let mut lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if (hi - lo).abs() < 1e-12 {
+            // Flat data: open a symmetric window so the line sits mid-chart.
+            lo -= 0.5;
+            hi += 0.5;
+        }
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        let max_len = self
+            .series
+            .iter()
+            .map(|s| s.values.len())
+            .max()
+            .unwrap_or(0);
+        if max_len == 0 {
+            return "(no finite data)".to_string();
+        }
+
+        for s in &self.series {
+            for (i, &v) in s.values.iter().enumerate() {
+                if !v.is_finite() {
+                    continue;
+                }
+                let x = if max_len == 1 {
+                    0
+                } else {
+                    i * (self.width - 1) / (max_len - 1)
+                };
+                let t = (v - lo) / (hi - lo);
+                let y = ((1.0 - t) * (self.height - 1) as f64).round() as usize;
+                canvas[y.min(self.height - 1)][x.min(self.width - 1)] = s.glyph;
+            }
+        }
+
+        let mut out = String::new();
+        for (row_idx, row) in canvas.iter().enumerate() {
+            let y_value = hi - (hi - lo) * row_idx as f64 / (self.height - 1) as f64;
+            out.push_str(&format!("{y_value:>9.4} |"));
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>9} +{}\n", "", "-".repeat(self.width)));
+        let legend: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| format!("{} {}", s.glyph, s.label))
+            .collect();
+        out.push_str(&format!("{:>10}{}\n", "", legend.join("   ")));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_single_series() {
+        let chart = AsciiChart::new(20, 6)
+            .series(Series::new("ramp", (0..20).map(|i| i as f64).collect(), '*'));
+        let s = chart.render();
+        assert!(s.contains('*'));
+        assert!(s.contains("ramp"));
+        // Height rows + axis + legend.
+        assert_eq!(s.lines().count(), 8);
+    }
+
+    #[test]
+    fn renders_multiple_series_with_distinct_glyphs() {
+        let up: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let down: Vec<f64> = (0..10).map(|i| 9.0 - i as f64).collect();
+        let s = AsciiChart::new(30, 8)
+            .series(Series::new("up", up, 'u'))
+            .series(Series::new("down", down, 'd'))
+            .render();
+        assert!(s.contains('u'));
+        assert!(s.contains('d'));
+        assert!(s.contains("u up"));
+        assert!(s.contains("d down"));
+    }
+
+    #[test]
+    fn highest_value_on_top_row() {
+        let s = AsciiChart::new(10, 5)
+            .series(Series::new("x", vec![0.0, 0.0, 10.0], '#'))
+            .render();
+        let first_data_row = s.lines().next().unwrap();
+        assert!(first_data_row.contains('#'), "top row: {first_data_row}");
+        assert!(first_data_row.contains("10.0000"));
+    }
+
+    #[test]
+    fn flat_series_renders_mid_chart() {
+        let s = AsciiChart::new(10, 5)
+            .series(Series::new("flat", vec![2.0; 10], '-'))
+            .render();
+        let lines: Vec<&str> = s.lines().collect();
+        // The flat line should be in the middle row (index 2 of 5).
+        assert!(lines[2].contains('-'), "{s}");
+    }
+
+    #[test]
+    fn non_finite_values_skipped() {
+        let s = AsciiChart::new(10, 4)
+            .series(Series::new("gaps", vec![1.0, f64::NAN, 2.0], 'o'))
+            .render();
+        assert!(s.contains('o'));
+        let all_nan = AsciiChart::new(10, 4)
+            .series(Series::new("none", vec![f64::NAN], 'o'))
+            .render();
+        assert_eq!(all_nan, "(no finite data)");
+    }
+
+    #[test]
+    fn empty_chart_handled() {
+        let s = AsciiChart::new(10, 4).render();
+        assert_eq!(s, "(no finite data)");
+    }
+
+    #[test]
+    #[should_panic(expected = "canvas too small")]
+    fn tiny_canvas_rejected() {
+        AsciiChart::new(1, 5);
+    }
+}

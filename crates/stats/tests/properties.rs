@@ -1,0 +1,116 @@
+//! Property-based tests for the statistics substrate.
+
+use eqimpact_stats::converge::{total_variation_discrete, wasserstein1};
+use eqimpact_stats::describe::{quantile, Summary};
+use eqimpact_stats::dist::{std_normal_cdf, std_normal_quantile};
+use eqimpact_stats::hist::Histogram1D;
+use eqimpact_stats::timeseries::cesaro_trajectory;
+use eqimpact_stats::SimRng;
+use proptest::prelude::*;
+
+fn finite_sample(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1000.0f64..1000.0, 1..=max_len)
+}
+
+proptest! {
+    #[test]
+    fn normal_cdf_monotone(a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(std_normal_cdf(lo) <= std_normal_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip(p in 0.0001f64..0.9999) {
+        let x = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry(x in -6.0f64..6.0) {
+        prop_assert!((std_normal_cdf(x) + std_normal_cdf(-x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mean_within_bounds(sample in finite_sample(50)) {
+        let s = Summary::from_slice(&sample);
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance_population() >= -1e-9);
+    }
+
+    #[test]
+    fn summary_merge_associative(a in finite_sample(20), b in finite_sample(20), c in finite_sample(20)) {
+        let mut left = Summary::from_slice(&a);
+        left.merge(&Summary::from_slice(&b));
+        left.merge(&Summary::from_slice(&c));
+        let all: Vec<f64> = a.iter().chain(&b).chain(&c).copied().collect();
+        let whole = Summary::from_slice(&all);
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-8);
+        prop_assert!((left.variance_population() - whole.variance_population()).abs()
+            < 1e-6 * whole.variance_population().max(1.0));
+    }
+
+    #[test]
+    fn quantile_monotone(sample in finite_sample(30), p1 in 0.0f64..1.0, p2 in 0.0f64..1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(quantile(&sample, lo) <= quantile(&sample, hi) + 1e-9);
+    }
+
+    #[test]
+    fn cesaro_stays_within_range(sample in finite_sample(60)) {
+        let lo = sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = sample.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in cesaro_trajectory(&sample) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_mass(sample in finite_sample(80)) {
+        let h = Histogram1D::from_samples(-1000.0, 1000.0, 16, &sample);
+        prop_assert_eq!(h.total() as usize, sample.len());
+        let mass: f64 = h.masses().iter().sum();
+        prop_assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tv_is_a_metric_on_simplex(raw in prop::collection::vec(0.01f64..1.0, 3..6)) {
+        let total: f64 = raw.iter().sum();
+        let p: Vec<f64> = raw.iter().map(|x| x / total).collect();
+        let q: Vec<f64> = {
+            let mut r = p.clone();
+            r.reverse();
+            r
+        };
+        let d_pq = total_variation_discrete(&p, &q);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&d_pq));
+        prop_assert!((total_variation_discrete(&p, &p)).abs() < 1e-15);
+        prop_assert!((d_pq - total_variation_discrete(&q, &p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wasserstein_shift_invariance(sample in finite_sample(40), shift in -10.0f64..10.0) {
+        let shifted: Vec<f64> = sample.iter().map(|x| x + shift).collect();
+        let w = wasserstein1(&sample, &shifted);
+        prop_assert!((w - shift.abs()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rng_split_reproducible(seed in 0u64..u64::MAX, label in 0u64..u64::MAX) {
+        let a = SimRng::new(seed);
+        let b = SimRng::new(seed);
+        let mut ca = a.split(label);
+        let mut cb = b.split(label);
+        for _ in 0..5 {
+            prop_assert_eq!(ca.uniform(), cb.uniform());
+        }
+    }
+
+    #[test]
+    fn categorical_probs_normalized(raw in prop::collection::vec(0.0f64..10.0, 1..8)) {
+        prop_assume!(raw.iter().sum::<f64>() > 0.0);
+        let c = eqimpact_stats::Categorical::new(&raw);
+        let total: f64 = c.probs().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration: the generic closed loop wired from real blocks across
+//! crates (core + control filters + ml models + stats diagnostics).
+
+use eqimpact_core::closed_loop::{
+    AiSystem, Feedback, FeedbackFilter, LoopRunner, MeanFilter, UserPopulation,
+};
+use eqimpact_core::impact::{
+    conditioned_equal_impact_report, equal_impact_report, group_limits,
+};
+use eqimpact_core::treatment::{classes_by_attribute, conditioned_equal_treatment_report};
+use eqimpact_core::trials::run_trials;
+use eqimpact_stats::SimRng;
+
+/// A two-class population: class 0 responds at a lower rate than class 1
+/// for the same signal — equal treatment without equal impact.
+struct TwoClassUsers {
+    classes: Vec<u32>,
+}
+
+impl UserPopulation for TwoClassUsers {
+    fn user_count(&self) -> usize {
+        self.classes.len()
+    }
+    fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> Vec<Vec<f64>> {
+        self.classes.iter().map(|&c| vec![c as f64]).collect()
+    }
+    fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
+        self.classes
+            .iter()
+            .zip(signals)
+            .map(|(&c, &s)| {
+                let base = if c == 0 { 0.2 } else { 0.6 };
+                let p = (base * s.clamp(0.0, 2.0)).clamp(0.0, 1.0);
+                if rng.bernoulli(p) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+/// Constant broadcaster (maximally equal treatment).
+struct ConstantAi(f64);
+
+impl AiSystem for ConstantAi {
+    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
+        vec![self.0; visible.len()]
+    }
+    fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
+}
+
+fn two_class_record(seed: u64, steps: usize) -> eqimpact_core::recorder::LoopRecord {
+    let classes: Vec<u32> = (0..60).map(|i| (i % 2) as u32).collect();
+    let mut runner = LoopRunner::new(
+        Box::new(ConstantAi(1.0)),
+        Box::new(TwoClassUsers { classes }),
+        Box::new(MeanFilter::default()),
+        1,
+    );
+    runner.run(steps, &mut SimRng::new(seed))
+}
+
+#[test]
+fn equal_treatment_without_equal_impact() {
+    // The conflict at the heart of the paper (Ricci v. DeStefano):
+    // identical signals, diverging long-run outcomes.
+    let record = two_class_record(1, 4_000);
+    let classes: Vec<u32> = (0..60).map(|i| (i % 2) as u32).collect();
+    let class_sets = classes_by_attribute(&classes);
+
+    let treatment = conditioned_equal_treatment_report(&record, &class_sets, 0.08);
+    assert!(treatment.same_signal, "everyone saw the same signal");
+
+    let unconditional_impact = equal_impact_report(&record, 0.2, 0.08);
+    assert!(
+        !unconditional_impact.all_coincide,
+        "class responses must diverge: spread = {}",
+        unconditional_impact.max_spread
+    );
+
+    // Conditioned on the class attribute, impact is equal within classes.
+    let conditional = conditioned_equal_impact_report(&record, &class_sets, 0.2, 0.08);
+    assert!(conditional.all_coincide);
+    let groups = group_limits(&conditional, &class_sets);
+    assert!((groups[0] - 0.2).abs() < 0.05, "class 0 limit = {}", groups[0]);
+    assert!((groups[1] - 0.6).abs() < 0.05, "class 1 limit = {}", groups[1]);
+}
+
+#[test]
+fn multi_trial_limits_are_stable_across_seeds() {
+    let set = run_trials(6, |t| two_class_record(100 + t as u64, 3_000));
+    let summary = set.summarize(|r| {
+        let report = equal_impact_report(r, 0.2, 1.0);
+        report.limits.iter().sum::<f64>() / report.limits.len() as f64
+    });
+    // Mean of per-user limits ~ (0.2 + 0.6)/2 = 0.4 across all trials.
+    assert!((summary.mean() - 0.4).abs() < 0.03, "mean = {}", summary.mean());
+    assert!(summary.std_dev() < 0.03);
+}
+
+/// A custom anomaly-tolerant filter plugged into the loop: cross-crate use
+/// of `eqimpact-control` filters inside `eqimpact-core`.
+struct RobustAggregateFilter {
+    inner: eqimpact_control::filter::AnomalyRejectingFilter,
+}
+
+impl FeedbackFilter for RobustAggregateFilter {
+    fn apply(
+        &mut self,
+        k: usize,
+        visible: &[Vec<f64>],
+        signals: &[f64],
+        actions: &[f64],
+    ) -> Feedback {
+        use eqimpact_control::filter::Filter as _;
+        let raw = actions.iter().sum::<f64>() / actions.len().max(1) as f64;
+        let filtered = self.inner.push(raw);
+        Feedback {
+            step: k,
+            per_user: actions.to_vec(),
+            aggregate: filtered,
+            visible: visible.to_vec(),
+            signals: signals.to_vec(),
+            actions: actions.to_vec(),
+        }
+    }
+}
+
+#[test]
+fn control_filter_integrates_with_loop() {
+    let classes: Vec<u32> = vec![1; 40];
+    let mut runner = LoopRunner::new(
+        Box::new(ConstantAi(1.0)),
+        Box::new(TwoClassUsers { classes }),
+        Box::new(RobustAggregateFilter {
+            inner: eqimpact_control::filter::AnomalyRejectingFilter::new(3.0, 10),
+        }),
+        0,
+    );
+    let record = runner.run(500, &mut SimRng::new(5));
+    assert_eq!(record.steps(), 500);
+    // Class-1 users respond at 0.6 on average.
+    let mean = record.mean_actions().iter().sum::<f64>() / 500.0;
+    assert!((mean - 0.6).abs() < 0.05, "mean = {mean}");
+}
+
+#[test]
+fn delayed_and_undelayed_loops_agree_in_distribution() {
+    // The delay shifts retraining but the ConstantAi ignores feedback, so
+    // the records depend only on the stochastic responses: same seed, same
+    // record regardless of delay.
+    let classes: Vec<u32> = (0..10).map(|i| (i % 2) as u32).collect();
+    let build = |delay: usize| {
+        let mut runner = LoopRunner::new(
+            Box::new(ConstantAi(1.0)),
+            Box::new(TwoClassUsers {
+                classes: classes.clone(),
+            }),
+            Box::new(MeanFilter::default()),
+            delay,
+        );
+        runner.run(100, &mut SimRng::new(9))
+    };
+    assert_eq!(build(0), build(3));
+}
