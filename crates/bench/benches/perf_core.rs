@@ -3,6 +3,12 @@
 //! application, and invariant-measure estimation.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eqimpact_core::closed_loop::{
+    AiSystem, DynLoopRunner, Feedback, FeedbackFilter, LoopBuilder, LoopRunner, MeanFilter,
+    UserPopulation,
+};
+use eqimpact_core::features::FeatureMatrix;
+use eqimpact_core::recorder::RecordPolicy;
 use eqimpact_credit::sim::{run_trial, CreditConfig, LenderKind};
 use eqimpact_markov::ifs::{affine1d, Ifs};
 use eqimpact_markov::invariant::estimate_invariant_measure;
@@ -10,6 +16,144 @@ use eqimpact_markov::operator::{markov_operator_apply, ParticleMeasure};
 use eqimpact_ml::logistic::{sigmoid, LogisticRegression};
 use eqimpact_ml::Dataset;
 use eqimpact_stats::SimRng;
+
+/// Synthetic AI block implementing the in-place hook (zero allocation).
+struct ThresholdAi;
+
+impl AiSystem for ThresholdAi {
+    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            visible
+                .rows()
+                .map(|row| if row[0] > 0.5 { 1.0 } else { 0.3 }),
+        );
+    }
+    fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
+}
+
+/// The same AI through the owned-return path (allocates per step), as the
+/// pre-redesign boxed runner did.
+struct ThresholdAiAlloc;
+
+impl AiSystem for ThresholdAiAlloc {
+    fn signals(&mut self, _k: usize, visible: &FeatureMatrix) -> Vec<f64> {
+        visible
+            .rows()
+            .map(|row| if row[0] > 0.5 { 1.0 } else { 0.3 })
+            .collect()
+    }
+    fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
+}
+
+/// Synthetic width-2 population with in-place hooks.
+struct SyntheticUsers {
+    n: usize,
+}
+
+impl SyntheticUsers {
+    fn feature(&self, k: usize, i: usize, j: usize) -> f64 {
+        ((i * 31 + k * 17 + j * 7) % 100) as f64 / 100.0
+    }
+}
+
+impl UserPopulation for SyntheticUsers {
+    fn user_count(&self) -> usize {
+        self.n
+    }
+    fn observe_into(&mut self, k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
+        out.reshape(self.n, 2);
+        for i in 0..self.n {
+            let row = out.row_mut(i);
+            row[0] = self.feature(k, i, 0);
+            row[1] = self.feature(k, i, 1);
+        }
+    }
+    fn respond_into(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            signals
+                .iter()
+                .map(|&s| if rng.bernoulli(0.2 + 0.6 * s) { 1.0 } else { 0.0 }),
+        );
+    }
+}
+
+/// [`MeanFilter`] forced through the owned-return path: only `apply` is
+/// implemented, so the runner's defaulted `apply_into` replaces the whole
+/// recycled [`Feedback`] with a freshly allocated one every step — the
+/// pre-redesign filter cost (per-step per_user/visible/signals/actions
+/// allocations).
+struct MeanFilterAlloc(MeanFilter);
+
+impl FeedbackFilter for MeanFilterAlloc {
+    fn apply(
+        &mut self,
+        k: usize,
+        visible: &FeatureMatrix,
+        signals: &[f64],
+        actions: &[f64],
+    ) -> Feedback {
+        self.0.apply(k, visible, signals, actions)
+    }
+}
+
+/// The same population through the owned-return path (allocates per step).
+struct SyntheticUsersAlloc {
+    inner: SyntheticUsers,
+}
+
+impl UserPopulation for SyntheticUsersAlloc {
+    fn user_count(&self) -> usize {
+        self.inner.n
+    }
+    fn observe(&mut self, k: usize, rng: &mut SimRng) -> FeatureMatrix {
+        let mut out = FeatureMatrix::default();
+        self.inner.observe_into(k, rng, &mut out);
+        out
+    }
+    fn respond(&mut self, k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.inner.respond_into(k, signals, rng, &mut out);
+        out
+    }
+}
+
+/// P0: the API-redesign headline — generic in-place runner vs the fully
+/// boxed owned-return runner (the pre-redesign shape) on the same
+/// synthetic loop.
+fn bench_loop_api(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/loop_api");
+    group.sample_size(20);
+    for &(users, steps) in &[(1_000usize, 200usize), (10_000, 50)] {
+        let label = format!("{users}users_{steps}steps");
+        group.bench_function(BenchmarkId::new("generic_inplace", &label), |b| {
+            b.iter(|| {
+                let mut runner = LoopBuilder::new(ThresholdAi, SyntheticUsers { n: users })
+                    .filter(MeanFilter::default())
+                    .delay(1)
+                    .record(RecordPolicy::Thin)
+                    .build();
+                runner.run(steps, &mut SimRng::new(42))
+            })
+        });
+        group.bench_function(BenchmarkId::new("dyn_boxed_alloc", &label), |b| {
+            b.iter(|| {
+                let mut runner: DynLoopRunner = LoopRunner::new(
+                    Box::new(ThresholdAiAlloc),
+                    Box::new(SyntheticUsersAlloc {
+                        inner: SyntheticUsers { n: users },
+                    }),
+                    Box::new(MeanFilterAlloc(MeanFilter::default())),
+                    1,
+                );
+                runner.set_record_policy(RecordPolicy::Thin);
+                runner.run(steps, &mut SimRng::new(42))
+            })
+        });
+    }
+    group.finish();
+}
 
 fn bench_loop_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf/credit_loop");
@@ -103,6 +247,7 @@ fn bench_invariant_measure(c: &mut Criterion) {
 
 criterion_group!(
     benches,
+    bench_loop_api,
     bench_loop_step,
     bench_irls,
     bench_markov_operator,

@@ -11,6 +11,7 @@
 //! summarized on stdout.
 
 use eqimpact_bench::*;
+use eqimpact_stats::ToJson;
 use eqimpact_census::FIRST_YEAR;
 use eqimpact_credit::report;
 use std::collections::BTreeSet;
@@ -90,7 +91,7 @@ fn run_table1(scale: Scale, out: &Path) {
         "  worked example (ADR 0.1, income>15K): {:.3} (paper: 4.953)",
         t1.example_score
     );
-    let json = serde_json::to_string_pretty(&t1).expect("serializable");
+    let json = t1.to_json().render_pretty();
     write(&out.join("table1_scorecard.json"), &json);
 }
 
@@ -174,7 +175,7 @@ fn run_ablate_policy(scale: Scale, out: &Path) {
         a1.income_multiple_final_adr[1],
         a1.income_multiple_final_adr[2]
     );
-    let json = serde_json::to_string_pretty(&a1).expect("serializable");
+    let json = a1.to_json().render_pretty();
     write(&out.join("ablate_policy.json"), &json);
 
     // Year-by-year access series under the uniform policy (the exclusion
@@ -209,7 +210,7 @@ fn run_ablate_integral(scale: Scale, out: &Path) {
             .map(|x| (x * 1000.0).round() / 1000.0)
             .collect::<Vec<_>>()
     );
-    let json = serde_json::to_string_pretty(&a2).expect("serializable");
+    let json = a2.to_json().render_pretty();
     write(&out.join("ablate_integral.json"), &json);
 }
 
@@ -224,7 +225,7 @@ fn run_ablate_markov(scale: Scale, out: &Path) {
         a3.ifs_distances.len(),
         a3.ifs_verdict
     );
-    let json = serde_json::to_string_pretty(&a3).expect("serializable");
+    let json = a3.to_json().render_pretty();
     write(&out.join("ablate_markov.json"), &json);
 }
 
@@ -238,7 +239,7 @@ fn run_ablate_delay(scale: Scale, out: &Path) {
             a4.delays[i], a4.race_spread[i], a4.mean_adr[i]
         );
     }
-    let json = serde_json::to_string_pretty(&a4).expect("serializable");
+    let json = a4.to_json().render_pretty();
     write(&out.join("ablate_delay.json"), &json);
 }
 
@@ -252,6 +253,6 @@ fn run_ablate_filter(scale: Scale, out: &Path) {
             a5.filters[i], a5.tracking_error[i], a5.late_signal_swing[i]
         );
     }
-    let json = serde_json::to_string_pretty(&a5).expect("serializable");
+    let json = a5.to_json().render_pretty();
     write(&out.join("ablate_filter.json"), &json);
 }

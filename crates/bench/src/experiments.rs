@@ -13,8 +13,7 @@ use eqimpact_markov::ifs::{affine1d, Ifs};
 use eqimpact_markov::invariant::{estimate_invariant_measure, FiniteChain};
 use eqimpact_markov::operator::ParticleMeasure;
 use eqimpact_markov::{ergodic, MarkovSystem};
-use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
+use eqimpact_stats::{Json, SimRng, ToJson};
 
 /// Scale of an experiment run: `Paper` uses the paper's parameters
 /// (N = 1000, 5 trials), `Quick` a reduced size for benches and CI.
@@ -48,7 +47,7 @@ impl Scale {
 // ---------------------------------------------------------------------------
 
 /// Table I result: the learned scorecard and the paper's reference values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Table1Result {
     /// Learned points per unit of average default rate ("History").
     pub history_points: f64,
@@ -61,6 +60,18 @@ pub struct Table1Result {
     /// The worked example's score for ADR 0.1, income code 1 (the paper
     /// reports 4.953 for its reference card, excluding base points).
     pub example_score: f64,
+}
+
+impl ToJson for Table1Result {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("history_points", self.history_points.to_json()),
+            ("income_points", self.income_points.to_json()),
+            ("base_points", self.base_points.to_json()),
+            ("paper_reference", self.paper_reference.to_json()),
+            ("example_score", self.example_score.to_json()),
+        ])
+    }
 }
 
 /// T1: runs the closed loop at the given scale and extracts the final
@@ -126,7 +137,7 @@ pub fn fig5_histogram(outcomes: &[CreditOutcome]) -> eqimpact_stats::Histogram2D
 /// (unequal impact on access), while the income-scaled policy keeps access
 /// equal. Access is the long-run average approval rate — the Cesàro
 /// average of the *decision* broadcast to each user.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PolicyAblation {
     /// Long-run race approval rates `[Black, White, Asian]` under the
     /// uniform-$50K permanent-exclusion policy (tail mean over the last
@@ -141,6 +152,24 @@ pub struct PolicyAblation {
     /// Largest inter-race approval gap per policy `(uniform, income)` —
     /// the introduction predicts `uniform >> income = 0`.
     pub approval_gaps: (f64, f64),
+}
+
+impl ToJson for PolicyAblation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("uniform_approval", self.uniform_approval.to_json()),
+            (
+                "income_multiple_approval",
+                self.income_multiple_approval.to_json(),
+            ),
+            ("uniform_final_adr", self.uniform_final_adr.to_json()),
+            (
+                "income_multiple_final_adr",
+                self.income_multiple_final_adr.to_json(),
+            ),
+            ("approval_gaps", self.approval_gaps.to_json()),
+        ])
+    }
 }
 
 /// A1: compares the introduction's two policies on a long horizon.
@@ -202,13 +231,22 @@ pub fn ablate_policy(scale: Scale) -> PolicyAblation {
 // ---------------------------------------------------------------------------
 
 /// A2 result: the ergodicity gaps under integral and proportional control.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IntegralAblation {
     /// Max per-agent spread of long-run averages across initial conditions
     /// under the integral controller with hysteretic agents.
     pub integral_gap: ErgodicityGap,
     /// The same under proportional control with stochastic agents.
     pub proportional_gap: ErgodicityGap,
+}
+
+impl ToJson for IntegralAblation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("integral_gap", self.integral_gap.to_json()),
+            ("proportional_gap", self.proportional_gap.to_json()),
+        ])
+    }
 }
 
 /// A2: reproduces the Sec. VI warning at the given scale.
@@ -260,7 +298,7 @@ pub fn ablate_integral(scale: Scale) -> IntegralAblation {
 // ---------------------------------------------------------------------------
 
 /// A3 result: convergence diagnostics for three constructed systems.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MarkovAblation {
     /// TV decay of a primitive two-state chain (should vanish).
     pub primitive_tv: Vec<f64>,
@@ -272,6 +310,18 @@ pub struct MarkovAblation {
     pub ifs_distances: Vec<f64>,
     /// The ergodicity verdict of the contractive IFS.
     pub ifs_verdict: ergodic::ErgodicityVerdict,
+}
+
+impl ToJson for MarkovAblation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("primitive_tv", self.primitive_tv.to_json()),
+            ("periodic_tv", self.periodic_tv.to_json()),
+            ("ifs_converged", self.ifs_converged.to_json()),
+            ("ifs_distances", self.ifs_distances.to_json()),
+            ("ifs_verdict", self.ifs_verdict.to_json()),
+        ])
+    }
 }
 
 /// A3: invariant-measure attractivity for primitive vs periodic chains and
@@ -333,7 +383,7 @@ pub fn ablate_markov(scale: Scale) -> MarkovAblation {
 // ---------------------------------------------------------------------------
 
 /// A4 result: how the paper's Fig. 1 delay affects the credit loop.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DelayAblation {
     /// The delays swept.
     pub delays: Vec<usize>,
@@ -341,6 +391,16 @@ pub struct DelayAblation {
     pub race_spread: Vec<f64>,
     /// Final-year population mean ADR per delay.
     pub mean_adr: Vec<f64>,
+}
+
+impl ToJson for DelayAblation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("delays", self.delays.to_json()),
+            ("race_spread", self.race_spread.to_json()),
+            ("mean_adr", self.mean_adr.to_json()),
+        ])
+    }
 }
 
 /// A4: sweeps the feedback delay of the credit loop. The paper fixes one
@@ -382,7 +442,7 @@ pub fn ablate_delay(scale: Scale) -> DelayAblation {
 // ---------------------------------------------------------------------------
 
 /// A5 result: reference tracking under different feedback filters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FilterAblation {
     /// Filter labels, aligned with the vectors below.
     pub filters: Vec<String>,
@@ -391,6 +451,16 @@ pub struct FilterAblation {
     /// Largest late signal movement per filter (responsiveness proxy; ~0
     /// means the loop has frozen).
     pub late_signal_swing: Vec<f64>,
+}
+
+impl ToJson for FilterAblation {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("filters", self.filters.to_json()),
+            ("tracking_error", self.tracking_error.to_json()),
+            ("late_signal_swing", self.late_signal_swing.to_json()),
+        ])
+    }
 }
 
 /// A5: compares instantaneous, EWMA, sliding-window and accumulating

@@ -1,12 +1,11 @@
 //! The nine income brackets of Table A-2 / the paper's Fig. 2.
 
-use serde::{Deserialize, Serialize};
 
 /// Number of income brackets.
 pub const BRACKET_COUNT: usize = 9;
 
 /// One income bracket in thousands of dollars, `[lo, hi)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IncomeBracket {
     /// Lower bound ($K), inclusive.
     pub lo: f64,

@@ -3,10 +3,9 @@
 use crate::sampler::HouseholdSampler;
 use crate::tables::{IncomeTable, Race, TableError};
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// One simulated household: a fixed race and a per-year resampled income.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Household {
     /// Stable index in the population.
     pub id: usize,
@@ -31,7 +30,7 @@ impl Household {
 }
 
 /// A generated population of households.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Population {
     households: Vec<Household>,
 }

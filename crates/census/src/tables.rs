@@ -1,7 +1,6 @@
 //! The embedded income-distribution tables.
 
 use crate::brackets::BRACKET_COUNT;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// First simulated year (the paper starts in 2002, when ASEC first allowed
@@ -16,7 +15,7 @@ pub const LAST_YEAR: u32 = 2020;
 pub const RACE_SHARE_2002: [f64; 3] = [0.1235, 0.8406, 0.0359];
 
 /// The three races of the paper's Sec. VII (Fig. 2's colours).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Race {
     /// "BLACK ALONE" (blue in the paper's figures).
     Black,
@@ -101,7 +100,7 @@ const SHARES_2020: [[f64; BRACKET_COUNT]; 3] = [
 /// Shares for intermediate years are linear interpolations of the 2002 and
 /// 2020 anchors, renormalized to sum to exactly 1, emulating the gradual
 /// nominal-income drift the real Table A-2 records.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IncomeTable {
     /// `shares[year - FIRST_YEAR][race][bracket]`, normalized per (year,
     /// race) row.

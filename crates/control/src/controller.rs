@@ -1,6 +1,5 @@
 //! Discrete-time feedback controllers.
 
-use serde::{Deserialize, Serialize};
 
 /// A discrete-time controller: consumes the tracking error
 /// `e(k) = r - y(k)` and produces the next broadcast signal `π(k+1)`.
@@ -13,7 +12,7 @@ pub trait Controller {
 }
 
 /// Pure proportional control: `u = bias + kp · e`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PController {
     /// Proportional gain.
     pub kp: f64,
@@ -40,7 +39,7 @@ impl Controller for PController {
 ///
 /// This is the controller the paper warns about: integral action in the
 /// loop can destroy the ergodic properties the equal-impact notion needs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IController {
     /// Integral gain.
     pub ki: f64,
@@ -76,7 +75,7 @@ impl Controller for IController {
 }
 
 /// PI control: `u = bias + kp·e + ki·Σe`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PiController {
     /// Proportional gain.
     pub kp: f64,
@@ -120,7 +119,7 @@ impl Controller for PiController {
 /// integral term cannot wind up during long saturated excursions. The
 /// stable-by-design controller recommended for the loop when some integral
 /// action is unavoidable.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AntiWindupPi {
     /// Proportional gain.
     pub kp: f64,

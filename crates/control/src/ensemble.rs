@@ -31,10 +31,9 @@
 use crate::controller::Controller;
 use eqimpact_stats::timeseries::CesaroAverage;
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// How an agent converts the broadcast signal into a binary action.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum AgentBehaviour {
     /// Memoryless relay: act (`1`) iff `π ≥ threshold`.
     Threshold {
@@ -102,7 +101,7 @@ pub struct EnsembleLoop<C: Controller> {
 }
 
 /// Everything recorded from one ensemble run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnsembleOutcome {
     /// Broadcast signal trace `π(0..steps)`.
     pub signals: Vec<f64>,
@@ -267,7 +266,7 @@ impl<C: Controller> EnsembleLoop<C> {
 
 /// One initial condition of the ensemble loop: the broadcast signal and the
 /// agents' internal states.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EnsembleInit {
     /// Initial broadcast signal `π(0)`.
     pub pi0: f64,
@@ -311,7 +310,7 @@ impl EnsembleInit {
 
 /// Result of the ergodicity-gap experiment: per-agent spread of long-run
 /// averages across initial conditions.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ErgodicityGap {
     /// For each agent, `max_init r_i − min_init r_i`.
     pub per_agent_spread: Vec<f64>,
@@ -321,6 +320,16 @@ pub struct ErgodicityGap {
     /// Long-run aggregate per initial condition (sanity: a working
     /// controller tracks the reference from every start).
     pub aggregate_limits: Vec<f64>,
+}
+
+impl eqimpact_stats::ToJson for ErgodicityGap {
+    fn to_json(&self) -> eqimpact_stats::Json {
+        eqimpact_stats::Json::obj([
+            ("per_agent_spread", self.per_agent_spread.to_json()),
+            ("max_spread", self.max_spread.to_json()),
+            ("aggregate_limits", self.aggregate_limits.to_json()),
+        ])
+    }
 }
 
 /// Runs the loop from each initial condition (with independent randomness

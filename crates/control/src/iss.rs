@@ -14,14 +14,13 @@
 //! route to contractivity of the loop (Sec. VI).
 
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Exponential class-KL candidate `β(s, t) = c · s · λ^t`.
 ///
 /// A *bona fide* class-KL function needs `λ < 1`; fitted values with
 /// `λ ≥ 1` are allowed so that an estimation sweep can report instability
 /// (the [`IssReport::consistent`] flag then rejects the system).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExpKl {
     /// Multiplicative constant `c ≥ 0`.
     pub c: f64,
@@ -52,7 +51,7 @@ impl ExpKl {
 }
 
 /// Linear class-K candidate `γ(s) = g · s`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearK {
     /// Gain `g ≥ 0`.
     pub g: f64,
@@ -75,7 +74,7 @@ impl LinearK {
 }
 
 /// Result of the incremental-ISS estimation sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IssReport {
     /// Fitted exponential KL envelope for the zero-input-difference runs.
     pub beta: ExpKl,

@@ -15,10 +15,9 @@
 //! precisely that they do not see the loop's long-run behaviour.
 
 use crate::recorder::LoopRecord;
-use serde::{Deserialize, Serialize};
 
 /// Per-group rate with its sample size.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GroupRate {
     /// The measured rate in `[0, 1]` (`NaN` when the group is empty).
     pub rate: f64,
@@ -27,7 +26,7 @@ pub struct GroupRate {
 }
 
 /// Result of a group-fairness computation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupFairnessReport {
     /// One rate per group, in the order the groups were supplied.
     pub group_rates: Vec<GroupRate>,
@@ -138,7 +137,7 @@ pub fn equal_opportunity(
 }
 
 /// Result of the individual-fairness Lipschitz audit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndividualFairnessReport {
     /// Largest observed ratio `|d_decision| / d_user` over audited pairs.
     pub worst_lipschitz_ratio: f64,

@@ -1,0 +1,280 @@
+//! Flat, row-major feature storage for the loop's hot path.
+//!
+//! The paper's protocol (N = 1000, 5 trials) tolerates a `Vec<Vec<f64>>`
+//! per step; a production-scale loop serving millions of simulated users
+//! does not. [`FeatureMatrix`] stores all per-user feature rows in one
+//! contiguous `Vec<f64>` so a step's observation can be rewritten in place
+//! with zero allocation, rows are cache-friendly to scan, and the layout
+//! is ready for future batching/SIMD passes.
+
+/// A dense row-major matrix of per-user features: `row_count` rows of
+/// `width` features each, in one flat buffer.
+///
+/// `width == 0` is a valid shape (populations with no visible features);
+/// the row count is tracked independently of the buffer length so empty
+/// rows still count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    width: usize,
+    rows: usize,
+}
+
+impl FeatureMatrix {
+    /// Creates an empty matrix of the given row width.
+    pub fn new(width: usize) -> Self {
+        FeatureMatrix {
+            data: Vec::new(),
+            width,
+            rows: 0,
+        }
+    }
+
+    /// Creates an empty matrix with capacity for `rows` rows of `width`.
+    pub fn with_capacity(rows: usize, width: usize) -> Self {
+        FeatureMatrix {
+            data: Vec::with_capacity(rows * width),
+            width,
+            rows: 0,
+        }
+    }
+
+    /// Creates a `rows x width` matrix of zeros.
+    pub fn zeros(rows: usize, width: usize) -> Self {
+        FeatureMatrix {
+            data: vec![0.0; rows * width],
+            width,
+            rows,
+        }
+    }
+
+    /// Builds a matrix from nested rows (a migration convenience).
+    ///
+    /// # Panics
+    /// Panics when rows have unequal lengths.
+    pub fn from_nested(rows: &[Vec<f64>]) -> Self {
+        let width = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut m = FeatureMatrix::with_capacity(rows.len(), width);
+        for row in rows {
+            m.push_row(row);
+        }
+        m
+    }
+
+    /// Row width (features per user).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows (users).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= row_count()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Mutable row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= row_count()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        &mut self.data[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Iterates over all rows in order.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + Clone {
+        // `chunks_exact(0)` panics, so empty-width rows iterate explicitly.
+        RowIter {
+            matrix: self,
+            next: 0,
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics when `row.len() != width()`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.width, "push_row: width mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Drops all rows, keeping the width and the allocation.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.rows = 0;
+    }
+
+    /// Reshapes in place to `rows x width`, zero-filling and reusing the
+    /// existing allocation where possible.
+    pub fn reset(&mut self, rows: usize, width: usize) {
+        self.width = width;
+        self.rows = rows;
+        self.data.clear();
+        self.data.resize(rows * width, 0.0);
+    }
+
+    /// Reshapes in place to `rows x width` **without** zeroing retained
+    /// cells — contents are unspecified (stale values or zeros) until
+    /// written. The hot-path variant of [`Self::reset`] for callers that
+    /// overwrite every cell anyway: in steady state (same shape each
+    /// step) it touches no memory at all.
+    pub fn reshape(&mut self, rows: usize, width: usize) {
+        self.width = width;
+        self.rows = rows;
+        self.data.resize(rows * width, 0.0);
+    }
+
+    /// Becomes a copy of `other`, reusing this matrix's allocation.
+    pub fn fill_from(&mut self, other: &FeatureMatrix) {
+        self.width = other.width;
+        self.rows = other.rows;
+        self.data.clear();
+        self.data.extend_from_slice(&other.data);
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The flat row-major buffer, mutable.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// The rows as nested vectors (tests / interop; allocates).
+    pub fn to_nested(&self) -> Vec<Vec<f64>> {
+        self.rows().map(|r| r.to_vec()).collect()
+    }
+}
+
+/// Iterator over the rows of a [`FeatureMatrix`].
+#[derive(Debug, Clone)]
+struct RowIter<'a> {
+    matrix: &'a FeatureMatrix,
+    next: usize,
+}
+
+impl<'a> Iterator for RowIter<'a> {
+    type Item = &'a [f64];
+
+    fn next(&mut self) -> Option<&'a [f64]> {
+        if self.next >= self.matrix.rows {
+            return None;
+        }
+        let row = self.matrix.row(self.next);
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.matrix.rows - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for RowIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut m = FeatureMatrix::new(2);
+        m.push_row(&[1.0, 2.0]);
+        m.push_row(&[3.0, 4.0]);
+        assert_eq!(m.row_count(), 2);
+        assert_eq!(m.width(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let rows: Vec<&[f64]> = m.rows().collect();
+        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+    }
+
+    #[test]
+    fn empty_width_counts_rows() {
+        let mut m = FeatureMatrix::new(0);
+        m.push_row(&[]);
+        m.push_row(&[]);
+        assert_eq!(m.row_count(), 2);
+        assert_eq!(m.width(), 0);
+        assert_eq!(m.row(1), &[] as &[f64]);
+        assert_eq!(m.rows().len(), 2);
+        assert_eq!(m.rows().count(), 2);
+    }
+
+    #[test]
+    fn fill_from_copies_and_reuses() {
+        let src = FeatureMatrix::from_nested(&[vec![1.0], vec![2.0]]);
+        let mut dst = FeatureMatrix::zeros(5, 3);
+        let capacity_before = dst.data.capacity();
+        dst.fill_from(&src);
+        assert_eq!(dst, src);
+        assert!(dst.data.capacity() >= capacity_before, "allocation kept");
+    }
+
+    #[test]
+    fn reset_reshapes_and_zeroes() {
+        let mut m = FeatureMatrix::from_nested(&[vec![1.0, 2.0]]);
+        m.reset(3, 1);
+        assert_eq!(m.row_count(), 3);
+        assert_eq!(m.width(), 1);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn reshape_keeps_contents_unspecified_but_sized() {
+        let mut m = FeatureMatrix::from_nested(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        m.reshape(2, 2);
+        assert_eq!(m.row_count(), 2);
+        // Growing zero-fills only the new tail cells.
+        m.reshape(3, 2);
+        assert_eq!(m.row(2), &[0.0, 0.0]);
+        assert_eq!(m.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn row_mut_writes_through() {
+        let mut m = FeatureMatrix::zeros(2, 2);
+        m.row_mut(1)[0] = 7.0;
+        assert_eq!(m.row(1), &[7.0, 0.0]);
+    }
+
+    #[test]
+    fn nested_roundtrip() {
+        let rows = vec![vec![1.0, 2.0], vec![3.0, 4.0]];
+        assert_eq!(FeatureMatrix::from_nested(&rows).to_nested(), rows);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn push_row_checks_width() {
+        FeatureMatrix::new(2).push_row(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn row_bounds_checked() {
+        let m = FeatureMatrix::zeros(1, 1);
+        m.row(1);
+    }
+}

@@ -8,10 +8,9 @@
 
 use crate::recorder::LoopRecord;
 use eqimpact_stats::timeseries::{cesaro_trajectory, has_settled, tail_mean};
-use serde::{Deserialize, Serialize};
 
 /// Result of the equal-impact estimation on a recorded run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EqualImpactReport {
     /// Estimated limit `r_i` per user (tail mean of the Cesàro sequence).
     pub limits: Vec<f64>,

@@ -12,30 +12,44 @@
 //!
 //! * [`closed_loop`] — the [`closed_loop::AiSystem`],
 //!   [`closed_loop::UserPopulation`] and [`closed_loop::FeedbackFilter`]
-//!   traits plus the [`closed_loop::LoopRunner`] that wires them together
-//!   with an explicit delay line;
-//! * [`recorder`] — the complete telemetry of a run ([`recorder::LoopRecord`]);
+//!   traits plus the generic [`closed_loop::LoopRunner`] that wires them
+//!   together with an explicit delay line. The runner is **statically
+//!   dispatched** over its three blocks and drives them through in-place
+//!   `*_into` hooks, so a steady-state step performs **zero allocations**
+//!   when the blocks implement them (every trait method has a defaulted
+//!   fallback, so owned-return implementations keep working). The
+//!   [`closed_loop::DynLoopRunner`] alias is the fully boxed form for
+//!   blocks chosen at runtime — bit-identical records, dynamic dispatch;
+//! * [`features`] — [`features::FeatureMatrix`], the flat row-major
+//!   feature storage that replaces `Vec<Vec<f64>>` on the hot path;
+//! * [`recorder`] — the telemetry of a run ([`recorder::LoopRecord`],
+//!   stored flat) and how much of it to keep ([`recorder::RecordPolicy`]);
 //! * [`treatment`] — checkers for equal treatment, unconditional and
 //!   conditioned on non-protected attributes;
 //! * [`impact`] — estimators of the per-user Cesàro limits `r_i` and their
 //!   coincidence, unconditional and group-conditioned;
-//! * [`trials`] — deterministic multi-seed trial running, parallelized
-//!   across threads.
+//! * [`trials`] — deterministic multi-seed trial running, striped over at
+//!   most `available_parallelism()` threads.
 //!
 //! # Example
 //!
-//! A one-dimensional toy loop where the AI system broadcasts the filtered
-//! average of past actions and users respond stochastically:
+//! A one-dimensional toy loop, assembled with [`closed_loop::LoopBuilder`]:
+//! the AI system broadcasts the filtered average of past actions and users
+//! respond stochastically. The blocks implement the convenient
+//! owned-return methods; swap in the `*_into` twins for allocation-free
+//! stepping.
 //!
 //! ```
-//! use eqimpact_core::closed_loop::*;
+//! use eqimpact_core::closed_loop::{AiSystem, Feedback, LoopBuilder, MeanFilter, UserPopulation};
+//! use eqimpact_core::features::FeatureMatrix;
 //! use eqimpact_core::impact::equal_impact_report;
+//! use eqimpact_core::recorder::RecordPolicy;
 //! use eqimpact_stats::SimRng;
 //!
 //! struct Broadcast(f64);
 //! impl AiSystem for Broadcast {
-//!     fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
-//!         vec![self.0; visible.len()]
+//!     fn signals(&mut self, _k: usize, visible: &FeatureMatrix) -> Vec<f64> {
+//!         vec![self.0; visible.row_count()]
 //!     }
 //!     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
 //!         self.0 = 0.5 * self.0 + 0.5 * feedback.aggregate;
@@ -45,37 +59,46 @@
 //! struct Coins(usize);
 //! impl UserPopulation for Coins {
 //!     fn user_count(&self) -> usize { self.0 }
-//!     fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> Vec<Vec<f64>> {
-//!         vec![vec![]; self.0]
+//!     fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> FeatureMatrix {
+//!         FeatureMatrix::zeros(self.0, 0)
 //!     }
 //!     fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
 //!         signals.iter().map(|&s| if rng.bernoulli(0.2 + 0.6 * s.clamp(0.0, 1.0)) { 1.0 } else { 0.0 }).collect()
 //!     }
 //! }
 //!
-//! let mut runner = LoopRunner::new(
-//!     Box::new(Broadcast(0.9)),
-//!     Box::new(Coins(50)),
-//!     Box::new(MeanFilter::default()),
-//!     1,
-//! );
+//! let mut runner = LoopBuilder::new(Broadcast(0.9), Coins(50))
+//!     .filter(MeanFilter::default())
+//!     .delay(1)                       // the paper's one-step delay
+//!     .record(RecordPolicy::Full)     // keep every per-user series
+//!     .build();
 //! let record = runner.run(3000, &mut SimRng::new(7));
 //! let report = equal_impact_report(&record, 0.2, 0.1);
 //! assert!(report.all_coincide);
 //! ```
+//!
+//! Boxed blocks still work — `LoopRunner::new(Box::new(ai) as Box<dyn
+//! AiSystem>, ...)` builds a [`closed_loop::DynLoopRunner`] whose records
+//! are bit-identical to the generic runner's for the same seed (a property
+//! the test suite checks).
 
 #![warn(missing_docs)]
 
 pub mod closed_loop;
 pub mod fairness;
+pub mod features;
 pub mod impact;
 pub mod recorder;
 pub mod treatment;
 pub mod trials;
 
-pub use closed_loop::{AiSystem, Feedback, FeedbackFilter, LoopRunner, MeanFilter, UserPopulation};
+pub use closed_loop::{
+    AiSystem, DynLoopRunner, Feedback, FeedbackFilter, LoopBuilder, LoopRunner, MeanFilter,
+    UserPopulation,
+};
 pub use fairness::{demographic_parity, equal_opportunity, individual_fairness};
+pub use features::FeatureMatrix;
 pub use impact::{equal_impact_report, EqualImpactReport};
-pub use recorder::LoopRecord;
+pub use recorder::{LoopRecord, RecordPolicy};
 pub use treatment::{equal_treatment_report, EqualTreatmentReport};
-pub use trials::{run_trials, TrialSet};
+pub use trials::{run_trials, run_trials_with, TrialSet};

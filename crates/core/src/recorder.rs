@@ -1,30 +1,74 @@
 //! Telemetry of a closed-loop run.
+//!
+//! [`LoopRecord`] stores its per-step matrices **flat** (one contiguous
+//! `Vec<f64>` per channel, row-major over steps) so recording a step is a
+//! bounds-checked `extend_from_slice` with no per-step allocation once
+//! capacity is reserved, and step slices come back as contiguous memory.
 
-use serde::{Deserialize, Serialize};
+use eqimpact_stats::json::{Json, ToJson};
 
-/// The full record of a loop run: per-step signals, actions, and filtered
-/// per-user values, with derived Cesàro trajectories.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// How much telemetry [`LoopRecord`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordPolicy {
+    /// Keep every per-user series (signals, actions, filtered values).
+    #[default]
+    Full,
+    /// Keep per-step aggregates only (mean action per step). Memory is
+    /// `O(steps)` instead of `O(steps x users)` — the production setting
+    /// for million-user populations.
+    Thin,
+}
+
+/// The record of a loop run: per-step signals, actions, and filtered
+/// per-user values (under [`RecordPolicy::Full`]), with derived Cesàro
+/// trajectories, or per-step aggregates only (under
+/// [`RecordPolicy::Thin`]).
+#[derive(Debug, Clone, PartialEq)]
 pub struct LoopRecord {
     user_count: usize,
-    /// `signals[k][i]` = π(k, i).
-    signals: Vec<Vec<f64>>,
-    /// `actions[k][i]` = y_i(k).
-    actions: Vec<Vec<f64>>,
-    /// `filtered[k][i]` = the filter's per-user output at step k (e.g.
-    /// running ADR).
-    filtered: Vec<Vec<f64>>,
+    steps: usize,
+    policy: RecordPolicy,
+    /// Flat `steps x user_count`: `signals[k * n + i]` = π(k, i).
+    signals: Vec<f64>,
+    /// Flat `steps x user_count`: `actions[k * n + i]` = y_i(k).
+    actions: Vec<f64>,
+    /// Flat `steps x user_count`: the filter's per-user output at step k
+    /// (e.g. running ADR).
+    filtered: Vec<f64>,
+    /// Exact aggregate action `Σ_i y_i(k)` per step (kept under every
+    /// policy; means derive from it).
+    step_action_sums: Vec<f64>,
 }
 
 impl LoopRecord {
-    /// Creates an empty record for `user_count` users.
+    /// Creates an empty full-telemetry record for `user_count` users.
     pub fn new(user_count: usize) -> Self {
+        LoopRecord::with_policy(user_count, RecordPolicy::Full)
+    }
+
+    /// Creates an empty record with an explicit policy.
+    pub fn with_policy(user_count: usize, policy: RecordPolicy) -> Self {
         LoopRecord {
             user_count,
+            steps: 0,
+            policy,
             signals: Vec::new(),
             actions: Vec::new(),
             filtered: Vec::new(),
+            step_action_sums: Vec::new(),
         }
+    }
+
+    /// Pre-allocates room for `steps` more steps, so recording allocates
+    /// at most once up front.
+    pub fn reserve(&mut self, steps: usize) {
+        if self.policy == RecordPolicy::Full {
+            let cells = steps * self.user_count;
+            self.signals.reserve(cells);
+            self.actions.reserve(cells);
+            self.filtered.reserve(cells);
+        }
+        self.step_action_sums.reserve(steps);
     }
 
     /// Appends one step of telemetry.
@@ -35,14 +79,18 @@ impl LoopRecord {
         assert_eq!(signals.len(), self.user_count, "signals length");
         assert_eq!(actions.len(), self.user_count, "actions length");
         assert_eq!(filtered.len(), self.user_count, "filtered length");
-        self.signals.push(signals.to_vec());
-        self.actions.push(actions.to_vec());
-        self.filtered.push(filtered.to_vec());
+        if self.policy == RecordPolicy::Full {
+            self.signals.extend_from_slice(signals);
+            self.actions.extend_from_slice(actions);
+            self.filtered.extend_from_slice(filtered);
+        }
+        self.step_action_sums.push(actions.iter().sum());
+        self.steps += 1;
     }
 
     /// Number of recorded steps.
     pub fn steps(&self) -> usize {
-        self.signals.len()
+        self.steps
     }
 
     /// Number of users.
@@ -50,34 +98,70 @@ impl LoopRecord {
         self.user_count
     }
 
+    /// The record's policy.
+    pub fn policy(&self) -> RecordPolicy {
+        self.policy
+    }
+
+    fn full_slice<'a>(&self, channel: &'a [f64], k: usize, what: &str) -> &'a [f64] {
+        assert_eq!(
+            self.policy,
+            RecordPolicy::Full,
+            "{what}: thin records keep per-step aggregates only"
+        );
+        assert!(k < self.steps, "{what}: step {k} out of {}", self.steps);
+        &channel[k * self.user_count..(k + 1) * self.user_count]
+    }
+
     /// Signals of step `k`.
+    ///
+    /// # Panics
+    /// Panics for [`RecordPolicy::Thin`] records or `k` out of range.
     pub fn signals(&self, k: usize) -> &[f64] {
-        &self.signals[k]
+        self.full_slice(&self.signals, k, "signals")
     }
 
     /// Actions of step `k`.
+    ///
+    /// # Panics
+    /// Panics for [`RecordPolicy::Thin`] records or `k` out of range.
     pub fn actions(&self, k: usize) -> &[f64] {
-        &self.actions[k]
+        self.full_slice(&self.actions, k, "actions")
     }
 
     /// Filtered per-user values of step `k`.
+    ///
+    /// # Panics
+    /// Panics for [`RecordPolicy::Thin`] records or `k` out of range.
     pub fn filtered(&self, k: usize) -> &[f64] {
-        &self.filtered[k]
+        self.full_slice(&self.filtered, k, "filtered")
+    }
+
+    fn user_series(&self, channel: &[f64], i: usize, what: &str) -> Vec<f64> {
+        assert_eq!(
+            self.policy,
+            RecordPolicy::Full,
+            "{what}: thin records keep per-step aggregates only"
+        );
+        assert!(i < self.user_count, "{what}: user {i} out of {}", self.user_count);
+        (0..self.steps)
+            .map(|k| channel[k * self.user_count + i])
+            .collect()
     }
 
     /// The action time series of user `i`.
     pub fn user_actions(&self, i: usize) -> Vec<f64> {
-        self.actions.iter().map(|row| row[i]).collect()
+        self.user_series(&self.actions, i, "user_actions")
     }
 
     /// The signal time series of user `i`.
     pub fn user_signals(&self, i: usize) -> Vec<f64> {
-        self.signals.iter().map(|row| row[i]).collect()
+        self.user_series(&self.signals, i, "user_signals")
     }
 
     /// The filtered time series of user `i` (e.g. `{ADR_i(k)}_k`).
     pub fn user_filtered(&self, i: usize) -> Vec<f64> {
-        self.filtered.iter().map(|row| row[i]).collect()
+        self.user_series(&self.filtered, i, "user_filtered")
     }
 
     /// Cesàro (running-average) trajectory of user `i`'s actions — the
@@ -96,17 +180,90 @@ impl LoopRecord {
             .collect()
     }
 
-    /// Aggregate action `y(k) = Σ_i y_i(k)` per step.
+    /// Aggregate action `y(k) = Σ_i y_i(k)` per step (exact sums).
     pub fn aggregate_actions(&self) -> Vec<f64> {
-        self.actions.iter().map(|row| row.iter().sum()).collect()
+        self.step_action_sums.clone()
     }
 
-    /// Mean action per step.
+    /// Mean action per step (available under every policy).
     pub fn mean_actions(&self) -> Vec<f64> {
-        self.actions
+        let n = self.user_count;
+        self.step_action_sums
             .iter()
-            .map(|row| row.iter().sum::<f64>() / row.len().max(1) as f64)
+            .map(|&s| if n == 0 { 0.0 } else { s / n as f64 })
             .collect()
+    }
+
+    /// Serializes the record to a JSON value (see [`Self::from_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("user_count", self.user_count.to_json()),
+            ("steps", self.steps.to_json()),
+            (
+                "policy",
+                match self.policy {
+                    RecordPolicy::Full => "full",
+                    RecordPolicy::Thin => "thin",
+                }
+                .to_json(),
+            ),
+            ("signals", self.signals.to_json()),
+            ("actions", self.actions.to_json()),
+            ("filtered", self.filtered.to_json()),
+            ("aggregate_actions", self.step_action_sums.to_json()),
+        ])
+    }
+
+    /// Deserializes a record produced by [`Self::to_json`].
+    ///
+    /// Non-finite cells are written as `null` by the JSON layer (JSON has
+    /// no NaN); this reader maps them back to `f64::NAN`, so a record
+    /// containing NaN filter outputs round-trips functionally (note that
+    /// `PartialEq` on such records is still `false`, as NaN != NaN).
+    pub fn from_json(doc: &Json) -> Result<LoopRecord, String> {
+        let field = |name: &str| doc.get(name).ok_or_else(|| format!("missing field {name}"));
+        let vec_field = |name: &str| -> Result<Vec<f64>, String> {
+            field(name)?
+                .as_arr()
+                .ok_or_else(|| format!("field {name} is not an array"))?
+                .iter()
+                .map(|cell| match cell {
+                    Json::Num(x) => Ok(*x),
+                    Json::Null => Ok(f64::NAN),
+                    _ => Err(format!("field {name} holds a non-numeric element")),
+                })
+                .collect()
+        };
+        let user_count = field("user_count")?
+            .as_usize()
+            .ok_or("user_count is not an integer")?;
+        let steps = field("steps")?.as_usize().ok_or("steps is not an integer")?;
+        let policy = match field("policy")?.as_str() {
+            Some("full") => RecordPolicy::Full,
+            Some("thin") => RecordPolicy::Thin,
+            _ => return Err("policy must be \"full\" or \"thin\"".to_string()),
+        };
+        let record = LoopRecord {
+            user_count,
+            steps,
+            policy,
+            signals: vec_field("signals")?,
+            actions: vec_field("actions")?,
+            filtered: vec_field("filtered")?,
+            step_action_sums: vec_field("aggregate_actions")?,
+        };
+        let cells = match policy {
+            RecordPolicy::Full => steps * user_count,
+            RecordPolicy::Thin => 0,
+        };
+        if record.signals.len() != cells
+            || record.actions.len() != cells
+            || record.filtered.len() != cells
+            || record.step_action_sums.len() != steps
+        {
+            return Err("channel lengths inconsistent with steps x user_count".to_string());
+        }
+        Ok(record)
     }
 }
 
@@ -127,6 +284,7 @@ mod tests {
         let r = sample_record();
         assert_eq!(r.steps(), 3);
         assert_eq!(r.user_count(), 2);
+        assert_eq!(r.policy(), RecordPolicy::Full);
         assert_eq!(r.signals(1), &[0.5, 0.5]);
         assert_eq!(r.actions(2), &[1.0, 1.0]);
         assert_eq!(r.filtered(0), &[1.0, 0.0]);
@@ -163,6 +321,65 @@ mod tests {
         assert_eq!(r.steps(), 0);
         assert!(r.final_cesaro().iter().all(|v| v.is_nan()));
         assert!(r.aggregate_actions().is_empty());
+    }
+
+    #[test]
+    fn thin_policy_keeps_aggregates_only() {
+        let mut r = LoopRecord::with_policy(2, RecordPolicy::Thin);
+        r.push_step(&[1.0, 1.0], &[1.0, 0.0], &[1.0, 0.0]);
+        r.push_step(&[1.0, 1.0], &[1.0, 1.0], &[1.0, 0.5]);
+        assert_eq!(r.steps(), 2);
+        assert_eq!(r.mean_actions(), vec![0.5, 1.0]);
+        assert_eq!(r.aggregate_actions(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregates only")]
+    fn thin_policy_rejects_per_user_access() {
+        let mut r = LoopRecord::with_policy(1, RecordPolicy::Thin);
+        r.push_step(&[1.0], &[1.0], &[1.0]);
+        r.signals(0);
+    }
+
+    #[test]
+    fn json_roundtrip_full_and_thin() {
+        let full = sample_record();
+        let mut thin = LoopRecord::with_policy(2, RecordPolicy::Thin);
+        thin.push_step(&[1.0, 0.0], &[1.0, 0.0], &[0.5, 0.5]);
+        for record in [full, thin] {
+            let text = record.to_json().render_pretty();
+            let parsed = eqimpact_stats::json::parse(&text).unwrap();
+            let back = LoopRecord::from_json(&parsed).unwrap();
+            assert_eq!(back, record);
+        }
+    }
+
+    #[test]
+    fn json_roundtrips_nan_cells_via_null() {
+        // Custom filters may emit NaN per-user values (e.g. group
+        // trackers over empty sets); those cells serialize as null and
+        // must come back as NaN.
+        let mut r = LoopRecord::new(1);
+        r.push_step(&[1.0], &[0.5], &[f64::NAN]);
+        let text = r.to_json().render();
+        assert!(text.contains("null"), "text = {text}");
+        let back =
+            LoopRecord::from_json(&eqimpact_stats::json::parse(&text).unwrap()).unwrap();
+        assert!(back.filtered(0)[0].is_nan());
+        assert_eq!(back.actions(0), &[0.5]);
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_lengths() {
+        let mut doc = sample_record().to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "steps" {
+                    *v = Json::Num(99.0);
+                }
+            }
+        }
+        assert!(LoopRecord::from_json(&doc).is_err());
     }
 
     #[test]

@@ -6,10 +6,9 @@
 //! within classes defined by **non-protected** attributes.
 
 use crate::recorder::LoopRecord;
-use serde::{Deserialize, Serialize};
 
 /// Result of an equal-treatment check.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EqualTreatmentReport {
     /// Whether every step broadcast the same signal to every (in-class)
     /// user.

@@ -1,45 +1,102 @@
 //! Multi-trial execution: the paper's protocol of five independent trials,
 //! each with a fresh batch of users, run in parallel with deterministic
 //! per-trial seeds.
+//!
+//! The worker pool is capped at [`std::thread::available_parallelism`]
+//! (trials are striped over the workers), and a panic inside any trial is
+//! re-raised on the caller's thread with the trial index attached.
 
 use crate::recorder::LoopRecord;
 use eqimpact_stats::describe::Summary;
-use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// The records of a set of trials.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialSet {
     /// One record per trial, in trial order.
     pub records: Vec<LoopRecord>,
 }
 
-/// Runs `trials` independent trials in parallel. `factory(trial_index)`
-/// must build and run one complete loop and return its record; it receives
-/// the trial index so it can derive a deterministic seed (the convention
-/// is `base_seed + trial_index`).
+/// Runs `trials` independent trials of any outcome type in parallel, on at
+/// most `available_parallelism()` worker threads. `factory(trial_index)`
+/// must build and run one complete trial; it receives the trial index so
+/// it can derive a deterministic seed (the convention is
+/// `base_seed + trial_index`). Results come back in trial order.
+///
+/// # Panics
+/// Panics when `trials == 0`, and re-raises the lowest-indexed per-trial
+/// panic as `"trial <index> panicked: <message>"`.
+pub fn run_trials_with<T, F>(trials: usize, factory: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(trials > 0, "run_trials_with: zero trials");
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials);
+    let mut outcomes: Vec<Option<T>> = (0..trials).map(|_| None).collect();
+    // Lowest-indexed panic across all workers.
+    let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
+
+    // Stripe the trials over the workers: worker w owns trials w, w + W,
+    // w + 2W, ... — a deterministic partition with no work queue.
+    let stripes: Vec<Vec<(usize, &mut Option<T>)>> = {
+        let mut stripes: Vec<Vec<(usize, &mut Option<T>)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (t, slot) in outcomes.iter_mut().enumerate() {
+            stripes[t % workers].push((t, slot));
+        }
+        stripes
+    };
+
+    std::thread::scope(|scope| {
+        for stripe in stripes {
+            let factory = &factory;
+            let failure = &failure;
+            scope.spawn(move || {
+                for (t, slot) in stripe {
+                    match catch_unwind(AssertUnwindSafe(|| factory(t))) {
+                        Ok(outcome) => *slot = Some(outcome),
+                        Err(payload) => {
+                            let message = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| (*s).to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            let mut failure = failure.lock().unwrap_or_else(|e| e.into_inner());
+                            let is_lowest =
+                                failure.as_ref().map(|&(prev, _)| t < prev).unwrap_or(true);
+                            if is_lowest {
+                                *failure = Some((t, message));
+                            }
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((t, message)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        panic!("trial {t} panicked: {message}");
+    }
+    outcomes
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+/// Runs `trials` independent loop trials in parallel (see
+/// [`run_trials_with`] for the execution model).
 pub fn run_trials<F>(trials: usize, factory: F) -> TrialSet
 where
     F: Fn(usize) -> LoopRecord + Sync,
 {
-    assert!(trials > 0, "run_trials: zero trials");
-    let mut records: Vec<Option<LoopRecord>> = (0..trials).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(trials);
-        for (t, slot) in records.iter_mut().enumerate() {
-            let factory = &factory;
-            handles.push(scope.spawn(move || {
-                *slot = Some(factory(t));
-            }));
-        }
-        for h in handles {
-            h.join().expect("trial thread panicked");
-        }
-    });
     TrialSet {
-        records: records
-            .into_iter()
-            .map(|r| r.expect("every slot filled"))
-            .collect(),
+        records: run_trials_with(trials, factory),
     }
 }
 
@@ -168,6 +225,40 @@ mod tests {
     #[should_panic(expected = "zero trials")]
     fn zero_trials_rejected() {
         run_trials(0, |t| make_record(t, 1));
+    }
+
+    #[test]
+    fn many_more_trials_than_cores_preserve_order() {
+        // Far above any machine's parallelism: exercises the striping.
+        let set = run_trials(64, |t| make_record(t, 3));
+        assert_eq!(set.len(), 64);
+        assert_eq!(set.records[10], make_record(10, 3));
+        assert_eq!(set.records[63], make_record(63, 3));
+    }
+
+    #[test]
+    fn run_trials_with_arbitrary_outcome_type() {
+        let squares = run_trials_with(5, |t| t * t);
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn panics_carry_the_trial_index() {
+        let result = std::panic::catch_unwind(|| {
+            run_trials(8, |t| {
+                if t == 5 {
+                    panic!("boom");
+                }
+                make_record(t, 5)
+            })
+        });
+        let payload = result.expect_err("must propagate the panic");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("string panic message");
+        assert!(message.contains("trial 5 panicked"), "message: {message}");
+        assert!(message.contains("boom"), "message: {message}");
     }
 
     #[test]

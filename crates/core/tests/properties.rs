@@ -1,9 +1,11 @@
 //! Property-based tests for the closed-loop core.
 
 use eqimpact_core::closed_loop::{
-    AiSystem, Feedback, FeedbackFilter, LoopRunner, MeanFilter, UserPopulation,
+    AiSystem, DynLoopRunner, Feedback, FeedbackFilter, LoopBuilder, LoopRunner, MeanFilter,
+    UserPopulation,
 };
 use eqimpact_core::fairness::demographic_parity;
+use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::impact::equal_impact_report;
 use eqimpact_core::recorder::LoopRecord;
 use eqimpact_core::treatment::{classes_by_attribute, equal_treatment_report};
@@ -12,8 +14,19 @@ use proptest::prelude::*;
 
 struct ConstAi(f64);
 impl AiSystem for ConstAi {
-    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
-        vec![self.0; visible.len()]
+    fn signals(&mut self, _k: usize, visible: &FeatureMatrix) -> Vec<f64> {
+        vec![self.0; visible.row_count()]
+    }
+    fn retrain(&mut self, _k: usize, _f: &Feedback) {}
+}
+
+/// Same behaviour as [`ConstAi`] but through the in-place hook, to cross
+/// the two implementation styles in the equivalence test.
+struct ConstAiInPlace(f64);
+impl AiSystem for ConstAiInPlace {
+    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(visible.row_count(), self.0);
     }
     fn retrain(&mut self, _k: usize, _f: &Feedback) {}
 }
@@ -26,8 +39,8 @@ impl UserPopulation for CoinUsers {
     fn user_count(&self) -> usize {
         self.n
     }
-    fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> Vec<Vec<f64>> {
-        vec![vec![]; self.n]
+    fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> FeatureMatrix {
+        FeatureMatrix::zeros(self.n, 0)
     }
     fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
         signals
@@ -45,12 +58,10 @@ proptest! {
         seed in 0u64..100,
         signal in -2.0f64..2.0,
     ) {
-        let mut runner = LoopRunner::new(
-            Box::new(ConstAi(signal)),
-            Box::new(CoinUsers { n, p: 0.4 }),
-            Box::new(MeanFilter::default()),
-            1,
-        );
+        let mut runner = LoopBuilder::new(ConstAi(signal), CoinUsers { n, p: 0.4 })
+            .filter(MeanFilter::default())
+            .delay(1)
+            .build();
         let record = runner.run(steps, &mut SimRng::new(seed));
         prop_assert_eq!(record.steps(), steps);
         prop_assert_eq!(record.user_count(), n);
@@ -68,18 +79,66 @@ proptest! {
         }
     }
 
+    /// The tentpole's contract: the generic (statically dispatched,
+    /// in-place) runner and the fully boxed [`DynLoopRunner`] produce
+    /// **bit-identical** records for the same seed — across both
+    /// implementation styles of the AI block.
+    #[test]
+    fn generic_and_dyn_runners_bit_identical(
+        n in 1usize..20,
+        steps in 1usize..30,
+        delay in 0usize..4,
+        seed in 0u64..100,
+        signal in -2.0f64..2.0,
+    ) {
+        let mut generic = LoopBuilder::new(ConstAiInPlace(signal), CoinUsers { n, p: 0.4 })
+            .filter(MeanFilter::default())
+            .delay(delay)
+            .build();
+        let mut boxed: DynLoopRunner = LoopRunner::new(
+            Box::new(ConstAi(signal)),
+            Box::new(CoinUsers { n, p: 0.4 }),
+            Box::new(MeanFilter::default()),
+            delay,
+        );
+        let a = generic.run(steps, &mut SimRng::new(seed));
+        let b = boxed.run(steps, &mut SimRng::new(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feature_matrix_roundtrips_nested(
+        rows in prop::collection::vec(prop::collection::vec(-10.0f64..10.0, 3), 0..12),
+    ) {
+        let m = FeatureMatrix::from_nested(&rows);
+        prop_assert_eq!(m.row_count(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(m.row(i), &row[..]);
+        }
+        prop_assert_eq!(m.to_nested(), rows);
+    }
+
+    #[test]
+    fn feature_matrix_fill_from_is_copy(
+        a in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 2), 1..8),
+        b in prop::collection::vec(prop::collection::vec(-1.0f64..1.0, 4), 1..8),
+    ) {
+        let src = FeatureMatrix::from_nested(&a);
+        let mut dst = FeatureMatrix::from_nested(&b);
+        dst.fill_from(&src);
+        prop_assert_eq!(dst, src);
+    }
+
     #[test]
     fn constant_signals_always_pass_treatment_signal_check(
         n in 2usize..15,
         steps in 1usize..20,
         seed in 0u64..50,
     ) {
-        let mut runner = LoopRunner::new(
-            Box::new(ConstAi(0.7)),
-            Box::new(CoinUsers { n, p: 0.5 }),
-            Box::new(MeanFilter::default()),
-            0,
-        );
+        let mut runner = LoopBuilder::new(ConstAi(0.7), CoinUsers { n, p: 0.5 })
+            .filter(MeanFilter::default())
+            .delay(0)
+            .build();
         let record = runner.run(steps, &mut SimRng::new(seed));
         let report = equal_treatment_report(&record, 1e-9);
         prop_assert!(report.same_signal);
@@ -92,12 +151,10 @@ proptest! {
         steps in 5usize..40,
         seed in 0u64..50,
     ) {
-        let mut runner = LoopRunner::new(
-            Box::new(ConstAi(1.0)),
-            Box::new(CoinUsers { n, p: 0.3 }),
-            Box::new(MeanFilter::default()),
-            0,
-        );
+        let mut runner = LoopBuilder::new(ConstAi(1.0), CoinUsers { n, p: 0.3 })
+            .filter(MeanFilter::default())
+            .delay(0)
+            .build();
         let record = runner.run(steps, &mut SimRng::new(seed));
         let report = equal_impact_report(&record, 0.5, 1.0);
         for &l in &report.limits {
@@ -124,12 +181,10 @@ proptest! {
         seed in 0u64..50,
     ) {
         let n = 8;
-        let mut runner = LoopRunner::new(
-            Box::new(ConstAi(1.0)),
-            Box::new(CoinUsers { n, p: 0.5 }),
-            Box::new(MeanFilter::default()),
-            0,
-        );
+        let mut runner = LoopBuilder::new(ConstAi(1.0), CoinUsers { n, p: 0.5 })
+            .filter(MeanFilter::default())
+            .delay(0)
+            .build();
         let record = runner.run(steps, &mut SimRng::new(seed));
         let groups = vec![vec![0, 1, 2], vec![3, 4], vec![5, 6, 7]];
         let report = demographic_parity(&record, &groups, 0.5);
@@ -143,7 +198,7 @@ proptest! {
     #[test]
     fn mean_filter_per_user_matches_cesaro(values in prop::collection::vec(0.0f64..1.0, 1..25)) {
         let mut f = MeanFilter::default();
-        let visible = vec![vec![]];
+        let visible = FeatureMatrix::zeros(1, 0);
         let mut last = f64::NAN;
         for (k, &v) in values.iter().enumerate() {
             let fb = f.apply(k, &visible, &[1.0], &[v]);
@@ -154,7 +209,7 @@ proptest! {
     }
 
     #[test]
-    fn record_serde_roundtrip(
+    fn record_json_roundtrip(
         n in 1usize..6,
         steps in 0usize..10,
         seed in 0u64..20,
@@ -167,8 +222,8 @@ proptest! {
             let f: Vec<f64> = (0..n).map(|_| rng.uniform()).collect();
             record.push_step(&s, &a, &f);
         }
-        let json = serde_json::to_string(&record).unwrap();
-        let back: LoopRecord = serde_json::from_str(&json).unwrap();
+        let text = record.to_json().render();
+        let back = LoopRecord::from_json(&eqimpact_stats::json::parse(&text).unwrap()).unwrap();
         prop_assert_eq!(back, record);
     }
 }

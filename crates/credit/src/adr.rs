@@ -9,10 +9,10 @@
 //! 2002-2003 before any scorecard exists).
 
 use eqimpact_core::closed_loop::{Feedback, FeedbackFilter};
-use serde::{Deserialize, Serialize};
+use eqimpact_core::features::FeatureMatrix;
 
 /// Per-user running default statistics.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AdrTracker {
     offers: Vec<u64>,
     defaults: Vec<u64>,
@@ -65,6 +65,12 @@ impl AdrTracker {
         (0..self.offers.len()).map(|i| self.adr(i)).collect()
     }
 
+    /// Writes the full per-user ADR vector into `out` (cleared first).
+    pub fn adr_all_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.offers.len()).map(|i| self.adr(i)));
+    }
+
     /// `ADR_s(k)`: mean individual ADR over a set of user indices (eq.
     /// (12)'s race-wise version). `NaN` for an empty set.
     pub fn adr_group(&self, members: &[usize]) -> f64 {
@@ -106,20 +112,22 @@ impl AdrFilter {
 }
 
 impl FeedbackFilter for AdrFilter {
-    fn apply(
+    fn apply_into(
         &mut self,
         k: usize,
-        visible: &[Vec<f64>],
+        visible: &FeatureMatrix,
         signals: &[f64],
         actions: &[f64],
-    ) -> Feedback {
+        out: &mut Feedback,
+    ) {
         let tracker = self
             .tracker
             .get_or_insert_with(|| AdrTracker::new(actions.len()));
         tracker.record(signals, actions);
-        let per_user = tracker.adr_all();
         let offered = signals.iter().filter(|&&l| l > 0.0).count();
-        let aggregate = if offered == 0 {
+        out.step = k;
+        tracker.adr_all_into(&mut out.per_user);
+        out.aggregate = if offered == 0 {
             0.0
         } else {
             signals
@@ -130,14 +138,11 @@ impl FeedbackFilter for AdrFilter {
                 .sum::<f64>()
                 / offered as f64
         };
-        Feedback {
-            step: k,
-            per_user,
-            aggregate,
-            visible: visible.to_vec(),
-            signals: signals.to_vec(),
-            actions: actions.to_vec(),
-        }
+        out.visible.fill_from(visible);
+        out.signals.clear();
+        out.signals.extend_from_slice(signals);
+        out.actions.clear();
+        out.actions.extend_from_slice(actions);
     }
 }
 
@@ -178,7 +183,7 @@ mod tests {
     fn filter_emits_adr_per_user() {
         let mut f = AdrFilter::new();
         assert!(f.tracker().is_none());
-        let visible = vec![vec![1.0], vec![0.0]];
+        let visible = FeatureMatrix::from_nested(&[vec![1.0], vec![0.0]]);
         let fb = f.apply(0, &visible, &[100.0, 100.0], &[1.0, 0.0]);
         assert_eq!(fb.per_user, vec![0.0, 1.0]);
         assert_eq!(fb.aggregate, 0.5);
@@ -195,7 +200,7 @@ mod tests {
     #[test]
     fn filter_aggregate_with_no_offers() {
         let mut f = AdrFilter::new();
-        let fb = f.apply(0, &[vec![]], &[0.0], &[0.0]);
+        let fb = f.apply(0, &FeatureMatrix::zeros(1, 0), &[0.0], &[0.0]);
         assert_eq!(fb.aggregate, 0.0);
         assert_eq!(fb.per_user, vec![0.0]);
     }

@@ -17,6 +17,7 @@
 
 use crate::model;
 use eqimpact_core::closed_loop::{AiSystem, Feedback};
+use eqimpact_core::features::FeatureMatrix;
 use eqimpact_ml::logistic::{LogisticModel, LogisticRegression};
 use eqimpact_ml::scorecard::Scorecard;
 
@@ -38,8 +39,8 @@ pub struct ScorecardLender {
     fitter: LogisticRegression,
     /// `ADR_i(k−1)` as known to the lender (from the last feedback).
     prev_adr: Vec<f64>,
-    /// Accumulated training rows `(adr_prev, income_code)`.
-    train_rows: Vec<Vec<f64>>,
+    /// Accumulated training rows `(adr_prev, income_code)`, stored flat.
+    train_rows: FeatureMatrix,
     /// Accumulated labels `y_i(j)` (offered users only).
     train_labels: Vec<f64>,
     /// The current model, if fitted.
@@ -62,7 +63,7 @@ impl ScorecardLender {
             multiple,
             fitter: LogisticRegression::default(),
             prev_adr: Vec::new(),
-            train_rows: Vec::new(),
+            train_rows: FeatureMatrix::new(2),
             train_labels: Vec::new(),
             model: None,
             refits: 0,
@@ -93,32 +94,29 @@ impl ScorecardLender {
 }
 
 impl AiSystem for ScorecardLender {
-    fn signals(&mut self, k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
-        if self.prev_adr.len() != visible.len() {
-            self.prev_adr = vec![0.0; visible.len()];
+    fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        if self.prev_adr.len() != visible.row_count() {
+            self.prev_adr = vec![0.0; visible.row_count()];
         }
-        visible
-            .iter()
-            .enumerate()
-            .map(|(i, v)| {
-                let loan = self.multiple * v[VISIBLE_INCOME_K];
-                if k < self.warmup_steps {
-                    return loan;
-                }
-                match &self.model {
-                    None => loan, // no scorecard yet: keep approving
-                    Some(m) => {
-                        let features = [self.prev_adr[i], v[VISIBLE_INCOME_CODE]];
-                        let score = m.linear_score(&features);
-                        if score >= self.cutoff {
-                            loan
-                        } else {
-                            0.0
-                        }
+        out.clear();
+        out.extend(visible.rows().enumerate().map(|(i, v)| {
+            let loan = self.multiple * v[VISIBLE_INCOME_K];
+            if k < self.warmup_steps {
+                return loan;
+            }
+            match &self.model {
+                None => loan, // no scorecard yet: keep approving
+                Some(m) => {
+                    let features = [self.prev_adr[i], v[VISIBLE_INCOME_CODE]];
+                    let score = m.linear_score(&features);
+                    if score >= self.cutoff {
+                        loan
+                    } else {
+                        0.0
                     }
                 }
-            })
-            .collect()
+            }
+        }));
     }
 
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
@@ -129,20 +127,24 @@ impl AiSystem for ScorecardLender {
         }
         for i in 0..feedback.actions.len() {
             if feedback.signals[i] > 0.0 {
-                self.train_rows.push(vec![
+                self.train_rows.push_row(&[
                     self.prev_adr[i],
-                    feedback.visible[i][VISIBLE_INCOME_CODE],
+                    feedback.visible.row(i)[VISIBLE_INCOME_CODE],
                 ]);
                 self.train_labels.push(feedback.actions[i]);
             }
         }
         // The filter's per-user output is ADR_i up to the feedback step —
         // which is exactly ADR_i(k−1) at the next decision.
-        self.prev_adr = feedback.per_user.clone();
+        self.prev_adr.clone_from(&feedback.per_user);
 
         if !self.train_labels.is_empty() {
-            let data = eqimpact_ml::Dataset::new(&self.train_rows, &self.train_labels)
-                .expect("rows built consistently");
+            let data = eqimpact_ml::Dataset::from_flat(
+                self.train_rows.width(),
+                self.train_rows.as_slice(),
+                &self.train_labels,
+            )
+            .expect("rows built consistently");
             if let Ok(model) = self.fitter.fit(&data) {
                 self.model = Some(model);
                 self.refits += 1;
@@ -186,14 +188,16 @@ impl UniformExclusionLender {
 }
 
 impl AiSystem for UniformExclusionLender {
-    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
-        if self.defaulted.len() != visible.len() {
-            self.defaulted = vec![false; visible.len()];
+    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        if self.defaulted.len() != visible.row_count() {
+            self.defaulted = vec![false; visible.row_count()];
         }
-        self.defaulted
-            .iter()
-            .map(|&d| if d { 0.0 } else { self.amount_k })
-            .collect()
+        out.clear();
+        out.extend(
+            self.defaulted
+                .iter()
+                .map(|&d| if d { 0.0 } else { self.amount_k }),
+        );
     }
 
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
@@ -224,11 +228,13 @@ impl IncomeMultipleLender {
 }
 
 impl AiSystem for IncomeMultipleLender {
-    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
-        visible
-            .iter()
-            .map(|v| self.multiple * v[VISIBLE_INCOME_K])
-            .collect()
+    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            visible
+                .rows()
+                .map(|v| self.multiple * v[VISIBLE_INCOME_K]),
+        );
     }
 
     fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
@@ -242,10 +248,15 @@ mod tests {
         vec![model::income_code(income), income]
     }
 
+    fn visible_matrix(incomes: &[f64]) -> FeatureMatrix {
+        let rows: Vec<Vec<f64>> = incomes.iter().map(|&i| visible_row(i)).collect();
+        FeatureMatrix::from_nested(&rows)
+    }
+
     #[test]
     fn scorecard_lender_warmup_approves_everyone() {
         let mut lender = ScorecardLender::paper_default();
-        let visible = vec![visible_row(8.0), visible_row(60.0)];
+        let visible = visible_matrix(&[8.0, 60.0]);
         let signals = lender.signals(0, &visible);
         assert_eq!(signals, vec![28.0, 210.0]);
         let signals1 = lender.signals(1, &visible);
@@ -261,10 +272,11 @@ mod tests {
         // Feed it a synthetic history where low-code users default and
         // high-code users repay, plus ADR contrast.
         let n = 400;
-        let visible: Vec<Vec<f64>> = (0..n)
-            .map(|i| visible_row(if i % 2 == 0 { 10.0 } else { 60.0 }))
+        let incomes: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 60.0 })
             .collect();
-        let signals: Vec<f64> = visible.iter().map(|v| 3.5 * v[VISIBLE_INCOME_K]).collect();
+        let visible = visible_matrix(&incomes);
+        let signals: Vec<f64> = visible.rows().map(|v| 3.5 * v[VISIBLE_INCOME_K]).collect();
         let actions: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
         let per_user: Vec<f64> = actions.iter().map(|&y| 1.0 - y).collect();
         let feedback = Feedback {
@@ -295,7 +307,7 @@ mod tests {
     #[test]
     fn uniform_lender_excludes_after_default() {
         let mut lender = UniformExclusionLender::paper_default();
-        let visible = vec![visible_row(12.0), visible_row(80.0)];
+        let visible = visible_matrix(&[12.0, 80.0]);
         let s0 = lender.signals(0, &visible);
         assert_eq!(s0, vec![50.0, 50.0]);
         // User 0 defaults.
@@ -327,7 +339,7 @@ mod tests {
     #[test]
     fn income_multiple_lender_always_approves() {
         let mut lender = IncomeMultipleLender::new(3.0);
-        let visible = vec![visible_row(10.0), visible_row(100.0)];
+        let visible = visible_matrix(&[10.0, 100.0]);
         assert_eq!(lender.signals(0, &visible), vec![30.0, 300.0]);
         // Retrain is a no-op.
         let feedback = Feedback {

@@ -5,11 +5,10 @@ use crate::sim::CreditOutcome;
 use eqimpact_census::{IncomeTable, Race, BRACKETS};
 use eqimpact_stats::describe::Summary;
 use eqimpact_stats::hist::Histogram2D;
-use serde::{Deserialize, Serialize};
 
 /// Fig. 3 data: per race, the cross-trial mean and ±1 standard deviation
 /// of `{ADR_s(k)}` per step.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RaceAdrSummary {
     /// The race.
     pub race: String,

@@ -4,14 +4,14 @@ use crate::adr::AdrFilter;
 use crate::lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLender};
 use crate::users::CreditPopulation;
 use eqimpact_census::Race;
-use eqimpact_core::closed_loop::LoopRunner;
+use eqimpact_core::closed_loop::{AiSystem, LoopBuilder};
 use eqimpact_core::recorder::LoopRecord;
+use eqimpact_core::trials::run_trials_with;
 use eqimpact_ml::scorecard::Scorecard;
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Which lender drives the loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LenderKind {
     /// The paper's retrained scorecard (Sec. VII).
     Scorecard,
@@ -22,7 +22,7 @@ pub enum LenderKind {
 }
 
 /// Configuration of a credit-scoring experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CreditConfig {
     /// Number of households (the paper's N = 1000).
     pub users: usize,
@@ -102,8 +102,28 @@ impl CreditOutcome {
     }
 }
 
+/// Runs one lender through the loop with static dispatch, returning the
+/// record and the lender for post-run inspection.
+fn run_lender<S: AiSystem>(
+    lender: S,
+    population: CreditPopulation,
+    config: &CreditConfig,
+    loop_rng: &mut SimRng,
+) -> (LoopRecord, S) {
+    let mut runner = LoopBuilder::new(lender, population)
+        .filter(AdrFilter::new())
+        .delay(config.delay)
+        .build();
+    let record = runner.run(config.steps, loop_rng);
+    let (lender, _population, _filter) = runner.into_parts();
+    (record, lender)
+}
+
 /// Runs one trial of the configured experiment. Deterministic in
 /// `(config, trial_index)`.
+///
+/// The loop is statically dispatched per lender kind — no boxing on the
+/// hot path.
 pub fn run_trial(config: &CreditConfig, trial_index: usize) -> CreditOutcome {
     assert!(config.users > 0, "run_trial: zero users");
     assert!(config.steps > 0, "run_trial: zero steps");
@@ -114,27 +134,35 @@ pub fn run_trial(config: &CreditConfig, trial_index: usize) -> CreditOutcome {
     let population = CreditPopulation::generate(config.users, &mut pop_rng);
     let races = population.races();
 
-    let ai: Box<dyn eqimpact_core::closed_loop::AiSystem> = match config.lender {
-        LenderKind::Scorecard => Box::new(ScorecardLender::paper_default()),
-        LenderKind::UniformExclusion => Box::new(UniformExclusionLender::paper_default()),
+    let (record, scorecard) = match config.lender {
+        LenderKind::Scorecard => {
+            let (record, lender) = run_lender(
+                ScorecardLender::paper_default(),
+                population,
+                config,
+                &mut loop_rng,
+            );
+            (record, lender.scorecard())
+        }
+        LenderKind::UniformExclusion => {
+            let (record, _lender) = run_lender(
+                UniformExclusionLender::paper_default(),
+                population,
+                config,
+                &mut loop_rng,
+            );
+            (record, None)
+        }
         LenderKind::IncomeMultiple => {
-            Box::new(IncomeMultipleLender::new(crate::model::INCOME_MULTIPLE))
+            let (record, _lender) = run_lender(
+                IncomeMultipleLender::new(crate::model::INCOME_MULTIPLE),
+                population,
+                config,
+                &mut loop_rng,
+            );
+            (record, None)
         }
     };
-
-    let mut runner = LoopRunner::new(
-        ai,
-        Box::new(population),
-        Box::new(AdrFilter::new()),
-        config.delay,
-    );
-    let record = runner.run(config.steps, &mut loop_rng);
-
-    let scorecard = runner
-        .ai()
-        .as_any()
-        .and_then(|any| any.downcast_ref::<ScorecardLender>())
-        .and_then(|lender| lender.scorecard());
 
     CreditOutcome {
         record,
@@ -144,25 +172,12 @@ pub fn run_trial(config: &CreditConfig, trial_index: usize) -> CreditOutcome {
 }
 
 /// Runs the full multi-trial protocol in parallel (the paper's five trials
-/// with a fresh batch of users each).
+/// with a fresh batch of users each), striped over at most
+/// `available_parallelism()` threads by
+/// [`eqimpact_core::trials::run_trials_with`].
 pub fn run_trials_protocol(config: &CreditConfig) -> Vec<CreditOutcome> {
     assert!(config.trials > 0, "run_trials_protocol: zero trials");
-    let mut outcomes: Vec<Option<CreditOutcome>> = (0..config.trials).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(config.trials);
-        for (t, slot) in outcomes.iter_mut().enumerate() {
-            handles.push(scope.spawn(move || {
-                *slot = Some(run_trial(config, t));
-            }));
-        }
-        for h in handles {
-            h.join().expect("trial thread panicked");
-        }
-    });
-    outcomes
-        .into_iter()
-        .map(|o| o.expect("every slot filled"))
-        .collect()
+    run_trials_with(config.trials, |t| run_trial(config, t))
 }
 
 #[cfg(test)]

@@ -5,7 +5,11 @@ use crate::lender::{VISIBLE_INCOME_CODE, VISIBLE_INCOME_K};
 use crate::model;
 use eqimpact_census::{IncomeTable, Population, Race, FIRST_YEAR, LAST_YEAR};
 use eqimpact_core::closed_loop::UserPopulation;
+use eqimpact_core::features::FeatureMatrix;
 use eqimpact_stats::SimRng;
+
+/// Width of the visible feature rows: `[income_code, income]`.
+pub const VISIBLE_WIDTH: usize = 2;
 
 /// The Sec. VII population: `N` households whose incomes are resampled
 /// every year from the census tables (clamped at the table's last year for
@@ -56,7 +60,7 @@ impl UserPopulation for CreditPopulation {
         self.population.len()
     }
 
-    fn observe(&mut self, k: usize, rng: &mut SimRng) -> Vec<Vec<f64>> {
+    fn observe_into(&mut self, k: usize, rng: &mut SimRng, out: &mut FeatureMatrix) {
         let year = self.year_of_step(k);
         // Step 0 keeps the generation-time incomes; later steps resample
         // from that year's distribution (the paper's yearly `z_i(k)`).
@@ -65,26 +69,24 @@ impl UserPopulation for CreditPopulation {
                 .resample_incomes(&self.table, year, rng)
                 .expect("year clamped into range");
         }
-        self.population
-            .households()
-            .iter()
-            .map(|h| {
-                let mut row = vec![0.0; 2];
-                row[VISIBLE_INCOME_CODE] = model::income_code(h.income);
-                row[VISIBLE_INCOME_K] = h.income;
-                row
-            })
-            .collect()
+        out.reshape(self.population.len(), VISIBLE_WIDTH);
+        for (i, h) in self.population.households().iter().enumerate() {
+            let row = out.row_mut(i);
+            row[VISIBLE_INCOME_CODE] = model::income_code(h.income);
+            row[VISIBLE_INCOME_K] = h.income;
+        }
     }
 
-    fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
+    fn respond_into(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
         assert_eq!(signals.len(), self.population.len(), "signals length");
-        self.population
-            .households()
-            .iter()
-            .zip(signals)
-            .map(|(h, &loan)| model::sample_repayment(h.income, loan, rng))
-            .collect()
+        out.clear();
+        out.extend(
+            self.population
+                .households()
+                .iter()
+                .zip(signals)
+                .map(|(h, &loan)| model::sample_repayment(h.income, loan, rng)),
+        );
     }
 }
 
@@ -117,9 +119,9 @@ mod tests {
         let mut rng = SimRng::new(3);
         let mut pop = CreditPopulation::generate(50, &mut rng);
         let visible = pop.observe(0, &mut rng);
-        assert_eq!(visible.len(), 50);
-        for row in &visible {
-            assert_eq!(row.len(), 2);
+        assert_eq!(visible.row_count(), 50);
+        assert_eq!(visible.width(), VISIBLE_WIDTH);
+        for row in visible.rows() {
             let code = row[VISIBLE_INCOME_CODE];
             let income = row[VISIBLE_INCOME_K];
             assert_eq!(code, model::income_code(income));
@@ -134,8 +136,8 @@ mod tests {
         let v0 = pop.observe(0, &mut rng);
         let v1 = pop.observe(1, &mut rng);
         let changed = v0
-            .iter()
-            .zip(&v1)
+            .rows()
+            .zip(v1.rows())
             .filter(|(a, b)| a[VISIBLE_INCOME_K] != b[VISIBLE_INCOME_K])
             .count();
         assert!(changed > 95, "only {changed} incomes changed");
@@ -152,7 +154,7 @@ mod tests {
         assert!(actions.iter().all(|&y| y == 0.0));
         // Generous incomes with the paper's sizing mostly repay.
         let loans: Vec<f64> = visible
-            .iter()
+            .rows()
             .map(|v| model::income_multiple_loan(v[VISIBLE_INCOME_K]))
             .collect();
         let actions = pop.respond(0, &loans, &mut rng);

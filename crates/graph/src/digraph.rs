@@ -1,7 +1,6 @@
 //! Directed multigraph with adjacency-list storage.
 
 use eqimpact_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a node (vertex) — a dense index in `0..node_count`.
 pub type NodeId = usize;
@@ -14,7 +13,7 @@ pub type EdgeId = usize;
 /// Vertices are dense indices; parallel edges and self-loops are allowed,
 /// matching the *multi*graph of a Markov system where several maps `w_e`
 /// can share the same initial and terminal vertex.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiGraph {
     /// `out[u]` lists `(edge_id, v)` for every edge `u -> v`.
     out: Vec<Vec<(EdgeId, NodeId)>>,

@@ -3,14 +3,13 @@
 use crate::error::LinalgError;
 use crate::vector::Vector;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
 /// A dense, row-major matrix of `f64` values.
 ///
 /// Indexing is `m[(row, col)]`. Like [`Vector`], operator impls panic on
 /// dimension mismatch while `checked_*` methods return errors.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

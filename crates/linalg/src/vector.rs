@@ -2,7 +2,6 @@
 
 use crate::error::LinalgError;
 use crate::Result;
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 
 /// A dense, heap-allocated vector of `f64` values.
@@ -10,7 +9,7 @@ use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
 /// All arithmetic between two vectors requires identical lengths; the
 /// operator impls panic on mismatch (consistent with indexing), while the
 /// checked methods (`checked_add`, `dot`, ...) return [`LinalgError`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Vector {
     data: Vec<f64>,
 }

@@ -15,10 +15,9 @@
 use crate::system::MarkovSystem;
 use eqimpact_linalg::norm::MetricKind;
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Result of a contractivity estimation sweep.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContractivityReport {
     /// Estimated contraction factor: the max over sampled same-cell pairs
     /// of `Σ_e p_e(x) d(w_e(x), w_e(y)) / d(x, y)`.

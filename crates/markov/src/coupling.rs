@@ -9,10 +9,9 @@
 use crate::system::MarkovSystem;
 use eqimpact_linalg::norm::MetricKind;
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Trace of a coupling experiment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CouplingTrace {
     /// Distance `d(x_k, y_k)` per step, including step 0.
     pub distances: Vec<f64>,

@@ -18,10 +18,9 @@ use crate::system::MarkovSystem;
 use eqimpact_linalg::norm::MetricKind;
 use eqimpact_stats::timeseries::cesaro_trajectory;
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Structural verdict on ergodicity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ErgodicityVerdict {
     /// Irreducible + aperiodic + contractive: unique attractive invariant
     /// measure; equal impact achievable.
@@ -35,8 +34,21 @@ pub enum ErgodicityVerdict {
     NotIrreducible,
 }
 
+impl eqimpact_stats::ToJson for ErgodicityVerdict {
+    fn to_json(&self) -> eqimpact_stats::Json {
+        eqimpact_stats::Json::Str(
+            match self {
+                ErgodicityVerdict::UniquelyErgodic => "uniquely_ergodic",
+                ErgodicityVerdict::InvariantMeasureExists => "invariant_measure_exists",
+                ErgodicityVerdict::NotIrreducible => "not_irreducible",
+            }
+            .to_string(),
+        )
+    }
+}
+
 /// Full report of the structural + numerical analysis.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UniqueErgodicityReport {
     /// The verdict.
     pub verdict: ErgodicityVerdict,
@@ -108,7 +120,7 @@ pub fn elton_average(
 }
 
 /// Result of the empirical equal-impact test.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EqualImpactTest {
     /// Final Cesàro average per initial condition.
     pub limits: Vec<f64>,

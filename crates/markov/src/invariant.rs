@@ -17,7 +17,6 @@ use eqimpact_graph::DiGraph;
 use eqimpact_linalg::{LinalgError, Matrix, Vector};
 use eqimpact_stats::converge::wasserstein1;
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A finite-state Markov chain with a row-stochastic transition matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -192,7 +191,7 @@ impl FiniteChain {
 }
 
 /// Result of iterating `P*` on a particle cloud.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct InvariantMeasureEstimate {
     /// First-coordinate samples of the final particle cloud (a proxy for
     /// the invariant measure's marginal).

@@ -16,11 +16,10 @@
 use crate::system::{MarkovSystem, MarkovSystemError};
 use eqimpact_linalg::power::spectral_radius;
 use eqimpact_linalg::{Matrix, Vector};
-use serde::{Deserialize, Serialize};
 
 /// One mode of a switched affine system: `x ↦ A x + b` with probability
 /// weight `p`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AffineMode {
     /// The linear part `A`.
     pub a: Matrix,

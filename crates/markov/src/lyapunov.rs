@@ -10,10 +10,9 @@
 
 use eqimpact_linalg::{Matrix, Vector};
 use eqimpact_stats::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Result of a Lyapunov-exponent estimation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LyapunovEstimate {
     /// The estimated top exponent (natural log per step).
     pub exponent: f64,

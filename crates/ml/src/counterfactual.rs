@@ -9,10 +9,9 @@
 //! (per unit of normalized effort) first.
 
 use crate::scorecard::{CreditDecision, Scorecard};
-use serde::{Deserialize, Serialize};
 
 /// Per-feature counterfactual constraints.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FeatureBounds {
     /// Smallest admissible value (e.g. an ADR cannot go below 0).
     pub min: f64,
@@ -49,7 +48,7 @@ impl FeatureBounds {
 }
 
 /// One feature change in a counterfactual.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureChange {
     /// Feature index.
     pub feature: usize,
@@ -63,7 +62,7 @@ pub struct FeatureChange {
 
 /// A counterfactual explanation: the minimal-effort feature changes that
 /// flip the decision to approval.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Counterfactual {
     /// The changes, in application order (cheapest effort first).
     pub changes: Vec<FeatureChange>,

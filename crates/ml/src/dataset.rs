@@ -1,7 +1,6 @@
 //! Labeled design matrices.
 
 use eqimpact_linalg::{Matrix, Vector};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Errors from dataset construction.
@@ -54,7 +53,7 @@ impl std::error::Error for DatasetError {}
 
 /// A binary-labeled dataset: feature matrix `X` (no intercept column — the
 /// model adds it) plus labels `y ∈ {0, 1}`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     x: Matrix,
     y: Vector,
@@ -73,14 +72,49 @@ impl Dataset {
             });
         }
         let width = rows[0].len();
-        for (i, r) in rows.iter().enumerate() {
-            if r.len() != width {
-                return Err(DatasetError::RaggedRows);
-            }
-            for (j, &v) in r.iter().enumerate() {
-                if !v.is_finite() {
-                    return Err(DatasetError::NonFiniteFeature { row: i, col: j });
-                }
+        if rows.iter().any(|r| r.len() != width) {
+            return Err(DatasetError::RaggedRows);
+        }
+        let mut flat = Vec::with_capacity(rows.len() * width);
+        for r in rows {
+            flat.extend_from_slice(r);
+        }
+        Self::from_flat_buffer(width, flat, labels)
+    }
+
+    /// Builds a dataset from an already-flat row-major feature buffer of
+    /// `labels.len()` rows by `width` columns (one copy of `flat`, no
+    /// nested-row traversal) — for callers that keep their features flat,
+    /// e.g. `eqimpact_core::features::FeatureMatrix::as_slice`.
+    pub fn from_flat(width: usize, flat: &[f64], labels: &[f64]) -> Result<Self, DatasetError> {
+        Self::from_flat_buffer(width, flat.to_vec(), labels)
+    }
+
+    /// All cell and label validation lives here; both public constructors
+    /// delegate to it, and the buffer they pass in becomes the design
+    /// matrix storage directly (no second copy past this point).
+    fn from_flat_buffer(
+        width: usize,
+        flat: Vec<f64>,
+        labels: &[f64],
+    ) -> Result<Self, DatasetError> {
+        if labels.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        if flat.len() != labels.len() * width {
+            return Err(DatasetError::LengthMismatch {
+                rows: flat.len() / width.max(1),
+                labels: labels.len(),
+            });
+        }
+        // When width == 0 the length check above forces `flat` empty, so
+        // the divisions below never see a zero width.
+        for (cell, &v) in flat.iter().enumerate() {
+            if !v.is_finite() {
+                return Err(DatasetError::NonFiniteFeature {
+                    row: cell / width,
+                    col: cell % width,
+                });
             }
         }
         for (i, &l) in labels.iter().enumerate() {
@@ -88,12 +122,9 @@ impl Dataset {
                 return Err(DatasetError::NonBinaryLabel { index: i });
             }
         }
-        let mut flat = Vec::with_capacity(rows.len() * width);
-        for r in rows {
-            flat.extend_from_slice(r);
-        }
         Ok(Dataset {
-            x: Matrix::from_vec(rows.len(), width, flat).expect("consistent by construction"),
+            x: Matrix::from_vec(labels.len(), width, flat)
+                .expect("consistent by construction"),
             y: Vector::from_slice(labels),
         })
     }

@@ -9,7 +9,6 @@
 use crate::dataset::Dataset;
 use eqimpact_linalg::cholesky::solve_spd_with_ridge;
 use eqimpact_linalg::{Matrix, Vector};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Training-time failures.
@@ -51,7 +50,7 @@ pub fn sigmoid(t: f64) -> f64 {
 }
 
 /// Hyper-parameters of the logistic fitter.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LogisticRegression {
     /// L2 ridge strength `λ ≥ 0` (applied to all coefficients including
     /// the intercept; keeps the MLE finite under separation).
@@ -79,7 +78,7 @@ impl Default for LogisticRegression {
 const MAX_STEP_INF_NORM: f64 = 2.0;
 
 /// A fitted logistic model: intercept plus one coefficient per feature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LogisticModel {
     /// Intercept `β₀`.
     pub intercept: f64,

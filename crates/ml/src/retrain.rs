@@ -9,11 +9,10 @@
 
 use crate::dataset::{Dataset, DatasetError};
 use crate::logistic::{LogisticModel, LogisticRegression, TrainError};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// How the pipeline keeps its corpus.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RetentionPolicy {
     /// Keep everything ever observed (the paper's accumulating filter).
     KeepAll,

@@ -16,10 +16,9 @@
 //! `-8.17 × 0.1 + 5.77 = 4.953`, above the cut-off 0.4 ⇒ approved.
 
 use crate::logistic::LogisticModel;
-use serde::{Deserialize, Serialize};
 
 /// The lender's binary decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CreditDecision {
     /// Credit approved (`π(k, i) = 1`).
     Approved,
@@ -38,7 +37,7 @@ impl CreditDecision {
 }
 
 /// One scorecard row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScorecardRow {
     /// Factor name (e.g. "History", "Income").
     pub factor: String,
@@ -47,7 +46,7 @@ pub struct ScorecardRow {
 }
 
 /// A linear scorecard with a decision cut-off.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scorecard {
     /// Base points (the model intercept, often folded into the cut-off).
     pub base_points: f64,

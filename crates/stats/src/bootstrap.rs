@@ -6,10 +6,9 @@
 //! poor assumption near the 0 boundary).
 
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// A two-sided percentile confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ConfidenceInterval {
     /// Lower percentile bound.
     pub lo: f64,

@@ -1,12 +1,11 @@
 //! Descriptive statistics.
 
-use serde::{Deserialize, Serialize};
 
 /// A one-pass summary of a sample: count, mean, variance, extremes.
 ///
 /// Uses Welford's online algorithm, so it is numerically stable and can be
 /// updated incrementally while a simulation runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Summary {
     count: u64,
     mean: f64,

@@ -7,7 +7,6 @@
 //! uses Acklam's rational approximation polished with one Halley step.
 
 use crate::rng::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Common sampling interface for scalar distributions.
 pub trait Sample {
@@ -176,7 +175,7 @@ pub fn std_normal_quantile(p: f64) -> f64 {
 }
 
 /// A normal distribution `N(mean, sd²)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Normal {
     mean: f64,
     sd: f64,
@@ -237,7 +236,7 @@ impl Sample for Normal {
 // ---------------------------------------------------------------------------
 
 /// A Bernoulli distribution over `{0.0, 1.0}`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Bernoulli {
     p: f64,
 }
@@ -288,7 +287,7 @@ impl Sample for Bernoulli {
 // ---------------------------------------------------------------------------
 
 /// A continuous uniform distribution on `[lo, hi)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Uniform {
     lo: f64,
     hi: f64,
@@ -334,7 +333,7 @@ impl Sample for Uniform {
 // ---------------------------------------------------------------------------
 
 /// A categorical distribution over indices `0..k` with given probabilities.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Categorical {
     /// Normalized probabilities.
     probs: Vec<f64>,
@@ -417,7 +416,7 @@ impl Sample for Categorical {
 ///
 /// Supports the exact empirical CDF and bootstrap resampling. Used to
 /// compare a trajectory's empirical law against the invariant measure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Empirical {
     /// Sorted observations.
     sorted: Vec<f64>,

@@ -1,11 +1,10 @@
 //! Histograms: 1-D for marginal laws, 2-D for the (time x value) density of
 //! the paper's Fig. 5.
 
-use serde::{Deserialize, Serialize};
 
 /// A fixed-width 1-D histogram over `[lo, hi)` with values outside the
 /// range clamped into the boundary bins.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram1D {
     lo: f64,
     hi: f64,
@@ -144,7 +143,7 @@ impl Histogram1D {
 ///
 /// This is the density structure behind the paper's Fig. 5, where darker
 /// shades denote a higher density of `ADR_i(k)` at each time step.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram2D {
     x_len: usize,
     y_lo: f64,

@@ -13,7 +13,9 @@
 //! * [`hist`] — 1-D and 2-D histograms (Fig. 5's density panel);
 //! * [`converge`] — Kolmogorov-Smirnov and total-variation diagnostics used
 //!   to verify weak convergence to the invariant measure;
-//! * [`kde`] — Gaussian kernel density estimates for smooth density plots.
+//! * [`kde`] — Gaussian kernel density estimates for smooth density plots;
+//! * [`json`] — a self-contained JSON value/writer/parser, the workspace's
+//!   serialization layer (the build is offline; no serde).
 
 #![warn(missing_docs)]
 
@@ -22,6 +24,7 @@ pub mod converge;
 pub mod describe;
 pub mod dist;
 pub mod hist;
+pub mod json;
 pub mod kde;
 pub mod plot;
 pub mod rng;
@@ -32,5 +35,6 @@ pub use converge::{kolmogorov_smirnov, total_variation_histogram, wasserstein1};
 pub use describe::Summary;
 pub use dist::{Bernoulli, Categorical, Empirical, Normal, Uniform};
 pub use hist::{Histogram1D, Histogram2D};
+pub use json::{Json, ToJson};
 pub use rng::SimRng;
 pub use timeseries::CesaroAverage;

@@ -4,27 +4,53 @@
 //! derive their streams by [`SimRng::split`] so that (seed, trial, user)
 //! fully determines every sample, independent of scheduling order.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded random stream for simulations.
 ///
-/// Thin wrapper over [`StdRng`] adding deterministic *splitting*: a child
-/// stream derived from a parent seed and a label is statistically
-/// independent of its siblings but fully reproducible.
+/// Self-contained xoshiro256++ generator (seeded through a SplitMix64
+/// expansion, so any `u64` seed gives a well-mixed state) with
+/// deterministic *splitting*: a child stream derived from a parent seed
+/// and a label is statistically independent of its siblings but fully
+/// reproducible.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Creates a stream from a seed.
     pub fn new(seed: u64) -> Self {
+        // SplitMix64 expansion of the seed into the 256-bit state, per the
+        // xoshiro authors' recommendation; the output can never be all
+        // zeros because SplitMix64 is a bijection evaluated at four
+        // distinct points.
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         SimRng {
             seed,
-            inner: StdRng::seed_from_u64(seed),
+            state: [next(), next(), next(), next()],
         }
+    }
+
+    /// Next raw 64-bit sample (xoshiro256++).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// The seed this stream was created from.
@@ -44,7 +70,8 @@ impl SimRng {
 
     /// Uniform sample in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 mantissa bits, as in the standard 2^-53 construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform sample in `[lo, hi)`.
@@ -71,14 +98,17 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: empty range");
-        self.inner.gen_range(0..n)
+        // Multiply-shift range reduction (Lemire); the bias for any n that
+        // fits in a usize is far below the resolution of the tests.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
-    /// Standard normal sample (Box-Muller via `rand`'s uniform source).
+    /// Standard normal sample (Box-Muller).
     pub fn standard_normal(&mut self) -> f64 {
-        // Box-Muller transform; the log argument is bounded away from 0.
-        let u1: f64 = self.inner.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.inner.gen();
+        // Box-Muller transform; u1 is drawn from (0, 1] so the log
+        // argument is bounded away from 0.
+        let u1 = ((self.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+        let u2 = self.uniform();
         (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
     }
 
@@ -116,7 +146,7 @@ impl SimRng {
     /// Fisher-Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
     }

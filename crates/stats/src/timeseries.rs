@@ -6,10 +6,9 @@
 //! sequence has settled, and [`Ewma`] provides the exponentially weighted
 //! alternative used by some filters.
 
-use serde::{Deserialize, Serialize};
 
 /// Online Cesàro average `(1/(k+1)) Σ_{j=0}^k y(j)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CesaroAverage {
     sum: f64,
     count: u64,
@@ -59,7 +58,7 @@ pub fn cesaro_trajectory(values: &[f64]) -> Vec<f64> {
 }
 
 /// Exponentially weighted moving average with smoothing factor `alpha`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,
@@ -113,7 +112,7 @@ pub fn has_settled(values: &[f64], window: usize, tolerance: f64) -> bool {
 }
 
 /// Online convergence detector over a sliding window.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ConvergenceDetector {
     window: usize,
     tolerance: f64,

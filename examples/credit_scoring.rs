@@ -3,7 +3,7 @@
 //! repayment, yearly scorecard retraining, five trials, 2002-2020.
 //!
 //! ```text
-//! cargo run --release -p eqimpact-bench --example credit_scoring
+//! cargo run --release --example credit_scoring
 //! ```
 
 use eqimpact_census::Race;
@@ -12,7 +12,7 @@ use eqimpact_credit::sim::{run_trials_protocol, CreditConfig, LenderKind};
 
 fn main() {
     // The paper's protocol at a laptop-friendly N (use 1000 for the full
-    // reproduction; see `cargo run -p eqimpact-bench --bin experiments`).
+    // reproduction; see `cargo run --release -p eqimpact-bench --bin experiments`).
     let config = CreditConfig {
         users: 500,
         steps: 19,

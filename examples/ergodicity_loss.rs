@@ -5,7 +5,7 @@
 //! the loop uniquely ergodic.
 //!
 //! ```text
-//! cargo run --release -p eqimpact-bench --example ergodicity_loss
+//! cargo run --release --example ergodicity_loss
 //! ```
 
 use eqimpact_control::controller::{IController, PController};

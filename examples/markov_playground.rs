@@ -3,7 +3,7 @@
 //! estimate invariant measures, and watch coupling do its work.
 //!
 //! ```text
-//! cargo run --release -p eqimpact-bench --example markov_playground
+//! cargo run --release --example markov_playground
 //! ```
 
 use eqimpact_linalg::norm::MetricKind;

@@ -3,12 +3,12 @@
 //! (Def. 3).
 //!
 //! ```text
-//! cargo run --release -p eqimpact-bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
-use eqimpact_core::closed_loop::{
-    AiSystem, Feedback, LoopRunner, MeanFilter, UserPopulation,
-};
+use eqimpact_core::closed_loop::{AiSystem, Feedback, LoopBuilder, MeanFilter, UserPopulation};
+use eqimpact_core::features::FeatureMatrix;
+use eqimpact_core::recorder::RecordPolicy;
 use eqimpact_core::impact::equal_impact_report;
 use eqimpact_core::treatment::equal_treatment_report;
 use eqimpact_stats::SimRng;
@@ -21,9 +21,10 @@ struct NudgingBroadcaster {
 }
 
 impl AiSystem for NudgingBroadcaster {
-    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
+    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
         // Same information to every user: the heart of equal treatment.
-        vec![self.level; visible.len()]
+        out.clear();
+        out.resize(visible.row_count(), self.level);
     }
 
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
@@ -44,35 +45,37 @@ impl UserPopulation for StochasticUsers {
         self.n
     }
 
-    fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> Vec<Vec<f64>> {
-        vec![vec![]; self.n]
+    fn observe_into(&mut self, _k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
+        out.reshape(self.n, 0);
     }
 
-    fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
-        signals
-            .iter()
-            .map(|&s| {
-                let p = 0.1 + 0.8 * s.clamp(0.0, 1.0);
-                if rng.bernoulli(p) {
-                    1.0
-                } else {
-                    0.0
-                }
-            })
-            .collect()
+    fn respond_into(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(signals.iter().map(|&s| {
+            let p = 0.1 + 0.8 * s.clamp(0.0, 1.0);
+            if rng.bernoulli(p) {
+                1.0
+            } else {
+                0.0
+            }
+        }));
     }
 }
 
 fn main() {
-    let mut runner = LoopRunner::new(
-        Box::new(NudgingBroadcaster {
+    // Statically dispatched, allocation-free loop via the builder; the
+    // blocks above implement the in-place hooks.
+    let mut runner = LoopBuilder::new(
+        NudgingBroadcaster {
             level: 0.9,
             target: 0.45,
-        }),
-        Box::new(StochasticUsers { n: 200 }),
-        Box::new(MeanFilter::default()),
-        1, // the paper's feedback delay
-    );
+        },
+        StochasticUsers { n: 200 },
+    )
+    .filter(MeanFilter::default())
+    .delay(1) // the paper's feedback delay
+    .record(RecordPolicy::Full)
+    .build();
 
     let mut rng = SimRng::new(42);
     let record = runner.run(4_000, &mut rng);

@@ -5,7 +5,7 @@
 //! for denied applicants.
 //!
 //! ```text
-//! cargo run --release -p eqimpact-bench --example regulation_audit
+//! cargo run --release --example regulation_audit
 //! ```
 
 use eqimpact_census::Race;

@@ -2,8 +2,9 @@
 //! crates (core + control filters + ml models + stats diagnostics).
 
 use eqimpact_core::closed_loop::{
-    AiSystem, Feedback, FeedbackFilter, LoopRunner, MeanFilter, UserPopulation,
+    AiSystem, Feedback, FeedbackFilter, LoopBuilder, LoopRunner, MeanFilter, UserPopulation,
 };
+use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::impact::{
     conditioned_equal_impact_report, equal_impact_report, group_limits,
 };
@@ -21,8 +22,11 @@ impl UserPopulation for TwoClassUsers {
     fn user_count(&self) -> usize {
         self.classes.len()
     }
-    fn observe(&mut self, _k: usize, _rng: &mut SimRng) -> Vec<Vec<f64>> {
-        self.classes.iter().map(|&c| vec![c as f64]).collect()
+    fn observe_into(&mut self, _k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
+        out.reshape(self.classes.len(), 1);
+        for (i, &c) in self.classes.iter().enumerate() {
+            out.row_mut(i)[0] = c as f64;
+        }
     }
     fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {
         self.classes
@@ -45,20 +49,18 @@ impl UserPopulation for TwoClassUsers {
 struct ConstantAi(f64);
 
 impl AiSystem for ConstantAi {
-    fn signals(&mut self, _k: usize, visible: &[Vec<f64>]) -> Vec<f64> {
-        vec![self.0; visible.len()]
+    fn signals(&mut self, _k: usize, visible: &FeatureMatrix) -> Vec<f64> {
+        vec![self.0; visible.row_count()]
     }
     fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
 }
 
 fn two_class_record(seed: u64, steps: usize) -> eqimpact_core::recorder::LoopRecord {
     let classes: Vec<u32> = (0..60).map(|i| (i % 2) as u32).collect();
-    let mut runner = LoopRunner::new(
-        Box::new(ConstantAi(1.0)),
-        Box::new(TwoClassUsers { classes }),
-        Box::new(MeanFilter::default()),
-        1,
-    );
+    let mut runner = LoopBuilder::new(ConstantAi(1.0), TwoClassUsers { classes })
+        .filter(MeanFilter::default())
+        .delay(1)
+        .build();
     runner.run(steps, &mut SimRng::new(seed))
 }
 
@@ -110,7 +112,7 @@ impl FeedbackFilter for RobustAggregateFilter {
     fn apply(
         &mut self,
         k: usize,
-        visible: &[Vec<f64>],
+        visible: &FeatureMatrix,
         signals: &[f64],
         actions: &[f64],
     ) -> Feedback {
@@ -121,7 +123,7 @@ impl FeedbackFilter for RobustAggregateFilter {
             step: k,
             per_user: actions.to_vec(),
             aggregate: filtered,
-            visible: visible.to_vec(),
+            visible: visible.clone(),
             signals: signals.to_vec(),
             actions: actions.to_vec(),
         }
@@ -131,14 +133,12 @@ impl FeedbackFilter for RobustAggregateFilter {
 #[test]
 fn control_filter_integrates_with_loop() {
     let classes: Vec<u32> = vec![1; 40];
-    let mut runner = LoopRunner::new(
-        Box::new(ConstantAi(1.0)),
-        Box::new(TwoClassUsers { classes }),
-        Box::new(RobustAggregateFilter {
+    let mut runner = LoopBuilder::new(ConstantAi(1.0), TwoClassUsers { classes })
+        .filter(RobustAggregateFilter {
             inner: eqimpact_control::filter::AnomalyRejectingFilter::new(3.0, 10),
-        }),
-        0,
-    );
+        })
+        .delay(0)
+        .build();
     let record = runner.run(500, &mut SimRng::new(5));
     assert_eq!(record.steps(), 500);
     // Class-1 users respond at 0.6 on average.
@@ -154,11 +154,11 @@ fn delayed_and_undelayed_loops_agree_in_distribution() {
     let classes: Vec<u32> = (0..10).map(|i| (i % 2) as u32).collect();
     let build = |delay: usize| {
         let mut runner = LoopRunner::new(
-            Box::new(ConstantAi(1.0)),
-            Box::new(TwoClassUsers {
+            ConstantAi(1.0),
+            TwoClassUsers {
                 classes: classes.clone(),
-            }),
-            Box::new(MeanFilter::default()),
+            },
+            MeanFilter::default(),
             delay,
         );
         runner.run(100, &mut SimRng::new(9))
