@@ -1,6 +1,12 @@
-//! P1-P4: performance microbenchmarks of the building blocks (not paper
-//! artifacts): loop step throughput, IRLS fitting, Markov operator
-//! application, and invariant-measure estimation.
+//! P0-P5: performance microbenchmarks of the building blocks (not paper
+//! artifacts): loop step throughput, intra-trial sharding speedup, IRLS
+//! fitting, Markov operator application, and invariant-measure
+//! estimation.
+//!
+//! The sharding bench (P5) additionally writes `BENCH_shard.json` (path
+//! overridable via `BENCH_SHARD_OUT`) with the measured wall-clock per
+//! shard count at the 100k-user x 50-step scale, so the speedup is
+//! recorded, not asserted.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eqimpact_core::closed_loop::{
@@ -9,6 +15,10 @@ use eqimpact_core::closed_loop::{
 };
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::recorder::RecordPolicy;
+use eqimpact_core::shard::{
+    auto_shards, full_rows, shard_bounds, PopulationShard, RowStreams, RowsMut, RowsView,
+    ShardableAi, ShardablePopulation,
+};
 use eqimpact_credit::sim::{run_trial, CreditConfig, LenderKind};
 use eqimpact_markov::ifs::{affine1d, Ifs};
 use eqimpact_markov::invariant::estimate_invariant_measure;
@@ -16,6 +26,8 @@ use eqimpact_markov::operator::{markov_operator_apply, ParticleMeasure};
 use eqimpact_ml::logistic::{sigmoid, LogisticRegression};
 use eqimpact_ml::Dataset;
 use eqimpact_stats::SimRng;
+use std::ops::Range;
+use std::time::Instant;
 
 /// Synthetic AI block implementing the in-place hook (zero allocation).
 struct ThresholdAi;
@@ -71,11 +83,13 @@ impl UserPopulation for SyntheticUsers {
     }
     fn respond_into(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(
-            signals
-                .iter()
-                .map(|&s| if rng.bernoulli(0.2 + 0.6 * s) { 1.0 } else { 0.0 }),
-        );
+        out.extend(signals.iter().map(|&s| {
+            if rng.bernoulli(0.2 + 0.6 * s) {
+                1.0
+            } else {
+                0.0
+            }
+        }));
     }
 }
 
@@ -155,21 +169,230 @@ fn bench_loop_api(c: &mut Criterion) {
     group.finish();
 }
 
+/// Shard-invariant synthetic population for the sharding bench: the
+/// per-user work (an index-keyed stream, a resample-like draw, a
+/// Bernoulli response) mirrors the credit population's per-household
+/// cost, so the measured scaling is representative.
+struct ShardSynthUsers {
+    n: usize,
+}
+
+struct ShardSynthShard {
+    rows: Range<usize>,
+}
+
+fn synth_observe(k: usize, streams: &RowStreams, mut out: RowsMut<'_>) {
+    for i in out.rows() {
+        let mut rng = streams.for_row(i);
+        let income = 10.0 + 40.0 * rng.uniform() + rng.standard_normal().abs();
+        let row = out.row_mut(i);
+        row[0] = if income >= 15.0 { 1.0 } else { 0.0 };
+        row[1] = income + 0.001 * k as f64;
+    }
+}
+
+fn synth_respond(rows: Range<usize>, signals: &[f64], streams: &RowStreams, out: &mut [f64]) {
+    for (j, i) in rows.enumerate() {
+        let mut rng = streams.for_row(i);
+        let p = (0.1 + 0.015 * signals[j]).clamp(0.0, 1.0);
+        out[j] = if rng.bernoulli(p) { 1.0 } else { 0.0 };
+    }
+}
+
+impl UserPopulation for ShardSynthUsers {
+    fn user_count(&self) -> usize {
+        self.n
+    }
+    fn observe_into(
+        &mut self,
+        k: usize,
+        rng: &mut eqimpact_stats::SimRng,
+        out: &mut FeatureMatrix,
+    ) {
+        out.reshape(self.n, 2);
+        let streams = RowStreams::observe(rng, k);
+        synth_observe(k, &streams, RowsMut::new(out.as_mut_slice(), 2, 0..self.n));
+    }
+    fn respond_into(
+        &mut self,
+        k: usize,
+        signals: &[f64],
+        rng: &mut eqimpact_stats::SimRng,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.resize(self.n, 0.0);
+        let streams = RowStreams::respond(rng, k);
+        synth_respond(0..self.n, signals, &streams, out);
+    }
+}
+
+impl ShardablePopulation for ShardSynthUsers {
+    type Shard = ShardSynthShard;
+    fn feature_width(&self) -> usize {
+        2
+    }
+    fn into_row_shards(self, parts: usize) -> Vec<ShardSynthShard> {
+        shard_bounds(self.n, parts)
+            .into_iter()
+            .map(|rows| ShardSynthShard { rows })
+            .collect()
+    }
+    fn from_row_shards(shards: Vec<ShardSynthShard>) -> Self {
+        ShardSynthUsers {
+            n: shards.last().map(|s| s.rows.end).unwrap_or(0),
+        }
+    }
+}
+
+impl PopulationShard for ShardSynthShard {
+    fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+        synth_observe(k, streams, out);
+    }
+    fn respond_rows(&mut self, _k: usize, signals: &[f64], streams: &RowStreams, out: &mut [f64]) {
+        synth_respond(self.rows.clone(), signals, streams, out);
+    }
+}
+
+/// Income-multiple-style lender with per-row signals (cheap retrain, so
+/// the parallel sweep dominates, as in a production serving loop).
+struct ShardThresholdAi;
+
+impl AiSystem for ShardThresholdAi {
+    fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(visible.row_count(), 0.0);
+        self.signals_rows(k, full_rows(visible), out);
+    }
+    fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
+}
+
+impl ShardableAi for ShardThresholdAi {
+    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
+        for (j, i) in visible.rows().enumerate() {
+            let row = visible.row(i);
+            out[j] = if row[0] > 0.5 { 3.5 * row[1] } else { 0.0 };
+        }
+    }
+}
+
+fn time_sharded_run(users: usize, steps: usize, shards: usize, reps: usize) -> Vec<f64> {
+    (0..reps)
+        .map(|_| {
+            let mut runner = LoopBuilder::new(ShardThresholdAi, ShardSynthUsers { n: users })
+                .filter(MeanFilter::default())
+                .delay(1)
+                .record(RecordPolicy::Thin)
+                .shards(shards)
+                .build_sharded();
+            let start = Instant::now();
+            let record = runner.run(steps, &mut eqimpact_stats::SimRng::new(7));
+            let elapsed = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(record.steps(), steps);
+            elapsed
+        })
+        .collect()
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// P5: intra-trial sharding at the 100k-user scale. Self-timed (one full
+/// run per sample) and exported to `BENCH_shard.json`.
+fn bench_sharded_loop(_c: &mut Criterion) {
+    use eqimpact_stats::json::{Json, ToJson};
+
+    let quick = criterion::is_quick();
+    let (users, steps) = (100_000usize, 50usize);
+    let reps = if quick { 2 } else { 3 };
+    let cores = auto_shards();
+    let mut shard_counts: Vec<usize> = if quick {
+        vec![1, cores]
+    } else {
+        vec![1, 2, 4, 8, cores]
+    };
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+
+    println!("\n-- group: perf/sharded_loop ({users} users x {steps} steps, {cores} cores) --");
+
+    // Sequential LoopRunner reference (the pre-sharding hot path).
+    let mut baseline: Vec<f64> = (0..reps)
+        .map(|_| {
+            let mut runner = LoopBuilder::new(ShardThresholdAi, ShardSynthUsers { n: users })
+                .filter(MeanFilter::default())
+                .delay(1)
+                .record(RecordPolicy::Thin)
+                .build();
+            let start = Instant::now();
+            runner.run(steps, &mut eqimpact_stats::SimRng::new(7));
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    let baseline_ms = median(&mut baseline);
+    println!("perf/sharded_loop/loop_runner_sequential           median {baseline_ms:>10.2} ms");
+
+    let mut single_shard_ms = f64::NAN;
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        let mut samples = time_sharded_run(users, steps, shards, reps);
+        let ms = median(&mut samples);
+        if shards == 1 {
+            single_shard_ms = ms;
+        }
+        let speedup = single_shard_ms / ms;
+        println!(
+            "perf/sharded_loop/shards={shards:<3}                        median {ms:>10.2} ms  speedup x{speedup:.2}"
+        );
+        rows.push(Json::obj([
+            ("shards", shards.to_json()),
+            ("median_ms", ms.to_json()),
+            ("speedup_vs_1_shard", speedup.to_json()),
+        ]));
+    }
+
+    let doc = Json::obj([
+        ("users", users.to_json()),
+        ("steps", steps.to_json()),
+        ("record_policy", "thin".to_json()),
+        ("reps", reps.to_json()),
+        ("cores", cores.to_json()),
+        ("loop_runner_sequential_ms", baseline_ms.to_json()),
+        ("sharded", Json::Arr(rows)),
+    ]);
+    // Default to the workspace root (cargo bench runs with the package
+    // root as cwd), so CI uploads and repo diffs see one canonical path.
+    let path = std::env::var("BENCH_SHARD_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_shard.json").to_string()
+    });
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_shard.json");
+    println!("perf/sharded_loop: wrote {path}");
+}
+
 fn bench_loop_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf/credit_loop");
     group.sample_size(10);
     for &users in &[100usize, 500, 1000] {
-        group.bench_with_input(BenchmarkId::new("full_run_19_steps", users), &users, |b, &n| {
-            let config = CreditConfig {
-                users: n,
-                steps: 19,
-                trials: 1,
-                seed: 1,
-                lender: LenderKind::Scorecard,
-                delay: 1,
-            };
-            b.iter(|| run_trial(&config, 0));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("full_run_19_steps", users),
+            &users,
+            |b, &n| {
+                let config = CreditConfig {
+                    users: n,
+                    steps: 19,
+                    trials: 1,
+                    seed: 1,
+                    lender: LenderKind::Scorecard,
+                    ..Default::default()
+                };
+                b.iter(|| run_trial(&config, 0));
+            },
+        );
     }
     group.finish();
 }
@@ -248,6 +471,7 @@ fn bench_invariant_measure(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_loop_api,
+    bench_sharded_loop,
     bench_loop_step,
     bench_irls,
     bench_markov_operator,

@@ -5,15 +5,19 @@
 //! ```
 //!
 //! `ARTIFACT` is any of `table1 fig2 fig3 fig4 fig5 ablate-policy
-//! ablate-integral ablate-markov ablate-delay ablate-filter`; with none
-//! given, everything runs.
+//! ablate-integral ablate-markov ablate-delay ablate-filter perf-shard`;
+//! with none given, everything runs. `--shards N` sets the intra-trial
+//! shard count of the credit-loop artifacts (`0` = auto, one per core;
+//! results are bit-identical for every value — it is a pure perf knob)
+//! and of the `perf-shard` speedup measurement, which runs the 100k-user
+//! production scale (20k under `--quick`).
 //! Results are written as CSV/JSON under `--out` (default `results/`) and
 //! summarized on stdout.
 
 use eqimpact_bench::*;
-use eqimpact_stats::ToJson;
 use eqimpact_census::FIRST_YEAR;
 use eqimpact_credit::report;
+use eqimpact_stats::ToJson;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -21,15 +25,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
+    let mut shards = 1usize;
     let mut wanted: BTreeSet<String> = BTreeSet::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => {
-                out_dir = PathBuf::from(
-                    iter.next().expect("--out requires a directory argument"),
-                );
+                out_dir = PathBuf::from(iter.next().expect("--out requires a directory argument"));
+            }
+            "--shards" => {
+                shards = iter
+                    .next()
+                    .expect("--shards requires a count (0 = auto)")
+                    .parse()
+                    .expect("--shards requires an integer");
             }
             other => {
                 let name = other.trim_start_matches("--").to_string();
@@ -43,8 +53,13 @@ fn main() {
 
     std::fs::create_dir_all(&out_dir).expect("create output directory");
     println!(
-        "eqimpact experiments — scale: {:?}, output: {}",
+        "eqimpact experiments — scale: {:?}, shards: {}, output: {}",
         scale,
+        if shards == 0 {
+            "auto".to_string()
+        } else {
+            shards.to_string()
+        },
         out_dir.display()
     );
 
@@ -55,7 +70,14 @@ fn main() {
         run_fig2(&out_dir);
     }
     if want("fig3") || want("fig4") || want("fig5") {
-        run_credit_figures(scale, &out_dir, want("fig3"), want("fig4"), want("fig5"));
+        run_credit_figures(
+            scale,
+            &out_dir,
+            shards,
+            want("fig3"),
+            want("fig4"),
+            want("fig5"),
+        );
     }
     if want("ablate-policy") {
         run_ablate_policy(scale, &out_dir);
@@ -71,6 +93,9 @@ fn main() {
     }
     if want("ablate-filter") {
         run_ablate_filter(scale, &out_dir);
+    }
+    if want("perf-shard") {
+        run_perf_shard(scale, &out_dir, shards);
     }
     println!("done.");
 }
@@ -98,7 +123,10 @@ fn run_table1(scale: Scale, out: &Path) {
 fn run_fig2(out: &Path) {
     println!("\n== F2: Fig. 2 — 2020 income distribution by race ==");
     let rows = fig2_rows();
-    println!("  {:<10} {:>7} {:>7} {:>7}", "bracket", "black", "white", "asian");
+    println!(
+        "  {:<10} {:>7} {:>7} {:>7}",
+        "bracket", "black", "white", "asian"
+    );
     for (label, shares) in &rows {
         println!(
             "  {:<10} {:>6.1}% {:>6.1}% {:>6.1}%",
@@ -108,12 +136,15 @@ fn run_fig2(out: &Path) {
             shares[2] * 100.0
         );
     }
-    write(&out.join("fig2_income_distribution.csv"), &report::fig2_csv(&rows));
+    write(
+        &out.join("fig2_income_distribution.csv"),
+        &report::fig2_csv(&rows),
+    );
 }
 
-fn run_credit_figures(scale: Scale, out: &Path, f3: bool, f4: bool, f5: bool) {
+fn run_credit_figures(scale: Scale, out: &Path, shards: usize, f3: bool, f4: bool, f5: bool) {
     println!("\n== F3/F4/F5: running the credit closed loop ==");
-    let outcomes = credit_outcomes(scale);
+    let outcomes = credit_outcomes_with(scale, shards);
     if f3 {
         let series = fig3_series(&outcomes);
         println!("  Fig. 3 — final race-wise ADR (mean ± std across trials):");
@@ -135,12 +166,18 @@ fn run_credit_figures(scale: Scale, out: &Path, f3: bool, f4: bool, f5: bool) {
         for line in chart.render().lines() {
             println!("    {line}");
         }
-        write(&out.join("fig3_race_adr.csv"), &report::fig3_csv(&series, FIRST_YEAR));
+        write(
+            &out.join("fig3_race_adr.csv"),
+            &report::fig3_csv(&series, FIRST_YEAR),
+        );
     }
     if f4 {
         let series = fig4_series(&outcomes);
         println!("  Fig. 4 — {} user ADR trajectories recorded", series.len());
-        write(&out.join("fig4_user_adr.csv"), &report::fig4_csv(&series, FIRST_YEAR));
+        write(
+            &out.join("fig4_user_adr.csv"),
+            &report::fig4_csv(&series, FIRST_YEAR),
+        );
     }
     if f5 {
         let hist = fig5_histogram(&outcomes);
@@ -148,8 +185,22 @@ fn run_credit_figures(scale: Scale, out: &Path, f3: bool, f4: bool, f5: bool) {
         for line in hist.to_ascii().lines() {
             println!("    |{line}|");
         }
-        write(&out.join("fig5_adr_density.csv"), &report::fig5_csv(&hist, FIRST_YEAR));
+        write(
+            &out.join("fig5_adr_density.csv"),
+            &report::fig5_csv(&hist, FIRST_YEAR),
+        );
     }
+}
+
+fn run_perf_shard(scale: Scale, out: &Path, shards: usize) {
+    println!("\n== P-SH: intra-trial sharding speedup (production credit scale) ==");
+    let r = perf_shard(scale, shards);
+    println!(
+        "  {} users x {} steps on {} cores:\n    sequential (1 shard): {:>9.2} ms\n    sharded ({:>2} shards): {:>9.2} ms  speedup x{:.2}",
+        r.users, r.steps, r.cores, r.sequential_ms, r.shards, r.sharded_ms, r.speedup
+    );
+    let json = r.to_json().render_pretty();
+    write(&out.join("perf_shard.json"), &json);
 }
 
 fn run_ablate_policy(scale: Scale, out: &Path) {
@@ -181,9 +232,17 @@ fn run_ablate_policy(scale: Scale, out: &Path) {
     // Year-by-year access series under the uniform policy (the exclusion
     // dynamics of the introduction, as CSV).
     let config = eqimpact_credit::sim::CreditConfig {
-        steps: if matches!(scale, Scale::Quick) { 30 } else { 60 },
+        steps: if matches!(scale, Scale::Quick) {
+            30
+        } else {
+            60
+        },
         trials: 1,
-        users: if matches!(scale, Scale::Quick) { 200 } else { 1000 },
+        users: if matches!(scale, Scale::Quick) {
+            200
+        } else {
+            1000
+        },
         lender: eqimpact_credit::sim::LenderKind::UniformExclusion,
         ..Default::default()
     };

@@ -1,6 +1,5 @@
 //! The nine income brackets of Table A-2 / the paper's Fig. 2.
 
-
 /// Number of income brackets.
 pub const BRACKET_COUNT: usize = 9;
 
@@ -21,15 +20,51 @@ pub struct IncomeBracket {
 /// ~$21K repays a 3.5x-income mortgage with near-certainty — see
 /// `eqimpact-credit`).
 pub const BRACKETS: [IncomeBracket; BRACKET_COUNT] = [
-    IncomeBracket { lo: 1.0, hi: 15.0, label: "under 15" },
-    IncomeBracket { lo: 15.0, hi: 25.0, label: "15-25" },
-    IncomeBracket { lo: 25.0, hi: 35.0, label: "25-35" },
-    IncomeBracket { lo: 35.0, hi: 50.0, label: "35-50" },
-    IncomeBracket { lo: 50.0, hi: 75.0, label: "50-75" },
-    IncomeBracket { lo: 75.0, hi: 100.0, label: "75-100" },
-    IncomeBracket { lo: 100.0, hi: 150.0, label: "100-150" },
-    IncomeBracket { lo: 150.0, hi: 200.0, label: "150-200" },
-    IncomeBracket { lo: 200.0, hi: 500.0, label: "over 200" },
+    IncomeBracket {
+        lo: 1.0,
+        hi: 15.0,
+        label: "under 15",
+    },
+    IncomeBracket {
+        lo: 15.0,
+        hi: 25.0,
+        label: "15-25",
+    },
+    IncomeBracket {
+        lo: 25.0,
+        hi: 35.0,
+        label: "25-35",
+    },
+    IncomeBracket {
+        lo: 35.0,
+        hi: 50.0,
+        label: "35-50",
+    },
+    IncomeBracket {
+        lo: 50.0,
+        hi: 75.0,
+        label: "50-75",
+    },
+    IncomeBracket {
+        lo: 75.0,
+        hi: 100.0,
+        label: "75-100",
+    },
+    IncomeBracket {
+        lo: 100.0,
+        hi: 150.0,
+        label: "100-150",
+    },
+    IncomeBracket {
+        lo: 150.0,
+        hi: 200.0,
+        label: "150-200",
+    },
+    IncomeBracket {
+        lo: 200.0,
+        hi: 500.0,
+        label: "over 200",
+    },
 ];
 
 impl IncomeBracket {
@@ -62,7 +97,11 @@ mod tests {
     #[test]
     fn brackets_are_contiguous_and_ordered() {
         for w in BRACKETS.windows(2) {
-            assert_eq!(w[0].hi, w[1].lo, "gap between {} and {}", w[0].label, w[1].label);
+            assert_eq!(
+                w[0].hi, w[1].lo,
+                "gap between {} and {}",
+                w[0].label, w[1].label
+            );
             assert!(w[0].lo < w[0].hi);
         }
         assert_eq!(BRACKETS.len(), BRACKET_COUNT);

@@ -54,6 +54,18 @@ impl Population {
         Ok(Population { households })
     }
 
+    /// Wraps an existing household list (e.g. reassembled from row
+    /// shards). Households keep whatever ids they carry.
+    pub fn from_households(households: Vec<Household>) -> Self {
+        Population { households }
+    }
+
+    /// Decomposes the population into its household list (e.g. to
+    /// partition it into row shards).
+    pub fn into_households(self) -> Vec<Household> {
+        self.households
+    }
+
     /// Number of households.
     pub fn len(&self) -> usize {
         self.households.len()

@@ -84,7 +84,7 @@ const SHARES_2002: [[f64; BRACKET_COUNT]; 3] = [
     // under15 15-25 25-35 35-50 50-75 75-100 100-150 150-200 over200
     [21.0, 14.0, 13.0, 15.0, 17.0, 9.0, 8.0, 2.0, 1.0], // Black
     [10.0, 11.0, 11.0, 15.0, 19.0, 12.0, 13.0, 5.0, 4.0], // White
-    [10.0, 8.0, 8.0, 11.0, 17.0, 13.0, 17.0, 8.0, 8.0],  // Asian
+    [10.0, 8.0, 8.0, 11.0, 17.0, 13.0, 17.0, 8.0, 8.0], // Asian
 ];
 
 /// Anchor distribution for 2020, matching the shape of the paper's Fig. 2:
@@ -157,12 +157,7 @@ impl IncomeTable {
     /// Share of households with income at least `threshold` ($K), counting
     /// a partially covered bracket proportionally (incomes are
     /// bracket-uniform under our sampling).
-    pub fn share_at_least(
-        &self,
-        year: u32,
-        race: Race,
-        threshold: f64,
-    ) -> Result<f64, TableError> {
+    pub fn share_at_least(&self, year: u32, race: Race, threshold: f64) -> Result<f64, TableError> {
         let shares = self.shares(year, race)?;
         let mut total = 0.0;
         for (s, b) in shares.iter().zip(crate::brackets::BRACKETS.iter()) {
@@ -210,10 +205,7 @@ mod tests {
             for race in Race::ALL {
                 let shares = t.shares(year, race).unwrap();
                 let total: f64 = shares.iter().sum();
-                assert!(
-                    (total - 1.0).abs() < 1e-12,
-                    "{race} {year} sums to {total}"
-                );
+                assert!((total - 1.0).abs() < 1e-12, "{race} {year} sums to {total}");
                 assert!(shares.iter().all(|&s| s >= 0.0));
             }
         }
@@ -252,7 +244,11 @@ mod tests {
         assert!((asian_top - 0.20).abs() < 0.02, "asian top = {asian_top}");
         // Most Black households below $75K in 2020.
         let black_below_75 = t.share_at_least(2020, Race::Black, 75.0).unwrap();
-        assert!(1.0 - black_below_75 > 0.5, "below75 = {}", 1.0 - black_below_75);
+        assert!(
+            1.0 - black_below_75 > 0.5,
+            "below75 = {}",
+            1.0 - black_below_75
+        );
     }
 
     #[test]

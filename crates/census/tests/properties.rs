@@ -1,9 +1,7 @@
 //! Property-based tests for the census substrate.
 
 use eqimpact_census::brackets::{bracket_of, BRACKETS};
-use eqimpact_census::{
-    HouseholdSampler, IncomeTable, Population, Race, FIRST_YEAR, LAST_YEAR,
-};
+use eqimpact_census::{HouseholdSampler, IncomeTable, Population, Race, FIRST_YEAR, LAST_YEAR};
 use eqimpact_stats::SimRng;
 use proptest::prelude::*;
 

@@ -1,6 +1,5 @@
 //! Discrete-time feedback controllers.
 
-
 /// A discrete-time controller: consumes the tracking error
 /// `e(k) = r - y(k)` and produces the next broadcast signal `π(k+1)`.
 pub trait Controller {
@@ -230,7 +229,11 @@ impl<C: Controller> DeadbandController<C> {
 
 impl<C: Controller> Controller for DeadbandController<C> {
     fn update(&mut self, error: f64) -> f64 {
-        let e = if error.abs() <= self.width { 0.0 } else { error };
+        let e = if error.abs() <= self.width {
+            0.0
+        } else {
+            error
+        };
         self.inner.update(e)
     }
 

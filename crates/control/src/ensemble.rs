@@ -434,12 +434,7 @@ pub fn identical_hysteresis_ensemble(
 
 /// A standard ensemble of `n` hysteretic agents with centers equally
 /// spaced in `(lo, hi)` and symmetric hysteresis half-width `half_width`.
-pub fn hysteresis_ensemble(
-    n: usize,
-    lo: f64,
-    hi: f64,
-    half_width: f64,
-) -> Vec<AgentBehaviour> {
+pub fn hysteresis_ensemble(n: usize, lo: f64, hi: f64, half_width: f64) -> Vec<AgentBehaviour> {
     assert!(
         n > 0 && lo < hi && half_width >= 0.0,
         "hysteresis_ensemble: bad parameters"

@@ -57,6 +57,36 @@ impl Filter for AccumulatingFilter {
     }
 }
 
+/// A filter whose state over a partitioned input stream can be rebuilt by
+/// merging per-partition states.
+///
+/// The sharded loop runner does **not** use this today — it keeps the
+/// feedback path bit-exact by applying the one `FeedbackFilter` to the
+/// merged buffers at the step barrier. `MergeableFilter` is the building
+/// block for future *distributed* feedback paths (e.g. merging per-node
+/// thin aggregates across machines), where a pooled merge replaces the
+/// shared-memory barrier.
+///
+/// The contract: feeding a stream's elements into per-shard filters and
+/// [`absorb`](Self::absorb)ing them equals feeding the whole stream into
+/// one filter, *up to the filter's own order sensitivity* — exact for
+/// order-free statistics like [`AccumulatingFilter`] (modulo f64 sum
+/// associativity), pooled-moment exact for [`AnomalyRejectingFilter`].
+/// Order-dependent filters (sliding window, EWMA) have no meaningful
+/// merge and deliberately do not implement this.
+pub trait MergeableFilter: Filter {
+    /// Absorbs another filter's state, as if its accepted samples had
+    /// also flowed through `self`.
+    fn absorb(&mut self, other: &Self);
+}
+
+impl MergeableFilter for AccumulatingFilter {
+    fn absorb(&mut self, other: &Self) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
 /// Sliding-window mean over the last `window` samples.
 #[derive(Debug, Clone)]
 pub struct SlidingWindowFilter {
@@ -194,8 +224,8 @@ impl AnomalyRejectingFilter {
 
 impl Filter for AnomalyRejectingFilter {
     fn push(&mut self, y: f64) -> f64 {
-        let accept = self.count < self.min_samples
-            || (y - self.mean).abs() <= self.k_sigma * self.std();
+        let accept =
+            self.count < self.min_samples || (y - self.mean).abs() <= self.k_sigma * self.std();
         if accept {
             self.count += 1;
             let delta = y - self.mean;
@@ -223,9 +253,88 @@ impl Filter for AnomalyRejectingFilter {
     }
 }
 
+impl MergeableFilter for AnomalyRejectingFilter {
+    /// Pools the running moments with the parallel Welford update (Chan
+    /// et al.): the merged `(count, mean, m2)` are exactly those of the
+    /// union of both filters' accepted samples. (Which samples *were*
+    /// accepted can differ from a sequential feed — acceptance thresholds
+    /// evolve with order — so this merges statistics, not decisions.)
+    fn absorb(&mut self, other: &Self) {
+        if other.count == 0 {
+            self.rejected += other.rejected;
+            return;
+        }
+        let (n1, n2) = (self.count as f64, other.count as f64);
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.rejected += other.rejected;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn accumulating_filter_tree_merge_equals_sequential_feed() {
+        // Integer-valued samples keep the sums exact, so the shard merge
+        // reproduces the sequential state bit-for-bit.
+        let samples: Vec<f64> = (0..64).map(|i| ((i * 7) % 11) as f64).collect();
+        let mut sequential = AccumulatingFilter::new();
+        for &y in &samples {
+            sequential.push(y);
+        }
+        // Four shards, merged pairwise then at the root.
+        let mut shards: Vec<AccumulatingFilter> = samples
+            .chunks(16)
+            .map(|chunk| {
+                let mut f = AccumulatingFilter::new();
+                for &y in chunk {
+                    f.push(y);
+                }
+                f
+            })
+            .collect();
+        let right = shards.split_off(2);
+        let mut left = shards.remove(0);
+        left.absorb(&shards[0]);
+        let mut right_acc = right[0].clone();
+        right_acc.absorb(&right[1]);
+        left.absorb(&right_acc);
+        assert_eq!(left.count(), sequential.count());
+        assert_eq!(left.value(), sequential.value());
+    }
+
+    #[test]
+    fn anomaly_filter_merge_pools_exact_moments() {
+        // No rejections (huge k_sigma): the merged moments must match a
+        // whole-stream Welford pass.
+        let samples: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        let mut whole = AnomalyRejectingFilter::new(1e12, 0);
+        for &y in &samples {
+            whole.push(y);
+        }
+        let mut left = AnomalyRejectingFilter::new(1e12, 0);
+        let mut right = AnomalyRejectingFilter::new(1e12, 0);
+        for &y in &samples[..13] {
+            left.push(y);
+        }
+        for &y in &samples[13..] {
+            right.push(y);
+        }
+        left.absorb(&right);
+        assert_eq!(left.accepted(), whole.accepted());
+        assert!((left.value() - whole.value()).abs() < 1e-12);
+        assert!((left.std() - whole.std()).abs() < 1e-12);
+        // Absorbing an empty filter only carries its rejection count.
+        let empty = AnomalyRejectingFilter::new(1.0, 0);
+        let before = left.value();
+        left.absorb(&empty);
+        assert_eq!(left.value(), before);
+    }
 
     #[test]
     fn accumulating_filter_is_cesaro() {

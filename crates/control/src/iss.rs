@@ -35,7 +35,10 @@ impl ExpKl {
     /// Panics unless `c >= 0` and `lambda >= 0` are finite.
     pub fn new(c: f64, lambda: f64) -> Self {
         assert!(c >= 0.0 && c.is_finite(), "ExpKl: negative c");
-        assert!(lambda >= 0.0 && lambda.is_finite(), "ExpKl: negative lambda");
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "ExpKl: negative lambda"
+        );
         ExpKl { c, lambda }
     }
 
@@ -205,9 +208,7 @@ pub fn estimate_iss(
         beta,
         gamma,
         validation_pass_rate,
-        consistent: beta.lambda < 1.0 - 1e-9
-            && gamma.g.is_finite()
-            && validation_pass_rate >= 0.99,
+        consistent: beta.lambda < 1.0 - 1e-9 && gamma.g.is_finite() && validation_pass_rate >= 0.99,
     }
 }
 

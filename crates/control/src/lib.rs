@@ -39,6 +39,10 @@ pub mod ensemble;
 pub mod filter;
 pub mod iss;
 
-pub use controller::{AntiWindupPi, Controller, DeadbandController, PiController, SaturatedController};
+pub use controller::{
+    AntiWindupPi, Controller, DeadbandController, PiController, SaturatedController,
+};
 pub use ensemble::{EnsembleLoop, EnsembleOutcome};
-pub use filter::{AccumulatingFilter, AnomalyRejectingFilter, EwmaFilter, Filter, SlidingWindowFilter};
+pub use filter::{
+    AccumulatingFilter, AnomalyRejectingFilter, EwmaFilter, Filter, SlidingWindowFilter,
+};

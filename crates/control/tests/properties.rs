@@ -1,8 +1,7 @@
 //! Property-based tests for controllers, filters and ensembles.
 
 use eqimpact_control::controller::{
-    Controller, DeadbandController, IController, PController, PiController,
-    SaturatedController,
+    Controller, DeadbandController, IController, PController, PiController, SaturatedController,
 };
 use eqimpact_control::ensemble::AgentBehaviour;
 use eqimpact_control::filter::{

@@ -340,14 +340,27 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopRunner<S, P, F> {
                 "observe must return N feature rows"
             );
             self.ai.signals_into(k, &self.visible, &mut self.signals);
-            assert_eq!(self.signals.len(), n, "AiSystem must emit one signal per user");
+            assert_eq!(
+                self.signals.len(),
+                n,
+                "AiSystem must emit one signal per user"
+            );
             self.population
                 .respond_into(k, &self.signals, rng, &mut self.actions);
-            assert_eq!(self.actions.len(), n, "population must emit one action per user");
+            assert_eq!(
+                self.actions.len(),
+                n,
+                "population must emit one action per user"
+            );
 
             let mut feedback = self.spare.pop().unwrap_or_default();
-            self.filter
-                .apply_into(k, &self.visible, &self.signals, &self.actions, &mut feedback);
+            self.filter.apply_into(
+                k,
+                &self.visible,
+                &self.signals,
+                &self.actions,
+                &mut feedback,
+            );
             record.push_step(&self.signals, &self.actions, &feedback.per_user);
 
             self.pending.push_back(feedback);
@@ -418,6 +431,7 @@ pub struct LoopBuilder<S, P, F = MeanFilter> {
     filter: F,
     delay: usize,
     policy: RecordPolicy,
+    shards: Option<usize>,
 }
 
 impl<S: AiSystem, P: UserPopulation> LoopBuilder<S, P, MeanFilter> {
@@ -430,6 +444,7 @@ impl<S: AiSystem, P: UserPopulation> LoopBuilder<S, P, MeanFilter> {
             filter: MeanFilter::default(),
             delay: 1,
             policy: RecordPolicy::Full,
+            shards: None,
         }
     }
 }
@@ -443,7 +458,16 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopBuilder<S, P, F> {
             filter,
             delay: self.delay,
             policy: self.policy,
+            shards: self.shards,
         }
+    }
+
+    /// Sets the shard count for [`Self::build_sharded`] (`0` means auto:
+    /// one shard per core, [`crate::shard::auto_shards`]). Ignored by the
+    /// sequential [`Self::build`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
     }
 
     /// Sets the feedback delay in steps.
@@ -463,6 +487,29 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopBuilder<S, P, F> {
     pub fn build(self) -> LoopRunner<S, P, F> {
         let mut runner = LoopRunner::new(self.ai, self.population, self.filter, self.delay);
         runner.policy = self.policy;
+        runner
+    }
+
+    /// Builds the intra-trial parallel runner
+    /// ([`crate::shard::ShardedRunner`]): the population is partitioned
+    /// into the configured number of row shards ([`Self::shards`]; auto =
+    /// one per core when unset) and each step's user sweep runs on scoped
+    /// worker threads. The produced record is bit-identical to
+    /// [`Self::build`]'s for blocks honouring the
+    /// [`crate::shard::RowStreams`] contract.
+    pub fn build_sharded(self) -> crate::shard::ShardedRunner<S, P, F>
+    where
+        S: crate::shard::ShardableAi,
+        P: crate::shard::ShardablePopulation,
+    {
+        let mut runner = crate::shard::ShardedRunner::new(
+            self.ai,
+            self.population,
+            self.filter,
+            self.delay,
+            self.shards.unwrap_or(0),
+        );
+        runner.set_record_policy(self.policy);
         runner
     }
 }
@@ -513,9 +560,7 @@ mod tests {
         }
     }
 
-    fn runner_with_delay(
-        delay: usize,
-    ) -> LoopRunner<CountingAi, DeterministicUsers, MeanFilter> {
+    fn runner_with_delay(delay: usize) -> LoopRunner<CountingAi, DeterministicUsers, MeanFilter> {
         LoopBuilder::new(
             CountingAi {
                 level: 0.0,
@@ -647,7 +692,8 @@ mod tests {
             }
             fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
         }
-        let mut runner = LoopRunner::new(BadAi, DeterministicUsers { n: 3 }, MeanFilter::default(), 0);
+        let mut runner =
+            LoopRunner::new(BadAi, DeterministicUsers { n: 3 }, MeanFilter::default(), 0);
         runner.run(1, &mut SimRng::new(0));
     }
 }

@@ -28,6 +28,12 @@
 //!   conditioned on non-protected attributes;
 //! * [`impact`] — estimators of the per-user Cesàro limits `r_i` and their
 //!   coincidence, unconditional and group-conditioned;
+//! * [`shard`] — deterministic **intra-trial** parallelism: the
+//!   [`shard::ShardedRunner`] splits one step's user sweep over scoped
+//!   worker threads (contiguous row shards, index-keyed
+//!   [`shard::RowStreams`] RNG streams) and merges at a per-step barrier,
+//!   producing records bit-identical to the sequential runner for any
+//!   shard count;
 //! * [`trials`] — deterministic multi-seed trial running, striped over at
 //!   most `available_parallelism()` threads.
 //!
@@ -89,6 +95,7 @@ pub mod fairness;
 pub mod features;
 pub mod impact;
 pub mod recorder;
+pub mod shard;
 pub mod treatment;
 pub mod trials;
 

@@ -143,7 +143,11 @@ impl LoopRecord {
             RecordPolicy::Full,
             "{what}: thin records keep per-step aggregates only"
         );
-        assert!(i < self.user_count, "{what}: user {i} out of {}", self.user_count);
+        assert!(
+            i < self.user_count,
+            "{what}: user {i} out of {}",
+            self.user_count
+        );
         (0..self.steps)
             .map(|k| channel[k * self.user_count + i])
             .collect()
@@ -237,7 +241,9 @@ impl LoopRecord {
         let user_count = field("user_count")?
             .as_usize()
             .ok_or("user_count is not an integer")?;
-        let steps = field("steps")?.as_usize().ok_or("steps is not an integer")?;
+        let steps = field("steps")?
+            .as_usize()
+            .ok_or("steps is not an integer")?;
         let policy = match field("policy")?.as_str() {
             Some("full") => RecordPolicy::Full,
             Some("thin") => RecordPolicy::Thin,
@@ -363,8 +369,7 @@ mod tests {
         r.push_step(&[1.0], &[0.5], &[f64::NAN]);
         let text = r.to_json().render();
         assert!(text.contains("null"), "text = {text}");
-        let back =
-            LoopRecord::from_json(&eqimpact_stats::json::parse(&text).unwrap()).unwrap();
+        let back = LoopRecord::from_json(&eqimpact_stats::json::parse(&text).unwrap()).unwrap();
         assert!(back.filtered(0)[0].is_nan());
         assert_eq!(back.actions(0), &[0.5]);
     }

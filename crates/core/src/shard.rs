@@ -1,0 +1,740 @@
+//! Deterministic intra-trial sharding: one closed-loop step, split over
+//! cores.
+//!
+//! The paper's protocol is embarrassingly parallel over users *within* a
+//! step — decisions and responses are per-user, only the feedback filter
+//! aggregates. [`ShardedRunner`] exploits exactly that shape: it
+//! partitions the population's rows into contiguous shards, runs the
+//! observe → signal → respond sweep of each shard on a scoped worker
+//! thread, and re-joins at a per-step barrier where the
+//! [`FeedbackFilter`], the [`LoopRecord`] and retraining run sequentially
+//! on the merged buffers — byte-for-byte the same tail as
+//! [`LoopRunner`](crate::closed_loop::LoopRunner).
+//!
+//! # The determinism contract
+//!
+//! The headline guarantee is that the produced [`LoopRecord`] is
+//! **bit-identical for any shard count, including the sequential
+//! [`LoopRunner`](crate::closed_loop::LoopRunner)**. Randomness therefore
+//! cannot flow through one sequential stream (its consumption order would
+//! depend on the partition). Instead, both runners derive *index-keyed*
+//! streams through [`RowStreams`]: the stream feeding row `i` at step `k`
+//! is a pure function of `(root seed, phase, k, i)` — never of the shard
+//! layout or of how much any other row consumed. A shard-capable block
+//! draws **all** of row `i`'s randomness from `RowStreams::for_row(i)`;
+//! its sequential `*_into` methods must route through the same derivation
+//! (the blanket pattern is to implement the sequential method as the
+//! full-range shard call), which is what makes the cross-shard property
+//! tests exact rather than approximate.
+//!
+//! Blocks opt in through three traits:
+//!
+//! * [`ShardableAi`] — per-row signal computation from `&self` (the model
+//!   is read-only during the sweep; it mutates only in `retrain`, at the
+//!   barrier);
+//! * [`ShardablePopulation`] — partitions the population into owned,
+//!   [`Send`] row shards;
+//! * [`PopulationShard`] — the per-shard observe/respond sweep over the
+//!   shard's own rows.
+//!
+//! Third-party blocks that only implement the base traits keep working
+//! everywhere the sequential runner is used; sharding simply requires the
+//! extra impls.
+
+use crate::closed_loop::{AiSystem, Feedback, FeedbackFilter, UserPopulation};
+use crate::features::FeatureMatrix;
+use crate::recorder::{LoopRecord, RecordPolicy};
+use eqimpact_stats::SimRng;
+use std::collections::VecDeque;
+use std::ops::Range;
+
+/// Phase label of the observation sweep (arbitrary fixed constant).
+const OBSERVE_PHASE: u64 = 0x9a1c_55d1_0b93_7d01;
+
+/// Phase label of the response sweep.
+const RESPOND_PHASE: u64 = 0x3c6e_f372_fe94_f82a;
+
+/// Index-keyed per-row RNG streams for one phase of one step.
+///
+/// Built from the loop's root stream plus `(phase, step)`;
+/// [`Self::for_row`] then derives the stream of a single global row. The
+/// derivation is label-based ([`SimRng::split`]), so it depends only on
+/// the root *seed* — every shard can hold its own copy and rows can be
+/// visited in any order or from any thread without changing a single
+/// sample.
+///
+/// Seed-keyed also means **state-insensitive**: blocks driven through
+/// `RowStreams` never consume the `&mut SimRng` a runner passes them, so
+/// two `run()` calls sharing one rng replay the same draws (step labels
+/// restart at 0) rather than continuing the stream. Give each run its
+/// own stream — e.g. `&mut rng.split(run_index)` — when independent
+/// randomness is wanted.
+#[derive(Debug, Clone)]
+pub struct RowStreams {
+    base: SimRng,
+}
+
+impl RowStreams {
+    /// Streams of the observation sweep of step `k`.
+    pub fn observe(rng: &SimRng, k: usize) -> Self {
+        RowStreams {
+            base: rng.split(OBSERVE_PHASE).split(k as u64),
+        }
+    }
+
+    /// Streams of the response sweep of step `k`.
+    pub fn respond(rng: &SimRng, k: usize) -> Self {
+        RowStreams {
+            base: rng.split(RESPOND_PHASE).split(k as u64),
+        }
+    }
+
+    /// The stream feeding global row `row` in this phase.
+    pub fn for_row(&self, row: usize) -> SimRng {
+        self.base.split(row as u64)
+    }
+}
+
+/// Immutable view of a contiguous block of global rows
+/// `[start, start + len)` of a flat row-major buffer.
+///
+/// Rows are addressed by their **global** index so shard code never has
+/// to translate offsets (and cannot accidentally key RNG streams by a
+/// local index).
+#[derive(Debug, Clone)]
+pub struct RowsView<'a> {
+    data: &'a [f64],
+    width: usize,
+    rows: Range<usize>,
+}
+
+impl<'a> RowsView<'a> {
+    /// Wraps `data` as rows `rows` of `width` cells each.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows.len() * width`.
+    pub fn new(data: &'a [f64], width: usize, rows: Range<usize>) -> Self {
+        assert_eq!(data.len(), rows.len() * width, "RowsView: length mismatch");
+        RowsView { data, width, rows }
+    }
+
+    /// The global row range covered by this view.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Cells per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Global row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i` is outside the view's range.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(
+            self.rows.contains(&i),
+            "RowsView: row {i} out of {:?}",
+            self.rows
+        );
+        let local = i - self.rows.start;
+        &self.data[local * self.width..(local + 1) * self.width]
+    }
+}
+
+/// The full-range [`RowsView`] over a feature matrix — the sequential
+/// path of a sharded signal computation. The canonical
+/// [`AiSystem::signals_into`] bridge of a [`ShardableAi`] is:
+///
+/// ```ignore
+/// fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+///     out.clear();
+///     out.resize(visible.row_count(), 0.0);
+///     self.signals_rows(k, full_rows(visible), out);
+/// }
+/// ```
+pub fn full_rows(visible: &FeatureMatrix) -> RowsView<'_> {
+    RowsView::new(visible.as_slice(), visible.width(), 0..visible.row_count())
+}
+
+/// Mutable counterpart of [`RowsView`].
+#[derive(Debug)]
+pub struct RowsMut<'a> {
+    data: &'a mut [f64],
+    width: usize,
+    rows: Range<usize>,
+}
+
+impl<'a> RowsMut<'a> {
+    /// Wraps `data` as rows `rows` of `width` cells each.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows.len() * width`.
+    pub fn new(data: &'a mut [f64], width: usize, rows: Range<usize>) -> Self {
+        assert_eq!(data.len(), rows.len() * width, "RowsMut: length mismatch");
+        RowsMut { data, width, rows }
+    }
+
+    /// The global row range covered by this view.
+    pub fn rows(&self) -> Range<usize> {
+        self.rows.clone()
+    }
+
+    /// Cells per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Global row `i`, mutable.
+    ///
+    /// # Panics
+    /// Panics when `i` is outside the view's range.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(
+            self.rows.contains(&i),
+            "RowsMut: row {i} out of {:?}",
+            self.rows
+        );
+        let local = i - self.rows.start;
+        &mut self.data[local * self.width..(local + 1) * self.width]
+    }
+}
+
+/// An AI system whose per-row signal computation can run concurrently.
+///
+/// The model is read-only (`&self`) during the sweep — it only mutates in
+/// [`AiSystem::retrain`], which the sharded runner calls at the step
+/// barrier, after every worker has joined. To keep the sequential and
+/// sharded paths bit-identical, implement [`AiSystem::signals_into`] as
+/// the full-range call of [`Self::signals_rows`] (see [`full_rows`]).
+///
+/// Per-user state (score histories, exclusion flags, …) must be sized
+/// and maintained in `retrain` — the `&self` sweep cannot resize it. A
+/// stateful AI block is a **per-population** block: build a fresh one
+/// instead of reusing it against a differently sized population.
+pub trait ShardableAi: AiSystem + Sync {
+    /// Computes signals for the rows of `visible`, writing `out[j]` for
+    /// global row `visible.rows().start + j`. Must read only the given
+    /// rows (other shards' rows may still be in flight).
+    fn signals_rows(&self, k: usize, visible: RowsView<'_>, out: &mut [f64]);
+}
+
+/// One contiguous, owned row-partition of a [`ShardablePopulation`].
+///
+/// Shards are moved onto scoped worker threads, so they own their slice
+/// of the per-user state. All randomness of global row `i` must come from
+/// `streams.for_row(i)` — that is the whole determinism contract.
+pub trait PopulationShard: Send {
+    /// The global rows this shard owns.
+    fn rows(&self) -> Range<usize>;
+
+    /// Advances this shard's users to step `k` and writes their visible
+    /// feature rows. `out` covers exactly [`Self::rows`].
+    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>);
+
+    /// Responds to this shard's signals (`signals[j]` is global row
+    /// `rows().start + j`), writing the actions in the same layout.
+    fn respond_rows(&mut self, k: usize, signals: &[f64], streams: &RowStreams, out: &mut [f64]);
+}
+
+/// A population that can be partitioned into independently steppable,
+/// contiguous row shards.
+///
+/// To keep the sequential and sharded paths bit-identical, implement
+/// [`UserPopulation::observe_into`] / [`UserPopulation::respond_into`] as
+/// the full-range calls of the shard sweep (see the module docs).
+pub trait ShardablePopulation: UserPopulation + Sized {
+    /// The owned shard type.
+    type Shard: PopulationShard;
+
+    /// Width of the visible feature rows (must match what
+    /// [`PopulationShard::observe_rows`] writes).
+    fn feature_width(&self) -> usize;
+
+    /// Partitions the population into at most `parts` contiguous shards
+    /// covering `0..user_count()` in order (use [`shard_bounds`]).
+    fn into_row_shards(self, parts: usize) -> Vec<Self::Shard>;
+
+    /// Reassembles a population from its shards (inverse of
+    /// [`Self::into_row_shards`]).
+    fn from_row_shards(shards: Vec<Self::Shard>) -> Self;
+}
+
+/// Contiguous, near-equal partition of `rows` into at most `parts`
+/// non-empty ranges (fewer when `rows < parts`; empty when `rows == 0`).
+///
+/// # Panics
+/// Panics when `parts == 0`.
+pub fn shard_bounds(rows: usize, parts: usize) -> Vec<Range<usize>> {
+    assert!(parts > 0, "shard_bounds: zero parts");
+    let parts = parts.min(rows.max(1));
+    if rows == 0 {
+        return Vec::new();
+    }
+    let base = rows / parts;
+    let extra = rows % parts;
+    let mut bounds = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        bounds.push(start..start + len);
+        start += len;
+    }
+    bounds
+}
+
+/// The number of shards to use when the caller asks for "auto".
+pub fn auto_shards() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The sharded loop runner: same wiring as
+/// [`LoopRunner`](crate::closed_loop::LoopRunner) — AI system, population,
+/// filter, delay line — but each step's user sweep is partitioned over
+/// scoped worker threads.
+///
+/// Per step: every shard runs observe → signal → respond over its own
+/// rows, writing into disjoint sub-slices of the step buffers; at the
+/// step barrier the main thread applies the [`FeedbackFilter`] to the
+/// merged buffers, records the step, and retrains through the delay line
+/// — exactly the sequential tail, in the sequential order. See the module
+/// docs for the determinism contract.
+///
+/// Cost model: workers are scoped threads spawned per step (shards − 1
+/// spawns; the last shard runs on the calling thread), so per-step
+/// overhead is tens of microseconds per extra shard — negligible against
+/// production-scale sweeps (≥ 10⁴ users), but a reason to stay with the
+/// sequential [`LoopRunner`](crate::closed_loop::LoopRunner) for tiny
+/// populations. The filter/record/retrain barrier is sequential, so
+/// Amdahl's law bounds the speedup by its share of a step.
+///
+/// Build one with
+/// [`LoopBuilder::shards`](crate::closed_loop::LoopBuilder::shards) +
+/// [`build_sharded`](crate::closed_loop::LoopBuilder::build_sharded), or
+/// positionally with [`ShardedRunner::new`].
+pub struct ShardedRunner<S, P: ShardablePopulation, F> {
+    ai: S,
+    shards: Vec<P::Shard>,
+    filter: F,
+    delay: usize,
+    policy: RecordPolicy,
+    user_count: usize,
+    width: usize,
+    pending: VecDeque<Feedback>,
+    spare: Vec<Feedback>,
+    visible: FeatureMatrix,
+    signals: Vec<f64>,
+    actions: Vec<f64>,
+}
+
+impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S, P, F> {
+    /// Creates a runner over at most `shards` shards (`0` means auto:
+    /// [`auto_shards`]). See
+    /// [`LoopRunner::new`](crate::closed_loop::LoopRunner::new) for the
+    /// delay semantics.
+    ///
+    /// # Panics
+    /// Panics when the population's
+    /// [`into_row_shards`](ShardablePopulation::into_row_shards) does not
+    /// return an in-order, gapless partition of `0..user_count()` — a
+    /// broken partition would otherwise mis-route buffer slices and
+    /// corrupt records silently.
+    pub fn new(ai: S, population: P, filter: F, delay: usize, shards: usize) -> Self {
+        let shards = if shards == 0 { auto_shards() } else { shards };
+        let user_count = population.user_count();
+        let width = population.feature_width();
+        let shards = population.into_row_shards(shards);
+        let mut next = 0;
+        for (s, shard) in shards.iter().enumerate() {
+            let rows = shard.rows();
+            assert_eq!(
+                rows.start, next,
+                "shard {s} starts at row {} but the partition is at row {next}",
+                rows.start
+            );
+            next = rows.end;
+        }
+        assert_eq!(next, user_count, "shards must cover every row exactly once");
+        ShardedRunner {
+            ai,
+            shards,
+            filter,
+            delay,
+            policy: RecordPolicy::Full,
+            user_count,
+            width,
+            pending: VecDeque::new(),
+            spare: Vec::new(),
+            visible: FeatureMatrix::default(),
+            signals: Vec::new(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// The actual number of shards (≤ the requested count; capped by the
+    /// user count).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configured delay.
+    pub fn delay(&self) -> usize {
+        self.delay
+    }
+
+    /// The configured record policy.
+    pub fn record_policy(&self) -> RecordPolicy {
+        self.policy
+    }
+
+    /// Sets the record policy (see [`RecordPolicy`]).
+    pub fn set_record_policy(&mut self, policy: RecordPolicy) {
+        self.policy = policy;
+    }
+
+    /// Access to the AI system (e.g. to inspect the final model).
+    pub fn ai(&self) -> &S {
+        &self.ai
+    }
+
+    /// Mutable access to the AI system.
+    pub fn ai_mut(&mut self) -> &mut S {
+        &mut self.ai
+    }
+
+    /// Access to the filter.
+    pub fn filter(&self) -> &F {
+        &self.filter
+    }
+
+    /// Decomposes the runner back into its blocks, reassembling the
+    /// population from its shards.
+    pub fn into_parts(self) -> (S, P, F) {
+        (self.ai, P::from_row_shards(self.shards), self.filter)
+    }
+
+    /// Runs `steps` passes of the loop, returning the telemetry selected
+    /// by the record policy. Bit-identical to
+    /// [`LoopRunner::run`](crate::closed_loop::LoopRunner::run) for
+    /// blocks honouring the [`RowStreams`] contract, for any shard count.
+    pub fn run(&mut self, steps: usize, rng: &mut SimRng) -> LoopRecord {
+        let n = self.user_count;
+        let w = self.width;
+        let mut record = LoopRecord::with_policy(n, self.policy);
+        record.reserve(steps);
+        self.visible.reshape(n, w);
+        self.signals.resize(n, 0.0);
+        self.actions.resize(n, 0.0);
+
+        for k in 0..steps {
+            let observe = RowStreams::observe(rng, k);
+            let respond = RowStreams::respond(rng, k);
+            {
+                let ai = &self.ai;
+                let mut vis_rest = self.visible.as_mut_slice();
+                let mut sig_rest = &mut self.signals[..];
+                let mut act_rest = &mut self.actions[..];
+                let mut jobs = Vec::with_capacity(self.shards.len());
+                let mut offset = 0;
+                for shard in self.shards.iter_mut() {
+                    let rows = shard.rows();
+                    debug_assert_eq!(rows.start, offset, "shard rows moved after construction");
+                    offset = rows.end;
+                    let (vis, rest) = vis_rest.split_at_mut(rows.len() * w);
+                    vis_rest = rest;
+                    let (sig, rest) = sig_rest.split_at_mut(rows.len());
+                    sig_rest = rest;
+                    let (act, rest) = act_rest.split_at_mut(rows.len());
+                    act_rest = rest;
+                    jobs.push((shard, rows, vis, sig, act));
+                }
+                // The last shard runs on this thread; the rest are scoped
+                // workers that all join before the sequential tail.
+                std::thread::scope(|scope| {
+                    let mut jobs = jobs.into_iter();
+                    let home = jobs.next_back();
+                    for (shard, rows, vis, sig, act) in jobs {
+                        let (observe, respond) = (&observe, &respond);
+                        scope.spawn(move || {
+                            sweep_shard(ai, shard, k, rows, w, vis, sig, act, observe, respond)
+                        });
+                    }
+                    if let Some((shard, rows, vis, sig, act)) = home {
+                        sweep_shard(ai, shard, k, rows, w, vis, sig, act, &observe, &respond);
+                    }
+                });
+            }
+
+            // The step barrier: filter, record and retrain run on the
+            // merged buffers, in the sequential runner's exact order.
+            let mut feedback = self.spare.pop().unwrap_or_default();
+            self.filter.apply_into(
+                k,
+                &self.visible,
+                &self.signals,
+                &self.actions,
+                &mut feedback,
+            );
+            record.push_step(&self.signals, &self.actions, &feedback.per_user);
+
+            self.pending.push_back(feedback);
+            if self.pending.len() > self.delay {
+                let due = self.pending.pop_front().expect("non-empty by check");
+                self.ai.retrain(k, &due);
+                self.spare.push(due);
+            }
+        }
+        record
+    }
+}
+
+/// One shard's slice of one step: observe → signal → respond over its own
+/// rows.
+#[allow(clippy::too_many_arguments)]
+fn sweep_shard<S: ShardableAi, Sh: PopulationShard>(
+    ai: &S,
+    shard: &mut Sh,
+    k: usize,
+    rows: Range<usize>,
+    width: usize,
+    vis: &mut [f64],
+    sig: &mut [f64],
+    act: &mut [f64],
+    observe: &RowStreams,
+    respond: &RowStreams,
+) {
+    shard.observe_rows(k, observe, RowsMut::new(vis, width, rows.clone()));
+    ai.signals_rows(k, RowsView::new(vis, width, rows), sig);
+    shard.respond_rows(k, sig, respond, act);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::closed_loop::LoopBuilder;
+
+    /// Shard-invariant synthetic population: every cell and action of row
+    /// `i` comes from `streams.for_row(i)`.
+    struct NoisyUsers {
+        n: usize,
+        width: usize,
+    }
+
+    struct NoisyShard {
+        rows: Range<usize>,
+        width: usize,
+    }
+
+    fn observe_noisy(k: usize, streams: &RowStreams, mut out: RowsMut<'_>) {
+        for i in out.rows() {
+            let mut r = streams.for_row(i);
+            for cell in out.row_mut(i) {
+                *cell = r.uniform() + k as f64;
+            }
+        }
+    }
+
+    fn respond_noisy(rows: Range<usize>, signals: &[f64], streams: &RowStreams, out: &mut [f64]) {
+        for (j, i) in rows.enumerate() {
+            let mut r = streams.for_row(i);
+            out[j] = if r.bernoulli(0.3 + 0.1 * signals[j].clamp(0.0, 5.0)) {
+                1.0
+            } else {
+                0.0
+            };
+        }
+    }
+
+    impl UserPopulation for NoisyUsers {
+        fn user_count(&self) -> usize {
+            self.n
+        }
+        fn observe_into(&mut self, k: usize, rng: &mut SimRng, out: &mut FeatureMatrix) {
+            out.reshape(self.n, self.width);
+            let streams = RowStreams::observe(rng, k);
+            observe_noisy(
+                k,
+                &streams,
+                RowsMut::new(out.as_mut_slice(), self.width, 0..self.n),
+            );
+        }
+        fn respond_into(
+            &mut self,
+            k: usize,
+            signals: &[f64],
+            rng: &mut SimRng,
+            out: &mut Vec<f64>,
+        ) {
+            out.clear();
+            out.resize(self.n, 0.0);
+            let streams = RowStreams::respond(rng, k);
+            respond_noisy(0..self.n, signals, &streams, out);
+        }
+    }
+
+    impl ShardablePopulation for NoisyUsers {
+        type Shard = NoisyShard;
+        fn feature_width(&self) -> usize {
+            self.width
+        }
+        fn into_row_shards(self, parts: usize) -> Vec<NoisyShard> {
+            shard_bounds(self.n, parts)
+                .into_iter()
+                .map(|rows| NoisyShard {
+                    rows,
+                    width: self.width,
+                })
+                .collect()
+        }
+        fn from_row_shards(shards: Vec<NoisyShard>) -> Self {
+            let width = shards.first().map(|s| s.width).unwrap_or(0);
+            let n = shards.last().map(|s| s.rows.end).unwrap_or(0);
+            NoisyUsers { n, width }
+        }
+    }
+
+    impl PopulationShard for NoisyShard {
+        fn rows(&self) -> Range<usize> {
+            self.rows.clone()
+        }
+        fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+            observe_noisy(k, streams, out);
+        }
+        fn respond_rows(
+            &mut self,
+            _k: usize,
+            signals: &[f64],
+            streams: &RowStreams,
+            out: &mut [f64],
+        ) {
+            respond_noisy(self.rows.clone(), signals, streams, out);
+        }
+    }
+
+    /// Level-tracking AI: signals are a pure per-row function of the
+    /// features and the (barrier-updated) level.
+    struct LevelAi {
+        level: f64,
+    }
+
+    impl AiSystem for LevelAi {
+        fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+            out.clear();
+            out.resize(visible.row_count(), 0.0);
+            self.signals_rows(k, full_rows(visible), out);
+        }
+        fn retrain(&mut self, _k: usize, feedback: &Feedback) {
+            self.level = feedback.aggregate;
+        }
+    }
+
+    impl ShardableAi for LevelAi {
+        fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
+            for (j, i) in visible.rows().enumerate() {
+                let features: f64 = visible.row(i).iter().sum();
+                out[j] = self.level + 0.1 * features;
+            }
+        }
+    }
+
+    fn sequential_record(n: usize, width: usize, steps: usize, seed: u64) -> LoopRecord {
+        let mut runner = LoopBuilder::new(LevelAi { level: 0.5 }, NoisyUsers { n, width })
+            .delay(1)
+            .build();
+        runner.run(steps, &mut SimRng::new(seed))
+    }
+
+    fn sharded_record(
+        n: usize,
+        width: usize,
+        steps: usize,
+        seed: u64,
+        shards: usize,
+    ) -> LoopRecord {
+        let mut runner = LoopBuilder::new(LevelAi { level: 0.5 }, NoisyUsers { n, width })
+            .delay(1)
+            .shards(shards)
+            .build_sharded();
+        runner.run(steps, &mut SimRng::new(seed))
+    }
+
+    #[test]
+    fn shard_bounds_partition_contiguously() {
+        assert_eq!(shard_bounds(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(shard_bounds(4, 8).len(), 4);
+        assert_eq!(shard_bounds(0, 3), Vec::<Range<usize>>::new());
+        assert_eq!(shard_bounds(6, 1), vec![0..6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn shard_bounds_reject_zero_parts() {
+        shard_bounds(5, 0);
+    }
+
+    #[test]
+    fn sharded_matches_sequential_for_any_shard_count() {
+        let reference = sequential_record(23, 2, 12, 77);
+        for shards in [1usize, 2, 3, 8, 23, 64] {
+            let record = sharded_record(23, 2, 12, 77, shards);
+            assert_eq!(record, reference, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn zero_width_populations_shard_too() {
+        let reference = sequential_record(9, 0, 6, 5);
+        for shards in [1usize, 4] {
+            assert_eq!(sharded_record(9, 0, 6, 5, shards), reference);
+        }
+    }
+
+    #[test]
+    fn auto_and_capped_shard_counts() {
+        let runner = ShardedRunner::new(
+            LevelAi { level: 0.0 },
+            NoisyUsers { n: 5, width: 1 },
+            crate::closed_loop::MeanFilter::default(),
+            1,
+            0,
+        );
+        assert!(runner.shard_count() >= 1);
+        assert!(runner.shard_count() <= 5, "capped by the user count");
+        assert_eq!(runner.delay(), 1);
+    }
+
+    #[test]
+    fn into_parts_reassembles_the_population() {
+        let mut runner = LoopBuilder::new(LevelAi { level: 0.1 }, NoisyUsers { n: 12, width: 1 })
+            .shards(4)
+            .build_sharded();
+        runner.run(3, &mut SimRng::new(2));
+        let (_ai, population, _filter) = runner.into_parts();
+        assert_eq!(population.user_count(), 12);
+        assert_eq!(population.feature_width(), 1);
+    }
+
+    #[test]
+    fn row_views_address_globally() {
+        let mut data = vec![0.0; 4];
+        let mut rows = RowsMut::new(&mut data, 2, 3..5);
+        rows.row_mut(4)[1] = 7.0;
+        assert_eq!(rows.rows(), 3..5);
+        assert_eq!(rows.width(), 2);
+        let view = RowsView::new(&data, 2, 3..5);
+        assert_eq!(view.row(4), &[0.0, 7.0]);
+        assert_eq!(view.row(3), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn row_view_checks_range() {
+        let data = vec![0.0; 2];
+        RowsView::new(&data, 2, 3..4).row(2);
+    }
+}

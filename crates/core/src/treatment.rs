@@ -102,7 +102,8 @@ pub fn conditioned_equal_treatment_report(
 /// Panics when `attribute.len()` differs from the user count implied by
 /// the maximum index usage (callers pass one attribute per user).
 pub fn classes_by_attribute(attribute: &[u32]) -> Vec<Vec<usize>> {
-    let mut classes: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut classes: std::collections::BTreeMap<u32, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, &a) in attribute.iter().enumerate() {
         classes.entry(a).or_default().push(i);
     }

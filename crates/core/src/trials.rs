@@ -152,7 +152,10 @@ impl TrialSet {
     /// All per-user action series across all trials (the 5 x 1000 curves
     /// of the paper's Fig. 4), as (trial, user, series) triples flattened
     /// to a vector of series.
-    pub fn all_user_series(&self, extract: impl Fn(&LoopRecord, usize) -> Vec<f64>) -> Vec<Vec<f64>> {
+    pub fn all_user_series(
+        &self,
+        extract: impl Fn(&LoopRecord, usize) -> Vec<f64>,
+    ) -> Vec<Vec<f64>> {
         let mut out = Vec::new();
         for r in &self.records {
             for i in 0..r.user_count() {

@@ -18,6 +18,7 @@
 use crate::model;
 use eqimpact_core::closed_loop::{AiSystem, Feedback};
 use eqimpact_core::features::FeatureMatrix;
+use eqimpact_core::shard::{full_rows, RowsView, ShardableAi};
 use eqimpact_ml::logistic::{LogisticModel, LogisticRegression};
 use eqimpact_ml::scorecard::Scorecard;
 
@@ -95,28 +96,15 @@ impl ScorecardLender {
 
 impl AiSystem for ScorecardLender {
     fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        // A reused lender facing a differently sized population would
+        // otherwise read another population's ADRs until the first
+        // retrain resizes the state.
         if self.prev_adr.len() != visible.row_count() {
             self.prev_adr = vec![0.0; visible.row_count()];
         }
         out.clear();
-        out.extend(visible.rows().enumerate().map(|(i, v)| {
-            let loan = self.multiple * v[VISIBLE_INCOME_K];
-            if k < self.warmup_steps {
-                return loan;
-            }
-            match &self.model {
-                None => loan, // no scorecard yet: keep approving
-                Some(m) => {
-                    let features = [self.prev_adr[i], v[VISIBLE_INCOME_CODE]];
-                    let score = m.linear_score(&features);
-                    if score >= self.cutoff {
-                        loan
-                    } else {
-                        0.0
-                    }
-                }
-            }
-        }));
+        out.resize(visible.row_count(), 0.0);
+        self.signals_rows(k, full_rows(visible), out);
     }
 
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
@@ -157,6 +145,33 @@ impl AiSystem for ScorecardLender {
     }
 }
 
+impl ShardableAi for ScorecardLender {
+    fn signals_rows(&self, k: usize, visible: RowsView<'_>, out: &mut [f64]) {
+        for (j, i) in visible.rows().enumerate() {
+            let v = visible.row(i);
+            let loan = self.multiple * v[VISIBLE_INCOME_K];
+            out[j] = if k < self.warmup_steps {
+                loan
+            } else {
+                match &self.model {
+                    None => loan, // no scorecard yet: keep approving
+                    Some(m) => {
+                        // Users beyond the last feedback carry a clean
+                        // history (ADR 0), matching the retrain sizing.
+                        let prev = self.prev_adr.get(i).copied().unwrap_or(0.0);
+                        let features = [prev, v[VISIBLE_INCOME_CODE]];
+                        if m.linear_score(&features) >= self.cutoff {
+                            loan
+                        } else {
+                            0.0
+                        }
+                    }
+                }
+            };
+        }
+    }
+}
+
 /// The introduction's uniform policy: a flat loan to anyone who has never
 /// defaulted, permanent denial afterwards. Maximal equal treatment,
 /// failing equal impact.
@@ -188,16 +203,15 @@ impl UniformExclusionLender {
 }
 
 impl AiSystem for UniformExclusionLender {
-    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+    fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        // See ScorecardLender::signals_into: drop stale per-user state
+        // when the population size changed between runs.
         if self.defaulted.len() != visible.row_count() {
             self.defaulted = vec![false; visible.row_count()];
         }
         out.clear();
-        out.extend(
-            self.defaulted
-                .iter()
-                .map(|&d| if d { 0.0 } else { self.amount_k }),
-        );
+        out.resize(visible.row_count(), 0.0);
+        self.signals_rows(k, full_rows(visible), out);
     }
 
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
@@ -208,6 +222,16 @@ impl AiSystem for UniformExclusionLender {
             if feedback.signals[i] > 0.0 && feedback.actions[i] == 0.0 {
                 self.defaulted[i] = true;
             }
+        }
+    }
+}
+
+impl ShardableAi for UniformExclusionLender {
+    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
+        for (j, i) in visible.rows().enumerate() {
+            // Users beyond the last feedback have never defaulted.
+            let defaulted = self.defaulted.get(i).copied().unwrap_or(false);
+            out[j] = if defaulted { 0.0 } else { self.amount_k };
         }
     }
 }
@@ -228,16 +252,21 @@ impl IncomeMultipleLender {
 }
 
 impl AiSystem for IncomeMultipleLender {
-    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+    fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
         out.clear();
-        out.extend(
-            visible
-                .rows()
-                .map(|v| self.multiple * v[VISIBLE_INCOME_K]),
-        );
+        out.resize(visible.row_count(), 0.0);
+        self.signals_rows(k, full_rows(visible), out);
     }
 
     fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
+}
+
+impl ShardableAi for IncomeMultipleLender {
+    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
+        for (j, i) in visible.rows().enumerate() {
+            out[j] = self.multiple * visible.row(i)[VISIBLE_INCOME_K];
+        }
+    }
 }
 
 #[cfg(test)]
@@ -292,7 +321,11 @@ mod tests {
         assert_eq!(lender.training_size(), n);
         let model = lender.model().unwrap();
         // Income code raises the score (positive coefficient).
-        assert!(model.coefficients[1] > 0.0, "income coef = {}", model.coefficients[1]);
+        assert!(
+            model.coefficients[1] > 0.0,
+            "income coef = {}",
+            model.coefficients[1]
+        );
 
         // Decisions at k >= warmup use the scorecard: a defaulted low-income
         // user is denied, a clean high-income user approved.

@@ -113,7 +113,10 @@ mod tests {
         // No offer: never repays.
         assert_eq!(sample_repayment(50.0, 0.0, &mut rng), 0.0);
         // Income below living cost: never repays.
-        assert_eq!(sample_repayment(8.0, income_multiple_loan(8.0), &mut rng), 0.0);
+        assert_eq!(
+            sample_repayment(8.0, income_multiple_loan(8.0), &mut rng),
+            0.0
+        );
     }
 
     #[test]

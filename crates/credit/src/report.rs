@@ -32,10 +32,7 @@ pub fn fig3_race_adr(outcomes: &[CreditOutcome]) -> Vec<RaceAdrSummary> {
     Race::ALL
         .iter()
         .map(|&race| {
-            let series: Vec<Vec<f64>> = outcomes
-                .iter()
-                .map(|o| o.race_adr_series(race))
-                .collect();
+            let series: Vec<Vec<f64>> = outcomes.iter().map(|o| o.race_adr_series(race)).collect();
             let mut mean = Vec::with_capacity(steps);
             let mut std = Vec::with_capacity(steps);
             for k in 0..steps {
@@ -202,8 +199,10 @@ pub fn approval_rates_by_race(outcomes: &[CreditOutcome]) -> Vec<Vec<f64>> {
 
 /// Renders the approval series as CSV: `year,race,approval_rate`.
 pub fn approval_csv(rates: &[Vec<f64>], first_year: u32) -> String {
-    let mut csv = String::from("year,race,approval_rate
-");
+    let mut csv = String::from(
+        "year,race,approval_rate
+",
+    );
     for (race, series) in Race::ALL.iter().zip(rates) {
         for (k, r) in series.iter().enumerate() {
             csv.push_str(&format!(
@@ -252,7 +251,7 @@ mod tests {
             trials: 2,
             seed: 42,
             lender: LenderKind::Scorecard,
-            delay: 1,
+            ..Default::default()
         })
     }
 

@@ -4,8 +4,9 @@ use crate::adr::AdrFilter;
 use crate::lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLender};
 use crate::users::CreditPopulation;
 use eqimpact_census::Race;
-use eqimpact_core::closed_loop::{AiSystem, LoopBuilder};
-use eqimpact_core::recorder::LoopRecord;
+use eqimpact_core::closed_loop::LoopBuilder;
+use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+use eqimpact_core::shard::ShardableAi;
 use eqimpact_core::trials::run_trials_with;
 use eqimpact_ml::scorecard::Scorecard;
 use eqimpact_stats::SimRng;
@@ -36,6 +37,13 @@ pub struct CreditConfig {
     pub lender: LenderKind,
     /// Feedback delay in steps (the paper's Fig. 1 delay; 1 by default).
     pub delay: usize,
+    /// Intra-trial shards: `1` runs the sequential `LoopRunner`, `n > 1`
+    /// the `ShardedRunner` over `n` row shards, `0` auto-shards (one per
+    /// core). The record is bit-identical for every setting.
+    pub shards: usize,
+    /// How much telemetry to keep ([`RecordPolicy::Full`] for the paper's
+    /// figures; [`RecordPolicy::Thin`] for production-scale perf runs).
+    pub policy: RecordPolicy,
 }
 
 impl Default for CreditConfig {
@@ -47,6 +55,8 @@ impl Default for CreditConfig {
             seed: 2002,
             lender: LenderKind::Scorecard,
             delay: 1,
+            shards: 1,
+            policy: RecordPolicy::Full,
         }
     }
 }
@@ -103,20 +113,30 @@ impl CreditOutcome {
 }
 
 /// Runs one lender through the loop with static dispatch, returning the
-/// record and the lender for post-run inspection.
-fn run_lender<S: AiSystem>(
+/// record and the lender for post-run inspection. `config.shards == 1`
+/// uses the sequential runner; any other value the sharded runner — the
+/// record is bit-identical either way (see `eqimpact_core::shard`).
+fn run_lender<S: ShardableAi>(
     lender: S,
     population: CreditPopulation,
     config: &CreditConfig,
     loop_rng: &mut SimRng,
 ) -> (LoopRecord, S) {
-    let mut runner = LoopBuilder::new(lender, population)
+    let builder = LoopBuilder::new(lender, population)
         .filter(AdrFilter::new())
         .delay(config.delay)
-        .build();
-    let record = runner.run(config.steps, loop_rng);
-    let (lender, _population, _filter) = runner.into_parts();
-    (record, lender)
+        .record(config.policy);
+    if config.shards == 1 {
+        let mut runner = builder.build();
+        let record = runner.run(config.steps, loop_rng);
+        let (lender, _population, _filter) = runner.into_parts();
+        (record, lender)
+    } else {
+        let mut runner = builder.shards(config.shards).build_sharded();
+        let record = runner.run(config.steps, loop_rng);
+        let (lender, _population, _filter) = runner.into_parts();
+        (record, lender)
+    }
 }
 
 /// Runs one trial of the configured experiment. Deterministic in
@@ -191,7 +211,7 @@ mod tests {
             trials: 2,
             seed: 7,
             lender,
-            delay: 1,
+            ..Default::default()
         }
     }
 
@@ -253,10 +273,7 @@ mod tests {
             assert_eq!(series.len(), 19);
             let final_adr = *series.last().unwrap();
             // All races settle at a low default level by 2020.
-            assert!(
-                final_adr < 0.15,
-                "{race}: final ADR = {final_adr}"
-            );
+            assert!(final_adr < 0.15, "{race}: final ADR = {final_adr}");
         }
     }
 
@@ -276,6 +293,47 @@ mod tests {
         for k in 0..19 {
             assert_eq!(outcome.approval_rate(k), 1.0, "step {k}");
         }
+    }
+
+    #[test]
+    fn sharded_trials_are_bit_identical_for_every_lender() {
+        // The tentpole guarantee on the credit scenario: any shard count
+        // (including auto) reproduces the sequential record exactly.
+        for lender in [
+            LenderKind::Scorecard,
+            LenderKind::UniformExclusion,
+            LenderKind::IncomeMultiple,
+        ] {
+            let config = CreditConfig {
+                users: 150,
+                steps: 8,
+                ..small_config(lender)
+            };
+            let reference = run_trial(&config, 0);
+            for shards in [2usize, 8, 0] {
+                let config_n = CreditConfig { shards, ..config };
+                let outcome = run_trial(&config_n, 0);
+                assert_eq!(
+                    outcome.record, reference.record,
+                    "{lender:?} x {shards} shards"
+                );
+                assert_eq!(outcome.races, reference.races);
+            }
+        }
+    }
+
+    #[test]
+    fn thin_policy_flows_through_the_protocol() {
+        let config = CreditConfig {
+            users: 120,
+            steps: 6,
+            policy: RecordPolicy::Thin,
+            shards: 2,
+            ..small_config(LenderKind::IncomeMultiple)
+        };
+        let outcome = run_trial(&config, 0);
+        assert_eq!(outcome.record.policy(), RecordPolicy::Thin);
+        assert_eq!(outcome.record.mean_actions().len(), 6);
     }
 
     #[test]

@@ -1,12 +1,28 @@
 //! The user-population block: census households with eq. (10)-(11)
 //! repayment behaviour.
+//!
+//! [`CreditPopulation`] is **shardable**: household state is purely
+//! per-user, so the population partitions into contiguous
+//! [`CreditShard`]s that observe/respond concurrently. All randomness of
+//! household `i` at step `k` — the yearly income resample and the
+//! repayment draw — comes from the index-keyed
+//! [`RowStreams`](eqimpact_core::shard::RowStreams), which is what makes
+//! the loop's record bit-identical for any shard count (the sequential
+//! `*_into` methods route through the same per-row sweep).
 
 use crate::lender::{VISIBLE_INCOME_CODE, VISIBLE_INCOME_K};
 use crate::model;
-use eqimpact_census::{IncomeTable, Population, Race, FIRST_YEAR, LAST_YEAR};
+use eqimpact_census::{
+    Household, HouseholdSampler, IncomeTable, Population, Race, FIRST_YEAR, LAST_YEAR,
+};
 use eqimpact_core::closed_loop::UserPopulation;
 use eqimpact_core::features::FeatureMatrix;
+use eqimpact_core::shard::{
+    shard_bounds, PopulationShard, RowStreams, RowsMut, ShardablePopulation,
+};
 use eqimpact_stats::SimRng;
+use std::ops::Range;
+use std::sync::Arc;
 
 /// Width of the visible feature rows: `[income_code, income]`.
 pub const VISIBLE_WIDTH: usize = 2;
@@ -16,7 +32,7 @@ pub const VISIBLE_WIDTH: usize = 2;
 /// longer ablation runs), responding per the Gaussian conditional
 /// independence model.
 pub struct CreditPopulation {
-    table: IncomeTable,
+    table: Arc<IncomeTable>,
     population: Population,
     start_year: u32,
 }
@@ -24,7 +40,7 @@ pub struct CreditPopulation {
 impl CreditPopulation {
     /// Generates a population of `n` users with a deterministic stream.
     pub fn generate(n: usize, rng: &mut SimRng) -> Self {
-        let table = IncomeTable::embedded();
+        let table = Arc::new(IncomeTable::embedded());
         let population = Population::generate(&table, n, FIRST_YEAR, rng)
             .expect("FIRST_YEAR is always in range");
         CreditPopulation {
@@ -41,7 +57,11 @@ impl CreditPopulation {
 
     /// All races in user order.
     pub fn races(&self) -> Vec<Race> {
-        self.population.households().iter().map(|h| h.race).collect()
+        self.population
+            .households()
+            .iter()
+            .map(|h| h.race)
+            .collect()
     }
 
     /// User indices per race (`N_s`).
@@ -51,7 +71,59 @@ impl CreditPopulation {
 
     /// The calendar year simulated at step `k` (clamped to the table).
     pub fn year_of_step(&self, k: usize) -> u32 {
-        (self.start_year + k as u32).min(LAST_YEAR)
+        year_of_step(self.start_year, k)
+    }
+}
+
+/// The calendar year of step `k` from a start year, clamped to the table.
+fn year_of_step(start_year: u32, k: usize) -> u32 {
+    start_year
+        .saturating_add(k.min(u32::MAX as usize) as u32)
+        .min(LAST_YEAR)
+}
+
+/// The shared observe sweep: resamples incomes (steps > 0) and writes the
+/// visible rows, drawing household `start_row + j`'s randomness from
+/// `streams.for_row(start_row + j)`.
+fn observe_household_rows(
+    table: &IncomeTable,
+    households: &mut [Household],
+    start_row: usize,
+    k: usize,
+    year: u32,
+    streams: &RowStreams,
+    mut out: RowsMut<'_>,
+) {
+    let sampler = HouseholdSampler::new(table);
+    for (j, h) in households.iter_mut().enumerate() {
+        let i = start_row + j;
+        // Step 0 keeps the generation-time incomes; later steps resample
+        // from that year's distribution (the paper's yearly `z_i(k)`).
+        if k > 0 {
+            let mut rng = streams.for_row(i);
+            h.income = sampler
+                .sample_income(year, h.race, &mut rng)
+                .expect("year clamped into range");
+        }
+        let row = out.row_mut(i);
+        row[VISIBLE_INCOME_CODE] = model::income_code(h.income);
+        row[VISIBLE_INCOME_K] = h.income;
+    }
+}
+
+/// The shared respond sweep: eq. (11) repayment per household, randomness
+/// keyed by the global row.
+fn respond_household_rows(
+    households: &[Household],
+    start_row: usize,
+    signals: &[f64],
+    streams: &RowStreams,
+    out: &mut [f64],
+) {
+    assert_eq!(signals.len(), households.len(), "signals length");
+    for (j, (h, &loan)) in households.iter().zip(signals).enumerate() {
+        let mut rng = streams.for_row(start_row + j);
+        out[j] = model::sample_repayment(h.income, loan, &mut rng);
     }
 }
 
@@ -61,32 +133,109 @@ impl UserPopulation for CreditPopulation {
     }
 
     fn observe_into(&mut self, k: usize, rng: &mut SimRng, out: &mut FeatureMatrix) {
+        let n = self.population.len();
         let year = self.year_of_step(k);
-        // Step 0 keeps the generation-time incomes; later steps resample
-        // from that year's distribution (the paper's yearly `z_i(k)`).
-        if k > 0 {
-            self.population
-                .resample_incomes(&self.table, year, rng)
-                .expect("year clamped into range");
-        }
-        out.reshape(self.population.len(), VISIBLE_WIDTH);
-        for (i, h) in self.population.households().iter().enumerate() {
-            let row = out.row_mut(i);
-            row[VISIBLE_INCOME_CODE] = model::income_code(h.income);
-            row[VISIBLE_INCOME_K] = h.income;
-        }
+        let streams = RowStreams::observe(rng, k);
+        out.reshape(n, VISIBLE_WIDTH);
+        observe_household_rows(
+            &self.table,
+            self.population.households_mut(),
+            0,
+            k,
+            year,
+            &streams,
+            RowsMut::new(out.as_mut_slice(), VISIBLE_WIDTH, 0..n),
+        );
     }
 
-    fn respond_into(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
-        assert_eq!(signals.len(), self.population.len(), "signals length");
+    fn respond_into(&mut self, k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
+        let n = self.population.len();
+        let streams = RowStreams::respond(rng, k);
         out.clear();
-        out.extend(
-            self.population
-                .households()
-                .iter()
-                .zip(signals)
-                .map(|(h, &loan)| model::sample_repayment(h.income, loan, rng)),
+        out.resize(n, 0.0);
+        respond_household_rows(self.population.households(), 0, signals, &streams, out);
+    }
+}
+
+/// One contiguous row-partition of a [`CreditPopulation`]: owns its
+/// households, shares the (read-only) income table.
+pub struct CreditShard {
+    table: Arc<IncomeTable>,
+    households: Vec<Household>,
+    start_row: usize,
+    start_year: u32,
+}
+
+impl PopulationShard for CreditShard {
+    fn rows(&self) -> Range<usize> {
+        self.start_row..self.start_row + self.households.len()
+    }
+
+    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+        let year = year_of_step(self.start_year, k);
+        observe_household_rows(
+            &self.table,
+            &mut self.households,
+            self.start_row,
+            k,
+            year,
+            streams,
+            out,
         );
+    }
+
+    fn respond_rows(&mut self, _k: usize, signals: &[f64], streams: &RowStreams, out: &mut [f64]) {
+        respond_household_rows(&self.households, self.start_row, signals, streams, out);
+    }
+}
+
+impl ShardablePopulation for CreditPopulation {
+    type Shard = CreditShard;
+
+    fn feature_width(&self) -> usize {
+        VISIBLE_WIDTH
+    }
+
+    fn into_row_shards(self, parts: usize) -> Vec<CreditShard> {
+        let CreditPopulation {
+            table,
+            population,
+            start_year,
+        } = self;
+        let mut households = population.into_households();
+        let bounds = shard_bounds(households.len(), parts);
+        let mut shards = Vec::with_capacity(bounds.len());
+        // Split back-to-front so each chunk is a cheap tail split.
+        for range in bounds.into_iter().rev() {
+            let chunk = households.split_off(range.start);
+            shards.push(CreditShard {
+                table: Arc::clone(&table),
+                households: chunk,
+                start_row: range.start,
+                start_year,
+            });
+        }
+        shards.reverse();
+        shards
+    }
+
+    fn from_row_shards(shards: Vec<CreditShard>) -> Self {
+        let mut shards = shards;
+        shards.sort_by_key(|s| s.start_row);
+        let table = shards
+            .first()
+            .map(|s| Arc::clone(&s.table))
+            .unwrap_or_else(|| Arc::new(IncomeTable::embedded()));
+        let start_year = shards.first().map(|s| s.start_year).unwrap_or(FIRST_YEAR);
+        let mut households = Vec::with_capacity(shards.iter().map(|s| s.households.len()).sum());
+        for shard in shards {
+            households.extend(shard.households);
+        }
+        CreditPopulation {
+            table,
+            population: Population::from_households(households),
+            start_year,
+        }
     }
 }
 
@@ -160,5 +309,60 @@ mod tests {
         let actions = pop.respond(0, &loans, &mut rng);
         let repay_rate = actions.iter().sum::<f64>() / 200.0;
         assert!(repay_rate > 0.7, "repay rate = {repay_rate}");
+    }
+
+    #[test]
+    fn shard_roundtrip_preserves_households() {
+        let mut rng = SimRng::new(6);
+        let pop = CreditPopulation::generate(97, &mut rng);
+        let races = pop.races();
+        let shards = pop.into_row_shards(5);
+        assert_eq!(shards.len(), 5);
+        assert_eq!(shards[0].rows().start, 0);
+        assert_eq!(shards.last().unwrap().rows().end, 97);
+        let back = CreditPopulation::from_row_shards(shards);
+        assert_eq!(back.user_count(), 97);
+        assert_eq!(back.races(), races);
+    }
+
+    #[test]
+    fn sharded_sweeps_match_sequential() {
+        // The per-row stream contract in action: a 3-shard observe/respond
+        // pass writes exactly what the sequential population writes.
+        let mut rng = SimRng::new(7);
+        let n = 60;
+        let mut pop = CreditPopulation::generate(n, &mut rng);
+        let mut shards = CreditPopulation::generate(n, &mut SimRng::new(7)).into_row_shards(3);
+
+        let root = SimRng::new(40);
+        for k in 0..4 {
+            let mut seq_rng = root.clone();
+            let visible = pop.observe(k, &mut seq_rng);
+            let signals: Vec<f64> = visible
+                .rows()
+                .map(|v| model::income_multiple_loan(v[VISIBLE_INCOME_K]))
+                .collect();
+            let actions = pop.respond(k, &signals, &mut seq_rng);
+
+            let observe = RowStreams::observe(&root, k);
+            let respond = RowStreams::respond(&root, k);
+            let mut vis = vec![0.0; n * VISIBLE_WIDTH];
+            let mut act = vec![0.0; n];
+            for shard in shards.iter_mut() {
+                let rows = shard.rows();
+                shard.observe_rows(
+                    k,
+                    &observe,
+                    RowsMut::new(
+                        &mut vis[rows.start * VISIBLE_WIDTH..rows.end * VISIBLE_WIDTH],
+                        VISIBLE_WIDTH,
+                        rows.clone(),
+                    ),
+                );
+                shard.respond_rows(k, &signals[rows.clone()], &respond, &mut act[rows]);
+            }
+            assert_eq!(vis, visible.as_slice(), "step {k} features");
+            assert_eq!(act, actions, "step {k} actions");
+        }
     }
 }

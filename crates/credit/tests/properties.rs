@@ -91,7 +91,7 @@ proptest! {
             trials: 1,
             seed,
             lender: LenderKind::Scorecard,
-            delay: 1,
+            ..Default::default()
         };
         let outcome = run_trial(&config, 0);
         prop_assert_eq!(outcome.record.steps(), 10);

@@ -96,7 +96,16 @@ mod tests {
     fn condensation_is_acyclic() {
         let g = DiGraph::from_edges(
             6,
-            &[(0, 1), (1, 0), (2, 3), (3, 2), (4, 5), (5, 4), (0, 2), (2, 4)],
+            &[
+                (0, 1),
+                (1, 0),
+                (2, 3),
+                (3, 2),
+                (4, 5),
+                (5, 4),
+                (0, 2),
+                (2, 4),
+            ],
         );
         let c = Condensation::compute(&g);
         // A DAG has no strongly connected component of size > 1.

@@ -104,10 +104,7 @@ mod tests {
     #[test]
     fn two_even_cycles_gcd_two() {
         // Cycles of length 2 and 4 sharing node 0: gcd(2, 4) = 2.
-        let g = DiGraph::from_edges(
-            5,
-            &[(0, 1), (1, 0), (0, 2), (2, 3), (3, 4), (4, 0)],
-        );
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 0), (0, 2), (2, 3), (3, 4), (4, 0)]);
         assert_eq!(period(&g), Some(2));
         assert!(!is_aperiodic(&g));
     }
@@ -142,7 +139,16 @@ mod tests {
         // Complete bipartite orientation: {0,1} <-> {2,3}; all cycles even.
         let g = DiGraph::from_edges(
             4,
-            &[(0, 2), (2, 0), (0, 3), (3, 0), (1, 2), (2, 1), (1, 3), (3, 1)],
+            &[
+                (0, 2),
+                (2, 0),
+                (0, 3),
+                (3, 0),
+                (1, 2),
+                (2, 1),
+                (1, 3),
+                (3, 1),
+            ],
         );
         assert_eq!(period(&g), Some(2));
     }

@@ -130,8 +130,12 @@ mod tests {
 
     #[test]
     fn factors_spd_matrix() {
-        let a = Matrix::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
         let ch = Cholesky::decompose(&a).unwrap();
         // Known factor: L = [[2,0,0],[6,1,0],[-8,5,3]].
         assert!((ch.l()[(0, 0)] - 2.0).abs() < 1e-12);

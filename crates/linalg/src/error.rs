@@ -60,7 +60,10 @@ impl fmt::Display for LinalgError {
                 write!(f, "matrix is singular at pivot {pivot}")
             }
             LinalgError::NotPositiveDefinite { minor } => {
-                write!(f, "matrix is not positive definite at leading minor {minor}")
+                write!(
+                    f,
+                    "matrix is not positive definite at leading minor {minor}"
+                )
             }
             LinalgError::NoConvergence { method, iterations } => {
                 write!(f, "{method} did not converge after {iterations} iterations")

@@ -149,8 +149,8 @@ mod tests {
 
     #[test]
     fn solves_well_conditioned_system() {
-        let a = Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]])
-            .unwrap();
+        let a =
+            Matrix::from_rows(&[&[3.0, 2.0, -1.0], &[2.0, -2.0, 4.0], &[-1.0, 0.5, -1.0]]).unwrap();
         let b = Vector::from_slice(&[1.0, -2.0, 0.0]);
         let lu = Lu::decompose(&a).unwrap();
         let x = lu.solve(&b).unwrap();
@@ -203,8 +203,7 @@ mod tests {
 
     #[test]
     fn permutation_sign_tracked() {
-        let a = Matrix::from_rows(&[&[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]])
-            .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 0.0, 1.0], &[1.0, 0.0, 0.0], &[0.0, 1.0, 0.0]]).unwrap();
         // Cyclic permutation matrix has determinant +1.
         let lu = Lu::decompose(&a).unwrap();
         assert!((lu.determinant() - 1.0).abs() < 1e-12);

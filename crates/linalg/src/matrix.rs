@@ -64,10 +64,7 @@ impl Matrix {
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
         if data.len() != rows * cols {
             return Err(LinalgError::InvalidShape {
-                reason: format!(
-                    "buffer length {} does not match {rows}x{cols}",
-                    data.len()
-                ),
+                reason: format!("buffer length {} does not match {rows}x{cols}", data.len()),
             });
         }
         Ok(Matrix { rows, cols, data })

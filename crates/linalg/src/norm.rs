@@ -34,9 +34,7 @@ pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn chebyshev(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "chebyshev: length mismatch");
-    a.iter()
-        .zip(b)
-        .fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+    a.iter().zip(b).fold(0.0, |m, (x, y)| m.max((x - y).abs()))
 }
 
 /// The discrete metric: 0 if equal, 1 otherwise (bitwise comparison).
@@ -139,7 +137,8 @@ mod tests {
                     // Triangle inequality through the third point.
                     for r in pts {
                         assert!(
-                            kind.distance(p, q) <= kind.distance(p, r) + kind.distance(r, q) + 1e-12
+                            kind.distance(p, q)
+                                <= kind.distance(p, r) + kind.distance(r, q) + 1e-12
                         );
                     }
                 }

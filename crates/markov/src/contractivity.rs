@@ -96,10 +96,7 @@ pub fn estimate_contraction_factor(
 ///
 /// # Panics
 /// Panics when `lo` and `hi` have different lengths or any `lo[i] >= hi[i]`.
-pub fn box_sampler(
-    lo: Vec<f64>,
-    hi: Vec<f64>,
-) -> impl FnMut(&mut SimRng) -> Vec<f64> {
+pub fn box_sampler(lo: Vec<f64>, hi: Vec<f64>) -> impl FnMut(&mut SimRng) -> Vec<f64> {
     assert_eq!(lo.len(), hi.len(), "box_sampler: bounds length mismatch");
     for (l, h) in lo.iter().zip(&hi) {
         assert!(l < h, "box_sampler: empty box side [{l}, {h})");
@@ -195,13 +192,8 @@ mod tests {
         let ms = system_with_slopes(0.5, 0.5);
         let mut rng = SimRng::new(5);
         // Sampler producing coincident points only: every pair is skipped.
-        let report = estimate_contraction_factor(
-            &ms,
-            MetricKind::Euclidean,
-            100,
-            &mut rng,
-            |_| vec![0.5],
-        );
+        let report =
+            estimate_contraction_factor(&ms, MetricKind::Euclidean, 100, &mut rng, |_| vec![0.5]);
         assert_eq!(report.pairs_evaluated, 0);
         assert!(!report.is_contractive());
     }

@@ -147,9 +147,7 @@ pub fn empirical_equal_impact(
         let avg = elton_average(ms, x0, steps, &mut stream, f);
         limits.push(*avg.last().expect("steps >= 0 gives at least one value"));
     }
-    let spread = limits
-        .iter()
-        .fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+    let spread = limits.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
         - limits.iter().fold(f64::INFINITY, |m, &x| m.min(x));
     EqualImpactTest {
         spread,
@@ -278,14 +276,10 @@ mod tests {
         // fixed points (-1 and +1), so the Cesàro limits differ.
         let ms = reducible_system();
         let mut rng = SimRng::new(6);
-        let test = empirical_equal_impact(
-            &ms,
-            &[vec![-0.5], vec![0.5]],
-            2_000,
-            0.1,
-            &mut rng,
-            |x| x[0],
-        );
+        let test =
+            empirical_equal_impact(&ms, &[vec![-0.5], vec![0.5]], 2_000, 0.1, &mut rng, |x| {
+                x[0]
+            });
         assert!(!test.passed);
         assert!(test.spread > 1.5, "spread = {}", test.spread);
     }

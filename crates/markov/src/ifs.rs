@@ -30,11 +30,7 @@ impl IfsBuilder {
     }
 
     /// Adds a map with constant probability.
-    pub fn map_const(
-        self,
-        w: impl Fn(&[f64]) -> Vec<f64> + Send + Sync + 'static,
-        p: f64,
-    ) -> Self {
+    pub fn map_const(self, w: impl Fn(&[f64]) -> Vec<f64> + Send + Sync + 'static, p: f64) -> Self {
         self.map(w, move |_| p)
     }
 
@@ -175,9 +171,8 @@ mod tests {
             .build()
             .unwrap();
         let mut rng = SimRng::new(1);
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            ifs.step(&[0.0], &mut rng)
-        }));
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ifs.step(&[0.0], &mut rng)));
         assert!(result.is_err());
     }
 }

@@ -269,10 +269,7 @@ mod tests {
     use crate::ifs::{affine1d, Ifs};
 
     fn two_state_chain() -> FiniteChain {
-        FiniteChain::new(
-            Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]).unwrap(),
-        )
-        .unwrap()
+        FiniteChain::new(Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]).unwrap()).unwrap()
     }
 
     #[test]
@@ -313,10 +310,8 @@ mod tests {
         assert!(c.is_primitive());
 
         // Periodic 2-cycle: irreducible but not aperiodic.
-        let per = FiniteChain::new(
-            Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap(),
-        )
-        .unwrap();
+        let per =
+            FiniteChain::new(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap()).unwrap();
         assert!(per.is_irreducible());
         assert!(!per.is_aperiodic());
         assert!(!per.is_primitive());
@@ -325,10 +320,8 @@ mod tests {
         assert!((pi[0] - 0.5).abs() < 1e-12);
 
         // Reducible chain: two absorbing states.
-        let red = FiniteChain::new(
-            Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap(),
-        )
-        .unwrap();
+        let red =
+            FiniteChain::new(Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap()).unwrap();
         assert!(!red.is_irreducible());
     }
 
@@ -354,10 +347,8 @@ mod tests {
 
     #[test]
     fn tv_decay_fails_to_vanish_for_periodic_chain() {
-        let per = FiniteChain::new(
-            Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap(),
-        )
-        .unwrap();
+        let per =
+            FiniteChain::new(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap()).unwrap();
         let decay = per.tv_decay(&Vector::from_slice(&[1.0, 0.0]), 20).unwrap();
         // The distribution oscillates and never approaches uniform.
         assert!(decay.iter().all(|&d| (d - 0.5).abs() < 1e-12));
@@ -391,7 +382,11 @@ mod tests {
             0.01,
             &mut rng,
         );
-        assert!(est.converged, "did not converge: {:?}", est.iterate_distances);
+        assert!(
+            est.converged,
+            "did not converge: {:?}",
+            est.iterate_distances
+        );
         // Invariant measure is U[0,1]: check mean and variance.
         let n = est.final_samples.len() as f64;
         let mean: f64 = est.final_samples.iter().sum::<f64>() / n;

@@ -349,6 +349,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(SwitchedSystemError::Empty.to_string().contains("no modes"));
-        assert!(SwitchedSystemError::BadWeights.to_string().contains("weights"));
+        assert!(SwitchedSystemError::BadWeights
+            .to_string()
+            .contains("weights"));
     }
 }

@@ -112,7 +112,11 @@ mod tests {
     fn single_scaling_matrix_exponent_is_log_scale() {
         let mut rng = SimRng::new(1);
         let est = lyapunov_exponent(&[diag2(0.5, 0.5)], &[1.0], 2_000, 4, &mut rng);
-        assert!((est.exponent - 0.5f64.ln()).abs() < 1e-9, "{}", est.exponent);
+        assert!(
+            (est.exponent - 0.5f64.ln()).abs() < 1e-9,
+            "{}",
+            est.exponent
+        );
         assert!(est.is_stable());
     }
 
@@ -121,7 +125,11 @@ mod tests {
         // diag(0.9, 0.3): the top exponent is ln 0.9 (slowest contraction).
         let mut rng = SimRng::new(2);
         let est = lyapunov_exponent(&[diag2(0.9, 0.3)], &[1.0], 3_000, 4, &mut rng);
-        assert!((est.exponent - 0.9f64.ln()).abs() < 0.01, "{}", est.exponent);
+        assert!(
+            (est.exponent - 0.9f64.ln()).abs() < 0.01,
+            "{}",
+            est.exponent
+        );
     }
 
     #[test]

@@ -183,11 +183,7 @@ impl ParticleMeasure {
 ///
 /// # Panics
 /// Panics if `x` lies in no cell.
-pub fn markov_operator_apply(
-    ms: &MarkovSystem,
-    f: impl Fn(&[f64]) -> f64,
-    x: &[f64],
-) -> f64 {
+pub fn markov_operator_apply(ms: &MarkovSystem, f: impl Fn(&[f64]) -> f64, x: &[f64]) -> f64 {
     let v = ms.classify(x).expect("point in no cell");
     let probs = ms.probabilities_at(x).expect("bad probabilities");
     ms.outgoing(v)
@@ -292,10 +288,8 @@ mod tests {
 
     #[test]
     fn coalesce_merges_duplicates() {
-        let m = ParticleMeasure::weighted(
-            vec![vec![1.0], vec![1.0], vec![2.0]],
-            vec![0.25, 0.25, 0.5],
-        );
+        let m =
+            ParticleMeasure::weighted(vec![vec![1.0], vec![1.0], vec![2.0]], vec![0.25, 0.25, 0.5]);
         let c = m.coalesce();
         assert_eq!(c.len(), 2);
         let w1 = c

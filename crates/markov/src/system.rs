@@ -71,7 +71,10 @@ impl fmt::Display for MarkovSystemError {
                 write!(f, "edge {edge} probability {value} outside [0,1]")
             }
             MarkovSystemError::CellViolation { edge } => {
-                write!(f, "edge {edge} maps its source cell outside its target cell")
+                write!(
+                    f,
+                    "edge {edge} maps its source cell outside its target cell"
+                )
             }
             MarkovSystemError::PointInNoCell => write!(f, "sampled point belongs to no cell"),
         }
@@ -375,7 +378,10 @@ mod tests {
             .edge(0, 5, |x| x.to_vec(), |_| 1.0)
             .build()
             .unwrap_err();
-        assert!(matches!(err, MarkovSystemError::BadVertex { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            MarkovSystemError::BadVertex { vertex: 5, .. }
+        ));
     }
 
     #[test]
@@ -480,7 +486,10 @@ mod tests {
 
     #[test]
     fn display_of_errors() {
-        let e = MarkovSystemError::ProbabilitiesNotNormalized { vertex: 1, sum: 0.8 };
+        let e = MarkovSystemError::ProbabilitiesNotNormalized {
+            vertex: 1,
+            sum: 0.8,
+        };
         assert!(e.to_string().contains("0.8"));
         assert!(MarkovSystemError::Empty.to_string().contains("no edges"));
     }

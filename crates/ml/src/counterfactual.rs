@@ -274,7 +274,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(CounterfactualError::Infeasible.to_string().contains("cut-off"));
+        assert!(CounterfactualError::Infeasible
+            .to_string()
+            .contains("cut-off"));
         assert!(CounterfactualError::AlreadyApproved
             .to_string()
             .contains("approval"));

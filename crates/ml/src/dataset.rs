@@ -123,8 +123,7 @@ impl Dataset {
             }
         }
         Ok(Dataset {
-            x: Matrix::from_vec(labels.len(), width, flat)
-                .expect("consistent by construction"),
+            x: Matrix::from_vec(labels.len(), width, flat).expect("consistent by construction"),
             y: Vector::from_slice(labels),
         })
     }

@@ -152,13 +152,17 @@ impl LogisticRegression {
         }
 
         // Design matrix with intercept column.
-        let x = Matrix::from_fn(n, d + 1, |i, j| {
-            if j == 0 {
-                1.0
-            } else {
-                data.row(i)[j - 1]
-            }
-        });
+        let x = Matrix::from_fn(
+            n,
+            d + 1,
+            |i, j| {
+                if j == 0 {
+                    1.0
+                } else {
+                    data.row(i)[j - 1]
+                }
+            },
+        );
         let y = data.labels();
 
         let mut beta = Vector::zeros(d + 1);
@@ -251,7 +255,11 @@ mod tests {
         for _ in 0..n {
             let x: Vec<f64> = coefs.iter().map(|_| rng.uniform_in(-2.0, 2.0)).collect();
             let eta: f64 = intercept + coefs.iter().zip(&x).map(|(b, v)| b * v).sum::<f64>();
-            let y = if rng.bernoulli(sigmoid(eta)) { 1.0 } else { 0.0 };
+            let y = if rng.bernoulli(sigmoid(eta)) {
+                1.0
+            } else {
+                0.0
+            };
             rows.push(x);
             labels.push(y);
         }
@@ -276,7 +284,11 @@ mod tests {
         let data = synthetic(20_000, 0.5, &[2.0, -1.0], 1);
         let model = LogisticRegression::default().fit(&data).unwrap();
         assert!(model.converged);
-        assert!((model.intercept - 0.5).abs() < 0.1, "b0 = {}", model.intercept);
+        assert!(
+            (model.intercept - 0.5).abs() < 0.1,
+            "b0 = {}",
+            model.intercept
+        );
         assert!(
             (model.coefficients[0] - 2.0).abs() < 0.1,
             "b1 = {}",
@@ -354,15 +366,27 @@ mod tests {
             let income = if rng.bernoulli(0.7) { 1.0 } else { 0.0 };
             let adr = rng.uniform();
             let eta = -8.0 * adr + 5.5 * income + 1.0;
-            let y = if rng.bernoulli(sigmoid(eta)) { 1.0 } else { 0.0 };
+            let y = if rng.bernoulli(sigmoid(eta)) {
+                1.0
+            } else {
+                0.0
+            };
             rows.push(vec![adr, income]);
             labels.push(y);
         }
         let data = Dataset::new(&rows, &labels).unwrap();
         let model = LogisticRegression::default().fit(&data).unwrap();
         // Table I shape: history (ADR) negative, income positive.
-        assert!(model.coefficients[0] < -5.0, "adr coef = {}", model.coefficients[0]);
-        assert!(model.coefficients[1] > 3.0, "income coef = {}", model.coefficients[1]);
+        assert!(
+            model.coefficients[0] < -5.0,
+            "adr coef = {}",
+            model.coefficients[0]
+        );
+        assert!(
+            model.coefficients[1] > 3.0,
+            "income coef = {}",
+            model.coefficients[1]
+        );
     }
 
     #[test]
@@ -379,7 +403,9 @@ mod tests {
 
     #[test]
     fn train_error_display() {
-        assert!(TrainError::DegenerateLabels.to_string().contains("identical"));
+        assert!(TrainError::DegenerateLabels
+            .to_string()
+            .contains("identical"));
         assert!(TrainError::NoProgress { iterations: 7 }
             .to_string()
             .contains('7'));

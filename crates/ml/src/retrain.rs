@@ -143,7 +143,11 @@ mod tests {
         let mut labels = Vec::with_capacity(n);
         for _ in 0..n {
             let x = rng.uniform_in(-2.0, 2.0);
-            let y = if rng.bernoulli(sigmoid(slope * x)) { 1.0 } else { 0.0 };
+            let y = if rng.bernoulli(sigmoid(slope * x)) {
+                1.0
+            } else {
+                0.0
+            };
             rows.push(vec![x]);
             labels.push(y);
         }
@@ -152,7 +156,8 @@ mod tests {
 
     #[test]
     fn pipeline_accumulates_and_refits() {
-        let mut p = RetrainingPipeline::new(LogisticRegression::default(), RetentionPolicy::KeepAll);
+        let mut p =
+            RetrainingPipeline::new(LogisticRegression::default(), RetentionPolicy::KeepAll);
         assert!(p.model().is_none());
         assert!(matches!(p.refit(), Err(RetrainError::NoData)));
 
@@ -204,8 +209,15 @@ mod tests {
         // Drift: slope flips sign.
         let (rows, labels) = batch(-3.0, 1500, 99);
         let w = windowed.ingest_and_refit(&rows, &labels).unwrap().clone();
-        let a = accumulating.ingest_and_refit(&rows, &labels).unwrap().clone();
-        assert!(w.coefficients[0] < -1.0, "windowed coef = {}", w.coefficients[0]);
+        let a = accumulating
+            .ingest_and_refit(&rows, &labels)
+            .unwrap()
+            .clone();
+        assert!(
+            w.coefficients[0] < -1.0,
+            "windowed coef = {}",
+            w.coefficients[0]
+        );
         assert!(
             a.coefficients[0] > w.coefficients[0] + 1.0,
             "accumulating should lag: acc = {}, win = {}",
@@ -216,7 +228,8 @@ mod tests {
 
     #[test]
     fn bad_batch_reported() {
-        let mut p = RetrainingPipeline::new(LogisticRegression::default(), RetentionPolicy::KeepAll);
+        let mut p =
+            RetrainingPipeline::new(LogisticRegression::default(), RetentionPolicy::KeepAll);
         let err = p.ingest(&[vec![1.0]], &[0.5]).unwrap_err();
         assert!(matches!(err, RetrainError::BadBatch(_)));
         assert!(err.to_string().contains("bad batch"));

@@ -129,7 +129,10 @@ impl Scorecard {
         out.push_str(&format!("{:<12} {:>10}\n", "Factor", "Score"));
         out.push_str(&format!("{:<12} {:>10.3}\n", "(base)", self.base_points));
         for row in &self.rows {
-            out.push_str(&format!("{:<12} {:>10.3}\n", row.factor, row.points_per_unit));
+            out.push_str(&format!(
+                "{:<12} {:>10.3}\n",
+                row.factor, row.points_per_unit
+            ));
         }
         out.push_str(&format!("{:<12} {:>10.3}\n", "(cut-off)", self.cutoff));
         out

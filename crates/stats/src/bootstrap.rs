@@ -45,7 +45,10 @@ pub fn bootstrap_ci(
 ) -> ConfidenceInterval {
     assert!(!sample.is_empty(), "bootstrap: empty sample");
     assert!(resamples > 0, "bootstrap: zero resamples");
-    assert!((0.0..1.0).contains(&level) && level > 0.0, "bootstrap: bad level");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "bootstrap: bad level"
+    );
 
     let estimate = statistic(sample);
     let n = sample.len();
@@ -115,13 +118,7 @@ mod tests {
     fn custom_statistic_median() {
         let sample = [1.0, 2.0, 3.0, 4.0, 100.0];
         let mut rng = SimRng::new(3);
-        let ci = bootstrap_ci(
-            &sample,
-            crate::describe::median,
-            1_000,
-            0.9,
-            &mut rng,
-        );
+        let ci = bootstrap_ci(&sample, crate::describe::median, 1_000, 0.9, &mut rng);
         // The median is robust to the outlier: estimate is 3.
         assert_eq!(ci.estimate, 3.0);
         assert!(ci.hi <= 100.0);

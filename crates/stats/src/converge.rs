@@ -69,11 +69,7 @@ pub fn total_variation_histogram(p: &Histogram1D, q: &Histogram1D) -> f64 {
     );
     let pm = p.masses();
     let qm = q.masses();
-    0.5 * pm
-        .iter()
-        .zip(&qm)
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
+    0.5 * pm.iter().zip(&qm).map(|(a, b)| (a - b).abs()).sum::<f64>()
 }
 
 /// Total-variation distance between two discrete probability vectors.
@@ -106,12 +102,7 @@ pub fn wasserstein1(a: &[f64], b: &[f64]) -> f64 {
     sb.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
 
     if sa.len() == sb.len() {
-        return sa
-            .iter()
-            .zip(&sb)
-            .map(|(x, y)| (x - y).abs())
-            .sum::<f64>()
-            / sa.len() as f64;
+        return sa.iter().zip(&sb).map(|(x, y)| (x - y).abs()).sum::<f64>() / sa.len() as f64;
     }
 
     // Merge all CDF jump points; integrate |F_a^{-1}(u) - F_b^{-1}(u)| du.

@@ -1,6 +1,5 @@
 //! Descriptive statistics.
 
-
 /// A one-pass summary of a sample: count, mean, variance, extremes.
 ///
 /// Uses Welford's online algorithm, so it is numerically stable and can be

@@ -566,8 +566,7 @@ mod tests {
         assert_eq!(b.mean(), 0.25);
         assert!((b.variance() - 0.1875).abs() < 1e-15);
         let mut rng = SimRng::new(2);
-        let mean: f64 =
-            (0..20_000).map(|_| b.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        let mean: f64 = (0..20_000).map(|_| b.sample(&mut rng)).sum::<f64>() / 20_000.0;
         assert!((mean - 0.25).abs() < 0.02);
     }
 

@@ -1,7 +1,6 @@
 //! Histograms: 1-D for marginal laws, 2-D for the (time x value) density of
 //! the paper's Fig. 5.
 
-
 /// A fixed-width 1-D histogram over `[lo, hi)` with values outside the
 /// range clamped into the boundary bins.
 #[derive(Debug, Clone, PartialEq)]

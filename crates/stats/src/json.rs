@@ -32,12 +32,7 @@ pub enum Json {
 impl Json {
     /// Builds an object from `(key, value)` pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
-        Json::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Looks up a key in an object.
@@ -578,7 +573,10 @@ mod tests {
     #[test]
     fn to_json_impls() {
         assert_eq!(3usize.to_json(), Json::Num(3.0));
-        assert_eq!(vec![1.0, 2.0].to_json().as_f64_vec().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(
+            vec![1.0, 2.0].to_json().as_f64_vec().unwrap(),
+            vec![1.0, 2.0]
+        );
         assert_eq!([1.0f64; 3].to_json().as_arr().unwrap().len(), 3);
         assert_eq!((1.0, 2.0).to_json().as_f64_vec().unwrap(), vec![1.0, 2.0]);
         assert_eq!(Option::<f64>::None.to_json(), Json::Null);

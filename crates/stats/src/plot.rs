@@ -123,8 +123,11 @@ mod tests {
 
     #[test]
     fn renders_single_series() {
-        let chart = AsciiChart::new(20, 6)
-            .series(Series::new("ramp", (0..20).map(|i| i as f64).collect(), '*'));
+        let chart = AsciiChart::new(20, 6).series(Series::new(
+            "ramp",
+            (0..20).map(|i| i as f64).collect(),
+            '*',
+        ));
         let s = chart.render();
         assert!(s.contains('*'));
         assert!(s.contains("ramp"));

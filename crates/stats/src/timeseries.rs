@@ -6,7 +6,6 @@
 //! sequence has settled, and [`Ewma`] provides the exponentially weighted
 //! alternative used by some filters.
 
-
 /// Online Cesàro average `(1/(k+1)) Σ_{j=0}^k y(j)`.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CesaroAverage {

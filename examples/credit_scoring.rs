@@ -19,7 +19,7 @@ fn main() {
         trials: 5,
         seed: 2002,
         lender: LenderKind::Scorecard,
-        delay: 1,
+        ..Default::default()
     };
     println!(
         "running {} trials x {} users x {} years...",
@@ -32,7 +32,10 @@ fn main() {
         .scorecard
         .as_ref()
         .expect("scorecard fitted after warmup");
-    println!("\nLearned scorecard (paper Table I shape):\n{}", card.to_table());
+    println!(
+        "\nLearned scorecard (paper Table I shape):\n{}",
+        card.to_table()
+    );
 
     // Fig. 3: race-wise ADR, mean +/- std across trials.
     let summaries = report::fig3_race_adr(&outcomes);

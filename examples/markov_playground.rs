@@ -83,21 +83,23 @@ fn main() {
     println!("  coupled at step {:?}", trace.coupled_at);
 
     // 4. Finite chains: primitive vs periodic.
-    let primitive = FiniteChain::new(
-        Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]).unwrap(),
-    )
-    .unwrap();
+    let primitive =
+        FiniteChain::new(Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]).unwrap()).unwrap();
     let pi = primitive.stationary_distribution().unwrap();
-    println!("\nPrimitive 2-state chain: stationary = [{:.3}, {:.3}]", pi[0], pi[1]);
+    println!(
+        "\nPrimitive 2-state chain: stationary = [{:.3}, {:.3}]",
+        pi[0], pi[1]
+    );
     let decay = primitive
         .tv_decay(&eqimpact_linalg::Vector::from_slice(&[1.0, 0.0]), 20)
         .unwrap();
-    println!("  TV to stationarity: start {:.3}, after 20 steps {:.2e}", decay[0], decay[20]);
+    println!(
+        "  TV to stationarity: start {:.3}, after 20 steps {:.2e}",
+        decay[0], decay[20]
+    );
 
-    let periodic = FiniteChain::new(
-        Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap(),
-    )
-    .unwrap();
+    let periodic =
+        FiniteChain::new(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap()).unwrap();
     println!(
         "Periodic 2-cycle: irreducible = {}, aperiodic = {}",
         periodic.is_irreducible(),

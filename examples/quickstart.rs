@@ -8,8 +8,8 @@
 
 use eqimpact_core::closed_loop::{AiSystem, Feedback, LoopBuilder, MeanFilter, UserPopulation};
 use eqimpact_core::features::FeatureMatrix;
-use eqimpact_core::recorder::RecordPolicy;
 use eqimpact_core::impact::equal_impact_report;
+use eqimpact_core::recorder::RecordPolicy;
 use eqimpact_core::treatment::equal_treatment_report;
 use eqimpact_stats::SimRng;
 

@@ -21,20 +21,25 @@ fn main() {
         trials: 1,
         seed: 2002,
         lender: LenderKind::Scorecard,
-        delay: 1,
+        ..Default::default()
     };
-    println!("auditing one {}-user, 19-year scorecard loop...\n", config.users);
+    println!(
+        "auditing one {}-user, 19-year scorecard loop...\n",
+        config.users
+    );
     let outcome = run_trial(&config, 0);
-    let race_groups: Vec<Vec<usize>> = Race::ALL
-        .iter()
-        .map(|&r| outcome.race_indices(r))
-        .collect();
+    let race_groups: Vec<Vec<usize>> = Race::ALL.iter().map(|&r| outcome.race_indices(r)).collect();
 
     // --- Single-pass group fairness (the Related Work notions) ---------
     let dp = demographic_parity(&outcome.record, &race_groups, 0.0);
     println!("Demographic parity (approval rate by race, pooled over years):");
     for (race, rate) in Race::ALL.iter().zip(&dp.group_rates) {
-        println!("  {:<12} {:.3} (n = {})", race.label(), rate.rate, rate.count);
+        println!(
+            "  {:<12} {:.3} (n = {})",
+            race.label(),
+            rate.rate,
+            rate.count
+        );
     }
     println!(
         "  max gap {:.3}, disparate-impact ratio {:.3} (80% rule: >= 0.8)\n",
@@ -49,11 +54,7 @@ fn main() {
     println!("  max gap {:.3}\n", eo.max_gap);
 
     // --- Individual fairness on the ADR similarity metric --------------
-    let indiv = individual_fairness(
-        &outcome.record,
-        |a, b| (a - b).abs().max(1e-3),
-        0.05,
-    );
+    let indiv = individual_fairness(&outcome.record, |a, b| (a - b).abs().max(1e-3), 0.05);
     println!(
         "Individual fairness (Lipschitz audit on ADR similarity): worst ratio {:.1} over {} pairs\n",
         indiv.worst_lipschitz_ratio, indiv.pairs_audited

@@ -13,6 +13,17 @@ use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
+/// Whether the bench binary was invoked with `--quick` (smoke mode):
+/// sample counts are capped and the measurement budget shrunk so a full
+/// bench target finishes in CI-friendly time. Benchmarks can also consult
+/// this to trim their own workloads.
+pub fn is_quick() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Sample-count cap applied in `--quick` mode.
+const QUICK_SAMPLES: usize = 3;
+
 /// Identifies one parameterized benchmark: `BenchmarkId::new("fit", n)`.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -114,9 +125,13 @@ pub struct BenchmarkGroup<'c> {
 }
 
 impl BenchmarkGroup<'_> {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark (capped in
+    /// [`is_quick`] mode).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_count = n.max(2);
+        if is_quick() {
+            self.sample_count = self.sample_count.min(QUICK_SAMPLES);
+        }
         self
     }
 
@@ -127,7 +142,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
         let mut b = Bencher {
             samples: Vec::new(),
             iters_per_sample: 1,
@@ -162,13 +181,14 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        let quick = is_quick();
         Criterion {
-            sample_count: 20,
+            sample_count: if quick { QUICK_SAMPLES } else { 20 },
             target_time: Duration::from_millis(
                 std::env::var("CRITERION_TARGET_MS")
                     .ok()
                     .and_then(|v| v.parse().ok())
-                    .unwrap_or(500),
+                    .unwrap_or(if quick { 100 } else { 500 }),
             ),
         }
     }

@@ -299,10 +299,8 @@ pub mod prop {
         impl<S: Strategy> Strategy for VecStrategy<S> {
             type Value = Vec<S::Value>;
             fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-                let len = rng.range_u64(
-                    self.size.lo as u64,
-                    self.size.hi_inclusive as u64 + 1,
-                ) as usize;
+                let len =
+                    rng.range_u64(self.size.lo as u64, self.size.hi_inclusive as u64 + 1) as usize;
                 (0..len).map(|_| self.element.generate(rng)).collect()
             }
         }

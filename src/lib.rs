@@ -26,6 +26,10 @@ pub mod prelude {
     };
     pub use eqimpact_core::features::FeatureMatrix;
     pub use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+    pub use eqimpact_core::shard::{
+        full_rows, shard_bounds, PopulationShard, RowStreams, RowsMut, RowsView, ShardableAi,
+        ShardablePopulation, ShardedRunner,
+    };
     pub use eqimpact_core::trials::run_trials;
     pub use eqimpact_stats::SimRng;
 }

@@ -5,9 +5,7 @@ use eqimpact_core::closed_loop::{
     AiSystem, Feedback, FeedbackFilter, LoopBuilder, LoopRunner, MeanFilter, UserPopulation,
 };
 use eqimpact_core::features::FeatureMatrix;
-use eqimpact_core::impact::{
-    conditioned_equal_impact_report, equal_impact_report, group_limits,
-};
+use eqimpact_core::impact::{conditioned_equal_impact_report, equal_impact_report, group_limits};
 use eqimpact_core::treatment::{classes_by_attribute, conditioned_equal_treatment_report};
 use eqimpact_core::trials::run_trials;
 use eqimpact_stats::SimRng;
@@ -86,8 +84,16 @@ fn equal_treatment_without_equal_impact() {
     let conditional = conditioned_equal_impact_report(&record, &class_sets, 0.2, 0.08);
     assert!(conditional.all_coincide);
     let groups = group_limits(&conditional, &class_sets);
-    assert!((groups[0] - 0.2).abs() < 0.05, "class 0 limit = {}", groups[0]);
-    assert!((groups[1] - 0.6).abs() < 0.05, "class 1 limit = {}", groups[1]);
+    assert!(
+        (groups[0] - 0.2).abs() < 0.05,
+        "class 0 limit = {}",
+        groups[0]
+    );
+    assert!(
+        (groups[1] - 0.6).abs() < 0.05,
+        "class 1 limit = {}",
+        groups[1]
+    );
 }
 
 #[test]
@@ -98,7 +104,11 @@ fn multi_trial_limits_are_stable_across_seeds() {
         report.limits.iter().sum::<f64>() / report.limits.len() as f64
     });
     // Mean of per-user limits ~ (0.2 + 0.6)/2 = 0.4 across all trials.
-    assert!((summary.mean() - 0.4).abs() < 0.03, "mean = {}", summary.mean());
+    assert!(
+        (summary.mean() - 0.4).abs() < 0.03,
+        "mean = {}",
+        summary.mean()
+    );
     assert!(summary.std_dev() < 0.03);
 }
 

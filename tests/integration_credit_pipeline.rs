@@ -13,7 +13,7 @@ fn config(users: usize, lender: LenderKind) -> CreditConfig {
         trials: 3,
         seed: 11,
         lender,
-        delay: 1,
+        ..Default::default()
     }
 }
 
@@ -72,10 +72,7 @@ fn equal_impact_holds_within_races_under_scorecard() {
     // Def. 4 conditioned on race over the ADR trajectories: within each
     // race the individual limits concentrate.
     let outcome = run_trial(&config(600, LenderKind::Scorecard), 0);
-    let classes: Vec<Vec<usize>> = Race::ALL
-        .iter()
-        .map(|&r| outcome.race_indices(r))
-        .collect();
+    let classes: Vec<Vec<usize>> = Race::ALL.iter().map(|&r| outcome.race_indices(r)).collect();
     // Use repayment actions as y_i; generous tolerance because 19 steps is
     // a short horizon.
     let report = conditioned_equal_impact_report(&outcome.record, &classes, 0.3, 0.6);
@@ -101,8 +98,7 @@ fn uniform_policy_shrinks_access_unevenly() {
     let rate = |race: Race| {
         let members = outcome.race_indices(race);
         let signals = outcome.record.signals(last);
-        members.iter().filter(|&&i| signals[i] > 0.0).count() as f64
-            / members.len().max(1) as f64
+        members.iter().filter(|&&i| signals[i] > 0.0).count() as f64 / members.len().max(1) as f64
     };
     let black = rate(Race::Black);
     let white = rate(Race::White);
@@ -137,17 +133,16 @@ fn figures_are_mutually_consistent() {
     let f3 = report::fig3_race_adr(&outcomes);
     let f4 = report::fig4_user_adr(&outcomes);
     for summary in &f3 {
-        let members: Vec<&(String, Vec<f64>)> =
-            f4.iter().filter(|(race, _)| race == &summary.race).collect();
+        let members: Vec<&(String, Vec<f64>)> = f4
+            .iter()
+            .filter(|(race, _)| race == &summary.race)
+            .collect();
         // Mean over trials of per-trial race means == grand mean here only
         // when race counts are equal across trials; they are, because each
         // trial uses an independent batch but the mean-of-means matches
         // within a small tolerance for equal-sized populations.
-        let grand: f64 = members
-            .iter()
-            .map(|(_, t)| *t.last().unwrap())
-            .sum::<f64>()
-            / members.len() as f64;
+        let grand: f64 =
+            members.iter().map(|(_, t)| *t.last().unwrap()).sum::<f64>() / members.len() as f64;
         let f3_final = *summary.mean.last().unwrap();
         assert!(
             (grand - f3_final).abs() < 0.02,

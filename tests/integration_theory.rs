@@ -125,10 +125,7 @@ fn coupling_rate_matches_contraction_factor() {
 fn periodic_system_fails_attractivity_but_keeps_cesaro_limits() {
     // The A3 dichotomy at the API level: the periodic chain's TV distance
     // plateaus, yet the Cesàro average of a trajectory still converges.
-    let chain = FiniteChain::new(
-        Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap(),
-    )
-    .unwrap();
+    let chain = FiniteChain::new(Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap()).unwrap();
     let nu = eqimpact_linalg::Vector::from_slice(&[1.0, 0.0]);
     let decay = chain.tv_decay(&nu, 40).unwrap();
     assert!((decay.last().unwrap() - 0.5).abs() < 1e-12);
@@ -161,14 +158,10 @@ fn reducible_system_breaks_equal_impact() {
     );
     assert_eq!(verdict.verdict, ErgodicityVerdict::NotIrreducible);
 
-    let test = ergodic::empirical_equal_impact(
-        &ms,
-        &[vec![-0.9], vec![0.9]],
-        3_000,
-        0.1,
-        &mut rng,
-        |x| x[0],
-    );
+    let test =
+        ergodic::empirical_equal_impact(&ms, &[vec![-0.9], vec![0.9]], 3_000, 0.1, &mut rng, |x| {
+            x[0]
+        });
     assert!(!test.passed);
     assert!(test.spread > 1.5);
 }
