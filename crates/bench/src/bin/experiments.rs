@@ -1,60 +1,173 @@
-//! Regenerates every table and figure of the paper.
+//! Registry-driven experiments CLI: lists and runs the registered
+//! closed-loop scenarios (see `eqimpact_bench::registry`).
 //!
 //! ```text
-//! cargo run --release -p eqimpact-bench --bin experiments -- [--quick] [--out DIR] [ARTIFACT...]
+//! cargo run --release -p eqimpact-bench --bin experiments -- <COMMAND>
+//!
+//! Commands:
+//!   list [--json]
+//!       Print every registered scenario with its artifacts; `--json`
+//!       emits just the scenario names as a JSON array (consumed by the
+//!       CI smoke matrix).
+//!   run <scenario> [--quick] [--shards N] [--out DIR] [ARTIFACT...]
+//!   run --all      [--quick] [--shards N] [--out DIR]
+//!       Run one scenario (optionally restricted to the named artifacts)
+//!       or every registered scenario.
+//!
+//! Flags:
+//!   --quick      reduced CI scale instead of the paper's parameters
+//!   --shards N   intra-trial shard count (0 = auto, one per core);
+//!                records are bit-identical for every value
+//!   --out DIR    artifact output directory (default `results/`)
 //! ```
 //!
-//! `ARTIFACT` is any of `table1 fig2 fig3 fig4 fig5 ablate-policy
-//! ablate-integral ablate-markov ablate-delay ablate-filter perf-shard`;
-//! with none given, everything runs. `--shards N` sets the intra-trial
-//! shard count of the credit-loop artifacts (`0` = auto, one per core;
-//! results are bit-identical for every value — it is a pure perf knob)
-//! and of the `perf-shard` speedup measurement, which runs the 100k-user
-//! production scale (20k under `--quick`).
-//! Results are written as CSV/JSON under `--out` (default `results/`) and
-//! summarized on stdout.
+//! Scenario names, artifact names and flags are all validated against
+//! the registry: a typo like `--quikc` or `fig9` exits with status 2 and
+//! the list of known names instead of being silently ignored. Artifacts
+//! are written as CSV/JSON under `--out` and summarized on stdout.
 
-use eqimpact_bench::*;
-use eqimpact_census::FIRST_YEAR;
-use eqimpact_credit::report;
-use eqimpact_stats::ToJson;
-use std::collections::BTreeSet;
-use std::path::{Path, PathBuf};
+use eqimpact_bench::registry;
+use eqimpact_core::scenario::{write_artifacts, DynScenario, Scale, ScenarioConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn main() {
+/// Flags accepted by `run`, for the unknown-flag error message.
+const RUN_FLAGS: &str = "--all, --quick, --shards N, --out DIR";
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `experiments help` for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn real_main() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            print_usage();
+            Ok(())
+        }
+        Some("list") => cmd_list(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some(other) => Err(format!(
+            "unknown command `{other}` (known commands: list, run, help)"
+        )),
+    }
+}
+
+fn print_usage() {
+    println!("experiments — registry-driven paper artifacts and scenarios");
+    println!();
+    println!("  experiments list [--json]");
+    println!("  experiments run <scenario> [--quick] [--shards N] [--out DIR] [ARTIFACT...]");
+    println!("  experiments run --all      [--quick] [--shards N] [--out DIR]");
+    println!();
+    print_scenarios();
+}
+
+fn print_scenarios() {
+    println!("registered scenarios:");
+    for scenario in registry::scenarios() {
+        println!("  {:<11} {}", scenario.name(), scenario.description());
+        for spec in scenario.artifacts() {
+            println!("    - {:<16} {}", spec.name, spec.description);
+        }
+    }
+}
+
+fn cmd_list(args: &[String]) -> Result<(), String> {
+    match args {
+        [] => {
+            print_scenarios();
+            Ok(())
+        }
+        [flag] if flag == "--json" => {
+            let names: Vec<String> = registry::names()
+                .iter()
+                .map(|n| format!("\"{n}\""))
+                .collect();
+            println!("[{}]", names.join(","));
+            Ok(())
+        }
+        _ => Err(format!(
+            "unknown arguments to `list`: {} (known: --json)",
+            args.join(" ")
+        )),
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
     let mut quick = false;
-    let mut out_dir = PathBuf::from("results");
+    let mut all = false;
     let mut shards = 1usize;
-    let mut wanted: BTreeSet<String> = BTreeSet::new();
+    let mut out_dir = PathBuf::from("results");
+    let mut scenario_name: Option<String> = None;
+    let mut artifacts: Vec<String> = Vec::new();
+
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--quick" => quick = true,
-            "--out" => {
-                out_dir = PathBuf::from(iter.next().expect("--out requires a directory argument"));
-            }
+            "--all" => all = true,
             "--shards" => {
-                shards = iter
+                let value = iter
                     .next()
-                    .expect("--shards requires a count (0 = auto)")
+                    .ok_or("--shards requires a count (0 = auto, one per core)")?;
+                shards = value
                     .parse()
-                    .expect("--shards requires an integer");
+                    .map_err(|_| format!("--shards requires an integer, got `{value}`"))?;
             }
-            other => {
-                let name = other.trim_start_matches("--").to_string();
-                wanted.insert(name);
+            "--out" => {
+                out_dir = PathBuf::from(
+                    iter.next()
+                        .ok_or("--out requires a directory argument")?
+                        .clone(),
+                );
             }
+            flag if flag.starts_with("--") => {
+                // The pre-redesign CLI swallowed unknown flags as artifact
+                // names, so a typo silently selected nothing. Reject them.
+                return Err(format!("unknown flag `{flag}` (known flags: {RUN_FLAGS})"));
+            }
+            positional if scenario_name.is_none() && !all => {
+                scenario_name = Some(positional.to_string());
+            }
+            positional => artifacts.push(positional.to_string()),
         }
     }
-    let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let all = wanted.is_empty();
-    let want = |name: &str| all || wanted.contains(name);
 
-    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let selected: Vec<&'static dyn DynScenario> = if all {
+        if scenario_name.is_some() || !artifacts.is_empty() {
+            return Err(
+                "`run --all` runs every scenario in full; drop the scenario/artifact names"
+                    .to_string(),
+            );
+        }
+        registry::scenarios().to_vec()
+    } else {
+        let name = scenario_name.ok_or_else(|| {
+            format!(
+                "`run` needs a scenario name or --all (known scenarios: {})",
+                registry::names().join(", ")
+            )
+        })?;
+        let scenario = registry::find(&name).ok_or_else(|| {
+            format!(
+                "unknown scenario `{name}` (known scenarios: {})",
+                registry::names().join(", ")
+            )
+        })?;
+        vec![scenario]
+    };
+
     println!(
-        "eqimpact experiments — scale: {:?}, shards: {}, output: {}",
-        scale,
+        "eqimpact experiments — scale: {scale:?}, shards: {}, output: {}",
         if shards == 0 {
             "auto".to_string()
         } else {
@@ -63,255 +176,33 @@ fn main() {
         out_dir.display()
     );
 
-    if want("table1") {
-        run_table1(scale, &out_dir);
-    }
-    if want("fig2") {
-        run_fig2(&out_dir);
-    }
-    if want("fig3") || want("fig4") || want("fig5") {
-        run_credit_figures(
-            scale,
-            &out_dir,
-            shards,
-            want("fig3"),
-            want("fig4"),
-            want("fig5"),
-        );
-    }
-    if want("ablate-policy") {
-        run_ablate_policy(scale, &out_dir);
-    }
-    if want("ablate-integral") {
-        run_ablate_integral(scale, &out_dir);
-    }
-    if want("ablate-markov") {
-        run_ablate_markov(scale, &out_dir);
-    }
-    if want("ablate-delay") {
-        run_ablate_delay(scale, &out_dir);
-    }
-    if want("ablate-filter") {
-        run_ablate_filter(scale, &out_dir);
-    }
-    if want("perf-shard") {
-        run_perf_shard(scale, &out_dir, shards);
-    }
-    println!("done.");
-}
-
-fn write(path: &Path, contents: &str) {
-    std::fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    println!("  wrote {}", path.display());
-}
-
-fn run_table1(scale: Scale, out: &Path) {
-    println!("\n== T1: Table I — the learned scorecard ==");
-    let t1 = table1_scorecard(scale);
-    println!(
-        "  Factor       learned     paper\n  History   {:+9.3}  {:+9.2}\n  Income    {:+9.3}  {:+9.2}\n  (base)    {:+9.3}        --",
-        t1.history_points, t1.paper_reference.0, t1.income_points, t1.paper_reference.1, t1.base_points
-    );
-    println!(
-        "  worked example (ADR 0.1, income>15K): {:.3} (paper: 4.953)",
-        t1.example_score
-    );
-    let json = t1.to_json().render_pretty();
-    write(&out.join("table1_scorecard.json"), &json);
-}
-
-fn run_fig2(out: &Path) {
-    println!("\n== F2: Fig. 2 — 2020 income distribution by race ==");
-    let rows = fig2_rows();
-    println!(
-        "  {:<10} {:>7} {:>7} {:>7}",
-        "bracket", "black", "white", "asian"
-    );
-    for (label, shares) in &rows {
-        println!(
-            "  {:<10} {:>6.1}% {:>6.1}% {:>6.1}%",
-            label,
-            shares[0] * 100.0,
-            shares[1] * 100.0,
-            shares[2] * 100.0
-        );
-    }
-    write(
-        &out.join("fig2_income_distribution.csv"),
-        &report::fig2_csv(&rows),
-    );
-}
-
-fn run_credit_figures(scale: Scale, out: &Path, shards: usize, f3: bool, f4: bool, f5: bool) {
-    println!("\n== F3/F4/F5: running the credit closed loop ==");
-    let outcomes = credit_outcomes_with(scale, shards);
-    if f3 {
-        let series = fig3_series(&outcomes);
-        println!("  Fig. 3 — final race-wise ADR (mean ± std across trials):");
-        for s in &series {
+    for scenario in selected {
+        let mut config = ScenarioConfig::new(scale).with_shards(shards);
+        if !artifacts.is_empty() {
+            config = config.with_artifacts(artifacts.iter().cloned());
+        }
+        // Under --all, a global shard count must not abort the sweep on
+        // scenarios without intra-trial parallelism — run those
+        // sequentially instead. An explicit single-scenario request
+        // still errors, so the incompatibility is never silent.
+        if all && config.shards != 1 && !scenario.supports_sharding() {
             println!(
-                "    {:<12} {:.4} ± {:.4}",
-                s.race,
-                s.mean.last().unwrap(),
-                s.std.last().unwrap()
+                "\n(note: `{}` has no intra-trial sharding; running it sequentially)",
+                scenario.name()
             );
+            config.shards = 1;
         }
-        // Terminal rendering of the three mean curves.
-        use eqimpact_stats::plot::{AsciiChart, Series};
-        let glyphs = ['B', 'W', 'A'];
-        let mut chart = AsciiChart::new(57, 12);
-        for (s, &g) in series.iter().zip(&glyphs) {
-            chart = chart.series(Series::new(s.race.clone(), s.mean.clone(), g));
+        println!("\n== {}: {} ==", scenario.name(), scenario.description());
+        let report = scenario.run(&config).map_err(|e| e.to_string())?;
+        for line in &report.summary {
+            println!("  {line}");
         }
-        for line in chart.render().lines() {
-            println!("    {line}");
+        let written =
+            write_artifacts(scenario.name(), &report, &out_dir).map_err(|e| e.to_string())?;
+        for path in written {
+            println!("  wrote {}", path.display());
         }
-        write(
-            &out.join("fig3_race_adr.csv"),
-            &report::fig3_csv(&series, FIRST_YEAR),
-        );
     }
-    if f4 {
-        let series = fig4_series(&outcomes);
-        println!("  Fig. 4 — {} user ADR trajectories recorded", series.len());
-        write(
-            &out.join("fig4_user_adr.csv"),
-            &report::fig4_csv(&series, FIRST_YEAR),
-        );
-    }
-    if f5 {
-        let hist = fig5_histogram(&outcomes);
-        println!("  Fig. 5 — ADR density by year (dark = dense):");
-        for line in hist.to_ascii().lines() {
-            println!("    |{line}|");
-        }
-        write(
-            &out.join("fig5_adr_density.csv"),
-            &report::fig5_csv(&hist, FIRST_YEAR),
-        );
-    }
-}
-
-fn run_perf_shard(scale: Scale, out: &Path, shards: usize) {
-    println!("\n== P-SH: intra-trial sharding speedup (production credit scale) ==");
-    let r = perf_shard(scale, shards);
-    println!(
-        "  {} users x {} steps on {} cores:\n    sequential (1 shard): {:>9.2} ms\n    sharded ({:>2} shards): {:>9.2} ms  speedup x{:.2}",
-        r.users, r.steps, r.cores, r.sequential_ms, r.shards, r.sharded_ms, r.speedup
-    );
-    let json = r.to_json().render_pretty();
-    write(&out.join("perf_shard.json"), &json);
-}
-
-fn run_ablate_policy(scale: Scale, out: &Path) {
-    println!("\n== A1: uniform-$50K vs income-multiple policy ==");
-    let a1 = ablate_policy(scale);
-    println!(
-        "  long-run approval rate [black, white, asian]:\n    uniform-exclusion: [{:.4}, {:.4}, {:.4}]  access gap {:.4}\n    income-multiple:   [{:.4}, {:.4}, {:.4}]  access gap {:.4}",
-        a1.uniform_approval[0],
-        a1.uniform_approval[1],
-        a1.uniform_approval[2],
-        a1.approval_gaps.0,
-        a1.income_multiple_approval[0],
-        a1.income_multiple_approval[1],
-        a1.income_multiple_approval[2],
-        a1.approval_gaps.1
-    );
-    println!(
-        "  final race ADR: uniform [{:.4}, {:.4}, {:.4}], income-multiple [{:.4}, {:.4}, {:.4}]",
-        a1.uniform_final_adr[0],
-        a1.uniform_final_adr[1],
-        a1.uniform_final_adr[2],
-        a1.income_multiple_final_adr[0],
-        a1.income_multiple_final_adr[1],
-        a1.income_multiple_final_adr[2]
-    );
-    let json = a1.to_json().render_pretty();
-    write(&out.join("ablate_policy.json"), &json);
-
-    // Year-by-year access series under the uniform policy (the exclusion
-    // dynamics of the introduction, as CSV).
-    let config = eqimpact_credit::sim::CreditConfig {
-        steps: if matches!(scale, Scale::Quick) {
-            30
-        } else {
-            60
-        },
-        trials: 1,
-        users: if matches!(scale, Scale::Quick) {
-            200
-        } else {
-            1000
-        },
-        lender: eqimpact_credit::sim::LenderKind::UniformExclusion,
-        ..Default::default()
-    };
-    let outcomes = eqimpact_credit::sim::run_trials_protocol(&config);
-    let rates = report::approval_rates_by_race(&outcomes);
-    write(
-        &out.join("ablate_policy_access_series.csv"),
-        &report::approval_csv(&rates, FIRST_YEAR),
-    );
-}
-
-fn run_ablate_integral(scale: Scale, out: &Path) {
-    println!("\n== A2: integral action vs stable control (Sec. VI warning) ==");
-    let a2 = ablate_integral(scale);
-    println!(
-        "  max per-agent spread across initial conditions:\n    integral + hysteretic relays:     {:.4}  (ergodicity LOST)\n    proportional + stochastic agents: {:.4}  (ergodic)",
-        a2.integral_gap.max_spread, a2.proportional_gap.max_spread
-    );
-    println!(
-        "  aggregate limits (integral runs): {:?}",
-        a2.integral_gap
-            .aggregate_limits
-            .iter()
-            .map(|x| (x * 1000.0).round() / 1000.0)
-            .collect::<Vec<_>>()
-    );
-    let json = a2.to_json().render_pretty();
-    write(&out.join("ablate_integral.json"), &json);
-}
-
-fn run_ablate_markov(scale: Scale, out: &Path) {
-    println!("\n== A3: invariant-measure attractivity ==");
-    let a3 = ablate_markov(scale);
-    println!(
-        "  primitive chain TV after 30 steps: {:.2e} (decays)\n  periodic  chain TV after 30 steps: {:.4} (plateau)\n  contractive IFS particle iteration converged: {} in {} iterations\n  IFS structural verdict: {:?}",
-        a3.primitive_tv.last().unwrap(),
-        a3.periodic_tv.last().unwrap(),
-        a3.ifs_converged,
-        a3.ifs_distances.len(),
-        a3.ifs_verdict
-    );
-    let json = a3.to_json().render_pretty();
-    write(&out.join("ablate_markov.json"), &json);
-}
-
-fn run_ablate_delay(scale: Scale, out: &Path) {
-    println!("\n== A4: feedback-delay sensitivity ==");
-    let a4 = ablate_delay(scale);
-    println!("  delay | final race ADR spread | final mean ADR");
-    for i in 0..a4.delays.len() {
-        println!(
-            "   {:>4} | {:>21.4} | {:>14.4}",
-            a4.delays[i], a4.race_spread[i], a4.mean_adr[i]
-        );
-    }
-    let json = a4.to_json().render_pretty();
-    write(&out.join("ablate_delay.json"), &json);
-}
-
-fn run_ablate_filter(scale: Scale, out: &Path) {
-    println!("\n== A5: feedback-filter choice ==");
-    let a5 = ablate_filter(scale);
-    println!("  filter          | tail tracking err | late signal swing");
-    for i in 0..a5.filters.len() {
-        println!(
-            "  {:<15} | {:>17.4} | {:>17.5}",
-            a5.filters[i], a5.tracking_error[i], a5.late_signal_swing[i]
-        );
-    }
-    let json = a5.to_json().render_pretty();
-    write(&out.join("ablate_filter.json"), &json);
+    println!("\ndone.");
+    Ok(())
 }

@@ -15,82 +15,35 @@ use eqimpact_markov::operator::ParticleMeasure;
 use eqimpact_markov::{ergodic, MarkovSystem};
 use eqimpact_stats::{Json, SimRng, ToJson};
 
-/// Scale of an experiment run: `Paper` uses the paper's parameters
-/// (N = 1000, 5 trials), `Quick` a reduced size for benches and CI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Scale {
-    /// The paper's full parameters.
-    Paper,
-    /// Reduced size for fast iteration.
-    Quick,
-}
+/// Scale of an experiment run, re-exported from the core scenario API:
+/// `Paper` uses the paper's parameters (N = 1000, 5 trials), `Quick` a
+/// reduced size for benches and CI.
+pub use eqimpact_core::scenario::Scale;
 
-impl Scale {
-    fn credit_config(self, lender: LenderKind) -> CreditConfig {
-        match self {
-            Scale::Paper => CreditConfig {
-                lender,
-                ..CreditConfig::default()
-            },
-            Scale::Quick => CreditConfig {
-                users: 400,
-                trials: 2,
-                lender,
-                ..CreditConfig::default()
-            },
-        }
-    }
+/// The credit configuration of a scale (the scenario registry's mapping,
+/// shared so ablations sweep the same shapes).
+fn credit_config(scale: Scale, lender: LenderKind) -> CreditConfig {
+    eqimpact_credit::scenario::scale_config(scale, lender)
 }
 
 // ---------------------------------------------------------------------------
 // T1 — Table I
 // ---------------------------------------------------------------------------
 
-/// Table I result: the learned scorecard and the paper's reference values.
-#[derive(Debug, Clone)]
-pub struct Table1Result {
-    /// Learned points per unit of average default rate ("History").
-    pub history_points: f64,
-    /// Learned points for the income code ("Income > $15K").
-    pub income_points: f64,
-    /// Learned base points (intercept).
-    pub base_points: f64,
-    /// The paper's reference values `(-8.17, +5.77)`.
-    pub paper_reference: (f64, f64),
-    /// The worked example's score for ADR 0.1, income code 1 (the paper
-    /// reports 4.953 for its reference card, excluding base points).
-    pub example_score: f64,
-}
-
-impl ToJson for Table1Result {
-    fn to_json(&self) -> Json {
-        Json::obj([
-            ("history_points", self.history_points.to_json()),
-            ("income_points", self.income_points.to_json()),
-            ("base_points", self.base_points.to_json()),
-            ("paper_reference", self.paper_reference.to_json()),
-            ("example_score", self.example_score.to_json()),
-        ])
-    }
-}
+/// Table I result: the learned scorecard and the paper's reference
+/// values (the shared extraction from `eqimpact_credit::report`, so the
+/// bench surface and the `credit` scenario artifact cannot diverge).
+pub use eqimpact_credit::report::Table1Scorecard as Table1Result;
 
 /// T1: runs the closed loop at the given scale and extracts the final
 /// scorecard.
 pub fn table1_scorecard(scale: Scale) -> Table1Result {
-    let outcomes = run_trials_protocol(&scale.credit_config(LenderKind::Scorecard));
+    let outcomes = run_trials_protocol(&credit_config(scale, LenderKind::Scorecard));
     let card = outcomes
         .iter()
         .find_map(|o| o.scorecard.clone())
         .expect("scorecard lender always refits");
-    let history = card.rows[0].points_per_unit;
-    let income = card.rows[1].points_per_unit;
-    Table1Result {
-        history_points: history,
-        income_points: income,
-        base_points: card.base_points,
-        paper_reference: (-8.17, 5.77),
-        example_score: history * 0.1 + income,
-    }
+    Table1Result::from_scorecard(&card)
 }
 
 // ---------------------------------------------------------------------------
@@ -116,7 +69,7 @@ pub fn credit_outcomes(scale: Scale) -> Vec<CreditOutcome> {
 pub fn credit_outcomes_with(scale: Scale, shards: usize) -> Vec<CreditOutcome> {
     let config = CreditConfig {
         shards,
-        ..scale.credit_config(LenderKind::Scorecard)
+        ..credit_config(scale, LenderKind::Scorecard)
     };
     run_trials_protocol(&config)
 }
@@ -192,7 +145,7 @@ pub fn ablate_policy(scale: Scale) -> PolicyAblation {
         let config = CreditConfig {
             steps,
             trials: 1,
-            ..scale.credit_config(lender)
+            ..credit_config(scale, lender)
         };
         let outcome = &run_trials_protocol(&config)[0];
         let mut approval = [0.0; 3];
@@ -420,7 +373,7 @@ pub fn ablate_delay(scale: Scale) -> DelayAblation {
         let config = CreditConfig {
             delay,
             trials: 1,
-            ..scale.credit_config(LenderKind::Scorecard)
+            ..credit_config(scale, LenderKind::Scorecard)
         };
         let outcome = &run_trials_protocol(&config)[0];
         let finals: Vec<f64> = Race::ALL

@@ -1,10 +1,12 @@
 //! Experiment harness: one function per paper artifact (Table I,
 //! Figs. 2-5) and per ablation (A1 policy comparison, A2 integral-action
 //! ergodicity loss, A3 Markov-system attractivity), shared between the
-//! `experiments` binary and the Criterion benches.
+//! `experiments` binary and the Criterion benches — plus the static
+//! scenario [`registry`] the binary is driven by.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod registry;
 
 pub use experiments::*;

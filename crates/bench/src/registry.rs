@@ -1,0 +1,295 @@
+//! The static scenario registry behind the `experiments` CLI.
+//!
+//! Every workload the binary can run is a
+//! [`DynScenario`](eqimpact_core::scenario::DynScenario) registered here:
+//! the closed-loop case studies ([`CreditScenario`], [`HiringScenario`])
+//! plug in through the typed `Scenario` trait, while the ablation suite
+//! and the sharding perf measurement implement the object-safe face
+//! directly (they are not trials-of-one-outcome workloads). Adding a
+//! scenario is one `impl` plus one line in [`scenarios`]; the CLI, the
+//! artifact validation and the CI smoke matrix pick it up automatically.
+
+use crate::experiments::{
+    ablate_delay, ablate_filter, ablate_integral, ablate_markov, ablate_policy, perf_shard,
+};
+use eqimpact_census::FIRST_YEAR;
+use eqimpact_core::scenario::{
+    validate_artifacts, Artifact, ArtifactSpec, DynScenario, ScenarioConfig, ScenarioError,
+    ScenarioReport,
+};
+use eqimpact_credit::report;
+use eqimpact_credit::sim::{run_trials_protocol, CreditConfig, LenderKind};
+use eqimpact_credit::CreditScenario;
+use eqimpact_hiring::HiringScenario;
+use eqimpact_stats::ToJson;
+
+/// The ablation suite (A1-A5) as one registry scenario. Each artifact is
+/// an independent study with its own internal protocol, so this type
+/// implements [`DynScenario`] directly instead of the trials-driven
+/// `Scenario` trait.
+pub struct AblationScenario;
+
+const ABLATION_ARTIFACTS: &[ArtifactSpec] = &[
+    ArtifactSpec {
+        name: "ablate-policy",
+        description: "A1: uniform-$50K vs income-multiple access (plus access series CSV)",
+    },
+    ArtifactSpec {
+        name: "ablate-integral",
+        description: "A2: integral action vs stable control (ergodicity loss)",
+    },
+    ArtifactSpec {
+        name: "ablate-markov",
+        description: "A3: invariant-measure attractivity",
+    },
+    ArtifactSpec {
+        name: "ablate-delay",
+        description: "A4: feedback-delay sensitivity of the credit loop",
+    },
+    ArtifactSpec {
+        name: "ablate-filter",
+        description: "A5: feedback-filter choice in the ensemble loop",
+    },
+];
+
+impl DynScenario for AblationScenario {
+    fn name(&self) -> &'static str {
+        "ablations"
+    }
+
+    fn description(&self) -> &'static str {
+        "ablation suite A1-A5: policy, integral action, Markov attractivity, delay, filter"
+    }
+
+    fn artifacts(&self) -> &'static [ArtifactSpec] {
+        ABLATION_ARTIFACTS
+    }
+
+    fn supports_sharding(&self) -> bool {
+        false
+    }
+
+    fn run(&self, config: &ScenarioConfig) -> Result<ScenarioReport, ScenarioError> {
+        validate_artifacts(DynScenario::name(self), self.artifacts(), config)?;
+        if config.shards != 1 {
+            return Err(ScenarioError::ShardingUnsupported {
+                scenario: DynScenario::name(self),
+            });
+        }
+        let scale = config.scale;
+        let mut out = ScenarioReport::default();
+        if config.wants("ablate-policy") {
+            let a1 = ablate_policy(scale);
+            out.summary.push(format!(
+                "A1 — access gaps: uniform-exclusion {:.4}, income-multiple {:.4}",
+                a1.approval_gaps.0, a1.approval_gaps.1
+            ));
+            out.artifacts.push(Artifact {
+                name: "ablate-policy",
+                file: "ablate_policy.json".to_string(),
+                contents: a1.to_json().render_pretty(),
+            });
+            // Year-by-year access series under the uniform policy (the
+            // exclusion dynamics of the introduction, as CSV).
+            let config = CreditConfig {
+                steps: scale.pick(60, 30),
+                trials: 1,
+                ..eqimpact_credit::scenario::scale_config(scale, LenderKind::UniformExclusion)
+            };
+            let outcomes = run_trials_protocol(&config);
+            let rates = report::approval_rates_by_race(&outcomes);
+            out.artifacts.push(Artifact {
+                name: "ablate-policy",
+                file: "ablate_policy_access_series.csv".to_string(),
+                contents: report::approval_csv(&rates, FIRST_YEAR),
+            });
+        }
+        if config.wants("ablate-integral") {
+            let a2 = ablate_integral(scale);
+            out.summary.push(format!(
+                "A2 — max spread: integral {:.4} (ergodicity LOST), proportional {:.4} (ergodic)",
+                a2.integral_gap.max_spread, a2.proportional_gap.max_spread
+            ));
+            out.artifacts.push(Artifact {
+                name: "ablate-integral",
+                file: "ablate_integral.json".to_string(),
+                contents: a2.to_json().render_pretty(),
+            });
+        }
+        if config.wants("ablate-markov") {
+            let a3 = ablate_markov(scale);
+            out.summary.push(format!(
+                "A3 — primitive TV {:.2e}, periodic TV {:.4}, IFS converged: {}, verdict {:?}",
+                a3.primitive_tv.last().copied().unwrap_or(f64::NAN),
+                a3.periodic_tv.last().copied().unwrap_or(f64::NAN),
+                a3.ifs_converged,
+                a3.ifs_verdict
+            ));
+            out.artifacts.push(Artifact {
+                name: "ablate-markov",
+                file: "ablate_markov.json".to_string(),
+                contents: a3.to_json().render_pretty(),
+            });
+        }
+        if config.wants("ablate-delay") {
+            let a4 = ablate_delay(scale);
+            out.summary
+                .push("A4 — delay | final race ADR spread | final mean ADR".to_string());
+            for i in 0..a4.delays.len() {
+                out.summary.push(format!(
+                    "      {:>4} | {:>21.4} | {:>14.4}",
+                    a4.delays[i], a4.race_spread[i], a4.mean_adr[i]
+                ));
+            }
+            out.artifacts.push(Artifact {
+                name: "ablate-delay",
+                file: "ablate_delay.json".to_string(),
+                contents: a4.to_json().render_pretty(),
+            });
+        }
+        if config.wants("ablate-filter") {
+            let a5 = ablate_filter(scale);
+            out.summary
+                .push("A5 — filter          | tail tracking err | late signal swing".to_string());
+            for i in 0..a5.filters.len() {
+                out.summary.push(format!(
+                    "      {:<15} | {:>17.4} | {:>17.5}",
+                    a5.filters[i], a5.tracking_error[i], a5.late_signal_swing[i]
+                ));
+            }
+            out.artifacts.push(Artifact {
+                name: "ablate-filter",
+                file: "ablate_filter.json".to_string(),
+                contents: a5.to_json().render_pretty(),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// The intra-trial sharding speedup measurement as a registry scenario
+/// (production credit scale; [`ScenarioConfig::shards`] selects the
+/// sharded leg's count, `<= 1` meaning auto).
+pub struct PerfShardScenario;
+
+const PERF_ARTIFACTS: &[ArtifactSpec] = &[ArtifactSpec {
+    name: "perf-shard",
+    description: "sequential vs sharded wall-clock of one production-scale credit trial",
+}];
+
+impl DynScenario for PerfShardScenario {
+    fn name(&self) -> &'static str {
+        "perf-shard"
+    }
+
+    fn description(&self) -> &'static str {
+        "intra-trial sharding speedup at production credit scale (100k users; 20k under --quick)"
+    }
+
+    fn artifacts(&self) -> &'static [ArtifactSpec] {
+        PERF_ARTIFACTS
+    }
+
+    fn supports_sharding(&self) -> bool {
+        true
+    }
+
+    fn run(&self, config: &ScenarioConfig) -> Result<ScenarioReport, ScenarioError> {
+        validate_artifacts(DynScenario::name(self), self.artifacts(), config)?;
+        let r = perf_shard(config.scale, config.shards);
+        let summary = vec![format!(
+            "{} users x {} steps on {} cores: sequential {:.2} ms, {} shards {:.2} ms, speedup x{:.2}",
+            r.users, r.steps, r.cores, r.sequential_ms, r.shards, r.sharded_ms, r.speedup
+        )];
+        Ok(ScenarioReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "perf-shard",
+                file: "perf_shard.json".to_string(),
+                contents: r.to_json().render_pretty(),
+            }],
+        })
+    }
+}
+
+/// Every registered scenario, in listing order.
+pub fn scenarios() -> &'static [&'static dyn DynScenario] {
+    static REGISTRY: [&dyn DynScenario; 4] = [
+        &CreditScenario,
+        &HiringScenario,
+        &AblationScenario,
+        &PerfShardScenario,
+    ];
+    &REGISTRY
+}
+
+/// Looks a scenario up by its registry name.
+pub fn find(name: &str) -> Option<&'static dyn DynScenario> {
+    scenarios().iter().copied().find(|s| s.name() == name)
+}
+
+/// The registered scenario names, in listing order.
+pub fn names() -> Vec<&'static str> {
+    scenarios().iter().map(|s| s.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eqimpact_core::scenario::Scale;
+
+    #[test]
+    fn registry_holds_distinct_named_scenarios() {
+        let names = names();
+        assert!(names.len() >= 2, "at least credit + hiring: {names:?}");
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate names: {names:?}");
+        assert!(names.contains(&"credit") && names.contains(&"hiring"));
+        for s in scenarios() {
+            assert!(!s.description().is_empty());
+            assert!(!s.artifacts().is_empty());
+        }
+    }
+
+    #[test]
+    fn find_resolves_names_and_rejects_unknowns() {
+        assert_eq!(find("credit").unwrap().name(), "credit");
+        assert_eq!(find("hiring").unwrap().name(), "hiring");
+        assert!(find("credits").is_none());
+        assert!(find("").is_none());
+    }
+
+    #[test]
+    fn ablations_validate_artifact_names() {
+        let bad = ScenarioConfig::new(Scale::Quick).with_artifacts(["ablate-nope"]);
+        match AblationScenario.run(&bad) {
+            Err(ScenarioError::UnknownArtifact {
+                scenario, known, ..
+            }) => {
+                assert_eq!(scenario, "ablations");
+                assert!(known.contains(&"ablate-delay"));
+            }
+            other => panic!("expected UnknownArtifact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ablations_reject_sharding() {
+        let config = ScenarioConfig::new(Scale::Quick).with_shards(4);
+        assert!(matches!(
+            AblationScenario.run(&config),
+            Err(ScenarioError::ShardingUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn ablation_subset_runs_only_what_was_asked() {
+        let config = ScenarioConfig::new(Scale::Quick).with_artifacts(["ablate-markov"]);
+        let report = AblationScenario.run(&config).unwrap();
+        assert_eq!(report.artifacts.len(), 1);
+        assert_eq!(report.artifacts[0].file, "ablate_markov.json");
+        assert!(report.summary[0].contains("A3"));
+    }
+}

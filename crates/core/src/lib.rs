@@ -35,7 +35,15 @@
 //!   producing records bit-identical to the sequential runner for any
 //!   shard count;
 //! * [`trials`] — deterministic multi-seed trial running, striped over at
-//!   most `available_parallelism()` threads.
+//!   most `available_parallelism()` threads;
+//! * [`scenario`] — first-class pluggable workloads: the
+//!   [`scenario::Scenario`] trait bundles a closed-loop workload's
+//!   config ([`scenario::Scale`]), per-trial construction, record policy
+//!   and shard support, and artifact rendering, so trial striping,
+//!   sharding and artifact writing are implemented once generically
+//!   ([`scenario::run_scenario`], [`scenario::write_artifacts`]); the
+//!   object-safe [`scenario::DynScenario`] face powers static registries
+//!   and the `experiments` CLI.
 //!
 //! # Example
 //!
@@ -95,6 +103,7 @@ pub mod fairness;
 pub mod features;
 pub mod impact;
 pub mod recorder;
+pub mod scenario;
 pub mod shard;
 pub mod treatment;
 pub mod trials;
@@ -107,5 +116,9 @@ pub use fairness::{demographic_parity, equal_opportunity, individual_fairness};
 pub use features::FeatureMatrix;
 pub use impact::{equal_impact_report, EqualImpactReport};
 pub use recorder::{LoopRecord, RecordPolicy};
+pub use scenario::{
+    run_scenario, write_artifacts, Artifact, ArtifactSpec, DynScenario, Scale, Scenario,
+    ScenarioConfig, ScenarioError, ScenarioReport,
+};
 pub use treatment::{equal_treatment_report, EqualTreatmentReport};
 pub use trials::{run_trials, run_trials_with, TrialSet};

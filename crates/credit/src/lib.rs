@@ -10,7 +10,10 @@
 //!   the uniform-$50K and income-multiple baselines of the introduction;
 //! * [`users`] — the population block over `eqimpact-census` households;
 //! * [`sim`] — configuration, single runs and the 5-trial protocol;
-//! * [`report`] — extraction of the Table I / Fig. 2-5 artifacts.
+//! * [`report`] — extraction of the Table I / Fig. 2-5 artifacts;
+//! * [`scenario`] — the case study as a first-class registry
+//!   [`Scenario`](eqimpact_core::scenario::Scenario) (`experiments run
+//!   credit`).
 //!
 //! # Example
 //!
@@ -28,10 +31,12 @@ pub mod adr;
 pub mod lender;
 pub mod model;
 pub mod report;
+pub mod scenario;
 pub mod sim;
 pub mod users;
 
 pub use adr::{AdrFilter, AdrTracker};
 pub use lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLender};
+pub use scenario::CreditScenario;
 pub use sim::{run_trial, run_trials_protocol, CreditConfig, CreditOutcome, LenderKind};
 pub use users::CreditPopulation;

@@ -3,8 +3,59 @@
 
 use crate::sim::CreditOutcome;
 use eqimpact_census::{IncomeTable, Race, BRACKETS};
+use eqimpact_ml::scorecard::Scorecard;
 use eqimpact_stats::describe::Summary;
 use eqimpact_stats::hist::Histogram2D;
+use eqimpact_stats::{Json, ToJson};
+
+/// The paper's Table I reference values: `(history, income)` points.
+pub const TABLE1_PAPER_REFERENCE: (f64, f64) = (-8.17, 5.77);
+
+/// Table I: a learned scorecard condensed to the paper's comparison —
+/// the single extraction shared by the `credit` scenario and the bench
+/// harness, so the published artifact cannot fork from the test surface.
+#[derive(Debug, Clone)]
+pub struct Table1Scorecard {
+    /// Learned points per unit of average default rate ("History").
+    pub history_points: f64,
+    /// Learned points for the income code ("Income > $15K").
+    pub income_points: f64,
+    /// Learned base points (intercept).
+    pub base_points: f64,
+    /// The paper's reference values [`TABLE1_PAPER_REFERENCE`].
+    pub paper_reference: (f64, f64),
+    /// The worked example's score for ADR 0.1, income code 1 (the paper
+    /// reports 4.953 for its reference card, excluding base points).
+    pub example_score: f64,
+}
+
+impl Table1Scorecard {
+    /// Condenses a learned scorecard (factor order: History = ADR,
+    /// Income = code) to the Table I comparison.
+    pub fn from_scorecard(card: &Scorecard) -> Self {
+        let history = card.rows[0].points_per_unit;
+        let income = card.rows[1].points_per_unit;
+        Table1Scorecard {
+            history_points: history,
+            income_points: income,
+            base_points: card.base_points,
+            paper_reference: TABLE1_PAPER_REFERENCE,
+            example_score: history * 0.1 + income,
+        }
+    }
+}
+
+impl ToJson for Table1Scorecard {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("history_points", self.history_points.to_json()),
+            ("income_points", self.income_points.to_json()),
+            ("base_points", self.base_points.to_json()),
+            ("paper_reference", self.paper_reference.to_json()),
+            ("example_score", self.example_score.to_json()),
+        ])
+    }
+}
 
 /// Fig. 3 data: per race, the cross-trial mean and ±1 standard deviation
 /// of `{ADR_s(k)}` per step.

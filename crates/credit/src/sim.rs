@@ -336,6 +336,73 @@ mod tests {
         assert_eq!(outcome.record.mean_actions().len(), 6);
     }
 
+    /// A hand-built outcome: `steps` recorded steps over `races.len()`
+    /// users, signal 1.0 / action alternating, filtered = step index.
+    fn synthetic_outcome(races: Vec<Race>, steps: usize) -> CreditOutcome {
+        let n = races.len();
+        let mut record = eqimpact_core::recorder::LoopRecord::new(n);
+        for k in 0..steps {
+            let signals = vec![if k % 2 == 0 { 1.0 } else { 0.0 }; n];
+            let actions = vec![1.0; n];
+            let filtered = vec![k as f64; n];
+            record.push_step(&signals, &actions, &filtered);
+        }
+        CreditOutcome {
+            record,
+            races,
+            scorecard: None,
+        }
+    }
+
+    #[test]
+    fn accessors_on_zero_step_record() {
+        // An outcome whose record holds no steps (e.g. a trial that was
+        // never run): the per-race series are empty, not panicking.
+        let outcome = synthetic_outcome(vec![Race::White, Race::Black], 0);
+        for race in Race::ALL {
+            assert!(outcome.race_adr_series(race).is_empty(), "{race}");
+        }
+        assert!(outcome.user_adr_series(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn approval_rate_on_zero_step_record_panics() {
+        // With no recorded steps there is no step 0 to read.
+        synthetic_outcome(vec![Race::White], 0).approval_rate(0);
+    }
+
+    #[test]
+    fn accessors_on_single_user_outcome() {
+        let outcome = synthetic_outcome(vec![Race::Asian], 3);
+        // The lone user's race series equals their individual series.
+        assert_eq!(outcome.race_adr_series(Race::Asian), vec![0.0, 1.0, 2.0]);
+        assert_eq!(outcome.user_adr_series(0), vec![0.0, 1.0, 2.0]);
+        // Races with no members yield NaN at every step, same length.
+        let empty_race = outcome.race_adr_series(Race::Black);
+        assert_eq!(empty_race.len(), 3);
+        assert!(empty_race.iter().all(|v| v.is_nan()));
+        assert!(outcome.race_indices(Race::Black).is_empty());
+        // Approval follows the alternating signals exactly.
+        assert_eq!(outcome.approval_rate(0), 1.0);
+        assert_eq!(outcome.approval_rate(1), 0.0);
+        assert_eq!(outcome.approval_rate(2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn approval_rate_out_of_range_step_panics() {
+        let outcome = synthetic_outcome(vec![Race::White], 4);
+        outcome.approval_rate(4); // steps are 0..=3
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn user_adr_series_out_of_range_user_panics() {
+        let outcome = synthetic_outcome(vec![Race::White], 2);
+        outcome.user_adr_series(1); // only user 0 exists
+    }
+
     #[test]
     fn protocol_runs_all_trials() {
         let config = small_config(LenderKind::Scorecard);

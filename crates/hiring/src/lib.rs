@@ -1,0 +1,58 @@
+//! A second closed-loop workload: **hiring/admissions** through the
+//! paper's Fig. 1 lens, assembled from the existing building blocks —
+//! census demographics (`eqimpact-census`), logistic scoring
+//! (`eqimpact-ml`) and a fading-memory filter (`eqimpact-control`) —
+//! on the generic loop machinery of `eqimpact-core`.
+//!
+//! A screener (the AI system) decides each round who is hired; hired
+//! applicants succeed or fail on the job according to their household
+//! resources and accumulated experience (the user population); a filter
+//! turns outcomes into per-applicant **track records** that feed the
+//! screener's next retraining — the same closed loop as the credit case
+//! study, with access to work instead of access to credit.
+//!
+//! * [`model`] — the probit job-performance model (readiness margin,
+//!   success probability);
+//! * [`applicants`] — the shardable applicant-pool population block;
+//! * [`screener`] — the retrained logistic screener and the
+//!   credential-gate equal-treatment baseline;
+//! * [`track`] — the track-record feedback filter (per-applicant running
+//!   success rates, EWMA-smoothed aggregate);
+//! * [`sim`] — configuration, single trials and the multi-trial protocol;
+//! * [`scenario`] — the workload as a registry
+//!   [`Scenario`](eqimpact_core::scenario::Scenario) (`experiments run
+//!   hiring`).
+//!
+//! The loop inherits the workspace-wide determinism contract: records
+//! are **bit-identical for every intra-trial shard count**, including
+//! the sequential runner (property-tested in `tests/properties.rs`).
+//!
+//! # Example
+//!
+//! ```
+//! use eqimpact_hiring::sim::{run_trial, HiringConfig, ScreenerKind};
+//!
+//! let config = HiringConfig {
+//!     applicants: 100,
+//!     rounds: 6,
+//!     screener: ScreenerKind::Credential,
+//!     ..HiringConfig::default()
+//! };
+//! let outcome = run_trial(&config, 0);
+//! assert_eq!(outcome.record.steps(), 6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod applicants;
+pub mod model;
+pub mod scenario;
+pub mod screener;
+pub mod sim;
+pub mod track;
+
+pub use applicants::{Applicant, ApplicantPool, ApplicantShard};
+pub use scenario::HiringScenario;
+pub use screener::{AdaptiveScreener, CredentialScreener};
+pub use sim::{run_trial, run_trials_protocol, HiringConfig, HiringOutcome, ScreenerKind};
+pub use track::TrackRecordFilter;

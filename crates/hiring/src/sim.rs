@@ -1,0 +1,312 @@
+//! Simulation drivers: one trial and the multi-trial hiring protocol.
+
+use crate::applicants::ApplicantPool;
+use crate::screener::{AdaptiveScreener, CredentialScreener};
+use crate::track::TrackRecordFilter;
+use eqimpact_census::Race;
+use eqimpact_core::closed_loop::LoopBuilder;
+use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+use eqimpact_core::shard::ShardableAi;
+use eqimpact_core::trials::run_trials_with;
+use eqimpact_ml::logistic::LogisticModel;
+use eqimpact_stats::SimRng;
+
+/// Which screener drives the loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ScreenerKind {
+    /// The retrained logistic screener.
+    Adaptive,
+    /// The credential-gate equal-treatment baseline.
+    Credential,
+}
+
+/// Configuration of a hiring experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HiringConfig {
+    /// Number of applicants.
+    pub applicants: usize,
+    /// Number of yearly hiring rounds.
+    pub rounds: usize,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Base seed; trial `t` uses stream `seed + t`.
+    pub seed: u64,
+    /// The screener.
+    pub screener: ScreenerKind,
+    /// Feedback delay in rounds (the paper's Fig. 1 delay; 1 by default).
+    pub delay: usize,
+    /// Intra-trial shards: `1` runs the sequential `LoopRunner`, `n > 1`
+    /// the `ShardedRunner` over `n` row shards, `0` auto-shards. The
+    /// record is bit-identical for every setting.
+    pub shards: usize,
+    /// How much telemetry to keep.
+    pub policy: RecordPolicy,
+}
+
+impl Default for HiringConfig {
+    fn default() -> Self {
+        HiringConfig {
+            applicants: 800,
+            rounds: 19,
+            trials: 5,
+            seed: 1_990,
+            screener: ScreenerKind::Adaptive,
+            delay: 1,
+            shards: 1,
+            policy: RecordPolicy::Full,
+        }
+    }
+}
+
+/// Everything produced by one trial.
+#[derive(Debug, Clone)]
+pub struct HiringOutcome {
+    /// Full loop telemetry; `filtered[k][i]` is applicant `i`'s track
+    /// record at round `k`.
+    pub record: LoopRecord,
+    /// Race per applicant (fixed at generation).
+    pub races: Vec<Race>,
+    /// The screener's final logistic model, when the screener is
+    /// [`ScreenerKind::Adaptive`] and at least one refit happened.
+    pub model: Option<LogisticModel>,
+}
+
+impl HiringOutcome {
+    /// Applicant indices of a race.
+    pub fn race_indices(&self, race: Race) -> Vec<usize> {
+        self.races
+            .iter()
+            .enumerate()
+            .filter(|(_, &r)| r == race)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The race-wise hire-rate series: fraction of the race hired at each
+    /// round (the equal-treatment view).
+    pub fn race_hire_series(&self, race: Race) -> Vec<f64> {
+        let members = self.race_indices(race);
+        (0..self.record.steps())
+            .map(|k| {
+                if members.is_empty() {
+                    f64::NAN
+                } else {
+                    let signals = self.record.signals(k);
+                    members.iter().filter(|&&i| signals[i] > 0.0).count() as f64
+                        / members.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// The race-wise mean track-record series (the equal-impact view).
+    pub fn race_track_series(&self, race: Race) -> Vec<f64> {
+        let members = self.race_indices(race);
+        (0..self.record.steps())
+            .map(|k| {
+                if members.is_empty() {
+                    f64::NAN
+                } else {
+                    let filtered = self.record.filtered(k);
+                    members.iter().map(|&i| filtered[i]).sum::<f64>() / members.len() as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Overall hire rate at round `k`.
+    pub fn hire_rate(&self, k: usize) -> f64 {
+        let signals = self.record.signals(k);
+        signals.iter().filter(|&&s| s > 0.0).count() as f64 / signals.len() as f64
+    }
+}
+
+/// Runs one screener through the loop with static dispatch (sequential or
+/// sharded per `config.shards`; records are bit-identical either way).
+fn run_screener<S: ShardableAi>(
+    screener: S,
+    pool: ApplicantPool,
+    config: &HiringConfig,
+    loop_rng: &mut SimRng,
+) -> (LoopRecord, S) {
+    let builder = LoopBuilder::new(screener, pool)
+        .filter(TrackRecordFilter::new())
+        .delay(config.delay)
+        .record(config.policy);
+    if config.shards == 1 {
+        let mut runner = builder.build();
+        let record = runner.run(config.rounds, loop_rng);
+        let (screener, _pool, _filter) = runner.into_parts();
+        (record, screener)
+    } else {
+        let mut runner = builder.shards(config.shards).build_sharded();
+        let record = runner.run(config.rounds, loop_rng);
+        let (screener, _pool, _filter) = runner.into_parts();
+        (record, screener)
+    }
+}
+
+/// Runs one trial of the configured experiment. Deterministic in
+/// `(config, trial_index)`.
+pub fn run_trial(config: &HiringConfig, trial_index: usize) -> HiringOutcome {
+    assert!(config.applicants > 0, "run_trial: zero applicants");
+    assert!(config.rounds > 0, "run_trial: zero rounds");
+    let rng = SimRng::new(config.seed + trial_index as u64);
+    let mut pool_rng = rng.split(1);
+    let mut loop_rng = rng.split(2);
+
+    let pool = ApplicantPool::generate(config.applicants, &mut pool_rng);
+    let races = pool.races();
+
+    let (record, model) = match config.screener {
+        ScreenerKind::Adaptive => {
+            let (record, screener) = run_screener(
+                AdaptiveScreener::default_config(),
+                pool,
+                config,
+                &mut loop_rng,
+            );
+            (record, screener.model().cloned())
+        }
+        ScreenerKind::Credential => {
+            let (record, _screener) =
+                run_screener(CredentialScreener::new(), pool, config, &mut loop_rng);
+            (record, None)
+        }
+    };
+
+    HiringOutcome {
+        record,
+        races,
+        model,
+    }
+}
+
+/// Runs the full multi-trial protocol in parallel (a fresh applicant pool
+/// per trial), striped over at most `available_parallelism()` threads.
+pub fn run_trials_protocol(config: &HiringConfig) -> Vec<HiringOutcome> {
+    assert!(config.trials > 0, "run_trials_protocol: zero trials");
+    run_trials_with(config.trials, |t| run_trial(config, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(screener: ScreenerKind) -> HiringConfig {
+        HiringConfig {
+            applicants: 200,
+            rounds: 12,
+            trials: 2,
+            seed: 11,
+            screener,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn trial_is_deterministic() {
+        let config = small_config(ScreenerKind::Adaptive);
+        let a = run_trial(&config, 0);
+        let b = run_trial(&config, 0);
+        assert_eq!(a.record, b.record);
+        assert_eq!(a.races, b.races);
+    }
+
+    #[test]
+    fn trials_differ_across_indices() {
+        let config = small_config(ScreenerKind::Adaptive);
+        let a = run_trial(&config, 0);
+        let b = run_trial(&config, 1);
+        assert_ne!(a.record, b.record);
+    }
+
+    #[test]
+    fn warmup_rounds_hire_everyone() {
+        let config = small_config(ScreenerKind::Adaptive);
+        let outcome = run_trial(&config, 0);
+        assert_eq!(outcome.hire_rate(0), 1.0);
+        assert_eq!(outcome.hire_rate(1), 1.0);
+    }
+
+    #[test]
+    fn adaptive_screener_fits_a_model() {
+        let config = small_config(ScreenerKind::Adaptive);
+        let outcome = run_trial(&config, 0);
+        let model = outcome.model.expect("model fitted");
+        assert!(model.coefficients.iter().all(|c| c.is_finite()));
+    }
+
+    #[test]
+    fn credential_screener_reproduces_credential_rates() {
+        let config = small_config(ScreenerKind::Credential);
+        let outcome = run_trial(&config, 0);
+        // Hire rate equals the credentialed share: strictly between 0 and 1.
+        let rate = outcome.hire_rate(3);
+        assert!(rate > 0.0 && rate < 1.0, "rate = {rate}");
+        // And the race-wise hire rates differ (unequal impact of the
+        // equal-treatment gate).
+        let finals: Vec<f64> = Race::ALL
+            .iter()
+            .map(|&r| *outcome.race_hire_series(r).last().expect("rounds > 0"))
+            .collect();
+        let hi = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let lo = finals.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(hi - lo > 0.05, "race hire-rate spread = {}", hi - lo);
+    }
+
+    #[test]
+    fn race_series_have_round_length() {
+        let config = small_config(ScreenerKind::Adaptive);
+        let outcome = run_trial(&config, 0);
+        for race in Race::ALL {
+            assert_eq!(outcome.race_hire_series(race).len(), 12);
+            assert_eq!(outcome.race_track_series(race).len(), 12);
+            for v in outcome.race_track_series(race) {
+                assert!(v.is_nan() || (0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_trials_are_bit_identical_for_every_screener() {
+        for screener in [ScreenerKind::Adaptive, ScreenerKind::Credential] {
+            let config = HiringConfig {
+                applicants: 150,
+                rounds: 8,
+                ..small_config(screener)
+            };
+            let reference = run_trial(&config, 0);
+            for shards in [2usize, 8, 0] {
+                let outcome = run_trial(&HiringConfig { shards, ..config }, 0);
+                assert_eq!(
+                    outcome.record, reference.record,
+                    "{screener:?} x {shards} shards"
+                );
+                assert_eq!(outcome.races, reference.races);
+            }
+        }
+    }
+
+    #[test]
+    fn thin_policy_flows_through() {
+        let config = HiringConfig {
+            policy: RecordPolicy::Thin,
+            shards: 2,
+            ..small_config(ScreenerKind::Credential)
+        };
+        let outcome = run_trial(&config, 0);
+        assert_eq!(outcome.record.policy(), RecordPolicy::Thin);
+        assert_eq!(outcome.record.mean_actions().len(), 12);
+    }
+
+    #[test]
+    fn protocol_runs_all_trials() {
+        let config = small_config(ScreenerKind::Adaptive);
+        let outcomes = run_trials_protocol(&config);
+        assert_eq!(outcomes.len(), 2);
+        let again = run_trials_protocol(&config);
+        assert_eq!(outcomes[0].record, again[0].record);
+        assert_eq!(outcomes[1].record, again[1].record);
+    }
+}

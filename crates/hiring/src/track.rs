@@ -1,0 +1,159 @@
+//! The track-record feedback filter: per-applicant running success rates
+//! over placements, the hiring analog of the credit study's ADR filter.
+//!
+//! A *placement* is a round in which the applicant was hired
+//! (`π(k, i) > 0`); its outcome is the binary performance `y_i(k)`. The
+//! track record of applicant `i` at round `k` is the fraction of
+//! successful placements among all their placements up to `k`; applicants
+//! never hired carry a **clean record of 1.0** (presumption of
+//! competence), the mirror image of the credit study's clean-history
+//! ADR 0.
+//!
+//! The aggregate channel smooths the per-round cohort success rate with
+//! an [`EwmaFilter`] from `eqimpact-control` — Fig. 1's "filter" block
+//! instantiated with fading memory instead of full history.
+
+use eqimpact_control::filter::{EwmaFilter, Filter};
+use eqimpact_core::closed_loop::{Feedback, FeedbackFilter};
+use eqimpact_core::features::FeatureMatrix;
+
+/// Default EWMA weight of the aggregate success channel.
+pub const AGGREGATE_EWMA_ALPHA: f64 = 0.3;
+
+/// The loop's feedback filter: maintains per-applicant placement and
+/// success counters and emits `per_user = track_record_i(k)`.
+#[derive(Debug, Clone)]
+pub struct TrackRecordFilter {
+    placements: Vec<u64>,
+    successes: Vec<u64>,
+    aggregate: EwmaFilter,
+}
+
+impl TrackRecordFilter {
+    /// Creates an empty filter (sized on first use) with the default
+    /// aggregate EWMA weight.
+    pub fn new() -> Self {
+        TrackRecordFilter {
+            placements: Vec::new(),
+            successes: Vec::new(),
+            aggregate: EwmaFilter::new(AGGREGATE_EWMA_ALPHA),
+        }
+    }
+
+    /// Track record of applicant `i`: successes over placements, `1.0`
+    /// for applicants never hired.
+    pub fn track_record(&self, i: usize) -> f64 {
+        if self.placements[i] == 0 {
+            1.0
+        } else {
+            self.successes[i] as f64 / self.placements[i] as f64
+        }
+    }
+
+    /// Total placements of applicant `i`.
+    pub fn placements(&self, i: usize) -> u64 {
+        self.placements[i]
+    }
+
+    /// Number of applicants tracked (0 before the first round).
+    pub fn user_count(&self) -> usize {
+        self.placements.len()
+    }
+}
+
+impl Default for TrackRecordFilter {
+    fn default() -> Self {
+        TrackRecordFilter::new()
+    }
+}
+
+impl FeedbackFilter for TrackRecordFilter {
+    fn apply_into(
+        &mut self,
+        k: usize,
+        visible: &FeatureMatrix,
+        signals: &[f64],
+        actions: &[f64],
+        out: &mut Feedback,
+    ) {
+        if self.placements.len() != actions.len() {
+            self.placements = vec![0; actions.len()];
+            self.successes = vec![0; actions.len()];
+        }
+        let mut hired = 0u64;
+        let mut succeeded = 0u64;
+        for i in 0..actions.len() {
+            if signals[i] > 0.0 {
+                hired += 1;
+                self.placements[i] += 1;
+                if actions[i] == 1.0 {
+                    succeeded += 1;
+                    self.successes[i] += 1;
+                }
+            }
+        }
+        if hired > 0 {
+            self.aggregate.push(succeeded as f64 / hired as f64);
+        }
+        out.step = k;
+        out.per_user.clear();
+        out.per_user
+            .extend((0..actions.len()).map(|i| self.track_record(i)));
+        // Before any cohort has been hired the EWMA holds NaN; report the
+        // clean-record prior instead.
+        let smoothed = self.aggregate.value();
+        out.aggregate = if smoothed.is_nan() { 1.0 } else { smoothed };
+        out.visible.fill_from(visible);
+        out.signals.clear();
+        out.signals.extend_from_slice(signals);
+        out.actions.clear();
+        out.actions.extend_from_slice(actions);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_hired_carry_clean_records() {
+        let mut f = TrackRecordFilter::new();
+        let visible = FeatureMatrix::zeros(2, 0);
+        let fb = f.apply(0, &visible, &[0.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(fb.per_user, vec![1.0, 1.0]);
+        assert_eq!(fb.aggregate, 1.0, "no cohort yet: clean prior");
+    }
+
+    #[test]
+    fn records_track_successes_over_placements() {
+        let mut f = TrackRecordFilter::new();
+        let visible = FeatureMatrix::zeros(2, 0);
+        // Round 0: both hired, only user 0 succeeds.
+        let fb = f.apply(0, &visible, &[1.0, 1.0], &[1.0, 0.0]);
+        assert_eq!(fb.per_user, vec![1.0, 0.0]);
+        assert_eq!(fb.aggregate, 0.5);
+        // Round 1: user 1 not hired; their record freezes.
+        let fb = f.apply(1, &visible, &[1.0, 0.0], &[0.0, 0.0]);
+        assert_eq!(fb.per_user, vec![0.5, 0.0]);
+        assert_eq!(f.placements(0), 2);
+        assert_eq!(f.placements(1), 1);
+        assert_eq!(f.user_count(), 2);
+        // EWMA: 0.3 * 0 + 0.7 * 0.5.
+        assert!((fb.aggregate - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn every_feedback_field_is_assigned() {
+        // The runner recycles Feedback packages; a stale field would leak
+        // a previous step into retraining.
+        let mut f = TrackRecordFilter::new();
+        let v0 = FeatureMatrix::from_nested(&[vec![1.0], vec![0.0]]);
+        let mut fb = f.apply(0, &v0, &[1.0, 1.0], &[1.0, 1.0]);
+        let v1 = FeatureMatrix::from_nested(&[vec![0.0], vec![1.0]]);
+        f.apply_into(1, &v1, &[0.0, 1.0], &[0.0, 0.0], &mut fb);
+        assert_eq!(fb.step, 1);
+        assert_eq!(fb.visible, v1);
+        assert_eq!(fb.signals, vec![0.0, 1.0]);
+        assert_eq!(fb.actions, vec![0.0, 0.0]);
+    }
+}

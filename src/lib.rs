@@ -13,6 +13,7 @@ pub use eqimpact_control as control;
 pub use eqimpact_core as core;
 pub use eqimpact_credit as credit;
 pub use eqimpact_graph as graph;
+pub use eqimpact_hiring as hiring;
 pub use eqimpact_linalg as linalg;
 pub use eqimpact_markov as markov;
 pub use eqimpact_ml as ml;
@@ -26,6 +27,10 @@ pub mod prelude {
     };
     pub use eqimpact_core::features::FeatureMatrix;
     pub use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+    pub use eqimpact_core::scenario::{
+        run_scenario, write_artifacts, Artifact, ArtifactSpec, DynScenario, Scale, Scenario,
+        ScenarioConfig, ScenarioError, ScenarioReport,
+    };
     pub use eqimpact_core::shard::{
         full_rows, shard_bounds, PopulationShard, RowStreams, RowsMut, RowsView, ShardableAi,
         ShardablePopulation, ShardedRunner,
