@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("filter_sweep_quick", |b| {
         b.iter(|| {
-            let a5 = ablate_filter(Scale::Quick);
+            let a5 = ablate_filter(Scale::Quick, None);
             assert_eq!(a5.filters.len(), 4);
             a5
         })

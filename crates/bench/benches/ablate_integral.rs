@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("integral_vs_proportional_quick", |b| {
         b.iter(|| {
-            let a2 = ablate_integral(Scale::Quick);
+            let a2 = ablate_integral(Scale::Quick, None);
             assert!(a2.integral_gap.max_spread > a2.proportional_gap.max_spread);
             a2
         })

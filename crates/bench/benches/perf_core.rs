@@ -1,12 +1,15 @@
-//! P0-P5: performance microbenchmarks of the building blocks (not paper
-//! artifacts): loop step throughput, intra-trial sharding speedup, IRLS
-//! fitting, Markov operator application, and invariant-measure
-//! estimation.
+//! P0-P6: performance microbenchmarks of the building blocks (not paper
+//! artifacts): loop step throughput, intra-trial sharding speedup, the
+//! trace store, IRLS fitting, Markov operator application, and
+//! invariant-measure estimation.
 //!
 //! The sharding bench (P5) additionally writes `BENCH_shard.json` (path
 //! overridable via `BENCH_SHARD_OUT`) with the measured wall-clock per
 //! shard count at the 100k-user x 50-step scale, so the speedup is
-//! recorded, not asserted.
+//! recorded, not asserted. The trace bench (P6) writes
+//! `BENCH_trace.json` (`BENCH_TRACE_OUT`): replay-vs-resimulate
+//! wall-clock of one credit trial plus the trace's on-disk bytes against
+//! the equivalent JSON dump.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eqimpact_core::closed_loop::{
@@ -374,6 +377,43 @@ fn bench_sharded_loop(_c: &mut Criterion) {
     println!("perf/sharded_loop: wrote {path}");
 }
 
+/// P6: the trace store. Records one credit trial to an in-memory trace,
+/// then times verified replay against re-simulation and compares the
+/// trace's bytes with the equivalent JSON dump. Self-measured through
+/// `eqimpact_bench::perf_trace` and exported to `BENCH_trace.json`
+/// (path overridable via `BENCH_TRACE_OUT`).
+fn bench_trace_store(_c: &mut Criterion) {
+    use eqimpact_bench::perf_trace;
+    use eqimpact_core::scenario::Scale as ScenarioScale;
+    use eqimpact_stats::json::ToJson;
+
+    let quick = criterion::is_quick();
+    let scale = if quick {
+        ScenarioScale::Quick
+    } else {
+        ScenarioScale::Paper
+    };
+    println!("\n-- group: perf/trace_store ({scale:?} credit trial) --");
+    let r = perf_trace(scale, None);
+    println!(
+        "perf/trace_store/resimulate                        median {:>10.2} ms",
+        r.resimulate_ms
+    );
+    println!(
+        "perf/trace_store/verified_replay                   median {:>10.2} ms  speedup x{:.2}",
+        r.replay_ms, r.replay_speedup
+    );
+    println!(
+        "perf/trace_store/bytes: trace {} vs pretty JSON {} (x{:.2}) vs compact JSON {} (x{:.2})",
+        r.trace_bytes, r.json_bytes, r.json_ratio, r.compact_json_bytes, r.compact_json_ratio
+    );
+    let path = std::env::var("BENCH_TRACE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json").to_string()
+    });
+    std::fs::write(&path, r.to_json().render_pretty()).expect("write BENCH_trace.json");
+    println!("perf/trace_store: wrote {path}");
+}
+
 fn bench_loop_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf/credit_loop");
     group.sample_size(10);
@@ -472,6 +512,7 @@ criterion_group!(
     benches,
     bench_loop_api,
     bench_sharded_loop,
+    bench_trace_store,
     bench_loop_step,
     bench_irls,
     bench_markov_operator,

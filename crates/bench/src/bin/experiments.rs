@@ -1,5 +1,5 @@
-//! Registry-driven experiments CLI: lists and runs the registered
-//! closed-loop scenarios (see `eqimpact_bench::registry`).
+//! Registry-driven experiments CLI: lists, runs, records and replays the
+//! registered closed-loop scenarios (see `eqimpact_bench::registry`).
 //!
 //! ```text
 //! cargo run --release -p eqimpact-bench --bin experiments -- <COMMAND>
@@ -7,45 +7,92 @@
 //! Commands:
 //!   list [--json]
 //!       Print every registered scenario with its artifacts; `--json`
-//!       emits just the scenario names as a JSON array (consumed by the
-//!       CI smoke matrix).
-//!   run <scenario> [--quick] [--shards N] [--out DIR] [ARTIFACT...]
-//!   run --all      [--quick] [--shards N] [--out DIR]
+//!       emits the scenario names as a deterministically sorted JSON
+//!       array (consumed by the CI smoke matrix).
+//!   run <scenario> [--quick] [--seed N] [--shards N] [--out DIR] [ARTIFACT...]
+//!   run --all      [--quick] [--seed N] [--shards N] [--out DIR]
 //!       Run one scenario (optionally restricted to the named artifacts)
 //!       or every registered scenario.
+//!   record <scenario> [--quick] [--seed N] [--shards N] [--out DIR]
+//!       Run the scenario while streaming every loop of every trial into
+//!       a self-describing `.eqtrace` file under --out (default
+//!       `traces/`). Exits 3 for scenarios without trace support.
+//!   replay <trace> [--policy NAME] [--out DIR]
+//!       Without --policy: re-drive the recorded loop byte-identically
+//!       (every recomputed signal and filter output is verified against
+//!       the recorded bits). With --policy: off-policy evaluation — score
+//!       the named alternative policy against the recorded trajectory
+//!       and write the fairness/impact deltas under --out.
 //!
 //! Flags:
 //!   --quick      reduced CI scale instead of the paper's parameters
+//!   --seed N     override the scenario's base seed (trial t uses N + t)
 //!   --shards N   intra-trial shard count (0 = auto, one per core);
 //!                records are bit-identical for every value
-//!   --out DIR    artifact output directory (default `results/`)
+//!   --out DIR    output directory (default `results/`; `traces/` for
+//!                record)
 //! ```
 //!
-//! Scenario names, artifact names and flags are all validated against
-//! the registry: a typo like `--quikc` or `fig9` exits with status 2 and
-//! the list of known names instead of being silently ignored. Artifacts
-//! are written as CSV/JSON under `--out` and summarized on stdout.
+//! Scenario names, artifact names, policies and flags are all validated:
+//! a typo like `--quikc` or `fig9` exits with status 2 and the list of
+//! known names instead of being silently ignored.
 
 use eqimpact_bench::registry;
 use eqimpact_core::scenario::{write_artifacts, DynScenario, Scale, ScenarioConfig};
+use eqimpact_stats::ToJson;
+use eqimpact_trace::{TraceDirFactory, TraceReader};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Flags accepted by `run`, for the unknown-flag error message.
-const RUN_FLAGS: &str = "--all, --quick, --shards N, --out DIR";
+const RUN_FLAGS: &str = "--all, --quick, --seed N, --shards N, --out DIR";
 
-fn main() -> ExitCode {
-    match real_main() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            eprintln!("run `experiments help` for usage");
-            ExitCode::from(2)
+/// Flags accepted by `record`.
+const RECORD_FLAGS: &str = "--quick, --seed N, --shards N, --out DIR";
+
+/// A CLI failure, carrying its exit status: 2 for usage/validation
+/// errors, 3 for "this scenario has no trace support" (so CI can skip
+/// the record→replay leg for non-traceable scenarios without masking
+/// real failures).
+struct CliError {
+    message: String,
+    code: u8,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 2,
+        }
+    }
+
+    fn unsupported(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: 3,
         }
     }
 }
 
-fn real_main() -> Result<(), String> {
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::usage(message)
+    }
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            eprintln!("run `experiments help` for usage");
+            ExitCode::from(e.code)
+        }
+    }
+}
+
+fn real_main() -> Result<(), CliError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => {
@@ -54,9 +101,11 @@ fn real_main() -> Result<(), String> {
         }
         Some("list") => cmd_list(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
-        Some(other) => Err(format!(
-            "unknown command `{other}` (known commands: list, run, help)"
-        )),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown command `{other}` (known commands: list, run, record, replay, help)"
+        ))),
     }
 }
 
@@ -64,8 +113,12 @@ fn print_usage() {
     println!("experiments — registry-driven paper artifacts and scenarios");
     println!();
     println!("  experiments list [--json]");
-    println!("  experiments run <scenario> [--quick] [--shards N] [--out DIR] [ARTIFACT...]");
-    println!("  experiments run --all      [--quick] [--shards N] [--out DIR]");
+    println!(
+        "  experiments run <scenario> [--quick] [--seed N] [--shards N] [--out DIR] [ARTIFACT...]"
+    );
+    println!("  experiments run --all      [--quick] [--seed N] [--shards N] [--out DIR]");
+    println!("  experiments record <scenario> [--quick] [--seed N] [--shards N] [--out DIR]");
+    println!("  experiments replay <trace> [--policy NAME] [--out DIR]");
     println!();
     print_scenarios();
 }
@@ -78,106 +131,169 @@ fn print_scenarios() {
             println!("    - {:<16} {}", spec.name, spec.description);
         }
     }
+    println!();
+    println!("traceable scenarios (experiments record / replay):");
+    for tracer in registry::tracers() {
+        let policies: Vec<&str> = tracer.policies().iter().map(|p| p.name).collect();
+        println!("  {:<11} policies: {}", tracer.name(), policies.join(", "));
+    }
 }
 
-fn cmd_list(args: &[String]) -> Result<(), String> {
+fn cmd_list(args: &[String]) -> Result<(), CliError> {
     match args {
         [] => {
             print_scenarios();
             Ok(())
         }
         [flag] if flag == "--json" => {
-            let names: Vec<String> = registry::names()
+            let names: Vec<String> = registry::sorted_names()
                 .iter()
                 .map(|n| format!("\"{n}\""))
                 .collect();
             println!("[{}]", names.join(","));
             Ok(())
         }
-        _ => Err(format!(
+        _ => Err(CliError::usage(format!(
             "unknown arguments to `list`: {} (known: --json)",
             args.join(" ")
-        )),
+        ))),
     }
 }
 
-fn cmd_run(args: &[String]) -> Result<(), String> {
-    let mut quick = false;
-    let mut all = false;
-    let mut shards = 1usize;
-    let mut out_dir = PathBuf::from("results");
-    let mut scenario_name: Option<String> = None;
-    let mut artifacts: Vec<String> = Vec::new();
+/// The flags shared by `run` and `record`.
+#[derive(Default)]
+struct CommonFlags {
+    quick: bool,
+    all: bool,
+    seed: Option<u64>,
+    shards: usize,
+    out_dir: Option<PathBuf>,
+    scenario: Option<String>,
+    positionals: Vec<String>,
+}
 
+fn parse_common(
+    args: &[String],
+    known_flags: &str,
+    allow_all: bool,
+) -> Result<CommonFlags, CliError> {
+    let mut flags = CommonFlags {
+        shards: 1,
+        ..CommonFlags::default()
+    };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" => quick = true,
-            "--all" => all = true,
-            "--shards" => {
+            "--quick" => flags.quick = true,
+            "--all" if allow_all => flags.all = true,
+            "--seed" => {
                 let value = iter
                     .next()
-                    .ok_or("--shards requires a count (0 = auto, one per core)")?;
-                shards = value
-                    .parse()
-                    .map_err(|_| format!("--shards requires an integer, got `{value}`"))?;
+                    .ok_or_else(|| CliError::usage("--seed requires a u64 value"))?;
+                flags.seed = Some(value.parse().map_err(|_| {
+                    CliError::usage(format!("--seed requires a u64, got `{value}`"))
+                })?);
+            }
+            "--shards" => {
+                let value = iter.next().ok_or_else(|| {
+                    CliError::usage("--shards requires a count (0 = auto, one per core)")
+                })?;
+                flags.shards = value.parse().map_err(|_| {
+                    CliError::usage(format!("--shards requires an integer, got `{value}`"))
+                })?;
             }
             "--out" => {
-                out_dir = PathBuf::from(
+                flags.out_dir = Some(PathBuf::from(
                     iter.next()
-                        .ok_or("--out requires a directory argument")?
+                        .ok_or_else(|| CliError::usage("--out requires a directory argument"))?
                         .clone(),
-                );
+                ));
             }
             flag if flag.starts_with("--") => {
                 // The pre-redesign CLI swallowed unknown flags as artifact
                 // names, so a typo silently selected nothing. Reject them.
-                return Err(format!("unknown flag `{flag}` (known flags: {RUN_FLAGS})"));
+                return Err(CliError::usage(format!(
+                    "unknown flag `{flag}` (known flags: {known_flags})"
+                )));
             }
-            positional if scenario_name.is_none() && !all => {
-                scenario_name = Some(positional.to_string());
+            positional if flags.scenario.is_none() && !flags.all => {
+                flags.scenario = Some(positional.to_string());
             }
-            positional => artifacts.push(positional.to_string()),
+            positional => flags.positionals.push(positional.to_string()),
         }
     }
+    Ok(flags)
+}
 
-    let scale = if quick { Scale::Quick } else { Scale::Paper };
-    let selected: Vec<&'static dyn DynScenario> = if all {
-        if scenario_name.is_some() || !artifacts.is_empty() {
-            return Err(
-                "`run --all` runs every scenario in full; drop the scenario/artifact names"
-                    .to_string(),
-            );
+fn scale_of(quick: bool) -> Scale {
+    if quick {
+        Scale::Quick
+    } else {
+        Scale::Paper
+    }
+}
+
+fn base_config(flags: &CommonFlags) -> ScenarioConfig {
+    let mut config = ScenarioConfig::new(scale_of(flags.quick)).with_shards(flags.shards);
+    if let Some(seed) = flags.seed {
+        config = config.with_seed(seed);
+    }
+    config
+}
+
+fn seed_label(seed: Option<u64>) -> String {
+    seed.map(|s| s.to_string())
+        .unwrap_or_else(|| "scenario default".to_string())
+}
+
+fn find_scenario(name: &str) -> Result<&'static dyn DynScenario, CliError> {
+    registry::find(name).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown scenario `{name}` (known scenarios: {})",
+            registry::names().join(", ")
+        ))
+    })
+}
+
+fn cmd_run(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_common(args, RUN_FLAGS, true)?;
+    let out_dir = flags
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("results"));
+    let artifacts = &flags.positionals;
+
+    let selected: Vec<&'static dyn DynScenario> = if flags.all {
+        if flags.scenario.is_some() || !artifacts.is_empty() {
+            return Err(CliError::usage(
+                "`run --all` runs every scenario in full; drop the scenario/artifact names",
+            ));
         }
         registry::scenarios().to_vec()
     } else {
-        let name = scenario_name.ok_or_else(|| {
-            format!(
+        let name = flags.scenario.clone().ok_or_else(|| {
+            CliError::usage(format!(
                 "`run` needs a scenario name or --all (known scenarios: {})",
                 registry::names().join(", ")
-            )
+            ))
         })?;
-        let scenario = registry::find(&name).ok_or_else(|| {
-            format!(
-                "unknown scenario `{name}` (known scenarios: {})",
-                registry::names().join(", ")
-            )
-        })?;
-        vec![scenario]
+        vec![find_scenario(&name)?]
     };
 
     println!(
-        "eqimpact experiments — scale: {scale:?}, shards: {}, output: {}",
-        if shards == 0 {
+        "eqimpact experiments — scale: {:?}, seed: {}, shards: {}, output: {}",
+        scale_of(flags.quick),
+        seed_label(flags.seed),
+        if flags.shards == 0 {
             "auto".to_string()
         } else {
-            shards.to_string()
+            flags.shards.to_string()
         },
         out_dir.display()
     );
 
     for scenario in selected {
-        let mut config = ScenarioConfig::new(scale).with_shards(shards);
+        let mut config = base_config(&flags);
         if !artifacts.is_empty() {
             config = config.with_artifacts(artifacts.iter().cloned());
         }
@@ -185,7 +301,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         // scenarios without intra-trial parallelism — run those
         // sequentially instead. An explicit single-scenario request
         // still errors, so the incompatibility is never silent.
-        if all && config.shards != 1 && !scenario.supports_sharding() {
+        if flags.all && config.shards != 1 && !scenario.supports_sharding() {
             println!(
                 "\n(note: `{}` has no intra-trial sharding; running it sequentially)",
                 scenario.name()
@@ -205,4 +321,188 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     }
     println!("\ndone.");
     Ok(())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_common(args, RECORD_FLAGS, false)?;
+    if !flags.positionals.is_empty() {
+        return Err(CliError::usage(format!(
+            "`record` takes one scenario name (unexpected: {})",
+            flags.positionals.join(" ")
+        )));
+    }
+    let name = flags.scenario.clone().ok_or_else(|| {
+        CliError::usage(format!(
+            "`record` needs a scenario name (traceable scenarios: {})",
+            registry::tracers()
+                .iter()
+                .map(|t| t.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })?;
+    let scenario = find_scenario(&name)?;
+    // Recording is gated on the scenario's own capability flag (the
+    // same one run_scenario enforces); a registered replayer is the
+    // second half of the workflow, so its absence is also a clean skip.
+    if !scenario.supports_tracing() {
+        return Err(CliError::unsupported(format!(
+            "scenario `{name}` does not support trace recording (traceable scenarios: {})",
+            registry::tracers()
+                .iter()
+                .map(|t| t.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )));
+    }
+    if registry::find_tracer(&name).is_none() {
+        return Err(CliError::unsupported(format!(
+            "scenario `{name}` records traces but has no registered replayer \
+             (add it to registry::tracers())"
+        )));
+    }
+    let out_dir = flags
+        .out_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("traces"));
+    let factory = TraceDirFactory::create(&out_dir)
+        .map_err(|e| CliError::usage(format!("cannot create {}: {e}", out_dir.display())))?;
+
+    println!(
+        "eqimpact experiments — recording {name}: scale {:?}, seed {}, shards {}, traces under {}",
+        scale_of(flags.quick),
+        seed_label(flags.seed),
+        flags.shards,
+        out_dir.display()
+    );
+    let config = base_config(&flags).with_trace(factory.clone());
+    let report = scenario.run(&config).map_err(|e| e.to_string())?;
+    for line in &report.summary {
+        println!("  {line}");
+    }
+    let written = factory.written();
+    if written.is_empty() {
+        return Err(CliError::usage(format!(
+            "recording `{name}` produced no trace files"
+        )));
+    }
+    for path in &written {
+        println!("  recorded {}", path.display());
+    }
+    println!("\ndone. replay with: experiments replay <trace>");
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), CliError> {
+    let mut trace_path: Option<PathBuf> = None;
+    let mut policy: Option<String> = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--policy" => {
+                policy = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::usage("--policy requires a policy name"))?
+                        .clone(),
+                );
+            }
+            "--out" => {
+                out_dir = PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| CliError::usage("--out requires a directory argument"))?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!(
+                    "unknown flag `{flag}` (known flags: --policy NAME, --out DIR)"
+                )));
+            }
+            positional if trace_path.is_none() => trace_path = Some(PathBuf::from(positional)),
+            positional => {
+                return Err(CliError::usage(format!(
+                    "`replay` takes one trace file (unexpected: {positional})"
+                )));
+            }
+        }
+    }
+    let trace_path =
+        trace_path.ok_or_else(|| CliError::usage("`replay` needs a trace file path"))?;
+    let file = std::fs::File::open(&trace_path)
+        .map_err(|e| CliError::usage(format!("cannot open {}: {e}", trace_path.display())))?;
+    let mut input = std::io::BufReader::new(file);
+    let reader = TraceReader::new(&mut input as &mut dyn std::io::Read)
+        .map_err(|e| CliError::usage(format!("{}: {e}", trace_path.display())))?;
+    let header = reader.header().clone();
+    let tracer = registry::find_tracer(&header.scenario).ok_or_else(|| {
+        CliError::usage(format!(
+            "trace was recorded by scenario `{}`, which has no registered replayer",
+            header.scenario
+        ))
+    })?;
+    println!(
+        "trace {}: scenario {}, variant {}, trial {}, scale {:?}, seed {}, shards {}, delay {}",
+        trace_path.display(),
+        header.scenario,
+        header.variant,
+        header.trial,
+        header.scale,
+        header.seed,
+        header.shards,
+        header.delay,
+    );
+
+    match policy {
+        None => {
+            let summary = tracer
+                .replay(reader)
+                .map_err(|e| CliError::usage(format!("{}: {e}", trace_path.display())))?;
+            println!(
+                "replayed {} steps x {} users — byte-identical to the recorded run \
+                 (every recomputed signal and filter output matched the recorded bits)",
+                summary.record.steps(),
+                summary.record.user_count()
+            );
+            Ok(())
+        }
+        Some(policy) => {
+            let report = tracer
+                .evaluate(reader, &policy)
+                .map_err(|e| CliError::usage(format!("{}: {e}", trace_path.display())))?;
+            println!(
+                "off-policy `{policy}` vs recorded `{}` over {} steps x {} users:",
+                report.variant, report.steps, report.users
+            );
+            println!(
+                "  decision agreement {:.4}; positive rate {:.4} -> {:.4}",
+                report.agreement, report.baseline.positive_rate, report.candidate.positive_rate
+            );
+            println!(
+                "  demographic-parity gap {:.4} -> {:.4} (delta {:+.4})",
+                report.baseline.parity_gap, report.candidate.parity_gap, report.parity_gap_delta
+            );
+            println!(
+                "  equal-opportunity gap  {:.4} -> {:.4} (delta {:+.4})",
+                report.baseline.opportunity_gap,
+                report.candidate.opportunity_gap,
+                report.opportunity_gap_delta
+            );
+            std::fs::create_dir_all(&out_dir).map_err(|e| {
+                CliError::usage(format!("cannot create {}: {e}", out_dir.display()))
+            })?;
+            // The variant is part of the identity: the same policy
+            // evaluated against different recorded behaviours must not
+            // overwrite itself.
+            let out_path = out_dir.join(format!(
+                "offpolicy_{}_{}_vs_{}_trial{}.json",
+                report.scenario, policy, header.variant, header.trial
+            ));
+            std::fs::write(&out_path, report.to_json().render_pretty()).map_err(|e| {
+                CliError::usage(format!("cannot write {}: {e}", out_path.display()))
+            })?;
+            println!("  wrote {}", out_path.display());
+            Ok(())
+        }
+    }
 }

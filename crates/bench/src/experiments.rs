@@ -136,16 +136,19 @@ impl ToJson for PolicyAblation {
 }
 
 /// A1: compares the introduction's two policies on a long horizon.
-pub fn ablate_policy(scale: Scale) -> PolicyAblation {
+/// `seed` overrides the protocol's base seed (`None` = the default).
+pub fn ablate_policy(scale: Scale, seed: Option<u64>) -> PolicyAblation {
     let steps = match scale {
         Scale::Paper => 60,
         Scale::Quick => 30,
     };
     let run = |lender: LenderKind| -> ([f64; 3], [f64; 3]) {
+        let base = credit_config(scale, lender);
         let config = CreditConfig {
             steps,
             trials: 1,
-            ..credit_config(scale, lender)
+            seed: seed.unwrap_or(base.seed),
+            ..base
         };
         let outcome = &run_trials_protocol(&config)[0];
         let mut approval = [0.0; 3];
@@ -209,13 +212,14 @@ impl ToJson for IntegralAblation {
     }
 }
 
-/// A2: reproduces the Sec. VI warning at the given scale.
-pub fn ablate_integral(scale: Scale) -> IntegralAblation {
+/// A2: reproduces the Sec. VI warning at the given scale. `seed`
+/// overrides the study's RNG seed (`None` = the default).
+pub fn ablate_integral(scale: Scale, seed: Option<u64>) -> IntegralAblation {
     let (n, steps, discard) = match scale {
         Scale::Paper => (100, 10_000, 2_000),
         Scale::Quick => (40, 3_000, 500),
     };
-    let mut rng = SimRng::new(2209);
+    let mut rng = SimRng::new(seed.unwrap_or(2209));
 
     let hysteretic = identical_hysteresis_ensemble(n, 0.7, 0.3);
     let integral_gap = ergodicity_gap(
@@ -285,8 +289,9 @@ impl ToJson for MarkovAblation {
 }
 
 /// A3: invariant-measure attractivity for primitive vs periodic chains and
-/// a contractive IFS.
-pub fn ablate_markov(scale: Scale) -> MarkovAblation {
+/// a contractive IFS. `seed` overrides the study's RNG seeds (`None` =
+/// the defaults).
+pub fn ablate_markov(scale: Scale, seed: Option<u64>) -> MarkovAblation {
     let (particles, iters) = match scale {
         Scale::Paper => (4_000, 150),
         Scale::Quick => (500, 60),
@@ -309,7 +314,7 @@ pub fn ablate_markov(scale: Scale) -> MarkovAblation {
         .unwrap()
         .as_markov_system()
         .clone();
-    let mut rng = SimRng::new(1987);
+    let mut rng = SimRng::new(seed.unwrap_or(1987));
     let estimate = estimate_invariant_measure(
         &ifs,
         &ParticleMeasure::dirac(&[0.99]),
@@ -318,7 +323,7 @@ pub fn ablate_markov(scale: Scale) -> MarkovAblation {
         0.02,
         &mut rng,
     );
-    let mut verdict_rng = SimRng::new(2004);
+    let mut verdict_rng = SimRng::new(seed.map(|s| s.wrapping_add(1)).unwrap_or(2004));
     let verdict = ergodic::analyze(
         &ifs,
         MetricKind::Euclidean,
@@ -364,16 +369,19 @@ impl ToJson for DelayAblation {
 /// A4: sweeps the feedback delay of the credit loop. The paper fixes one
 /// step of delay; the sweep shows the equal-impact conclusion is not an
 /// artifact of that choice (small delays only slow the scorecard's
-/// reaction).
-pub fn ablate_delay(scale: Scale) -> DelayAblation {
+/// reaction). `seed` overrides the protocol's base seed (`None` = the
+/// default).
+pub fn ablate_delay(scale: Scale, seed: Option<u64>) -> DelayAblation {
     let delays = vec![0usize, 1, 2, 4];
     let mut race_spread = Vec::with_capacity(delays.len());
     let mut mean_adr = Vec::with_capacity(delays.len());
     for &delay in &delays {
+        let base = credit_config(scale, LenderKind::Scorecard);
         let config = CreditConfig {
             delay,
             trials: 1,
-            ..credit_config(scale, LenderKind::Scorecard)
+            seed: seed.unwrap_or(base.seed),
+            ..base
         };
         let outcome = &run_trials_protocol(&config)[0];
         let finals: Vec<f64> = Race::ALL
@@ -425,8 +433,9 @@ impl ToJson for FilterAblation {
 /// (full-history) feedback filters under the same stable P-controlled
 /// stochastic ensemble — Fig. 1's filter block as a design choice. Fading
 /// memory preserves responsiveness; the accumulating filter's effective
-/// gain decays like `1/k` and freezes the broadcast signal.
-pub fn ablate_filter(scale: Scale) -> FilterAblation {
+/// gain decays like `1/k` and freezes the broadcast signal. `seed`
+/// overrides the study's RNG seed (`None` = the default).
+pub fn ablate_filter(scale: Scale, seed: Option<u64>) -> FilterAblation {
     use eqimpact_control::filter::{AccumulatingFilter, EwmaFilter, Filter, SlidingWindowFilter};
     let (n, steps) = match scale {
         Scale::Paper => (150, 6_000),
@@ -440,7 +449,7 @@ pub fn ablate_filter(scale: Scale) -> FilterAblation {
             PController::new(2.0, 0.5),
             reference,
         );
-        let mut rng = SimRng::new(515);
+        let mut rng = SimRng::new(seed.unwrap_or(515));
         let init = vec![false; n];
         let out = match filter {
             None => lp.run(0.9, &init, steps, 0, &mut rng),
@@ -532,7 +541,7 @@ impl ToJson for PerfShardResult {
 /// production serving loop; thin records) sequentially and with `shards`
 /// shards (`<= 1` = auto, one per core). The records are bit-identical; only
 /// the wall-clock changes. `Scale::Quick` trims to 20k users.
-pub fn perf_shard(scale: Scale, shards: usize) -> PerfShardResult {
+pub fn perf_shard(scale: Scale, shards: usize, seed: Option<u64>) -> PerfShardResult {
     let users = match scale {
         Scale::Paper => 100_000,
         Scale::Quick => 20_000,
@@ -549,7 +558,7 @@ pub fn perf_shard(scale: Scale, shards: usize) -> PerfShardResult {
         users,
         steps,
         trials: 1,
-        seed: 7,
+        seed: seed.unwrap_or(7),
         lender: LenderKind::IncomeMultiple,
         delay: 1,
         shards: 1,
@@ -577,6 +586,163 @@ pub fn perf_shard(scale: Scale, shards: usize) -> PerfShardResult {
         sequential_ms,
         sharded_ms,
         speedup: sequential_ms / sharded_ms,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P-TR — trace store: replay vs re-simulate, bytes vs JSON
+// ---------------------------------------------------------------------------
+
+/// P-TR result: wall-clock of replay vs re-simulation of one credit
+/// trial, and the trace's size against the equivalent JSON dump.
+#[derive(Debug, Clone)]
+pub struct PerfTraceResult {
+    /// Users simulated.
+    pub users: usize,
+    /// Steps simulated.
+    pub steps: usize,
+    /// Median wall-clock of re-simulating the trial from scratch, ms.
+    pub resimulate_ms: f64,
+    /// Median wall-clock of verified replay from the trace, ms.
+    pub replay_ms: f64,
+    /// `resimulate_ms / replay_ms`.
+    pub replay_speedup: f64,
+    /// On-disk size of the trace, bytes.
+    pub trace_bytes: u64,
+    /// Size of the equivalent JSON dump (same header, groups and the
+    /// four per-step channels, pretty-rendered as the workspace's
+    /// artifact pipeline writes JSON), bytes.
+    pub json_bytes: u64,
+    /// The same dump compact-rendered (no indentation), bytes.
+    pub compact_json_bytes: u64,
+    /// `json_bytes / trace_bytes`.
+    pub json_ratio: f64,
+    /// `compact_json_bytes / trace_bytes`.
+    pub compact_json_ratio: f64,
+}
+
+impl ToJson for PerfTraceResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("users", self.users.to_json()),
+            ("steps", self.steps.to_json()),
+            ("resimulate_ms", self.resimulate_ms.to_json()),
+            ("replay_ms", self.replay_ms.to_json()),
+            ("replay_speedup", self.replay_speedup.to_json()),
+            ("trace_bytes", (self.trace_bytes as usize).to_json()),
+            ("json_bytes", (self.json_bytes as usize).to_json()),
+            (
+                "compact_json_bytes",
+                (self.compact_json_bytes as usize).to_json(),
+            ),
+            ("json_ratio", self.json_ratio.to_json()),
+            ("compact_json_ratio", self.compact_json_ratio.to_json()),
+        ])
+    }
+}
+
+/// Renders the exact information content of a trace as the JSON dump the
+/// artifact pipeline would otherwise persist: header fields, group
+/// codes, and the four per-step channels.
+fn trace_json_dump(bytes: &[u8]) -> Json {
+    use eqimpact_trace::{StepFrame, TraceReader};
+    let mut input: &[u8] = bytes;
+    let mut reader = TraceReader::new(&mut input).expect("perf trace reads back");
+    let header = reader.header().clone();
+    let groups: Vec<Json> = reader
+        .groups()
+        .map(|g| g.codes.iter().map(|&c| (c as usize).to_json()).collect())
+        .unwrap_or_default();
+    let mut steps = Vec::new();
+    let mut frame = StepFrame::default();
+    while reader.next_step(&mut frame).expect("perf trace steps") {
+        steps.push(Json::obj([
+            ("visible", frame.visible.as_slice().to_vec().to_json()),
+            ("signals", frame.signals.to_json()),
+            ("actions", frame.actions.to_json()),
+            ("filtered", frame.filtered.to_json()),
+        ]));
+    }
+    Json::obj([
+        ("scenario", header.scenario.as_str().to_json()),
+        ("variant", header.variant.as_str().to_json()),
+        ("seed", header.seed.to_string().as_str().to_json()),
+        ("groups", Json::Arr(groups)),
+        ("steps", Json::Arr(steps)),
+    ])
+}
+
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..3)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+/// P-TR: records one paper-shape credit trial (N = 1000; 400 under
+/// `--quick`) to an in-memory trace, then measures (a) verified replay
+/// against re-simulating the trial from scratch and (b) the trace's
+/// bytes against the equivalent JSON dump. `seed` overrides the
+/// protocol's base seed.
+pub fn perf_trace(scale: Scale, seed: Option<u64>) -> PerfTraceResult {
+    use eqimpact_core::scenario::TraceMeta;
+    use eqimpact_credit::sim::run_trial_sunk;
+    use eqimpact_credit::CreditTracer;
+    use eqimpact_trace::TraceReplayer;
+    use eqimpact_trace::{TraceHeader, TraceReader, TraceStepSink};
+
+    let base = credit_config(scale, LenderKind::Scorecard);
+    let config = CreditConfig {
+        trials: 1,
+        seed: seed.unwrap_or(base.seed),
+        ..base
+    };
+    let header = TraceHeader::from_meta(&TraceMeta {
+        scenario: "credit".to_string(),
+        variant: eqimpact_credit::scenario::TRACE_VARIANT.to_string(),
+        trial: 0,
+        scale,
+        seed: config.seed,
+        shards: config.shards,
+        delay: config.delay,
+        policy: config.policy,
+    });
+    let mut sink = TraceStepSink::new(Vec::new(), &header).expect("in-memory trace");
+    let outcome = run_trial_sunk(&config, 0, &mut sink);
+    let bytes = sink.finish().expect("in-memory trace finishes");
+
+    let resimulate_ms = median_ms(|| {
+        let again = eqimpact_credit::sim::run_trial(&config, 0);
+        assert_eq!(again.record.steps(), config.steps);
+    });
+    let replay_ms = median_ms(|| {
+        let mut input: &[u8] = &bytes;
+        let reader =
+            TraceReader::new(&mut input as &mut dyn std::io::Read).expect("perf trace opens");
+        let summary = CreditTracer.replay(reader).expect("verified replay");
+        assert_eq!(summary.record, outcome.record);
+    });
+
+    let dump = trace_json_dump(&bytes);
+    let json_bytes = dump.render_pretty().len() as u64;
+    let compact_json_bytes = dump.render().len() as u64;
+    let trace_bytes = bytes.len() as u64;
+    PerfTraceResult {
+        users: config.users,
+        steps: config.steps,
+        resimulate_ms,
+        replay_ms,
+        replay_speedup: resimulate_ms / replay_ms,
+        trace_bytes,
+        json_bytes,
+        compact_json_bytes,
+        json_ratio: json_bytes as f64 / trace_bytes as f64,
+        compact_json_ratio: compact_json_bytes as f64 / trace_bytes as f64,
     }
 }
 
@@ -617,7 +783,7 @@ mod tests {
 
     #[test]
     fn policy_ablation_shows_uniform_access_gap() {
-        let a1 = ablate_policy(Scale::Quick);
+        let a1 = ablate_policy(Scale::Quick, None);
         // The income-scaled policy approves everyone: zero access gap.
         assert!(
             a1.approval_gaps.1 < 1e-12,
@@ -637,14 +803,14 @@ mod tests {
 
     #[test]
     fn integral_ablation_contrast() {
-        let a2 = ablate_integral(Scale::Quick);
+        let a2 = ablate_integral(Scale::Quick, None);
         assert!(a2.integral_gap.max_spread > 0.9);
         assert!(a2.proportional_gap.max_spread < 0.1);
     }
 
     #[test]
     fn delay_ablation_robustness() {
-        let a4 = ablate_delay(Scale::Quick);
+        let a4 = ablate_delay(Scale::Quick, None);
         assert_eq!(a4.delays.len(), 4);
         // The equal-impact conclusion survives every delay: small spread.
         for (d, spread) in a4.delays.iter().zip(&a4.race_spread) {
@@ -654,7 +820,7 @@ mod tests {
 
     #[test]
     fn filter_ablation_contrast() {
-        let a5 = ablate_filter(Scale::Quick);
+        let a5 = ablate_filter(Scale::Quick, None);
         assert_eq!(a5.filters.len(), 4);
         // All fading-memory filters track the reference.
         for i in 0..3 {
@@ -676,7 +842,7 @@ mod tests {
 
     #[test]
     fn markov_ablation_contrast() {
-        let a3 = ablate_markov(Scale::Quick);
+        let a3 = ablate_markov(Scale::Quick, None);
         assert!(a3.primitive_tv.last().unwrap() < &1e-6);
         assert!((a3.periodic_tv.last().unwrap() - 0.5).abs() < 1e-9);
         assert!(a3.ifs_converged);

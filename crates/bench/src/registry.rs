@@ -11,6 +11,7 @@
 
 use crate::experiments::{
     ablate_delay, ablate_filter, ablate_integral, ablate_markov, ablate_policy, perf_shard,
+    perf_trace,
 };
 use eqimpact_census::FIRST_YEAR;
 use eqimpact_core::scenario::{
@@ -19,9 +20,10 @@ use eqimpact_core::scenario::{
 };
 use eqimpact_credit::report;
 use eqimpact_credit::sim::{run_trials_protocol, CreditConfig, LenderKind};
-use eqimpact_credit::CreditScenario;
-use eqimpact_hiring::HiringScenario;
+use eqimpact_credit::{CreditScenario, CreditTracer};
+use eqimpact_hiring::{HiringScenario, HiringTracer};
 use eqimpact_stats::ToJson;
+use eqimpact_trace::TraceReplayer;
 
 /// The ablation suite (A1-A5) as one registry scenario. Each artifact is
 /// an independent study with its own internal protocol, so this type
@@ -76,10 +78,15 @@ impl DynScenario for AblationScenario {
                 scenario: DynScenario::name(self),
             });
         }
+        if config.trace.is_some() {
+            return Err(ScenarioError::TracingUnsupported {
+                scenario: DynScenario::name(self),
+            });
+        }
         let scale = config.scale;
         let mut out = ScenarioReport::default();
         if config.wants("ablate-policy") {
-            let a1 = ablate_policy(scale);
+            let a1 = ablate_policy(scale, config.seed);
             out.summary.push(format!(
                 "A1 — access gaps: uniform-exclusion {:.4}, income-multiple {:.4}",
                 a1.approval_gaps.0, a1.approval_gaps.1
@@ -91,10 +98,12 @@ impl DynScenario for AblationScenario {
             });
             // Year-by-year access series under the uniform policy (the
             // exclusion dynamics of the introduction, as CSV).
+            let base = eqimpact_credit::scenario::scale_config(scale, LenderKind::UniformExclusion);
             let config = CreditConfig {
                 steps: scale.pick(60, 30),
                 trials: 1,
-                ..eqimpact_credit::scenario::scale_config(scale, LenderKind::UniformExclusion)
+                seed: config.seed.unwrap_or(base.seed),
+                ..base
             };
             let outcomes = run_trials_protocol(&config);
             let rates = report::approval_rates_by_race(&outcomes);
@@ -105,7 +114,7 @@ impl DynScenario for AblationScenario {
             });
         }
         if config.wants("ablate-integral") {
-            let a2 = ablate_integral(scale);
+            let a2 = ablate_integral(scale, config.seed);
             out.summary.push(format!(
                 "A2 — max spread: integral {:.4} (ergodicity LOST), proportional {:.4} (ergodic)",
                 a2.integral_gap.max_spread, a2.proportional_gap.max_spread
@@ -117,7 +126,7 @@ impl DynScenario for AblationScenario {
             });
         }
         if config.wants("ablate-markov") {
-            let a3 = ablate_markov(scale);
+            let a3 = ablate_markov(scale, config.seed);
             out.summary.push(format!(
                 "A3 — primitive TV {:.2e}, periodic TV {:.4}, IFS converged: {}, verdict {:?}",
                 a3.primitive_tv.last().copied().unwrap_or(f64::NAN),
@@ -132,7 +141,7 @@ impl DynScenario for AblationScenario {
             });
         }
         if config.wants("ablate-delay") {
-            let a4 = ablate_delay(scale);
+            let a4 = ablate_delay(scale, config.seed);
             out.summary
                 .push("A4 — delay | final race ADR spread | final mean ADR".to_string());
             for i in 0..a4.delays.len() {
@@ -148,7 +157,7 @@ impl DynScenario for AblationScenario {
             });
         }
         if config.wants("ablate-filter") {
-            let a5 = ablate_filter(scale);
+            let a5 = ablate_filter(scale, config.seed);
             out.summary
                 .push("A5 — filter          | tail tracking err | late signal swing".to_string());
             for i in 0..a5.filters.len() {
@@ -196,7 +205,12 @@ impl DynScenario for PerfShardScenario {
 
     fn run(&self, config: &ScenarioConfig) -> Result<ScenarioReport, ScenarioError> {
         validate_artifacts(DynScenario::name(self), self.artifacts(), config)?;
-        let r = perf_shard(config.scale, config.shards);
+        if config.trace.is_some() {
+            return Err(ScenarioError::TracingUnsupported {
+                scenario: DynScenario::name(self),
+            });
+        }
+        let r = perf_shard(config.scale, config.shards, config.seed);
         let summary = vec![format!(
             "{} users x {} steps on {} cores: sequential {:.2} ms, {} shards {:.2} ms, speedup x{:.2}",
             r.users, r.steps, r.cores, r.sequential_ms, r.shards, r.sharded_ms, r.speedup
@@ -212,14 +226,99 @@ impl DynScenario for PerfShardScenario {
     }
 }
 
+/// The trace-store perf measurement as a registry scenario: records a
+/// paper-scale credit trial to an in-memory trace, then times verified
+/// replay against re-simulation and compares the trace's size against
+/// the equivalent JSON dump.
+pub struct PerfTraceScenario;
+
+const PERF_TRACE_ARTIFACTS: &[ArtifactSpec] = &[ArtifactSpec {
+    name: "perf-trace",
+    description: "replay vs re-simulate wall-clock and trace vs JSON size of one credit trial",
+}];
+
+impl DynScenario for PerfTraceScenario {
+    fn name(&self) -> &'static str {
+        "perf-trace"
+    }
+
+    fn description(&self) -> &'static str {
+        "trace-store perf: replay vs re-simulate, on-disk bytes vs the equivalent JSON dump"
+    }
+
+    fn artifacts(&self) -> &'static [ArtifactSpec] {
+        PERF_TRACE_ARTIFACTS
+    }
+
+    fn supports_sharding(&self) -> bool {
+        false
+    }
+
+    fn run(&self, config: &ScenarioConfig) -> Result<ScenarioReport, ScenarioError> {
+        validate_artifacts(DynScenario::name(self), self.artifacts(), config)?;
+        if config.shards != 1 {
+            return Err(ScenarioError::ShardingUnsupported {
+                scenario: DynScenario::name(self),
+            });
+        }
+        if config.trace.is_some() {
+            return Err(ScenarioError::TracingUnsupported {
+                scenario: DynScenario::name(self),
+            });
+        }
+        let r = perf_trace(config.scale, config.seed);
+        let summary = vec![
+            format!(
+                "{} users x {} steps: re-simulate {:.2} ms, verified replay {:.2} ms (x{:.2} faster)",
+                r.users, r.steps, r.resimulate_ms, r.replay_ms, r.replay_speedup
+            ),
+            format!(
+                "trace {} bytes vs JSON dump {} bytes (x{:.2} smaller; compact JSON x{:.2})",
+                r.trace_bytes, r.json_bytes, r.json_ratio, r.compact_json_ratio
+            ),
+        ];
+        Ok(ScenarioReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "perf-trace",
+                file: "perf_trace.json".to_string(),
+                contents: r.to_json().render_pretty(),
+            }],
+        })
+    }
+}
+
+/// Rejects duplicate names in a registry listing — the invariant behind
+/// [`find`]'s "one name, one scenario" contract.
+fn validate_unique_names(names: &[&str]) -> Result<(), String> {
+    let mut seen = std::collections::BTreeSet::new();
+    for name in names {
+        if !seen.insert(*name) {
+            return Err(format!("duplicate scenario name `{name}` in the registry"));
+        }
+    }
+    Ok(())
+}
+
 /// Every registered scenario, in listing order.
+///
+/// # Panics
+/// Panics (once, at first use) when two registered scenarios share a
+/// name — a duplicate would make [`find`] and the CLI ambiguous, so the
+/// registry refuses to construct.
 pub fn scenarios() -> &'static [&'static dyn DynScenario] {
-    static REGISTRY: [&dyn DynScenario; 4] = [
+    static REGISTRY: [&dyn DynScenario; 5] = [
         &CreditScenario,
         &HiringScenario,
         &AblationScenario,
         &PerfShardScenario,
+        &PerfTraceScenario,
     ];
+    static VALIDATED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+    VALIDATED.get_or_init(|| {
+        let names: Vec<&str> = REGISTRY.iter().map(|s| s.name()).collect();
+        validate_unique_names(&names).expect("scenario registry");
+    });
     &REGISTRY
 }
 
@@ -231,6 +330,27 @@ pub fn find(name: &str) -> Option<&'static dyn DynScenario> {
 /// The registered scenario names, in listing order.
 pub fn names() -> Vec<&'static str> {
     scenarios().iter().map(|s| s.name()).collect()
+}
+
+/// The registered scenario names, deterministically sorted — the
+/// `experiments list --json` order, so consumers (the CI matrix) see a
+/// stable listing regardless of registration order.
+pub fn sorted_names() -> Vec<&'static str> {
+    let mut names = names();
+    names.sort_unstable();
+    names
+}
+
+/// Every registered trace replayer (the scenarios that can re-drive and
+/// off-policy-evaluate their recorded traces), in listing order.
+pub fn tracers() -> &'static [&'static dyn TraceReplayer] {
+    static TRACERS: [&dyn TraceReplayer; 2] = [&CreditTracer, &HiringTracer];
+    &TRACERS
+}
+
+/// Looks a trace replayer up by its scenario name.
+pub fn find_tracer(name: &str) -> Option<&'static dyn TraceReplayer> {
+    tracers().iter().copied().find(|t| t.name() == name)
 }
 
 #[cfg(test)]
@@ -259,6 +379,84 @@ mod tests {
         assert_eq!(find("hiring").unwrap().name(), "hiring");
         assert!(find("credits").is_none());
         assert!(find("").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected_at_construction() {
+        assert!(validate_unique_names(&["credit", "hiring"]).is_ok());
+        let err = validate_unique_names(&["credit", "hiring", "credit"]).unwrap_err();
+        assert!(err.contains("credit"), "{err}");
+        // And the live registry passes the same validation (forcing the
+        // construction-time check to have run).
+        let names = names();
+        let refs: Vec<&str> = names.to_vec();
+        assert!(validate_unique_names(&refs).is_ok());
+    }
+
+    #[test]
+    fn sorted_names_are_deterministically_ordered() {
+        let sorted = sorted_names();
+        let mut expected = names();
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+        assert!(sorted.windows(2).all(|w| w[0] < w[1]), "{sorted:?}");
+    }
+
+    #[test]
+    fn tracers_cover_the_closed_loop_scenarios() {
+        let names: Vec<&str> = tracers().iter().map(|t| t.name()).collect();
+        assert_eq!(names, vec!["credit", "hiring"]);
+        // Every tracer names a registered scenario and offers policies.
+        for tracer in tracers() {
+            assert!(find(tracer.name()).is_some(), "{}", tracer.name());
+            assert!(!tracer.policies().is_empty());
+        }
+        assert!(find_tracer("credit").is_some());
+        assert!(find_tracer("ablations").is_none());
+    }
+
+    #[test]
+    fn trace_support_and_replayer_registration_agree() {
+        // One source of truth: a scenario records traces iff a replayer
+        // is registered for it — a mismatch would make `experiments
+        // record`'s exit-3 skip and run_scenario's gate disagree.
+        for scenario in scenarios() {
+            assert_eq!(
+                scenario.supports_tracing(),
+                find_tracer(scenario.name()).is_some(),
+                "scenario `{}`: supports_tracing vs tracers() mismatch",
+                scenario.name()
+            );
+        }
+    }
+
+    #[test]
+    fn non_tracing_scenarios_reject_trace_configs() {
+        use eqimpact_core::scenario::{TraceMeta, TraceSinkFactory};
+        use eqimpact_core::StepSink;
+        struct NullFactory;
+        impl TraceSinkFactory for NullFactory {
+            fn sink(&self, _meta: &TraceMeta) -> Box<dyn StepSink + Send> {
+                Box::new(())
+            }
+            fn take_errors(&self) -> Vec<String> {
+                Vec::new()
+            }
+        }
+        let config = ScenarioConfig::new(Scale::Quick).with_trace(std::sync::Arc::new(NullFactory));
+        for scenario in scenarios() {
+            if scenario.supports_tracing() {
+                continue;
+            }
+            assert!(
+                matches!(
+                    scenario.run(&config),
+                    Err(ScenarioError::TracingUnsupported { .. })
+                ),
+                "scenario `{}` silently ignored an attached trace sink",
+                scenario.name()
+            );
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! the same seed.
 
 use crate::features::FeatureMatrix;
-use crate::recorder::{LoopRecord, RecordPolicy};
+use crate::recorder::{LoopRecord, RecordPolicy, StepSink};
 use eqimpact_stats::SimRng;
 use std::collections::VecDeque;
 
@@ -328,6 +328,19 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopRunner<S, P, F> {
     /// Runs `steps` passes of the loop, returning the telemetry selected
     /// by the record policy.
     pub fn run(&mut self, steps: usize, rng: &mut SimRng) -> LoopRecord {
+        self.run_with_sink(steps, rng, &mut ())
+    }
+
+    /// [`Self::run`] with a [`StepSink`] observing every step's raw
+    /// telemetry (visible features included) at the step barrier — the
+    /// hook the trace store records through. The returned record is
+    /// unaffected by the sink.
+    pub fn run_with_sink<K: StepSink + ?Sized>(
+        &mut self,
+        steps: usize,
+        rng: &mut SimRng,
+        sink: &mut K,
+    ) -> LoopRecord {
         let n = self.population.user_count();
         let mut record = LoopRecord::with_policy(n, self.policy);
         record.reserve(steps);
@@ -362,6 +375,13 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopRunner<S, P, F> {
                 &mut feedback,
             );
             record.push_step(&self.signals, &self.actions, &feedback.per_user);
+            sink.on_step(
+                k,
+                &self.visible,
+                &self.signals,
+                &self.actions,
+                &feedback.per_user,
+            );
 
             self.pending.push_back(feedback);
             if self.pending.len() > self.delay {

@@ -115,10 +115,10 @@ pub use closed_loop::{
 pub use fairness::{demographic_parity, equal_opportunity, individual_fairness};
 pub use features::FeatureMatrix;
 pub use impact::{equal_impact_report, EqualImpactReport};
-pub use recorder::{LoopRecord, RecordPolicy};
+pub use recorder::{LoopRecord, RecordPolicy, StepSink};
 pub use scenario::{
     run_scenario, write_artifacts, Artifact, ArtifactSpec, DynScenario, Scale, Scenario,
-    ScenarioConfig, ScenarioError, ScenarioReport,
+    ScenarioConfig, ScenarioError, ScenarioReport, TraceMeta, TraceSinkFactory,
 };
 pub use treatment::{equal_treatment_report, EqualTreatmentReport};
 pub use trials::{run_trials, run_trials_with, TrialSet};

@@ -5,7 +5,70 @@
 //! bounds-checked `extend_from_slice` with no per-step allocation once
 //! capacity is reserved, and step slices come back as contiguous memory.
 
+use crate::features::FeatureMatrix;
 use eqimpact_stats::json::{Json, ToJson};
+
+/// An observer of the loop's raw per-step telemetry, fed by
+/// [`LoopRunner::run_with_sink`](crate::closed_loop::LoopRunner::run_with_sink)
+/// and its sharded twin *in addition to* the [`LoopRecord`] they return.
+///
+/// A sink sees strictly more than the record: the visible features of
+/// every step (which the record drops), so a trace store can capture
+/// everything needed to re-drive the loop without re-simulating the
+/// population. Both runners call [`Self::on_step`] at the step barrier,
+/// after the filter ran — sequentially and in step order, regardless of
+/// the shard count.
+///
+/// The unit type `()` is the no-op sink (what the plain `run` methods
+/// use); `Box<dyn StepSink + Send>` forwards, so type-erased sinks plug
+/// into the generic runners.
+pub trait StepSink {
+    /// Optional per-user group metadata (e.g. race per user), delivered
+    /// by the workload once, before the first step. Defaults to a no-op.
+    fn on_groups(&mut self, labels: &[&str], codes: &[u32]) {
+        let _ = (labels, codes);
+    }
+
+    /// One completed step: the features the AI saw, the signals it
+    /// broadcast, the population's actions, and the filter's per-user
+    /// output.
+    fn on_step(
+        &mut self,
+        k: usize,
+        visible: &FeatureMatrix,
+        signals: &[f64],
+        actions: &[f64],
+        filtered: &[f64],
+    );
+}
+
+impl StepSink for () {
+    fn on_step(
+        &mut self,
+        _k: usize,
+        _visible: &FeatureMatrix,
+        _signals: &[f64],
+        _actions: &[f64],
+        _filtered: &[f64],
+    ) {
+    }
+}
+
+impl<T: StepSink + ?Sized> StepSink for Box<T> {
+    fn on_groups(&mut self, labels: &[&str], codes: &[u32]) {
+        (**self).on_groups(labels, codes)
+    }
+    fn on_step(
+        &mut self,
+        k: usize,
+        visible: &FeatureMatrix,
+        signals: &[f64],
+        actions: &[f64],
+        filtered: &[f64],
+    ) {
+        (**self).on_step(k, visible, signals, actions, filtered)
+    }
+}
 
 /// How much telemetry [`LoopRecord`] keeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

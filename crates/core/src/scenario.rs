@@ -59,11 +59,12 @@
 //! assert_eq!(report.artifacts.len(), 1);
 //! ```
 
-use crate::recorder::RecordPolicy;
+use crate::recorder::{RecordPolicy, StepSink};
 use crate::trials::run_trials_with;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Scale of a scenario run: [`Scale::Paper`] uses the source paper's full
 /// parameters, [`Scale::Quick`] a reduced size for benches and CI.
@@ -91,9 +92,54 @@ impl Scale {
     }
 }
 
-/// Run configuration handed to a scenario: the scale, the intra-trial
-/// shard count, and (optionally) a subset of artifacts to produce.
+/// Per-loop provenance handed to a [`TraceSinkFactory`]: everything a
+/// self-describing trace header needs to identify the recorded run.
 #[derive(Debug, Clone)]
+pub struct TraceMeta {
+    /// The registry name of the scenario being recorded.
+    pub scenario: String,
+    /// Which of the scenario's loops this is (e.g. `scorecard`, or
+    /// `adaptive` vs `credential` for scenarios running several loops per
+    /// trial).
+    pub variant: String,
+    /// Trial index within the run.
+    pub trial: usize,
+    /// The run scale.
+    pub scale: Scale,
+    /// The effective base seed (trial `t` conventionally uses `seed + t`).
+    pub seed: u64,
+    /// Intra-trial shard count of the recorded run (provenance only —
+    /// records are shard-invariant).
+    pub shards: usize,
+    /// Feedback delay of the loop, in steps.
+    pub delay: usize,
+    /// Record policy of the recorded run.
+    pub policy: RecordPolicy,
+}
+
+/// Factory for per-loop [`StepSink`]s, carried by
+/// [`ScenarioConfig::trace`]: a tracing scenario asks it for one sink per
+/// recorded loop (trials run in parallel, so each sink must be
+/// self-contained and `Send`).
+///
+/// Sink creation and writing are deliberately infallible at the call
+/// site — a failing factory hands back a no-op sink and remembers why, so
+/// trial workers never have to panic over trace I/O. [`run_scenario`]
+/// collects the failures through [`Self::take_errors`] after the trials
+/// and turns them into a [`ScenarioError::Trace`].
+pub trait TraceSinkFactory: Send + Sync {
+    /// A sink for one loop's telemetry. Implementations report creation
+    /// failures through [`Self::take_errors`] and return a no-op sink.
+    fn sink(&self, meta: &TraceMeta) -> Box<dyn StepSink + Send>;
+
+    /// Drains every error recorded so far (creation or write failures).
+    fn take_errors(&self) -> Vec<String>;
+}
+
+/// Run configuration handed to a scenario: the scale, the intra-trial
+/// shard count, an optional seed override, an optional trace sink, and
+/// (optionally) a subset of artifacts to produce.
+#[derive(Clone)]
 pub struct ScenarioConfig {
     /// The run scale.
     pub scale: Scale,
@@ -101,9 +147,29 @@ pub struct ScenarioConfig {
     /// sharded runner over `n` row shards, `0` = auto (one per core).
     /// Records are bit-identical for every value — a pure perf knob.
     pub shards: usize,
+    /// Base-seed override; `None` keeps the scenario's built-in seed.
+    /// Honoured by every registered scenario, so any run can be
+    /// reproduced (or varied) from the CLI.
+    pub seed: Option<u64>,
+    /// Optional trace sink: when set, scenarios that
+    /// [support tracing](Scenario::supports_tracing) stream every loop's
+    /// raw telemetry into per-trial sinks obtained from the factory.
+    pub trace: Option<Arc<dyn TraceSinkFactory>>,
     /// Artifact names to produce; `None` means all. Validated by
     /// [`run_scenario`] against the scenario's [`Scenario::artifacts`].
     pub wanted: Option<BTreeSet<String>>,
+}
+
+impl fmt::Debug for ScenarioConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScenarioConfig")
+            .field("scale", &self.scale)
+            .field("shards", &self.shards)
+            .field("seed", &self.seed)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink factory>"))
+            .field("wanted", &self.wanted)
+            .finish()
+    }
 }
 
 impl ScenarioConfig {
@@ -112,6 +178,8 @@ impl ScenarioConfig {
         ScenarioConfig {
             scale,
             shards: 1,
+            seed: None,
+            trace: None,
             wanted: None,
         }
     }
@@ -119,6 +187,18 @@ impl ScenarioConfig {
     /// Sets the intra-trial shard count (see [`Self::shards`]).
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards;
+        self
+    }
+
+    /// Overrides the scenario's base seed (see [`Self::seed`]).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Attaches a trace sink factory (see [`Self::trace`]).
+    pub fn with_trace(mut self, factory: Arc<dyn TraceSinkFactory>) -> Self {
+        self.trace = Some(factory);
         self
     }
 
@@ -190,6 +270,19 @@ pub enum ScenarioError {
         /// The scenario asked.
         scenario: &'static str,
     },
+    /// A trace sink was attached to a scenario that does not record
+    /// traces ([`Scenario::supports_tracing`] is `false`).
+    TracingUnsupported {
+        /// The scenario asked.
+        scenario: &'static str,
+    },
+    /// Recording the run's traces failed (sink creation or writes).
+    Trace {
+        /// The scenario being recorded.
+        scenario: &'static str,
+        /// Every failure the sink factory collected.
+        message: String,
+    },
     /// Writing an artifact (or creating the output directory) failed.
     Io {
         /// The scenario whose artifact was being written.
@@ -217,6 +310,13 @@ impl fmt::Display for ScenarioError {
                 f,
                 "scenario `{scenario}` does not support intra-trial sharding (run it with --shards 1)"
             ),
+            ScenarioError::TracingUnsupported { scenario } => write!(
+                f,
+                "scenario `{scenario}` does not support trace recording"
+            ),
+            ScenarioError::Trace { scenario, message } => {
+                write!(f, "scenario `{scenario}`: trace recording failed: {message}")
+            }
             ScenarioError::Io {
                 scenario,
                 path,
@@ -255,6 +355,14 @@ pub trait Scenario: Sync {
     /// Scenarios returning `false` are rejected for `shards != 1`.
     fn supports_sharding(&self) -> bool {
         true
+    }
+
+    /// Whether [`Self::run_trial`] honours [`ScenarioConfig::trace`]
+    /// (streams each loop's telemetry into a sink from the factory).
+    /// Scenarios returning `false` are rejected when a sink is attached,
+    /// so a `record` request can never silently produce nothing.
+    fn supports_tracing(&self) -> bool {
+        false
     }
 
     /// The record policy the scenario's loops should run under.
@@ -317,12 +425,26 @@ pub fn run_scenario<S: Scenario>(
             scenario: scenario.name(),
         });
     }
+    if config.trace.is_some() && !scenario.supports_tracing() {
+        return Err(ScenarioError::TracingUnsupported {
+            scenario: scenario.name(),
+        });
+    }
     let trials = scenario.trials_needed(config);
     let outcomes = if trials == 0 {
         Vec::new()
     } else {
         run_trials_with(trials, |t| scenario.run_trial(config, t))
     };
+    if let Some(factory) = &config.trace {
+        let errors = factory.take_errors();
+        if !errors.is_empty() {
+            return Err(ScenarioError::Trace {
+                scenario: scenario.name(),
+                message: errors.join("; "),
+            });
+        }
+    }
     Ok(scenario.render(config, &outcomes))
 }
 
@@ -344,6 +466,14 @@ pub trait DynScenario: Sync {
     /// Whether the workload supports intra-trial sharding.
     fn supports_sharding(&self) -> bool;
 
+    /// Whether the workload honours [`ScenarioConfig::trace`]. Defaults
+    /// to `false` — direct implementors that do not record must also
+    /// reject trace-bearing configs in [`Self::run`], so an attached
+    /// sink can never be silently ignored.
+    fn supports_tracing(&self) -> bool {
+        false
+    }
+
     /// Runs the scenario end to end under a config.
     fn run(&self, config: &ScenarioConfig) -> Result<ScenarioReport, ScenarioError>;
 }
@@ -360,6 +490,9 @@ impl<S: Scenario> DynScenario for S {
     }
     fn supports_sharding(&self) -> bool {
         Scenario::supports_sharding(self)
+    }
+    fn supports_tracing(&self) -> bool {
+        Scenario::supports_tracing(self)
     }
     fn run(&self, config: &ScenarioConfig) -> Result<ScenarioReport, ScenarioError> {
         run_scenario(self, config)

@@ -43,7 +43,7 @@
 
 use crate::closed_loop::{AiSystem, Feedback, FeedbackFilter, UserPopulation};
 use crate::features::FeatureMatrix;
-use crate::recorder::{LoopRecord, RecordPolicy};
+use crate::recorder::{LoopRecord, RecordPolicy, StepSink};
 use eqimpact_stats::SimRng;
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -423,6 +423,19 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
     /// [`LoopRunner::run`](crate::closed_loop::LoopRunner::run) for
     /// blocks honouring the [`RowStreams`] contract, for any shard count.
     pub fn run(&mut self, steps: usize, rng: &mut SimRng) -> LoopRecord {
+        self.run_with_sink(steps, rng, &mut ())
+    }
+
+    /// [`Self::run`] with a [`StepSink`] observing every step's raw
+    /// telemetry. The sink runs at the sequential step barrier (after the
+    /// filter, before retraining), so it sees the merged buffers in step
+    /// order — identical to what the sequential runner's sink sees.
+    pub fn run_with_sink<K: StepSink + ?Sized>(
+        &mut self,
+        steps: usize,
+        rng: &mut SimRng,
+        sink: &mut K,
+    ) -> LoopRecord {
         let n = self.user_count;
         let w = self.width;
         let mut record = LoopRecord::with_policy(n, self.policy);
@@ -481,6 +494,13 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
                 &mut feedback,
             );
             record.push_step(&self.signals, &self.actions, &feedback.per_user);
+            sink.on_step(
+                k,
+                &self.visible,
+                &self.signals,
+                &self.actions,
+                &feedback.per_user,
+            );
 
             self.pending.push_back(feedback);
             if self.pending.len() > self.delay {

@@ -13,7 +13,9 @@
 //! * [`report`] — extraction of the Table I / Fig. 2-5 artifacts;
 //! * [`scenario`] — the case study as a first-class registry
 //!   [`Scenario`](eqimpact_core::scenario::Scenario) (`experiments run
-//!   credit`).
+//!   credit`);
+//! * [`trace`] — replay and off-policy evaluation of recorded credit
+//!   traces (`experiments record credit` / `experiments replay`).
 //!
 //! # Example
 //!
@@ -33,10 +35,12 @@ pub mod model;
 pub mod report;
 pub mod scenario;
 pub mod sim;
+pub mod trace;
 pub mod users;
 
 pub use adr::{AdrFilter, AdrTracker};
 pub use lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLender};
 pub use scenario::CreditScenario;
 pub use sim::{run_trial, run_trials_protocol, CreditConfig, CreditOutcome, LenderKind};
+pub use trace::CreditTracer;
 pub use users::CreditPopulation;

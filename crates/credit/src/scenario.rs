@@ -9,10 +9,10 @@
 //! from the trial outcomes.
 
 use crate::report;
-use crate::sim::{run_trial, CreditConfig, CreditOutcome, LenderKind};
+use crate::sim::{run_trial, run_trial_sunk, CreditConfig, CreditOutcome, LenderKind};
 use eqimpact_census::{IncomeTable, FIRST_YEAR};
 use eqimpact_core::scenario::{
-    Artifact, ArtifactSpec, Scale, Scenario, ScenarioConfig, ScenarioReport,
+    Artifact, ArtifactSpec, Scale, Scenario, ScenarioConfig, ScenarioReport, TraceMeta,
 };
 use eqimpact_stats::plot::{AsciiChart, Series};
 use eqimpact_stats::ToJson;
@@ -32,6 +32,22 @@ pub fn scale_config(scale: Scale, lender: LenderKind) -> CreditConfig {
 /// retrained scorecard lender and the ADR feedback filter, rendered into
 /// the paper's Table I and Figs. 2-5.
 pub struct CreditScenario;
+
+/// The trace-header variant name of the scenario's recorded loop.
+pub const TRACE_VARIANT: &str = "scorecard";
+
+/// The per-trial [`CreditConfig`] a scenario config resolves to (scale
+/// shapes, shard count, the scenario's record policy, and the seed
+/// override).
+pub fn trial_config(config: &ScenarioConfig) -> CreditConfig {
+    let base = scale_config(config.scale, LenderKind::Scorecard);
+    CreditConfig {
+        shards: config.shards,
+        policy: Scenario::record_policy(&CreditScenario, config.scale),
+        seed: config.seed.unwrap_or(base.seed),
+        ..base
+    }
+}
 
 /// The artifacts [`CreditScenario`] renders.
 const ARTIFACTS: &[ArtifactSpec] = &[
@@ -85,17 +101,37 @@ impl Scenario for CreditScenario {
         }
     }
 
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
     fn run_trial(&self, config: &ScenarioConfig, trial: usize) -> CreditOutcome {
-        let credit = CreditConfig {
-            shards: config.shards,
-            policy: self.record_policy(config.scale),
-            ..scale_config(config.scale, LenderKind::Scorecard)
-        };
-        run_trial(&credit, trial)
+        let credit = trial_config(config);
+        match &config.trace {
+            None => run_trial(&credit, trial),
+            Some(factory) => {
+                let meta = TraceMeta {
+                    scenario: "credit".to_string(),
+                    variant: TRACE_VARIANT.to_string(),
+                    trial,
+                    scale: config.scale,
+                    seed: credit.seed,
+                    shards: credit.shards,
+                    delay: credit.delay,
+                    policy: credit.policy,
+                };
+                let mut sink = factory.sink(&meta);
+                run_trial_sunk(&credit, trial, &mut sink)
+            }
+        }
     }
 
     fn render(&self, config: &ScenarioConfig, outcomes: &[CreditOutcome]) -> ScenarioReport {
         let mut report = ScenarioReport::default();
+        report.summary.push(format!(
+            "effective base seed: {} (trial t uses seed + t)",
+            trial_config(config).seed
+        ));
         if config.wants("table1") {
             render_table1(outcomes, &mut report);
         }

@@ -5,7 +5,7 @@ use crate::lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLende
 use crate::users::CreditPopulation;
 use eqimpact_census::Race;
 use eqimpact_core::closed_loop::LoopBuilder;
-use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+use eqimpact_core::recorder::{LoopRecord, RecordPolicy, StepSink};
 use eqimpact_core::shard::ShardableAi;
 use eqimpact_core::trials::run_trials_with;
 use eqimpact_ml::scorecard::Scorecard;
@@ -116,11 +116,12 @@ impl CreditOutcome {
 /// record and the lender for post-run inspection. `config.shards == 1`
 /// uses the sequential runner; any other value the sharded runner — the
 /// record is bit-identical either way (see `eqimpact_core::shard`).
-fn run_lender<S: ShardableAi>(
+fn run_lender<S: ShardableAi, K: StepSink>(
     lender: S,
     population: CreditPopulation,
     config: &CreditConfig,
     loop_rng: &mut SimRng,
+    sink: &mut K,
 ) -> (LoopRecord, S) {
     let builder = LoopBuilder::new(lender, population)
         .filter(AdrFilter::new())
@@ -128,12 +129,12 @@ fn run_lender<S: ShardableAi>(
         .record(config.policy);
     if config.shards == 1 {
         let mut runner = builder.build();
-        let record = runner.run(config.steps, loop_rng);
+        let record = runner.run_with_sink(config.steps, loop_rng, sink);
         let (lender, _population, _filter) = runner.into_parts();
         (record, lender)
     } else {
         let mut runner = builder.shards(config.shards).build_sharded();
-        let record = runner.run(config.steps, loop_rng);
+        let record = runner.run_with_sink(config.steps, loop_rng, sink);
         let (lender, _population, _filter) = runner.into_parts();
         (record, lender)
     }
@@ -145,14 +146,29 @@ fn run_lender<S: ShardableAi>(
 /// The loop is statically dispatched per lender kind — no boxing on the
 /// hot path.
 pub fn run_trial(config: &CreditConfig, trial_index: usize) -> CreditOutcome {
+    run_trial_sunk(config, trial_index, &mut ())
+}
+
+/// [`run_trial`] with a [`StepSink`] observing the loop's raw telemetry
+/// — the entry point trace recording goes through. The sink first
+/// receives the race metadata (labels in [`Race::ALL`] order, one code
+/// per user), then one call per step.
+pub fn run_trial_sunk<K: StepSink>(
+    config: &CreditConfig,
+    trial_index: usize,
+    sink: &mut K,
+) -> CreditOutcome {
     assert!(config.users > 0, "run_trial: zero users");
     assert!(config.steps > 0, "run_trial: zero steps");
-    let rng = SimRng::new(config.seed + trial_index as u64);
+    let rng = SimRng::new(config.seed.wrapping_add(trial_index as u64));
     let mut pop_rng = rng.split(1);
     let mut loop_rng = rng.split(2);
 
     let population = CreditPopulation::generate(config.users, &mut pop_rng);
     let races = population.races();
+    let labels: Vec<&str> = Race::ALL.iter().map(|r| r.label()).collect();
+    let codes: Vec<u32> = races.iter().map(|r| r.index() as u32).collect();
+    sink.on_groups(&labels, &codes);
 
     let (record, scorecard) = match config.lender {
         LenderKind::Scorecard => {
@@ -161,6 +177,7 @@ pub fn run_trial(config: &CreditConfig, trial_index: usize) -> CreditOutcome {
                 population,
                 config,
                 &mut loop_rng,
+                sink,
             );
             (record, lender.scorecard())
         }
@@ -170,6 +187,7 @@ pub fn run_trial(config: &CreditConfig, trial_index: usize) -> CreditOutcome {
                 population,
                 config,
                 &mut loop_rng,
+                sink,
             );
             (record, None)
         }
@@ -179,6 +197,7 @@ pub fn run_trial(config: &CreditConfig, trial_index: usize) -> CreditOutcome {
                 population,
                 config,
                 &mut loop_rng,
+                sink,
             );
             (record, None)
         }

@@ -21,7 +21,9 @@
 //! * [`sim`] — configuration, single trials and the multi-trial protocol;
 //! * [`scenario`] — the workload as a registry
 //!   [`Scenario`](eqimpact_core::scenario::Scenario) (`experiments run
-//!   hiring`).
+//!   hiring`);
+//! * [`trace`] — replay and off-policy evaluation of recorded hiring
+//!   traces (`experiments record hiring` / `experiments replay`).
 //!
 //! The loop inherits the workspace-wide determinism contract: records
 //! are **bit-identical for every intra-trial shard count**, including
@@ -49,10 +51,12 @@ pub mod model;
 pub mod scenario;
 pub mod screener;
 pub mod sim;
+pub mod trace;
 pub mod track;
 
 pub use applicants::{Applicant, ApplicantPool, ApplicantShard};
 pub use scenario::HiringScenario;
 pub use screener::{AdaptiveScreener, CredentialScreener};
 pub use sim::{run_trial, run_trials_protocol, HiringConfig, HiringOutcome, ScreenerKind};
+pub use trace::HiringTracer;
 pub use track::TrackRecordFilter;

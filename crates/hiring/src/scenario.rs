@@ -9,11 +9,11 @@
 //! unequal impact across races, while the adaptive screener's decisions
 //! feed back through track records.
 
-use crate::sim::{run_trial, HiringConfig, HiringOutcome, ScreenerKind};
+use crate::sim::{run_trial, run_trial_sunk, HiringConfig, HiringOutcome, ScreenerKind};
 use eqimpact_census::{Race, FIRST_YEAR};
 use eqimpact_core::impact::{conditioned_equal_impact_report, group_limits};
 use eqimpact_core::scenario::{
-    Artifact, ArtifactSpec, Scale, Scenario, ScenarioConfig, ScenarioReport,
+    Artifact, ArtifactSpec, Scale, Scenario, ScenarioConfig, ScenarioReport, TraceMeta,
 };
 use eqimpact_core::treatment::equal_treatment_report;
 use eqimpact_stats::{Json, ToJson};
@@ -40,6 +40,27 @@ pub struct HiringTrial {
 /// retrained logistic screener vs a credential gate, and the
 /// track-record feedback filter.
 pub struct HiringScenario;
+
+/// The trace-header variant name of a screener's recorded loop.
+pub fn variant_name(screener: ScreenerKind) -> &'static str {
+    match screener {
+        ScreenerKind::Adaptive => "adaptive",
+        ScreenerKind::Credential => "credential",
+    }
+}
+
+/// The per-trial [`HiringConfig`] a scenario config resolves to (scale
+/// shapes, shard count, the scenario's record policy, and the seed
+/// override).
+pub fn trial_config(config: &ScenarioConfig, screener: ScreenerKind) -> HiringConfig {
+    let base = scale_config(config.scale, screener);
+    HiringConfig {
+        shards: config.shards,
+        policy: Scenario::record_policy(&HiringScenario, config.scale),
+        seed: config.seed.unwrap_or(base.seed),
+        ..base
+    }
+}
 
 /// The artifacts [`HiringScenario`] renders.
 const ARTIFACTS: &[ArtifactSpec] = &[
@@ -76,14 +97,30 @@ impl Scenario for HiringScenario {
         scale_config(scale, ScreenerKind::Adaptive).trials
     }
 
+    fn supports_tracing(&self) -> bool {
+        true
+    }
+
     fn run_trial(&self, config: &ScenarioConfig, trial: usize) -> HiringTrial {
         let run = |screener| {
-            let hiring = HiringConfig {
-                shards: config.shards,
-                policy: self.record_policy(config.scale),
-                ..scale_config(config.scale, screener)
-            };
-            run_trial(&hiring, trial)
+            let hiring = trial_config(config, screener);
+            match &config.trace {
+                None => run_trial(&hiring, trial),
+                Some(factory) => {
+                    let meta = TraceMeta {
+                        scenario: "hiring".to_string(),
+                        variant: variant_name(screener).to_string(),
+                        trial,
+                        scale: config.scale,
+                        seed: hiring.seed,
+                        shards: hiring.shards,
+                        delay: hiring.delay,
+                        policy: hiring.policy,
+                    };
+                    let mut sink = factory.sink(&meta);
+                    run_trial_sunk(&hiring, trial, &mut sink)
+                }
+            }
         };
         HiringTrial {
             adaptive: run(ScreenerKind::Adaptive),
@@ -93,6 +130,10 @@ impl Scenario for HiringScenario {
 
     fn render(&self, config: &ScenarioConfig, outcomes: &[HiringTrial]) -> ScenarioReport {
         let mut report = ScenarioReport::default();
+        report.summary.push(format!(
+            "effective base seed: {} (trial t uses seed + t)",
+            trial_config(config, ScreenerKind::Adaptive).seed
+        ));
         if config.wants("hire-rates") {
             render_series(
                 outcomes,

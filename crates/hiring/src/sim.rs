@@ -5,7 +5,7 @@ use crate::screener::{AdaptiveScreener, CredentialScreener};
 use crate::track::TrackRecordFilter;
 use eqimpact_census::Race;
 use eqimpact_core::closed_loop::LoopBuilder;
-use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+use eqimpact_core::recorder::{LoopRecord, RecordPolicy, StepSink};
 use eqimpact_core::shard::ShardableAi;
 use eqimpact_core::trials::run_trials_with;
 use eqimpact_ml::logistic::LogisticModel;
@@ -123,11 +123,12 @@ impl HiringOutcome {
 
 /// Runs one screener through the loop with static dispatch (sequential or
 /// sharded per `config.shards`; records are bit-identical either way).
-fn run_screener<S: ShardableAi>(
+fn run_screener<S: ShardableAi, K: StepSink>(
     screener: S,
     pool: ApplicantPool,
     config: &HiringConfig,
     loop_rng: &mut SimRng,
+    sink: &mut K,
 ) -> (LoopRecord, S) {
     let builder = LoopBuilder::new(screener, pool)
         .filter(TrackRecordFilter::new())
@@ -135,12 +136,12 @@ fn run_screener<S: ShardableAi>(
         .record(config.policy);
     if config.shards == 1 {
         let mut runner = builder.build();
-        let record = runner.run(config.rounds, loop_rng);
+        let record = runner.run_with_sink(config.rounds, loop_rng, sink);
         let (screener, _pool, _filter) = runner.into_parts();
         (record, screener)
     } else {
         let mut runner = builder.shards(config.shards).build_sharded();
-        let record = runner.run(config.rounds, loop_rng);
+        let record = runner.run_with_sink(config.rounds, loop_rng, sink);
         let (screener, _pool, _filter) = runner.into_parts();
         (record, screener)
     }
@@ -149,14 +150,29 @@ fn run_screener<S: ShardableAi>(
 /// Runs one trial of the configured experiment. Deterministic in
 /// `(config, trial_index)`.
 pub fn run_trial(config: &HiringConfig, trial_index: usize) -> HiringOutcome {
+    run_trial_sunk(config, trial_index, &mut ())
+}
+
+/// [`run_trial`] with a [`StepSink`] observing the loop's raw telemetry
+/// — the entry point trace recording goes through. The sink first
+/// receives the race metadata (labels in [`Race::ALL`] order, one code
+/// per applicant), then one call per round.
+pub fn run_trial_sunk<K: StepSink>(
+    config: &HiringConfig,
+    trial_index: usize,
+    sink: &mut K,
+) -> HiringOutcome {
     assert!(config.applicants > 0, "run_trial: zero applicants");
     assert!(config.rounds > 0, "run_trial: zero rounds");
-    let rng = SimRng::new(config.seed + trial_index as u64);
+    let rng = SimRng::new(config.seed.wrapping_add(trial_index as u64));
     let mut pool_rng = rng.split(1);
     let mut loop_rng = rng.split(2);
 
     let pool = ApplicantPool::generate(config.applicants, &mut pool_rng);
     let races = pool.races();
+    let labels: Vec<&str> = Race::ALL.iter().map(|r| r.label()).collect();
+    let codes: Vec<u32> = races.iter().map(|r| r.index() as u32).collect();
+    sink.on_groups(&labels, &codes);
 
     let (record, model) = match config.screener {
         ScreenerKind::Adaptive => {
@@ -165,12 +181,13 @@ pub fn run_trial(config: &HiringConfig, trial_index: usize) -> HiringOutcome {
                 pool,
                 config,
                 &mut loop_rng,
+                sink,
             );
             (record, screener.model().cloned())
         }
         ScreenerKind::Credential => {
             let (record, _screener) =
-                run_screener(CredentialScreener::new(), pool, config, &mut loop_rng);
+                run_screener(CredentialScreener::new(), pool, config, &mut loop_rng, sink);
             (record, None)
         }
     };

@@ -1,0 +1,169 @@
+//! Bit-level codec primitives shared by the workspace's binary formats
+//! (notably the `eqimpact-trace` columnar trace store): zigzag mapping,
+//! LEB128-style varints, and a table-driven CRC-32.
+//!
+//! Everything here is dependency-free and symmetric: each encoder has a
+//! decoder that round-trips every value exactly, and the decoders never
+//! panic on malformed input — truncation and overflow come back as
+//! `None` so callers can surface named errors.
+
+/// Maps a signed value onto an unsigned one with small magnitudes first
+/// (`0, -1, 1, -2, 2, …` → `0, 1, 2, 3, 4, …`), so varints of
+/// small-magnitude deltas stay short regardless of sign.
+#[inline]
+pub fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag_encode`].
+#[inline]
+pub fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Largest encoded size of one varint (10 × 7 bits ≥ 64 bits).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends `v` as a little-endian base-128 varint (7 payload bits per
+/// byte, high bit = continuation).
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+/// Reads one varint starting at `*pos`, advancing `*pos` past it.
+///
+/// Returns `None` (leaving `*pos` unspecified) on truncated input or an
+/// encoding longer than [`MAX_VARINT_LEN`] bytes / overflowing 64 bits —
+/// never panics.
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        let payload = (byte & 0x7F) as u64;
+        // The 10th byte may only carry the single remaining bit.
+        if shift == 63 && payload > 1 {
+            return None;
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected, `0xEDB88320`) of `bytes` — the frame
+/// checksum of the trace store.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_orders_by_magnitude() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_encode(i64::MAX), u64::MAX - 1);
+        assert_eq!(zigzag_encode(i64::MIN), u64::MAX);
+        for v in [0i64, 1, -1, 42, -42, i64::MAX, i64::MIN] {
+            assert_eq!(zigzag_decode(zigzag_encode(v)), v);
+        }
+    }
+
+    #[test]
+    fn varint_roundtrips_boundaries() {
+        let mut buf = Vec::new();
+        let values = [
+            0u64,
+            1,
+            0x7F,
+            0x80,
+            0x3FFF,
+            0x4000,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_single_byte_for_small_values() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 0x7F);
+        assert_eq!(buf, vec![0x7F]);
+        buf.clear();
+        write_varint(&mut buf, u64::MAX);
+        assert_eq!(buf.len(), MAX_VARINT_LEN);
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        // Truncated: continuation bit set, nothing follows.
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80], &mut pos), None);
+        // Empty input.
+        pos = 0;
+        assert_eq!(read_varint(&[], &mut pos), None);
+        // 11 continuation bytes can never be a canonical u64.
+        let too_long = [0x80u8; 11];
+        pos = 0;
+        assert_eq!(read_varint(&too_long, &mut pos), None);
+        // A 10th byte carrying more than the last bit overflows.
+        let mut overflow = vec![0xFFu8; 9];
+        overflow.push(0x02);
+        pos = 0;
+        assert_eq!(read_varint(&overflow, &mut pos), None);
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // The classic check value of CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

@@ -15,11 +15,14 @@
 //!   to verify weak convergence to the invariant measure;
 //! * [`kde`] — Gaussian kernel density estimates for smooth density plots;
 //! * [`json`] — a self-contained JSON value/writer/parser, the workspace's
-//!   serialization layer (the build is offline; no serde).
+//!   serialization layer (the build is offline; no serde);
+//! * [`codec`] — zigzag / varint / CRC-32 bit utilities shared with the
+//!   binary trace store (`eqimpact-trace`).
 
 #![warn(missing_docs)]
 
 pub mod bootstrap;
+pub mod codec;
 pub mod converge;
 pub mod describe;
 pub mod dist;

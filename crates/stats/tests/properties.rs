@@ -1,5 +1,6 @@
 //! Property-based tests for the statistics substrate.
 
+use eqimpact_stats::codec;
 use eqimpact_stats::converge::{total_variation_discrete, wasserstein1};
 use eqimpact_stats::describe::{quantile, Summary};
 use eqimpact_stats::dist::{std_normal_cdf, std_normal_quantile};
@@ -112,5 +113,55 @@ proptest! {
         let c = eqimpact_stats::Categorical::new(&raw);
         let total: f64 = c.probs().iter().sum();
         prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zigzag_roundtrips_any_i64(v in i64::MIN..i64::MAX) {
+        prop_assert_eq!(codec::zigzag_decode(codec::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn zigzag_encodes_small_magnitudes_small(v in -1_000_000i64..1_000_000) {
+        // |v| <= 2^20 must fit the low 21 bits after zigzag.
+        prop_assert!(codec::zigzag_encode(v) <= (1 << 21));
+    }
+
+    #[test]
+    fn varint_stream_roundtrips(values in prop::collection::vec(0u64..=u64::MAX, 0..40)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            codec::write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(codec::read_varint(&buf, &mut pos), Some(v));
+        }
+        prop_assert_eq!(pos, buf.len());
+        // And any strict prefix that cuts the final varint fails cleanly.
+        if let Some(&last) = values.last() {
+            if last >= 0x80 {
+                let mut pos = 0;
+                let mut truncated: Option<u64> = None;
+                let cut = &buf[..buf.len() - 1];
+                for _ in 0..values.len() {
+                    truncated = codec::read_varint(cut, &mut pos);
+                    if truncated.is_none() {
+                        break;
+                    }
+                }
+                prop_assert_eq!(truncated, None);
+            }
+        }
+    }
+
+    #[test]
+    fn crc32_detects_any_single_bit_flip(
+        payload in prop::collection::vec(0u8..=255, 1..64),
+        flip in 0usize..64 * 8,
+    ) {
+        let bit = flip % (payload.len() * 8);
+        let mut corrupted = payload.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(codec::crc32(&payload), codec::crc32(&corrupted));
     }
 }

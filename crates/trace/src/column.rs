@@ -1,0 +1,322 @@
+//! The per-column codec: delta + zigzag-varint with optional run-length
+//! encoding.
+//!
+//! A column is a sequence of `u64` words (`f64` bit patterns for the
+//! telemetry channels, raw codes for group metadata). Encoding is
+//! delta-first — each word is stored as its wrapping difference from the
+//! previous one, zigzag-mapped so small signed deltas become short
+//! varints — and the encoder then picks, per column, between the plain
+//! delta stream and a run-length form `(run length, delta)` that
+//! collapses constant stretches (identical consecutive values are runs
+//! of delta 0). The block's 1-byte tag records every choice, so decoding
+//! needs no configuration.
+//!
+//! Float columns get one extra per-column choice of *word domain*:
+//!
+//! * **raw** — the plain `f64` bit pattern. Values of similar magnitude
+//!   share sign/exponent/top-mantissa bits, so their pattern deltas
+//!   drop the shared high bits and varint-encode in ~8 bytes instead of
+//!   10 — the better domain for full-mantissa data (sampled incomes,
+//!   running averages).
+//! * **swapped** — the byte-reversed pattern. "Simple" constants (0.0,
+//!   1.0, 50.0, …) have trailing-zero mantissa bytes, which
+//!   byte-reversal turns into leading zeros that varints drop entirely —
+//!   the better domain for indicator/step-function columns.
+//!
+//! The encoder sizes all four (domain × run-length) candidates and keeps
+//! the smallest; every choice is a bijection, so encoding is lossless
+//! down to NaN payloads and signed zeros.
+
+use eqimpact_stats::codec::{read_varint, write_varint, zigzag_decode, zigzag_encode};
+
+/// Tag bit selecting the run-length form (`(run, delta)` pairs).
+const TAG_RLE_BIT: u8 = 1;
+
+/// Tag bit selecting the byte-swapped word domain (float columns only).
+const TAG_SWAP_BIT: u8 = 2;
+
+/// All tag bits a valid block may carry.
+const TAG_MASK: u8 = TAG_RLE_BIT | TAG_SWAP_BIT;
+
+/// Appends the zigzag varint of the delta `current - previous` (wrapping).
+#[inline]
+fn push_delta(out: &mut Vec<u8>, previous: u64, current: u64) {
+    write_varint(out, zigzag_encode(current.wrapping_sub(previous) as i64));
+}
+
+/// Encodes `values` as one block appended to `out`: a 1-byte tag
+/// (`tag_bits` plus the run-length bit when that form is smaller)
+/// followed by the delta stream.
+fn encode_words(values: &[u64], tag_bits: u8, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.push(tag_bits);
+    let mut previous = 0u64;
+    for &v in values {
+        push_delta(out, previous, v);
+        previous = v;
+    }
+    let plain_len = out.len() - start;
+
+    // RLE alternative: runs of equal *deltas*, so both constant
+    // stretches (delta 0) and affine ramps collapse.
+    let mut rle = Vec::with_capacity(plain_len.min(64));
+    rle.push(tag_bits | TAG_RLE_BIT);
+    let mut previous = 0u64;
+    let mut i = 0;
+    while i < values.len() {
+        let delta = values[i].wrapping_sub(previous) as i64;
+        let mut run = 1usize;
+        while i + run < values.len()
+            && values[i + run].wrapping_sub(values[i + run - 1]) as i64 == delta
+        {
+            run += 1;
+        }
+        write_varint(&mut rle, run as u64);
+        write_varint(&mut rle, zigzag_encode(delta));
+        previous = values[i + run - 1];
+        i += run;
+    }
+
+    if rle.len() < plain_len {
+        out.truncate(start);
+        out.extend_from_slice(&rle);
+    }
+}
+
+/// Decodes one block of exactly `len` words starting at `*pos` in
+/// `bytes`, advancing `*pos` past it. The words come back in the block's
+/// *encoded domain*; the returned tag tells the caller whether that
+/// domain is byte-swapped. Returns `None` on an unknown tag, truncated
+/// varints, or run lengths not summing to `len` — never panics.
+fn decode_words(bytes: &[u8], pos: &mut usize, len: usize, out: &mut Vec<u64>) -> Option<u8> {
+    out.clear();
+    // Reserve no more than the input could plausibly describe up front
+    // (a plain stream needs >= 1 byte per value); a hostile `len` with a
+    // short RLE stream then grows geometrically instead of asking for
+    // one absurd allocation.
+    out.reserve(len.min(bytes.len().saturating_sub(*pos)));
+    let &tag = bytes.get(*pos)?;
+    if tag & !TAG_MASK != 0 {
+        return None;
+    }
+    *pos += 1;
+    let mut previous = 0u64;
+    if tag & TAG_RLE_BIT == 0 {
+        for _ in 0..len {
+            let delta = zigzag_decode(read_varint(bytes, pos)?);
+            previous = previous.wrapping_add(delta as u64);
+            out.push(previous);
+        }
+    } else {
+        while out.len() < len {
+            let run = read_varint(bytes, pos)?;
+            let delta = zigzag_decode(read_varint(bytes, pos)?);
+            if run == 0 || run > (len - out.len()) as u64 {
+                return None;
+            }
+            for _ in 0..run {
+                previous = previous.wrapping_add(delta as u64);
+                out.push(previous);
+            }
+        }
+    }
+    Some(tag)
+}
+
+/// Encodes a `u64` column (raw word domain) as one block appended to
+/// `out` — the form group-code metadata uses.
+pub fn encode_column(values: &[u64], out: &mut Vec<u8>) {
+    encode_words(values, 0, out);
+}
+
+/// Decodes a raw-domain `u64` column of `len` values (inverse of
+/// [`encode_column`]). Returns `None` on malformed input or a
+/// swapped-domain tag (raw columns never carry one).
+pub fn decode_column(bytes: &[u8], pos: &mut usize, len: usize, out: &mut Vec<u64>) -> Option<()> {
+    let tag = decode_words(bytes, pos, len, out)?;
+    if tag & TAG_SWAP_BIT != 0 {
+        return None;
+    }
+    Some(())
+}
+
+/// Encodes a float column as one block, trying both word domains (see
+/// the module docs) and keeping the smaller. `scratch` is reused for the
+/// word buffer.
+pub fn encode_f64_column(values: &[f64], scratch: &mut Vec<u64>, out: &mut Vec<u8>) {
+    scratch.clear();
+    scratch.extend(values.iter().map(|v| v.to_bits()));
+    let start = out.len();
+    encode_words(scratch, 0, out);
+    let raw_len = out.len() - start;
+
+    for w in scratch.iter_mut() {
+        *w = w.swap_bytes();
+    }
+    let mut swapped = Vec::with_capacity(raw_len);
+    encode_words(scratch, TAG_SWAP_BIT, &mut swapped);
+    if swapped.len() < raw_len {
+        out.truncate(start);
+        out.extend_from_slice(&swapped);
+    }
+}
+
+/// Decodes a float column of `len` values into `out` (cleared first),
+/// reusing `scratch` for the word buffer. Inverse of
+/// [`encode_f64_column`]; never panics on malformed input.
+pub fn decode_f64_column(
+    bytes: &[u8],
+    pos: &mut usize,
+    len: usize,
+    scratch: &mut Vec<u64>,
+    out: &mut Vec<f64>,
+) -> Option<()> {
+    let tag = decode_words(bytes, pos, len, scratch)?;
+    out.clear();
+    if tag & TAG_SWAP_BIT != 0 {
+        out.extend(scratch.iter().map(|&w| f64::from_bits(w.swap_bytes())));
+    } else {
+        out.extend(scratch.iter().map(|&w| f64::from_bits(w)));
+    }
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(values: &[u64]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        encode_column(values, &mut bytes);
+        let mut pos = 0;
+        let mut back = Vec::new();
+        decode_column(&bytes, &mut pos, values.len(), &mut back).expect("decodes");
+        assert_eq!(pos, bytes.len(), "block fully consumed");
+        assert_eq!(back, values);
+        bytes
+    }
+
+    fn roundtrip_f64(values: &[f64]) -> Vec<u8> {
+        let mut scratch = Vec::new();
+        let mut bytes = Vec::new();
+        encode_f64_column(values, &mut scratch, &mut bytes);
+        let mut pos = 0;
+        let mut back = Vec::new();
+        decode_f64_column(&bytes, &mut pos, values.len(), &mut scratch, &mut back)
+            .expect("decodes");
+        assert_eq!(pos, bytes.len(), "block fully consumed");
+        let bits: Vec<u64> = values.iter().map(|v| v.to_bits()).collect();
+        let back_bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, back_bits);
+        bytes
+    }
+
+    #[test]
+    fn roundtrips_plain_and_rle_shapes() {
+        roundtrip(&[]);
+        roundtrip(&[42]);
+        roundtrip(&[0, 0, 0, 0]);
+        roundtrip(&[1, 2, 3, 4, 5, 6]); // affine ramp -> one RLE run
+        roundtrip(&[u64::MAX, 0, u64::MAX, 1, 7]);
+        let mixed: Vec<u64> = (0..200)
+            .map(|i| if i % 7 == 0 { 0 } else { i * 0x9E37_79B9 })
+            .collect();
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn constant_columns_collapse() {
+        let constant = vec![0x3FF0_0000_0000_0000u64; 10_000];
+        let bytes = roundtrip(&constant);
+        // Tag + one (run, delta) pair: a handful of bytes for 10k values.
+        assert!(
+            bytes.len() < 16,
+            "constant column took {} bytes",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn float_columns_roundtrip_lossless() {
+        roundtrip_f64(&[]);
+        roundtrip_f64(&[
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            50.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::NEG_INFINITY,
+            std::f64::consts::PI,
+            f64::from_bits(0x7FF8_DEAD_BEEF_0001), // NaN payload
+        ]);
+    }
+
+    #[test]
+    fn indicator_columns_pick_the_swapped_domain() {
+        // 0/1 step functions: the swapped domain turns every transition
+        // into a ~3-byte varint instead of 10.
+        let values: Vec<f64> = (0..1000)
+            .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        let bytes = roundtrip_f64(&values);
+        assert!(
+            bytes.len() < 4 * values.len(),
+            "indicator column took {} bytes for {} values",
+            bytes.len(),
+            values.len()
+        );
+    }
+
+    #[test]
+    fn similar_magnitude_columns_beat_the_ten_byte_worst_case() {
+        // Full-mantissa values in one magnitude range: raw-pattern deltas
+        // drop the shared sign/exponent bits.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let values: Vec<f64> = (0..1000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                20.0 + 480.0 * ((x >> 11) as f64 / (1u64 << 53) as f64)
+            })
+            .collect();
+        let bytes = roundtrip_f64(&values);
+        assert!(
+            bytes.len() <= 9 * values.len(),
+            "similar-magnitude column took {} bytes for {} values",
+            bytes.len(),
+            values.len()
+        );
+    }
+
+    #[test]
+    fn decoder_rejects_malformed_blocks() {
+        let mut out = Vec::new();
+        // Unknown tag.
+        let mut pos = 0;
+        assert!(decode_column(&[9, 0], &mut pos, 1, &mut out).is_none());
+        // Swapped-domain tag on a raw u64 column.
+        pos = 0;
+        assert!(decode_column(&[TAG_SWAP_BIT, 0], &mut pos, 1, &mut out).is_none());
+        // Truncated varint.
+        pos = 0;
+        assert!(decode_column(&[0, 0x80], &mut pos, 1, &mut out).is_none());
+        // RLE run overshooting the expected length.
+        let mut bad = vec![TAG_RLE_BIT];
+        eqimpact_stats::codec::write_varint(&mut bad, 5); // run of 5
+        eqimpact_stats::codec::write_varint(&mut bad, 0);
+        pos = 0;
+        assert!(decode_column(&bad, &mut pos, 3, &mut out).is_none());
+        // Zero-length run.
+        let mut zero = vec![TAG_RLE_BIT];
+        eqimpact_stats::codec::write_varint(&mut zero, 0);
+        eqimpact_stats::codec::write_varint(&mut zero, 0);
+        pos = 0;
+        assert!(decode_column(&zero, &mut pos, 3, &mut out).is_none());
+        // Empty input.
+        pos = 0;
+        assert!(decode_column(&[], &mut pos, 1, &mut out).is_none());
+    }
+}

@@ -1,0 +1,292 @@
+//! Off-policy counterfactual evaluation: score an *alternative* policy
+//! against a recorded trajectory, without re-simulating the population.
+//!
+//! The evaluator walks the trace once. At every step the alternative AI
+//! sees exactly the visible features the behaviour policy saw and emits
+//! its own signals; the recorded actions stand in for the population's
+//! responses (the classical logged-bandit reading: the log is the data,
+//! the candidate policy is the question), the alternative filter digests
+//! them, and the delayed feedback retrains the alternative AI — so the
+//! candidate adapts over the trajectory just as it would have in the
+//! live loop. The result is a pair of [`LoopRecord`]s over identical
+//! actions — recorded behaviour vs counterfactual decisions — which
+//! [`off_policy_report`] turns into fairness and impact deltas through
+//! [`eqimpact_core::fairness`].
+//!
+//! The one caveat of any off-policy read-out is confounding: the
+//! recorded actions were taken *under the behaviour policy's signals*,
+//! so second-order feedback effects of the candidate are out of scope —
+//! exactly the gap the paper's closed-loop analysis warns about, and the
+//! reason the report carries the decision-agreement rate as a validity
+//! measure alongside the deltas.
+
+use crate::store::{TraceGroups, TraceReader};
+use crate::TraceError;
+use eqimpact_core::closed_loop::{AiSystem, Feedback, FeedbackFilter};
+use eqimpact_core::fairness::{demographic_parity, equal_opportunity};
+use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+use eqimpact_core::scenario::Scale;
+use eqimpact_stats::{Json, ToJson};
+use std::collections::VecDeque;
+use std::io::Read;
+
+/// The raw material of an off-policy evaluation: the recorded behaviour
+/// and the counterfactual decisions, over the same logged actions.
+#[derive(Debug, Clone)]
+pub struct OffPolicyOutcome {
+    /// The recorded run (signals, actions, filter outputs as logged).
+    pub baseline: LoopRecord,
+    /// The counterfactual run: the alternative policy's signals and
+    /// filter outputs over the logged actions.
+    pub counterfactual: LoopRecord,
+    /// Group metadata carried by the trace, when present.
+    pub groups: Option<TraceGroups>,
+    /// Fraction of (step, user) decisions on which the two policies
+    /// agree (both positive or both non-positive).
+    pub agreement: f64,
+}
+
+/// Walks the trace once, driving `alt_ai`/`alt_filter` over the recorded
+/// features and actions (see the module docs). `decision_threshold`
+/// defines a positive decision (`signal > threshold`) for the agreement
+/// statistic. Both returned records are [`RecordPolicy::Full`] so the
+/// fairness auditors can read them regardless of the original policy.
+pub fn evaluate_off_policy<S: AiSystem, F: FeedbackFilter, R: Read>(
+    mut reader: TraceReader<R>,
+    mut alt_ai: S,
+    mut alt_filter: F,
+    decision_threshold: f64,
+) -> Result<OffPolicyOutcome, TraceError> {
+    let delay = reader.header().delay;
+    let mut frame = crate::store::StepFrame::default();
+    let mut baseline: Option<LoopRecord> = None;
+    let mut counterfactual: Option<LoopRecord> = None;
+    let mut signals = Vec::new();
+    let mut pending: VecDeque<Feedback> = VecDeque::new();
+    let mut spare: Vec<Feedback> = Vec::new();
+    let mut agree = 0usize;
+    let mut total = 0usize;
+
+    while reader.next_step(&mut frame)? {
+        let k = frame.step;
+        let n = frame.signals.len();
+        let baseline =
+            baseline.get_or_insert_with(|| LoopRecord::with_policy(n, RecordPolicy::Full));
+        let counterfactual =
+            counterfactual.get_or_insert_with(|| LoopRecord::with_policy(n, RecordPolicy::Full));
+
+        baseline.push_step(&frame.signals, &frame.actions, &frame.filtered);
+
+        alt_ai.signals_into(k, &frame.visible, &mut signals);
+        assert_eq!(
+            signals.len(),
+            n,
+            "alternative AI must emit one signal per user"
+        );
+        for (a, b) in signals.iter().zip(&frame.signals) {
+            total += 1;
+            if (*a > decision_threshold) == (*b > decision_threshold) {
+                agree += 1;
+            }
+        }
+
+        let mut feedback = spare.pop().unwrap_or_default();
+        alt_filter.apply_into(k, &frame.visible, &signals, &frame.actions, &mut feedback);
+        counterfactual.push_step(&signals, &frame.actions, &feedback.per_user);
+
+        pending.push_back(feedback);
+        if pending.len() > delay {
+            let due = pending.pop_front().expect("non-empty by check");
+            alt_ai.retrain(k, &due);
+            spare.push(due);
+        }
+    }
+
+    let users = reader.groups().map(|g| g.codes.len()).unwrap_or(0);
+    Ok(OffPolicyOutcome {
+        baseline: baseline.unwrap_or_else(|| LoopRecord::with_policy(users, RecordPolicy::Full)),
+        counterfactual: counterfactual
+            .unwrap_or_else(|| LoopRecord::with_policy(users, RecordPolicy::Full)),
+        groups: reader.groups().cloned(),
+        agreement: if total == 0 {
+            f64::NAN
+        } else {
+            agree as f64 / total as f64
+        },
+    })
+}
+
+/// One policy's fairness read-out within an [`OffPolicyReport`].
+#[derive(Debug, Clone)]
+pub struct PolicyFairness {
+    /// Pooled positive-decision rate.
+    pub positive_rate: f64,
+    /// Per-group positive-decision rates, in group-label order.
+    pub group_rates: Vec<f64>,
+    /// Largest pairwise demographic-parity gap.
+    pub parity_gap: f64,
+    /// Largest pairwise equal-opportunity gap (among favourable
+    /// actions).
+    pub opportunity_gap: f64,
+    /// Final filter output (e.g. ADR / track record) per group — the
+    /// impact channel.
+    pub group_final_filtered: Vec<f64>,
+}
+
+impl ToJson for PolicyFairness {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("positive_rate", self.positive_rate.to_json()),
+            ("group_rates", self.group_rates.to_json()),
+            ("parity_gap", self.parity_gap.to_json()),
+            ("opportunity_gap", self.opportunity_gap.to_json()),
+            ("group_final_filtered", self.group_final_filtered.to_json()),
+        ])
+    }
+}
+
+/// The rendered verdict of an off-policy evaluation: behaviour vs
+/// candidate, with fairness/impact deltas (candidate − behaviour).
+#[derive(Debug, Clone)]
+pub struct OffPolicyReport {
+    /// Scenario the trace was recorded from.
+    pub scenario: String,
+    /// The recorded loop variant (the behaviour policy).
+    pub variant: String,
+    /// The evaluated alternative policy.
+    pub policy: String,
+    /// Scale of the recorded run.
+    pub scale: Scale,
+    /// Seed of the recorded run.
+    pub seed: u64,
+    /// Steps evaluated.
+    pub steps: usize,
+    /// Users in the trace.
+    pub users: usize,
+    /// Decision-agreement rate between the two policies.
+    pub agreement: f64,
+    /// Group labels behind the per-group vectors.
+    pub group_labels: Vec<String>,
+    /// The behaviour policy's fairness read-out.
+    pub baseline: PolicyFairness,
+    /// The candidate policy's fairness read-out.
+    pub candidate: PolicyFairness,
+    /// `candidate.parity_gap - baseline.parity_gap` (negative = the
+    /// candidate is more demographically even).
+    pub parity_gap_delta: f64,
+    /// `candidate.opportunity_gap - baseline.opportunity_gap`.
+    pub opportunity_gap_delta: f64,
+}
+
+impl ToJson for OffPolicyReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.as_str().to_json()),
+            ("variant", self.variant.as_str().to_json()),
+            ("policy", self.policy.as_str().to_json()),
+            (
+                "scale",
+                match self.scale {
+                    Scale::Paper => "paper",
+                    Scale::Quick => "quick",
+                }
+                .to_json(),
+            ),
+            ("seed", self.seed.to_string().as_str().to_json()),
+            ("steps", self.steps.to_json()),
+            ("users", self.users.to_json()),
+            ("agreement", self.agreement.to_json()),
+            (
+                "group_labels",
+                Json::Arr(
+                    self.group_labels
+                        .iter()
+                        .map(|l| l.as_str().to_json())
+                        .collect(),
+                ),
+            ),
+            ("baseline", self.baseline.to_json()),
+            ("candidate", self.candidate.to_json()),
+            ("parity_gap_delta", self.parity_gap_delta.to_json()),
+            (
+                "opportunity_gap_delta",
+                self.opportunity_gap_delta.to_json(),
+            ),
+        ])
+    }
+}
+
+fn fairness_of(
+    record: &LoopRecord,
+    groups: &[Vec<usize>],
+    decision_threshold: f64,
+) -> PolicyFairness {
+    let steps = record.steps();
+    let users = record.user_count();
+    let positive: usize = (0..steps)
+        .map(|k| {
+            record
+                .signals(k)
+                .iter()
+                .filter(|&&s| s > decision_threshold)
+                .count()
+        })
+        .sum();
+    let positive_rate = if steps * users == 0 {
+        f64::NAN
+    } else {
+        positive as f64 / (steps * users) as f64
+    };
+    let parity = demographic_parity(record, groups, decision_threshold);
+    let opportunity = equal_opportunity(record, groups, decision_threshold, 0.5);
+    let group_final_filtered = groups
+        .iter()
+        .map(|members| {
+            if steps == 0 || members.is_empty() {
+                f64::NAN
+            } else {
+                let last = record.filtered(steps - 1);
+                members.iter().map(|&i| last[i]).sum::<f64>() / members.len() as f64
+            }
+        })
+        .collect();
+    PolicyFairness {
+        positive_rate,
+        group_rates: parity.group_rates.iter().map(|r| r.rate).collect(),
+        parity_gap: parity.max_gap,
+        opportunity_gap: opportunity.max_gap,
+        group_final_filtered,
+    }
+}
+
+/// Renders an [`OffPolicyOutcome`] into the report the CLI prints and
+/// persists. `header` supplies provenance; `policy` names the evaluated
+/// candidate.
+pub fn off_policy_report(
+    outcome: &OffPolicyOutcome,
+    header: &crate::store::TraceHeader,
+    policy: &str,
+    decision_threshold: f64,
+) -> OffPolicyReport {
+    let (labels, groups) = match &outcome.groups {
+        Some(g) => (g.labels.clone(), g.index_sets()),
+        None => (Vec::new(), Vec::new()),
+    };
+    let baseline = fairness_of(&outcome.baseline, &groups, decision_threshold);
+    let candidate = fairness_of(&outcome.counterfactual, &groups, decision_threshold);
+    OffPolicyReport {
+        scenario: header.scenario.clone(),
+        variant: header.variant.clone(),
+        policy: policy.to_string(),
+        scale: header.scale,
+        seed: header.seed,
+        steps: outcome.baseline.steps(),
+        users: outcome.baseline.user_count(),
+        agreement: outcome.agreement,
+        group_labels: labels,
+        parity_gap_delta: candidate.parity_gap - baseline.parity_gap,
+        opportunity_gap_delta: candidate.opportunity_gap - baseline.opportunity_gap,
+        baseline,
+        candidate,
+    }
+}

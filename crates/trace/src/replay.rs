@@ -1,0 +1,202 @@
+//! Deterministic replay: re-driving the closed loop from a recorded
+//! trace instead of simulating the population.
+//!
+//! Two faces of the same idea:
+//!
+//! * [`ReplayRunner`] is the Result-based driver: it mirrors
+//!   [`LoopRunner::run`](eqimpact_core::closed_loop::LoopRunner::run)'s
+//!   step order exactly — observe (from the trace) → signal (from the
+//!   replayed AI) → respond (from the trace) → filter → record → delayed
+//!   retrain — and, by default, **verifies** every recomputed signal and
+//!   filter output against the recorded bits, so a successful replay is
+//!   a proof of byte-identity, and a corrupt or foreign trace surfaces
+//!   as a named [`TraceError`] instead of bad data.
+//! * [`RecordedPopulation`] implements the core
+//!   [`UserPopulation`] contract directly, so a trace can stand in for a
+//!   live population anywhere a runner takes one (the cross-runner
+//!   property tests drive a standard `LoopRunner` over it).
+
+use crate::store::{StepFrame, TraceHeader, TraceReader};
+use crate::TraceError;
+use eqimpact_core::closed_loop::{AiSystem, Feedback, FeedbackFilter, UserPopulation};
+use eqimpact_core::features::FeatureMatrix;
+use eqimpact_core::recorder::LoopRecord;
+use eqimpact_stats::SimRng;
+use std::collections::VecDeque;
+use std::io::Read;
+
+/// Bitwise equality over float slices (NaN == NaN, +0 != -0): replay
+/// verification is about byte-identity, not numeric closeness.
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+/// Re-drives a recorded loop against a freshly built AI system and
+/// feedback filter (see the module docs). The delay line and record
+/// policy come from the trace header, so the produced [`LoopRecord`] is
+/// byte-identical to the original run's.
+pub struct ReplayRunner<S, F, R: Read> {
+    reader: TraceReader<R>,
+    ai: S,
+    filter: F,
+    verify: bool,
+    frame: StepFrame,
+    signals: Vec<f64>,
+    pending: VecDeque<Feedback>,
+    spare: Vec<Feedback>,
+}
+
+impl<S: AiSystem, F: FeedbackFilter, R: Read> ReplayRunner<S, F, R> {
+    /// Wraps an opened trace with the blocks to replay it against.
+    /// Verification is on by default.
+    pub fn new(reader: TraceReader<R>, ai: S, filter: F) -> Self {
+        ReplayRunner {
+            reader,
+            ai,
+            filter,
+            verify: true,
+            frame: StepFrame::default(),
+            signals: Vec::new(),
+            pending: VecDeque::new(),
+            spare: Vec::new(),
+        }
+    }
+
+    /// Enables or disables per-step verification of the recomputed
+    /// signals and filter outputs against the recorded ones.
+    pub fn verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
+
+    /// The trace's provenance header.
+    pub fn header(&self) -> &TraceHeader {
+        self.reader.header()
+    }
+
+    /// Replays the whole trace, returning the reconstructed record.
+    pub fn run(&mut self) -> Result<LoopRecord, TraceError> {
+        let delay = self.reader.header().delay;
+        let policy = self.reader.header().policy;
+        let mut record: Option<LoopRecord> = None;
+        while self.reader.next_step(&mut self.frame)? {
+            let k = self.frame.step;
+            let record = record
+                .get_or_insert_with(|| LoopRecord::with_policy(self.frame.signals.len(), policy));
+
+            self.ai
+                .signals_into(k, &self.frame.visible, &mut self.signals);
+            if self.verify && !bits_equal(&self.signals, &self.frame.signals) {
+                return Err(TraceError::ReplayMismatch {
+                    step: k,
+                    channel: "signals",
+                });
+            }
+
+            let mut feedback = self.spare.pop().unwrap_or_default();
+            self.filter.apply_into(
+                k,
+                &self.frame.visible,
+                &self.signals,
+                &self.frame.actions,
+                &mut feedback,
+            );
+            if self.verify && !bits_equal(&feedback.per_user, &self.frame.filtered) {
+                return Err(TraceError::ReplayMismatch {
+                    step: k,
+                    channel: "filtered",
+                });
+            }
+            record.push_step(&self.signals, &self.frame.actions, &feedback.per_user);
+
+            self.pending.push_back(feedback);
+            if self.pending.len() > delay {
+                let due = self.pending.pop_front().expect("non-empty by check");
+                self.ai.retrain(k, &due);
+                self.spare.push(due);
+            }
+        }
+        Ok(record.unwrap_or_else(|| {
+            let users = self.reader.groups().map(|g| g.codes.len()).unwrap_or(0);
+            LoopRecord::with_policy(users, policy)
+        }))
+    }
+
+    /// Decomposes the runner back into its blocks (e.g. to inspect the
+    /// replayed AI's final model).
+    pub fn into_parts(self) -> (S, F) {
+        (self.ai, self.filter)
+    }
+}
+
+/// A recorded trace as a drop-in [`UserPopulation`] block: `observe`
+/// serves the recorded visible features, `respond` the recorded actions,
+/// and the runner's RNG is ignored (the trace *is* the randomness).
+///
+/// This is the bridge into the infallible runner APIs, so trace errors
+/// mid-run **panic** with the underlying [`TraceError`] message; use
+/// [`ReplayRunner`] for Result-based replay of untrusted inputs.
+pub struct RecordedPopulation<R: Read> {
+    reader: TraceReader<R>,
+    frame: StepFrame,
+    users: usize,
+    /// Whether `frame` holds a step not yet consumed by `observe`.
+    primed: bool,
+}
+
+impl<R: Read> RecordedPopulation<R> {
+    /// Opens a recorded population, priming the first step (so the user
+    /// count is known up front). Zero-step traces yield an empty
+    /// population.
+    pub fn new(mut reader: TraceReader<R>) -> Result<Self, TraceError> {
+        let mut frame = StepFrame::default();
+        let primed = reader.next_step(&mut frame)?;
+        let users = if primed {
+            frame.signals.len()
+        } else {
+            reader.groups().map(|g| g.codes.len()).unwrap_or(0)
+        };
+        Ok(RecordedPopulation {
+            reader,
+            frame,
+            users,
+            primed,
+        })
+    }
+
+    /// The trace's provenance header.
+    pub fn header(&self) -> &TraceHeader {
+        self.reader.header()
+    }
+
+    fn frame_for(&mut self, k: usize, what: &str) -> &StepFrame {
+        while self.primed && self.frame.step < k {
+            self.primed = self
+                .reader
+                .next_step(&mut self.frame)
+                .unwrap_or_else(|e| panic!("RecordedPopulation: {e}"));
+        }
+        assert!(
+            self.primed && self.frame.step == k,
+            "RecordedPopulation: {what} asked for step {k} but the trace has no such step"
+        );
+        &self.frame
+    }
+}
+
+impl<R: Read> UserPopulation for RecordedPopulation<R> {
+    fn user_count(&self) -> usize {
+        self.users
+    }
+
+    fn observe_into(&mut self, k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
+        let frame = self.frame_for(k, "observe");
+        out.fill_from(&frame.visible);
+    }
+
+    fn respond_into(&mut self, k: usize, _signals: &[f64], _rng: &mut SimRng, out: &mut Vec<f64>) {
+        let frame = self.frame_for(k, "respond");
+        out.clear();
+        out.extend_from_slice(&frame.actions);
+    }
+}

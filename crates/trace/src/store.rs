@@ -1,0 +1,674 @@
+//! The on-disk trace format: CRC-framed blocks around the column codec.
+//!
+//! ```text
+//! magic  "EQTRACE1"                      (8 bytes)
+//! frame* kind u8 | len u32 LE | crc32 u32 LE | payload[len]
+//! ```
+//!
+//! Frame kinds, in stream order:
+//!
+//! 1. **header** — a compact JSON object (`version`, `scenario`,
+//!    `variant`, `trial`, `scale`, `seed`, `shards`, `delay`, `policy`),
+//!    so a trace is self-describing and the header stays extensible;
+//! 2. **groups** (optional) — per-user group metadata: the labels and a
+//!    column of group codes (e.g. race per user);
+//! 3. **step** (repeated) — one loop step: the step index, the row/width
+//!    shape, and four column blocks (visible features, signals, actions,
+//!    filter outputs), each length-prefixed;
+//! 4. **footer** — the step count and final shape, closing the stream; a
+//!    missing footer is reported as a truncated trace.
+//!
+//! Every payload is covered by a CRC-32; a flipped bit anywhere surfaces
+//! as [`TraceError::ChecksumMismatch`] instead of bad data. The reader
+//! is streaming — one frame is resident at a time, so memory is bounded
+//! by the widest step, not the trace length.
+
+use crate::column::{decode_column, decode_f64_column, encode_column, encode_f64_column};
+use crate::TraceError;
+use eqimpact_core::features::FeatureMatrix;
+use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+use eqimpact_core::scenario::{Scale, TraceMeta};
+use eqimpact_stats::codec::{crc32, read_varint, write_varint};
+use eqimpact_stats::json::{parse, Json, ToJson};
+use std::io::{Read, Write};
+
+/// The stream magic.
+pub const MAGIC: &[u8; 8] = b"EQTRACE1";
+
+/// The format version this crate writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+const KIND_HEADER: u8 = 1;
+const KIND_GROUPS: u8 = 2;
+const KIND_STEP: u8 = 3;
+const KIND_FOOTER: u8 = 4;
+
+/// Hard cap on a single frame's payload, so a corrupt length field
+/// cannot ask the reader to allocate the universe.
+const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Hard cap on the *cells* a step or groups frame may declare
+/// (`rows × width`, or group codes). Distinct from — and much lower
+/// than — the byte cap: run-length encoding means a legitimately tiny
+/// frame can expand to many values, so the bound is on elements, and it
+/// is sized so even a deliberately crafted frame cannot demand more
+/// than ~512 MiB of decoded buffer (CRC-32 is integrity, not
+/// authentication). 2^26 cells still covers tens of millions of users
+/// per step.
+const MAX_FRAME_CELLS: usize = 1 << 26;
+
+/// The self-describing provenance of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHeader {
+    /// Format version of the stream.
+    pub version: u32,
+    /// Registry name of the recorded scenario.
+    pub scenario: String,
+    /// Which of the scenario's loops was recorded (e.g. `scorecard`).
+    pub variant: String,
+    /// Trial index within the recorded run.
+    pub trial: usize,
+    /// Scale of the recorded run.
+    pub scale: Scale,
+    /// Effective base seed of the recorded run.
+    pub seed: u64,
+    /// Intra-trial shard count of the recorded run (provenance only —
+    /// records are shard-invariant).
+    pub shards: usize,
+    /// Feedback delay of the recorded loop, in steps.
+    pub delay: usize,
+    /// Record policy of the recorded run.
+    pub policy: RecordPolicy,
+}
+
+impl TraceHeader {
+    /// Builds a header from the scenario machinery's [`TraceMeta`].
+    pub fn from_meta(meta: &TraceMeta) -> Self {
+        TraceHeader {
+            version: FORMAT_VERSION,
+            scenario: meta.scenario.clone(),
+            variant: meta.variant.clone(),
+            trial: meta.trial,
+            scale: meta.scale,
+            seed: meta.seed,
+            shards: meta.shards,
+            delay: meta.delay,
+            policy: meta.policy,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("version", (self.version as usize).to_json()),
+            ("scenario", self.scenario.as_str().to_json()),
+            ("variant", self.variant.as_str().to_json()),
+            ("trial", self.trial.to_json()),
+            (
+                "scale",
+                match self.scale {
+                    Scale::Paper => "paper",
+                    Scale::Quick => "quick",
+                }
+                .to_json(),
+            ),
+            // Seeds are full u64s; JSON numbers are f64, so the seed
+            // travels as a string to survive values above 2^53.
+            ("seed", self.seed.to_string().as_str().to_json()),
+            ("shards", self.shards.to_json()),
+            ("delay", self.delay.to_json()),
+            (
+                "policy",
+                match self.policy {
+                    RecordPolicy::Full => "full",
+                    RecordPolicy::Thin => "thin",
+                }
+                .to_json(),
+            ),
+        ])
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, TraceError> {
+        let corrupt = |what: &str| TraceError::Corrupt {
+            what: format!("header: {what}"),
+        };
+        let field = |name: &'static str| {
+            doc.get(name)
+                .ok_or_else(|| corrupt(&format!("missing {name}")))
+        };
+        let int = |name: &'static str| -> Result<usize, TraceError> {
+            field(name)?
+                .as_usize()
+                .ok_or_else(|| corrupt(&format!("{name} is not an integer")))
+        };
+        let text = |name: &'static str| -> Result<String, TraceError> {
+            Ok(field(name)?
+                .as_str()
+                .ok_or_else(|| corrupt(&format!("{name} is not a string")))?
+                .to_string())
+        };
+        let version = int("version")? as u32;
+        if version > FORMAT_VERSION {
+            return Err(TraceError::UnsupportedVersion(version));
+        }
+        let scale = match text("scale")?.as_str() {
+            "paper" => Scale::Paper,
+            "quick" => Scale::Quick,
+            other => return Err(corrupt(&format!("unknown scale `{other}`"))),
+        };
+        let policy = match text("policy")?.as_str() {
+            "full" => RecordPolicy::Full,
+            "thin" => RecordPolicy::Thin,
+            other => return Err(corrupt(&format!("unknown policy `{other}`"))),
+        };
+        let seed = text("seed")?
+            .parse::<u64>()
+            .map_err(|_| corrupt("seed is not a u64"))?;
+        Ok(TraceHeader {
+            version,
+            scenario: text("scenario")?,
+            variant: text("variant")?,
+            trial: int("trial")?,
+            scale,
+            seed,
+            shards: int("shards")?,
+            delay: int("delay")?,
+            policy,
+        })
+    }
+}
+
+/// Per-user group metadata of a trace (e.g. race per user).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceGroups {
+    /// Group labels; `codes[i]` indexes into them.
+    pub labels: Vec<String>,
+    /// One group code per user.
+    pub codes: Vec<u32>,
+}
+
+impl TraceGroups {
+    /// The users of each group, as index sets in label order (the shape
+    /// `eqimpact_core::fairness` takes).
+    pub fn index_sets(&self) -> Vec<Vec<usize>> {
+        let mut sets = vec![Vec::new(); self.labels.len()];
+        for (i, &code) in self.codes.iter().enumerate() {
+            if let Some(set) = sets.get_mut(code as usize) {
+                set.push(i);
+            }
+        }
+        sets
+    }
+}
+
+/// One decoded step of a trace, with reusable buffers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepFrame {
+    /// The step index `k`.
+    pub step: usize,
+    /// The visible features the AI saw at this step.
+    pub visible: FeatureMatrix,
+    /// The broadcast signals `π(k, ·)`.
+    pub signals: Vec<f64>,
+    /// The population's actions `y(k)`.
+    pub actions: Vec<f64>,
+    /// The feedback filter's per-user output.
+    pub filtered: Vec<f64>,
+}
+
+fn write_frame<W: Write>(out: &mut W, kind: u8, payload: &[u8]) -> Result<usize, TraceError> {
+    debug_assert!(payload.len() as u64 <= MAX_FRAME_LEN as u64);
+    out.write_all(&[kind])?;
+    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+    out.write_all(&crc32(payload).to_le_bytes())?;
+    out.write_all(payload)?;
+    Ok(1 + 4 + 4 + payload.len())
+}
+
+/// Streaming writer of the trace format. Create with a header, feed it
+/// [`Self::write_groups`] (optional, before the first step) and one
+/// [`Self::write_step`] per loop step, and close it with
+/// [`Self::finish`] — dropping an unfinished writer leaves a trace
+/// without a footer, which readers report as truncated.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    steps: usize,
+    rows: usize,
+    width: usize,
+    bytes: u64,
+    payload: Vec<u8>,
+    block: Vec<u8>,
+    words: Vec<u64>,
+    column: Vec<f64>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace: writes the magic and the header frame.
+    pub fn new(mut out: W, header: &TraceHeader) -> Result<Self, TraceError> {
+        out.write_all(MAGIC)?;
+        let payload = header.to_json().render().into_bytes();
+        let mut bytes = MAGIC.len() as u64;
+        bytes += write_frame(&mut out, KIND_HEADER, &payload)? as u64;
+        Ok(TraceWriter {
+            out,
+            steps: 0,
+            rows: 0,
+            width: 0,
+            bytes,
+            payload: Vec::new(),
+            block: Vec::new(),
+            words: Vec::new(),
+            column: Vec::new(),
+        })
+    }
+
+    /// Writes the group-metadata frame. Call at most once, before the
+    /// first step.
+    pub fn write_groups(&mut self, labels: &[&str], codes: &[u32]) -> Result<(), TraceError> {
+        self.payload.clear();
+        write_varint(&mut self.payload, labels.len() as u64);
+        for label in labels {
+            write_varint(&mut self.payload, label.len() as u64);
+            self.payload.extend_from_slice(label.as_bytes());
+        }
+        write_varint(&mut self.payload, codes.len() as u64);
+        self.words.clear();
+        self.words.extend(codes.iter().map(|&c| c as u64));
+        let mut block = std::mem::take(&mut self.block);
+        block.clear();
+        encode_column(&self.words, &mut block);
+        self.payload.extend_from_slice(&block);
+        self.block = block;
+        self.bytes += write_frame(&mut self.out, KIND_GROUPS, &self.payload)? as u64;
+        Ok(())
+    }
+
+    /// Writes one step frame.
+    ///
+    /// # Panics
+    /// Panics when the channel lengths disagree with each other (the
+    /// runner invariant), not on I/O — I/O failures are `Err`.
+    pub fn write_step(
+        &mut self,
+        visible: &FeatureMatrix,
+        signals: &[f64],
+        actions: &[f64],
+        filtered: &[f64],
+    ) -> Result<(), TraceError> {
+        let n = signals.len();
+        assert_eq!(visible.row_count(), n, "visible rows");
+        assert_eq!(actions.len(), n, "actions length");
+        assert_eq!(filtered.len(), n, "filtered length");
+        self.rows = n;
+        self.width = visible.width();
+        self.payload.clear();
+        write_varint(&mut self.payload, self.steps as u64);
+        write_varint(&mut self.payload, n as u64);
+        write_varint(&mut self.payload, visible.width() as u64);
+        let mut block = std::mem::take(&mut self.block);
+        // One column per visible feature (strided gather: interleaved
+        // features would destroy delta locality), then the three
+        // per-user channels.
+        for j in 0..visible.width() {
+            self.column.clear();
+            self.column.extend((0..n).map(|i| visible.row(i)[j]));
+            block.clear();
+            encode_f64_column(&self.column, &mut self.words, &mut block);
+            write_varint(&mut self.payload, block.len() as u64);
+            self.payload.extend_from_slice(&block);
+        }
+        for channel in [signals, actions, filtered] {
+            block.clear();
+            encode_f64_column(channel, &mut self.words, &mut block);
+            write_varint(&mut self.payload, block.len() as u64);
+            self.payload.extend_from_slice(&block);
+        }
+        self.block = block;
+        self.bytes += write_frame(&mut self.out, KIND_STEP, &self.payload)? as u64;
+        self.steps += 1;
+        Ok(())
+    }
+
+    /// Steps written so far.
+    pub fn steps_written(&self) -> usize {
+        self.steps
+    }
+
+    /// Bytes emitted so far (magic and frame overhead included).
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Writes the footer, flushes, and returns the underlying writer.
+    pub fn finish(mut self) -> Result<W, TraceError> {
+        self.payload.clear();
+        write_varint(&mut self.payload, self.steps as u64);
+        write_varint(&mut self.payload, self.rows as u64);
+        write_varint(&mut self.payload, self.width as u64);
+        self.bytes += write_frame(&mut self.out, KIND_FOOTER, &self.payload)? as u64;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Streaming reader of the trace format: validates the magic and the
+/// header eagerly, then yields one [`StepFrame`] at a time —
+/// bounded-memory iteration regardless of trace length.
+pub struct TraceReader<R: Read> {
+    input: R,
+    header: TraceHeader,
+    groups: Option<TraceGroups>,
+    /// The next frame, already read (one-frame lookahead so the optional
+    /// groups frame can be consumed during construction).
+    pending: Option<(u8, Vec<u8>)>,
+    frame_index: usize,
+    steps_read: usize,
+    done: bool,
+    /// Reused scratch: frame payloads, decoded words, one gathered
+    /// feature column.
+    payload: Vec<u8>,
+    words: Vec<u64>,
+    column: Vec<f64>,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace: reads the magic, the header frame and (if present)
+    /// the groups frame.
+    pub fn new(mut input: R) -> Result<Self, TraceError> {
+        let mut magic = [0u8; 8];
+        read_exact_or(&mut input, &mut magic, "magic")?;
+        if &magic != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut frame_index = 0usize;
+        let (kind, payload) = read_frame(&mut input, &mut frame_index)?
+            .ok_or(TraceError::Truncated { what: "header" })?;
+        if kind != KIND_HEADER {
+            return Err(TraceError::Corrupt {
+                what: format!("first frame has kind {kind}, expected header"),
+            });
+        }
+        let text = std::str::from_utf8(&payload).map_err(|_| TraceError::Corrupt {
+            what: "header is not UTF-8".to_string(),
+        })?;
+        let doc = parse(text).map_err(|e| TraceError::Corrupt {
+            what: format!("header JSON: {e}"),
+        })?;
+        let header = TraceHeader::from_json(&doc)?;
+
+        let mut reader = TraceReader {
+            input,
+            header,
+            groups: None,
+            pending: None,
+            frame_index,
+            steps_read: 0,
+            done: false,
+            payload: Vec::new(),
+            words: Vec::new(),
+            column: Vec::new(),
+        };
+        reader.pending = read_frame(&mut reader.input, &mut reader.frame_index)?;
+        if let Some((KIND_GROUPS, payload)) = &reader.pending {
+            let groups = decode_groups(payload)?;
+            reader.groups = Some(groups);
+            reader.pending = read_frame(&mut reader.input, &mut reader.frame_index)?;
+        }
+        Ok(reader)
+    }
+
+    /// The trace's provenance header.
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// The per-user group metadata, when the trace carries any.
+    pub fn groups(&self) -> Option<&TraceGroups> {
+        self.groups.as_ref()
+    }
+
+    /// Steps decoded so far.
+    pub fn steps_read(&self) -> usize {
+        self.steps_read
+    }
+
+    /// Decodes the next step into `frame` (buffers reused). Returns
+    /// `Ok(false)` once the footer is reached; a stream that ends
+    /// without a footer is a [`TraceError::Truncated`].
+    pub fn next_step(&mut self, frame: &mut StepFrame) -> Result<bool, TraceError> {
+        if self.done {
+            return Ok(false);
+        }
+        let kind = match self.pending.take() {
+            Some((kind, payload)) => {
+                self.payload = payload;
+                Some(kind)
+            }
+            None => read_frame_into(&mut self.input, &mut self.frame_index, &mut self.payload)?,
+        };
+        let kind = kind.ok_or(TraceError::Truncated {
+            what: "step or footer frame",
+        })?;
+        match kind {
+            KIND_STEP => {
+                decode_step(&self.payload, &mut self.words, &mut self.column, frame)?;
+                if frame.step != self.steps_read {
+                    return Err(TraceError::Corrupt {
+                        what: format!(
+                            "step frame out of order: found step {}, expected {}",
+                            frame.step, self.steps_read
+                        ),
+                    });
+                }
+                self.steps_read += 1;
+                Ok(true)
+            }
+            KIND_FOOTER => {
+                let mut pos = 0;
+                let steps = read_varint(&self.payload, &mut pos).ok_or(TraceError::Truncated {
+                    what: "footer step count",
+                })?;
+                if steps as usize != self.steps_read {
+                    return Err(TraceError::Corrupt {
+                        what: format!(
+                            "footer declares {steps} steps but {} were read",
+                            self.steps_read
+                        ),
+                    });
+                }
+                self.done = true;
+                Ok(false)
+            }
+            other => Err(TraceError::Corrupt {
+                what: format!("unexpected frame kind {other} in the step stream"),
+            }),
+        }
+    }
+
+    /// Reads the remaining steps into a [`LoopRecord`] under the
+    /// header's record policy (streaming, so peak memory is one frame
+    /// plus the record itself).
+    pub fn read_record(&mut self) -> Result<LoopRecord, TraceError> {
+        let mut frame = StepFrame::default();
+        let mut record: Option<LoopRecord> = None;
+        while self.next_step(&mut frame)? {
+            let r = record.get_or_insert_with(|| {
+                LoopRecord::with_policy(frame.signals.len(), self.header.policy)
+            });
+            r.push_step(&frame.signals, &frame.actions, &frame.filtered);
+        }
+        Ok(record.unwrap_or_else(|| {
+            let users = self.groups.as_ref().map(|g| g.codes.len()).unwrap_or(0);
+            LoopRecord::with_policy(users, self.header.policy)
+        }))
+    }
+}
+
+fn read_exact_or<R: Read>(
+    input: &mut R,
+    buf: &mut [u8],
+    what: &'static str,
+) -> Result<(), TraceError> {
+    input.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated { what }
+        } else {
+            TraceError::Io(e)
+        }
+    })
+}
+
+/// Reads one frame into the reusable `payload` buffer; `Ok(None)` at a
+/// clean end-of-stream boundary (no bytes at all), `Err(Truncated)`
+/// mid-frame.
+fn read_frame_into<R: Read>(
+    input: &mut R,
+    frame_index: &mut usize,
+    payload: &mut Vec<u8>,
+) -> Result<Option<u8>, TraceError> {
+    let mut kind = [0u8; 1];
+    match input.read_exact(&mut kind) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(TraceError::Io(e)),
+    }
+    let mut word = [0u8; 4];
+    read_exact_or(input, &mut word, "frame length")?;
+    let len = u32::from_le_bytes(word);
+    if len > MAX_FRAME_LEN {
+        return Err(TraceError::Corrupt {
+            what: format!("frame {} declares an absurd length {len}", frame_index),
+        });
+    }
+    read_exact_or(input, &mut word, "frame checksum")?;
+    let expected = u32::from_le_bytes(word);
+    payload.clear();
+    payload.resize(len as usize, 0);
+    read_exact_or(input, payload, "frame payload")?;
+    if crc32(payload) != expected {
+        return Err(TraceError::ChecksumMismatch {
+            frame: *frame_index,
+        });
+    }
+    *frame_index += 1;
+    Ok(Some(kind[0]))
+}
+
+/// [`read_frame_into`] with an owned payload (the construction-time
+/// lookahead path).
+fn read_frame<R: Read>(
+    input: &mut R,
+    frame_index: &mut usize,
+) -> Result<Option<(u8, Vec<u8>)>, TraceError> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(input, frame_index, &mut payload)?.map(|kind| (kind, payload)))
+}
+
+fn decode_groups(payload: &[u8]) -> Result<TraceGroups, TraceError> {
+    let truncated = TraceError::Truncated {
+        what: "groups frame",
+    };
+    let mut pos = 0;
+    let label_count = read_varint(payload, &mut pos).ok_or(truncated)?;
+    let mut labels = Vec::with_capacity(label_count.min(64) as usize);
+    for _ in 0..label_count {
+        let len = read_varint(payload, &mut pos).ok_or(TraceError::Truncated {
+            what: "group label",
+        })? as usize;
+        let end =
+            pos.checked_add(len)
+                .filter(|&e| e <= payload.len())
+                .ok_or(TraceError::Truncated {
+                    what: "group label bytes",
+                })?;
+        let label = std::str::from_utf8(&payload[pos..end]).map_err(|_| TraceError::Corrupt {
+            what: "group label is not UTF-8".to_string(),
+        })?;
+        labels.push(label.to_string());
+        pos = end;
+    }
+    let count = read_varint(payload, &mut pos).ok_or(TraceError::Truncated {
+        what: "group code count",
+    })? as usize;
+    // Same absurd-shape guard as step frames: a corrupt count must be
+    // rejected before the decoder sizes buffers for it (no-panic
+    // contract; RLE means a *valid* count can exceed the byte length).
+    if count > MAX_FRAME_CELLS {
+        return Err(TraceError::Corrupt {
+            what: format!("groups frame declares an absurd code count {count}"),
+        });
+    }
+    let mut words = Vec::new();
+    decode_column(payload, &mut pos, count, &mut words).ok_or(TraceError::Corrupt {
+        what: "group code column does not decode".to_string(),
+    })?;
+    let codes = words
+        .iter()
+        .map(|&w| u32::try_from(w))
+        .collect::<Result<Vec<u32>, _>>()
+        .map_err(|_| TraceError::Corrupt {
+            what: "group code exceeds u32".to_string(),
+        })?;
+    Ok(TraceGroups { labels, codes })
+}
+
+fn decode_step(
+    payload: &[u8],
+    words: &mut Vec<u64>,
+    column: &mut Vec<f64>,
+    frame: &mut StepFrame,
+) -> Result<(), TraceError> {
+    let truncated = |what: &'static str| TraceError::Truncated { what };
+    let mut pos = 0;
+    frame.step = read_varint(payload, &mut pos).ok_or(truncated("step index"))? as usize;
+    let rows = read_varint(payload, &mut pos).ok_or(truncated("step row count"))? as usize;
+    let width = read_varint(payload, &mut pos).ok_or(truncated("step width"))? as usize;
+    let sane = rows
+        .checked_mul(width.max(1))
+        .map(|cells| cells <= MAX_FRAME_CELLS)
+        .unwrap_or(false);
+    if !sane {
+        return Err(TraceError::Corrupt {
+            what: format!("step frame declares an absurd shape {rows} x {width}"),
+        });
+    }
+
+    // Decodes one length-prefixed float column block of `len` values
+    // into `column`, leaving `pos` just past the block.
+    let channel = |pos: &mut usize,
+                   len: usize,
+                   words: &mut Vec<u64>,
+                   column: &mut Vec<f64>|
+     -> Result<(), TraceError> {
+        let block_len =
+            read_varint(payload, pos).ok_or(truncated("channel block length"))? as usize;
+        let end = pos
+            .checked_add(block_len)
+            .filter(|&e| e <= payload.len())
+            .ok_or(truncated("channel block"))?;
+        let mut block_pos = *pos;
+        decode_f64_column(&payload[..end], &mut block_pos, len, words, column).ok_or(
+            TraceError::Corrupt {
+                what: "channel column does not decode".to_string(),
+            },
+        )?;
+        if block_pos != end {
+            return Err(TraceError::Corrupt {
+                what: "channel block has trailing bytes".to_string(),
+            });
+        }
+        *pos = end;
+        Ok(())
+    };
+
+    frame.visible.reshape(rows, width);
+    for j in 0..width {
+        channel(&mut pos, rows, words, column)?;
+        for (i, &v) in column.iter().enumerate() {
+            frame.visible.row_mut(i)[j] = v;
+        }
+    }
+    channel(&mut pos, rows, words, &mut frame.signals)?;
+    channel(&mut pos, rows, words, &mut frame.actions)?;
+    channel(&mut pos, rows, words, &mut frame.filtered)?;
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! Property-based tests of the trace store: codec round-trips over
+//! random bit-pattern streams, end-to-end write→read equality, and the
+//! no-panic contract on corrupted or truncated inputs.
+
+use eqimpact_core::features::FeatureMatrix;
+use eqimpact_core::recorder::RecordPolicy;
+use eqimpact_core::scenario::Scale;
+use eqimpact_trace::{
+    decode_column, encode_column, StepFrame, TraceError, TraceHeader, TraceReader, TraceWriter,
+    FORMAT_VERSION,
+};
+use proptest::prelude::*;
+
+/// One step's channels: visible (flat, width 2), signals, actions,
+/// filtered.
+type StepData = (Vec<f64>, Vec<f64>, Vec<f64>, Vec<f64>);
+
+fn header() -> TraceHeader {
+    TraceHeader {
+        version: FORMAT_VERSION,
+        scenario: "synthetic".to_string(),
+        variant: "test".to_string(),
+        trial: 3,
+        scale: Scale::Quick,
+        seed: u64::MAX - 17,
+        shards: 4,
+        delay: 1,
+        policy: RecordPolicy::Full,
+    }
+}
+
+/// Writes a synthetic trace of the given step channels (each step: one
+/// row of width 2 per user) and returns the bytes.
+fn write_trace(steps: &[StepData]) -> Vec<u8> {
+    let mut writer = TraceWriter::new(Vec::new(), &header()).expect("header");
+    if let Some((visible, _, _, _)) = steps.first() {
+        let codes: Vec<u32> = (0..visible.len() / 2).map(|i| (i % 3) as u32).collect();
+        writer
+            .write_groups(&["a", "b", "c"], &codes)
+            .expect("groups");
+    }
+    for (visible, signals, actions, filtered) in steps {
+        let mut matrix = FeatureMatrix::new(2);
+        for row in visible.chunks(2) {
+            matrix.push_row(row);
+        }
+        writer
+            .write_step(&matrix, signals, actions, filtered)
+            .expect("step");
+    }
+    writer.finish().expect("footer")
+}
+
+/// `users` rows of width 2 plus the three channels, from raw u64 bit
+/// patterns (so NaNs, infinities and signed zeros all occur).
+fn step_strategy(users: usize) -> impl Strategy<Value = StepData> {
+    let channel = move |len: usize| {
+        prop::collection::vec(0u64..=u64::MAX, len..=len)
+            .prop_map(|bits| bits.into_iter().map(f64::from_bits).collect::<Vec<f64>>())
+    };
+    (
+        channel(users * 2),
+        channel(users),
+        channel(users),
+        channel(users),
+    )
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn u64_columns_roundtrip_any_stream(values in prop::collection::vec(0u64..=u64::MAX, 0..200)) {
+        let mut bytes = Vec::new();
+        encode_column(&values, &mut bytes);
+        let mut pos = 0;
+        let mut back = Vec::new();
+        prop_assert!(decode_column(&bytes, &mut pos, values.len(), &mut back).is_some());
+        prop_assert_eq!(pos, bytes.len());
+        prop_assert_eq!(back, values);
+    }
+
+    #[test]
+    fn runny_columns_roundtrip_and_compress(
+        runs in prop::collection::vec((1usize..20, 0u64..=u64::MAX), 1..20)
+    ) {
+        let values: Vec<u64> = runs
+            .iter()
+            .flat_map(|&(len, v)| std::iter::repeat_n(v, len))
+            .collect();
+        let mut bytes = Vec::new();
+        encode_column(&values, &mut bytes);
+        let mut pos = 0;
+        let mut back = Vec::new();
+        prop_assert!(decode_column(&bytes, &mut pos, values.len(), &mut back).is_some());
+        prop_assert_eq!(back, values);
+        // RLE caps the cost at ~one (run, delta) pair per run.
+        prop_assert!(bytes.len() <= 1 + runs.len() * 21 + 16);
+    }
+
+    #[test]
+    fn trace_roundtrips_random_bit_patterns(step_data in prop::collection::vec(step_strategy(5), 0..6)) {
+        let bytes = write_trace(&step_data);
+        let mut input: &[u8] = &bytes;
+        let mut reader = TraceReader::new(&mut input).expect("opens");
+        prop_assert_eq!(reader.header(), &header());
+        let mut frame = StepFrame::default();
+        for (k, (visible, signals, actions, filtered)) in step_data.iter().enumerate() {
+            prop_assert!(reader.next_step(&mut frame).expect("step"));
+            prop_assert_eq!(frame.step, k);
+            prop_assert_eq!(bits(frame.visible.as_slice()), bits(visible));
+            prop_assert_eq!(bits(&frame.signals), bits(signals));
+            prop_assert_eq!(bits(&frame.actions), bits(actions));
+            prop_assert_eq!(bits(&frame.filtered), bits(filtered));
+        }
+        prop_assert!(!reader.next_step(&mut frame).expect("footer"));
+    }
+
+    #[test]
+    fn corrupted_byte_never_panics_and_flips_are_checksum_errors(
+        step_data in prop::collection::vec(step_strategy(3), 1..4),
+        position in 0usize..10_000,
+        flip in 1u8..=255,
+    ) {
+        let bytes = write_trace(&step_data);
+        let mut corrupted = bytes.clone();
+        let at = position % corrupted.len();
+        corrupted[at] ^= flip;
+        // Reading a corrupted trace must never panic: every outcome is
+        // Ok (the flip landed outside a read path we exercise) or a
+        // named TraceError.
+        let mut input: &[u8] = &corrupted;
+        match TraceReader::new(&mut input) {
+            Err(_) => {}
+            Ok(mut reader) => {
+                let mut frame = StepFrame::default();
+                while let Ok(true) = reader.next_step(&mut frame) {}
+            }
+        }
+        // A flip inside a frame *payload* is specifically a checksum
+        // mismatch (the magic is 8 bytes, each frame starts with a
+        // 9-byte header). Corrupt the first header payload byte:
+        let mut payload_hit = bytes.clone();
+        payload_hit[8 + 9] ^= flip;
+        let mut input: &[u8] = &payload_hit;
+        match TraceReader::new(&mut input) {
+            Err(TraceError::ChecksumMismatch { frame: 0 }) => {}
+            other => prop_assert!(false, "expected ChecksumMismatch, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn truncated_traces_are_named_errors_not_panics(
+        step_data in prop::collection::vec(step_strategy(3), 1..4),
+        keep_fraction in 0.0f64..1.0,
+    ) {
+        let bytes = write_trace(&step_data);
+        let keep = ((bytes.len() as f64) * keep_fraction) as usize;
+        prop_assume!(keep < bytes.len());
+        let cut = &bytes[..keep];
+        let mut input: &[u8] = cut;
+        let outcome = TraceReader::new(&mut input).and_then(|mut reader| {
+            let mut frame = StepFrame::default();
+            while reader.next_step(&mut frame)? {}
+            Ok(())
+        });
+        // Dropping the footer (or more) must surface as an error —
+        // a truncated trace can never read back as complete.
+        match outcome {
+            Err(
+                TraceError::Truncated { .. }
+                | TraceError::ChecksumMismatch { .. }
+                | TraceError::BadMagic
+                | TraceError::Corrupt { .. },
+            ) => {}
+            other => prop_assert!(false, "truncation must be a named error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn empty_trace_reads_back_header_and_groups() {
+    let bytes = write_trace(&[]);
+    let mut input: &[u8] = &bytes;
+    let mut reader = TraceReader::new(&mut input).unwrap();
+    assert_eq!(reader.header().seed, u64::MAX - 17, "u64 seeds survive");
+    assert!(reader.groups().is_none(), "no steps -> no groups written");
+    let mut frame = StepFrame::default();
+    assert!(!reader.next_step(&mut frame).unwrap());
+    let record = reader.read_record().unwrap();
+    assert_eq!(record.steps(), 0);
+}
+
+#[test]
+fn groups_roundtrip_with_labels() {
+    let steps = vec![(
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        vec![1.0, 0.0, 1.0],
+        vec![0.0, 1.0, 0.0],
+        vec![0.5, 0.25, 0.125],
+    )];
+    let bytes = write_trace(&steps);
+    let mut input: &[u8] = &bytes;
+    let reader = TraceReader::new(&mut input).unwrap();
+    let groups = reader.groups().expect("groups frame present");
+    assert_eq!(groups.labels, vec!["a", "b", "c"]);
+    assert_eq!(groups.codes, vec![0, 1, 2]);
+    assert_eq!(groups.index_sets(), vec![vec![0], vec![1], vec![2]]);
+}
+
+#[test]
+fn bad_magic_is_a_named_error() {
+    let mut input: &[u8] = b"NOTATRACE-AT-ALL";
+    match TraceReader::new(&mut input) {
+        Err(TraceError::BadMagic) => {}
+        other => panic!("expected BadMagic, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn future_versions_are_rejected_by_name() {
+    // A header frame claiming version 99: the writer stamps whatever
+    // the header says, the reader rejects it by name.
+    let writer = TraceWriter::new(
+        Vec::new(),
+        &TraceHeader {
+            version: 99,
+            ..header()
+        },
+    )
+    .unwrap();
+    let bytes = writer.finish().unwrap();
+    let mut input: &[u8] = &bytes;
+    match TraceReader::new(&mut input) {
+        Err(TraceError::UnsupportedVersion(99)) => {}
+        other => panic!("expected UnsupportedVersion, got {:?}", other.err()),
+    }
+}

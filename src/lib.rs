@@ -18,6 +18,7 @@ pub use eqimpact_linalg as linalg;
 pub use eqimpact_markov as markov;
 pub use eqimpact_ml as ml;
 pub use eqimpact_stats as stats;
+pub use eqimpact_trace as trace;
 
 /// The most common imports for building and running a closed loop.
 pub mod prelude {
