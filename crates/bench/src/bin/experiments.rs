@@ -9,11 +9,13 @@
 //!       Print every registered scenario with its artifacts; `--json`
 //!       emits the scenario names as a deterministically sorted JSON
 //!       array (consumed by the CI smoke matrix).
-//!   run <scenario> [--quick] [--seed N] [--shards N] [--out DIR] [ARTIFACT...]
-//!   run --all      [--quick] [--seed N] [--shards N] [--out DIR]
+//!   run <scenario> [--quick] [--seed N] [--shards N] [--threads N] [--out DIR] [ARTIFACT...]
+//!   run --all      [--quick] [--seed N] [--shards N] [--threads N] [--out DIR]
 //!       Run one scenario (optionally restricted to the named artifacts)
-//!       or every registered scenario.
-//!   record <scenario> [--quick] [--seed N] [--shards N] [--out DIR]
+//!       or every registered scenario. Requesting shards from a scenario
+//!       without intra-trial parallelism exits 3 (a clean "unsupported"
+//!       skip for CI), unless --all is downgrading it to sequential.
+//!   record <scenario> [--quick] [--seed N] [--shards N] [--threads N] [--out DIR]
 //!       Run the scenario while streaming every loop of every trial into
 //!       a self-describing `.eqtrace` file under --out (default
 //!       `traces/`). Exits 3 for scenarios without trace support.
@@ -27,8 +29,13 @@
 //! Flags:
 //!   --quick      reduced CI scale instead of the paper's parameters
 //!   --seed N     override the scenario's base seed (trial t uses N + t)
-//!   --shards N   intra-trial shard count (0 = auto, one per core);
-//!                records are bit-identical for every value
+//!   --shards N   intra-trial shard count (0 = auto, the thread budget's
+//!                lanes); records are bit-identical for every value
+//!   --threads N  cap the process-wide thread budget at N lanes (default:
+//!                one per core, or EQIMPACT_THREADS). trials x shards
+//!                lease from this one budget, so the host is never
+//!                oversubscribed; nested parallelism past the cap runs
+//!                sequentially
 //!   --out DIR    output directory (default `results/`; `traces/` for
 //!                record)
 //! ```
@@ -38,6 +45,7 @@
 //! known names instead of being silently ignored.
 
 use eqimpact_bench::registry;
+use eqimpact_core::pool::ThreadBudget;
 use eqimpact_core::scenario::{write_artifacts, DynScenario, Scale, ScenarioConfig};
 use eqimpact_stats::ToJson;
 use eqimpact_trace::{TraceDirFactory, TraceReader};
@@ -45,15 +53,16 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 /// Flags accepted by `run`, for the unknown-flag error message.
-const RUN_FLAGS: &str = "--all, --quick, --seed N, --shards N, --out DIR";
+const RUN_FLAGS: &str = "--all, --quick, --seed N, --shards N, --threads N, --out DIR";
 
 /// Flags accepted by `record`.
-const RECORD_FLAGS: &str = "--quick, --seed N, --shards N, --out DIR";
+const RECORD_FLAGS: &str = "--quick, --seed N, --shards N, --threads N, --out DIR";
 
 /// A CLI failure, carrying its exit status: 2 for usage/validation
-/// errors, 3 for "this scenario has no trace support" (so CI can skip
-/// the record→replay leg for non-traceable scenarios without masking
-/// real failures).
+/// errors, 3 for "this scenario lacks the requested capability" — no
+/// trace support for `record`, no intra-trial sharding for a sharded
+/// `run` — so CI matrix legs can skip unsupported scenarios cleanly
+/// without masking real failures.
 struct CliError {
     message: String,
     code: u8,
@@ -114,11 +123,18 @@ fn print_usage() {
     println!();
     println!("  experiments list [--json]");
     println!(
-        "  experiments run <scenario> [--quick] [--seed N] [--shards N] [--out DIR] [ARTIFACT...]"
+        "  experiments run <scenario> [--quick] [--seed N] [--shards N] [--threads N] [--out DIR] [ARTIFACT...]"
     );
-    println!("  experiments run --all      [--quick] [--seed N] [--shards N] [--out DIR]");
-    println!("  experiments record <scenario> [--quick] [--seed N] [--shards N] [--out DIR]");
+    println!(
+        "  experiments run --all      [--quick] [--seed N] [--shards N] [--threads N] [--out DIR]"
+    );
+    println!(
+        "  experiments record <scenario> [--quick] [--seed N] [--shards N] [--threads N] [--out DIR]"
+    );
     println!("  experiments replay <trace> [--policy NAME] [--out DIR]");
+    println!();
+    println!("  --threads N caps the process-wide thread budget: trials x shards");
+    println!("  lease lanes from it, so the host is never oversubscribed.");
     println!();
     print_scenarios();
 }
@@ -167,6 +183,7 @@ struct CommonFlags {
     all: bool,
     seed: Option<u64>,
     shards: usize,
+    threads: Option<usize>,
     out_dir: Option<PathBuf>,
     scenario: Option<String>,
     positionals: Vec<String>,
@@ -196,11 +213,25 @@ fn parse_common(
             }
             "--shards" => {
                 let value = iter.next().ok_or_else(|| {
-                    CliError::usage("--shards requires a count (0 = auto, one per core)")
+                    CliError::usage("--shards requires a count (0 = auto, one per budget lane)")
                 })?;
                 flags.shards = value.parse().map_err(|_| {
                     CliError::usage(format!("--shards requires an integer, got `{value}`"))
                 })?;
+            }
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--threads requires a positive lane count"))?;
+                let threads: usize = value.parse().map_err(|_| {
+                    CliError::usage(format!("--threads requires an integer, got `{value}`"))
+                })?;
+                if threads == 0 {
+                    return Err(CliError::usage(
+                        "--threads requires at least 1 lane (the calling thread)",
+                    ));
+                }
+                flags.threads = Some(threads);
             }
             "--out" => {
                 flags.out_dir = Some(PathBuf::from(
@@ -241,6 +272,28 @@ fn base_config(flags: &CommonFlags) -> ScenarioConfig {
     config
 }
 
+/// Applies `--threads N` by fixing the process-wide [`ThreadBudget`]
+/// before anything leases from it. The budget's capacity is set on first
+/// use, so this must run before the scenarios do.
+fn apply_thread_cap(flags: &CommonFlags) -> Result<(), CliError> {
+    if let Some(threads) = flags.threads {
+        ThreadBudget::init_global(threads).map_err(|existing| {
+            CliError::usage(format!(
+                "--threads {threads} rejected: the thread budget was already \
+                 fixed at {existing} lanes (set it before any parallel work)"
+            ))
+        })?;
+    }
+    Ok(())
+}
+
+fn thread_label(flags: &CommonFlags) -> String {
+    match flags.threads {
+        Some(n) => n.to_string(),
+        None => format!("{} (auto)", ThreadBudget::global().capacity()),
+    }
+}
+
 fn seed_label(seed: Option<u64>) -> String {
     seed.map(|s| s.to_string())
         .unwrap_or_else(|| "scenario default".to_string())
@@ -257,6 +310,7 @@ fn find_scenario(name: &str) -> Result<&'static dyn DynScenario, CliError> {
 
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let flags = parse_common(args, RUN_FLAGS, true)?;
+    apply_thread_cap(&flags)?;
     let out_dir = flags
         .out_dir
         .clone()
@@ -281,7 +335,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
     };
 
     println!(
-        "eqimpact experiments — scale: {:?}, seed: {}, shards: {}, output: {}",
+        "eqimpact experiments — scale: {:?}, seed: {}, shards: {}, threads: {}, output: {}",
         scale_of(flags.quick),
         seed_label(flags.seed),
         if flags.shards == 0 {
@@ -289,6 +343,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         } else {
             flags.shards.to_string()
         },
+        thread_label(&flags),
         out_dir.display()
     );
 
@@ -300,13 +355,23 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         // Under --all, a global shard count must not abort the sweep on
         // scenarios without intra-trial parallelism — run those
         // sequentially instead. An explicit single-scenario request
-        // still errors, so the incompatibility is never silent.
-        if flags.all && config.shards != 1 && !scenario.supports_sharding() {
-            println!(
-                "\n(note: `{}` has no intra-trial sharding; running it sequentially)",
-                scenario.name()
-            );
-            config.shards = 1;
+        // exits 3 ("unsupported capability", like `record` on an
+        // untraceable scenario), so CI matrix legs can skip cleanly and
+        // the incompatibility is never silent.
+        if config.shards != 1 && !scenario.supports_sharding() {
+            if flags.all {
+                println!(
+                    "\n(note: `{}` has no intra-trial sharding; running it sequentially)",
+                    scenario.name()
+                );
+                config.shards = 1;
+            } else {
+                return Err(CliError::unsupported(format!(
+                    "scenario `{}` does not support intra-trial sharding \
+                     (run it with --shards 1)",
+                    scenario.name()
+                )));
+            }
         }
         println!("\n== {}: {} ==", scenario.name(), scenario.description());
         let report = scenario.run(&config).map_err(|e| e.to_string())?;
@@ -325,6 +390,7 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_record(args: &[String]) -> Result<(), CliError> {
     let flags = parse_common(args, RECORD_FLAGS, false)?;
+    apply_thread_cap(&flags)?;
     if !flags.positionals.is_empty() {
         return Err(CliError::usage(format!(
             "`record` takes one scenario name (unexpected: {})",
@@ -361,6 +427,15 @@ fn cmd_record(args: &[String]) -> Result<(), CliError> {
              (add it to registry::tracers())"
         )));
     }
+    // Same exit-3 capability gate as `run`: a sharded record of a
+    // scenario without intra-trial parallelism is a clean skip, not a
+    // usage error.
+    if flags.shards != 1 && !scenario.supports_sharding() {
+        return Err(CliError::unsupported(format!(
+            "scenario `{name}` does not support intra-trial sharding \
+             (record it with --shards 1)"
+        )));
+    }
     let out_dir = flags
         .out_dir
         .clone()
@@ -369,10 +444,11 @@ fn cmd_record(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::usage(format!("cannot create {}: {e}", out_dir.display())))?;
 
     println!(
-        "eqimpact experiments — recording {name}: scale {:?}, seed {}, shards {}, traces under {}",
+        "eqimpact experiments — recording {name}: scale {:?}, seed {}, shards {}, threads {}, traces under {}",
         scale_of(flags.quick),
         seed_label(flags.seed),
         flags.shards,
+        thread_label(&flags),
         out_dir.display()
     );
     let config = base_config(&flags).with_trace(factory.clone());

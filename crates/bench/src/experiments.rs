@@ -510,7 +510,8 @@ pub struct PerfShardResult {
     pub users: usize,
     /// Steps simulated.
     pub steps: usize,
-    /// Cores reported by the OS.
+    /// Capacity of the process thread budget (defaults to the OS core
+    /// count; capped by `--threads` / `EQIMPACT_THREADS`).
     pub cores: usize,
     /// Shard count of the sharded run.
     pub shards: usize,
@@ -539,7 +540,7 @@ impl ToJson for PerfShardResult {
 /// P-SH: times the 100k-user x 50-step credit loop (income-multiple
 /// lender — cheap retrain, so the parallel user sweep dominates, as in a
 /// production serving loop; thin records) sequentially and with `shards`
-/// shards (`<= 1` = auto, one per core). The records are bit-identical; only
+/// shards (`<= 1` = auto, one per budget lane). The records are bit-identical; only
 /// the wall-clock changes. `Scale::Quick` trims to 20k users.
 pub fn perf_shard(scale: Scale, shards: usize, seed: Option<u64>) -> PerfShardResult {
     let users = match scale {
@@ -548,7 +549,7 @@ pub fn perf_shard(scale: Scale, shards: usize, seed: Option<u64>) -> PerfShardRe
     };
     let steps = 50;
     // A 1-shard "sharded leg" would time the sequential runner against
-    // itself, so anything <= 1 means auto (one shard per core).
+    // itself, so anything <= 1 means auto (the thread budget's lanes).
     let shards = if shards <= 1 {
         eqimpact_core::shard::auto_shards()
     } else {
@@ -581,7 +582,7 @@ pub fn perf_shard(scale: Scale, shards: usize, seed: Option<u64>) -> PerfShardRe
     PerfShardResult {
         users,
         steps,
-        cores: eqimpact_core::shard::auto_shards(),
+        cores: eqimpact_core::pool::ThreadBudget::global().capacity(),
         shards,
         sequential_ms,
         sharded_ms,

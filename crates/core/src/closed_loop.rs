@@ -452,6 +452,7 @@ pub struct LoopBuilder<S, P, F = MeanFilter> {
     delay: usize,
     policy: RecordPolicy,
     shards: Option<usize>,
+    budget: Option<&'static crate::pool::ThreadBudget>,
 }
 
 impl<S: AiSystem, P: UserPopulation> LoopBuilder<S, P, MeanFilter> {
@@ -465,6 +466,7 @@ impl<S: AiSystem, P: UserPopulation> LoopBuilder<S, P, MeanFilter> {
             delay: 1,
             policy: RecordPolicy::Full,
             shards: None,
+            budget: None,
         }
     }
 }
@@ -479,14 +481,25 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopBuilder<S, P, F> {
             delay: self.delay,
             policy: self.policy,
             shards: self.shards,
+            budget: self.budget,
         }
     }
 
     /// Sets the shard count for [`Self::build_sharded`] (`0` means auto:
-    /// one shard per core, [`crate::shard::auto_shards`]). Ignored by the
-    /// sequential [`Self::build`].
+    /// resolve against the thread budget's available lanes,
+    /// [`crate::shard::auto_shards`]; always clamped to the population
+    /// size). Ignored by the sequential [`Self::build`].
     pub fn shards(mut self, shards: usize) -> Self {
         self.shards = Some(shards);
+        self
+    }
+
+    /// Sets the [`ThreadBudget`](crate::pool::ThreadBudget) the sharded
+    /// runner leases its lanes from (default: the process-wide
+    /// [`global`](crate::pool::ThreadBudget::global) budget). Ignored by
+    /// the sequential [`Self::build`].
+    pub fn thread_budget(mut self, budget: &'static crate::pool::ThreadBudget) -> Self {
+        self.budget = Some(budget);
         self
     }
 
@@ -513,21 +526,26 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopBuilder<S, P, F> {
     /// Builds the intra-trial parallel runner
     /// ([`crate::shard::ShardedRunner`]): the population is partitioned
     /// into the configured number of row shards ([`Self::shards`]; auto =
-    /// one per core when unset) and each step's user sweep runs on scoped
-    /// worker threads. The produced record is bit-identical to
-    /// [`Self::build`]'s for blocks honouring the
+    /// the budget's available lanes when unset) and each step's user
+    /// sweep runs on the parked workers of a budget-leased
+    /// [`WorkerPool`](crate::pool::WorkerPool). The produced record is
+    /// bit-identical to [`Self::build`]'s for blocks honouring the
     /// [`crate::shard::RowStreams`] contract.
     pub fn build_sharded(self) -> crate::shard::ShardedRunner<S, P, F>
     where
         S: crate::shard::ShardableAi,
         P: crate::shard::ShardablePopulation,
     {
-        let mut runner = crate::shard::ShardedRunner::new(
+        let budget = self
+            .budget
+            .unwrap_or_else(crate::pool::ThreadBudget::global);
+        let mut runner = crate::shard::ShardedRunner::with_budget(
             self.ai,
             self.population,
             self.filter,
             self.delay,
             self.shards.unwrap_or(0),
+            budget,
         );
         runner.set_record_policy(self.policy);
         runner

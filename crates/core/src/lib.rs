@@ -28,14 +28,19 @@
 //!   conditioned on non-protected attributes;
 //! * [`impact`] — estimators of the per-user Cesàro limits `r_i` and their
 //!   coincidence, unconditional and group-conditioned;
+//! * [`pool`] — the process-wide [`pool::ThreadBudget`] (every parallel
+//!   region leases its lanes from one ledger, so `trials × shards` can
+//!   never oversubscribe the host) and the [`pool::WorkerPool`] of
+//!   long-lived parked workers with a submit/barrier protocol — one pool
+//!   per run instead of threads per step;
 //! * [`shard`] — deterministic **intra-trial** parallelism: the
-//!   [`shard::ShardedRunner`] splits one step's user sweep over scoped
-//!   worker threads (contiguous row shards, index-keyed
-//!   [`shard::RowStreams`] RNG streams) and merges at a per-step barrier,
-//!   producing records bit-identical to the sequential runner for any
-//!   shard count;
-//! * [`trials`] — deterministic multi-seed trial running, striped over at
-//!   most `available_parallelism()` threads;
+//!   [`shard::ShardedRunner`] splits one step's user sweep over the
+//!   parked workers of a budget-leased [`pool::WorkerPool`] (contiguous
+//!   row shards, index-keyed [`shard::RowStreams`] RNG streams) and
+//!   merges at a per-step barrier, producing records bit-identical to
+//!   the sequential runner for any shard count;
+//! * [`trials`] — deterministic multi-seed trial running, striped over
+//!   lanes leased from the [`pool::ThreadBudget`];
 //! * [`scenario`] — first-class pluggable workloads: the
 //!   [`scenario::Scenario`] trait bundles a closed-loop workload's
 //!   config ([`scenario::Scale`]), per-trial construction, record policy
@@ -102,6 +107,7 @@ pub mod closed_loop;
 pub mod fairness;
 pub mod features;
 pub mod impact;
+pub mod pool;
 pub mod recorder;
 pub mod scenario;
 pub mod shard;
@@ -115,10 +121,11 @@ pub use closed_loop::{
 pub use fairness::{demographic_parity, equal_opportunity, individual_fairness};
 pub use features::FeatureMatrix;
 pub use impact::{equal_impact_report, EqualImpactReport};
+pub use pool::{BudgetLease, ThreadBudget, WorkerPool};
 pub use recorder::{LoopRecord, RecordPolicy, StepSink};
 pub use scenario::{
     run_scenario, write_artifacts, Artifact, ArtifactSpec, DynScenario, Scale, Scenario,
     ScenarioConfig, ScenarioError, ScenarioReport, TraceMeta, TraceSinkFactory,
 };
 pub use treatment::{equal_treatment_report, EqualTreatmentReport};
-pub use trials::{run_trials, run_trials_with, TrialSet};
+pub use trials::{run_trials, run_trials_with, run_trials_with_budget, TrialSet};

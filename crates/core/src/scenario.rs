@@ -144,8 +144,9 @@ pub struct ScenarioConfig {
     /// The run scale.
     pub scale: Scale,
     /// Intra-trial shards: `1` = the sequential runner, `n > 1` = the
-    /// sharded runner over `n` row shards, `0` = auto (one per core).
-    /// Records are bit-identical for every value — a pure perf knob.
+    /// sharded runner over `n` row shards, `0` = auto (one per available
+    /// thread-budget lane). Records are bit-identical for every value —
+    /// a pure perf knob.
     pub shards: usize,
     /// Base-seed override; `None` keeps the scenario's built-in seed.
     /// Honoured by every registered scenario, so any run can be
@@ -413,8 +414,9 @@ pub fn validate_artifacts(
 }
 
 /// Drives a typed [`Scenario`]: validates the artifact subset and shard
-/// support, stripes the trials over at most `available_parallelism()`
-/// worker threads ([`run_trials_with`]), and renders the report.
+/// support, stripes the trials over worker threads leased from the
+/// global [`ThreadBudget`](crate::pool::ThreadBudget)
+/// ([`run_trials_with`]), and renders the report.
 pub fn run_scenario<S: Scenario>(
     scenario: &S,
     config: &ScenarioConfig,

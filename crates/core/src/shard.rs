@@ -5,8 +5,9 @@
 //! step — decisions and responses are per-user, only the feedback filter
 //! aggregates. [`ShardedRunner`] exploits exactly that shape: it
 //! partitions the population's rows into contiguous shards, runs the
-//! observe → signal → respond sweep of each shard on a scoped worker
-//! thread, and re-joins at a per-step barrier where the
+//! observe → signal → respond sweep of each shard on the parked workers
+//! of a per-run [`WorkerPool`] (leased from the process-wide
+//! [`ThreadBudget`]), and re-joins at a per-step barrier where the
 //! [`FeedbackFilter`], the [`LoopRecord`] and retraining run sequentially
 //! on the merged buffers — byte-for-byte the same tail as
 //! [`LoopRunner`](crate::closed_loop::LoopRunner).
@@ -43,6 +44,7 @@
 
 use crate::closed_loop::{AiSystem, Feedback, FeedbackFilter, UserPopulation};
 use crate::features::FeatureMatrix;
+use crate::pool::{PoolJob, ThreadBudget, WorkerPool};
 use crate::recorder::{LoopRecord, RecordPolicy, StepSink};
 use eqimpact_stats::SimRng;
 use std::collections::VecDeque;
@@ -286,17 +288,24 @@ pub fn shard_bounds(rows: usize, parts: usize) -> Vec<Range<usize>> {
     bounds
 }
 
-/// The number of shards to use when the caller asks for "auto".
+/// The number of shards to use when the caller asks for "auto": the
+/// lanes the **global** [`ThreadBudget`] could lease right now (the
+/// caller's own lane plus whatever is free — not the raw core count, so
+/// a run nested under trial striping auto-resolves to what it can
+/// actually use instead of oversubscribing the host).
 pub fn auto_shards() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    auto_shards_for(ThreadBudget::global())
+}
+
+/// [`auto_shards`] against an explicit budget.
+pub fn auto_shards_for(budget: &ThreadBudget) -> usize {
+    budget.available_lanes()
 }
 
 /// The sharded loop runner: same wiring as
 /// [`LoopRunner`](crate::closed_loop::LoopRunner) — AI system, population,
 /// filter, delay line — but each step's user sweep is partitioned over
-/// scoped worker threads.
+/// the parked workers of a [`WorkerPool`].
 ///
 /// Per step: every shard runs observe → signal → respond over its own
 /// rows, writing into disjoint sub-slices of the step buffers; at the
@@ -305,13 +314,19 @@ pub fn auto_shards() -> usize {
 /// — exactly the sequential tail, in the sequential order. See the module
 /// docs for the determinism contract.
 ///
-/// Cost model: workers are scoped threads spawned per step (shards − 1
-/// spawns; the last shard runs on the calling thread), so per-step
-/// overhead is tens of microseconds per extra shard — negligible against
-/// production-scale sweeps (≥ 10⁴ users), but a reason to stay with the
-/// sequential [`LoopRunner`](crate::closed_loop::LoopRunner) for tiny
-/// populations. The filter/record/retrain barrier is sequential, so
-/// Amdahl's law bounds the speedup by its share of a step.
+/// Cost model: one run leases its lanes from the [`ThreadBudget`] and
+/// spawns one [`WorkerPool`] (`lanes − 1` threads, zero when the budget
+/// is spent), then per step only *submits* jobs to the parked workers —
+/// a channel send and a futex wake per shard, single-digit microseconds
+/// rather than the tens of microseconds a per-step thread spawn used to
+/// cost (`steps × (shards − 1)` spawns before the pool; `lanes − 1`
+/// total now). Shards beyond the leased lanes stripe onto the same
+/// workers, so an over-sharded run degrades gracefully to fewer lanes —
+/// and to a plain sequential sweep on a fully leased budget. The
+/// filter/record/retrain barrier is sequential, so Amdahl's law still
+/// bounds the speedup by its share of a step; for tiny populations the
+/// sequential [`LoopRunner`](crate::closed_loop::LoopRunner) remains the
+/// better choice.
 ///
 /// Build one with
 /// [`LoopBuilder::shards`](crate::closed_loop::LoopBuilder::shards) +
@@ -323,6 +338,7 @@ pub struct ShardedRunner<S, P: ShardablePopulation, F> {
     filter: F,
     delay: usize,
     policy: RecordPolicy,
+    budget: &'static ThreadBudget,
     user_count: usize,
     width: usize,
     pending: VecDeque<Feedback>,
@@ -334,9 +350,9 @@ pub struct ShardedRunner<S, P: ShardablePopulation, F> {
 
 impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S, P, F> {
     /// Creates a runner over at most `shards` shards (`0` means auto:
-    /// [`auto_shards`]). See
-    /// [`LoopRunner::new`](crate::closed_loop::LoopRunner::new) for the
-    /// delay semantics.
+    /// [`auto_shards`]), leasing lanes from the global [`ThreadBudget`].
+    /// See [`LoopRunner::new`](crate::closed_loop::LoopRunner::new) for
+    /// the delay semantics.
     ///
     /// # Panics
     /// Panics when the population's
@@ -345,8 +361,35 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
     /// broken partition would otherwise mis-route buffer slices and
     /// corrupt records silently.
     pub fn new(ai: S, population: P, filter: F, delay: usize, shards: usize) -> Self {
-        let shards = if shards == 0 { auto_shards() } else { shards };
+        Self::with_budget(
+            ai,
+            population,
+            filter,
+            delay,
+            shards,
+            ThreadBudget::global(),
+        )
+    }
+
+    /// [`Self::new`] leasing from an explicit budget instead of the
+    /// global one. `shards == 0` resolves against **this** budget's
+    /// currently available lanes, and any request is clamped to the
+    /// population size (a shard needs at least one row).
+    pub fn with_budget(
+        ai: S,
+        population: P,
+        filter: F,
+        delay: usize,
+        shards: usize,
+        budget: &'static ThreadBudget,
+    ) -> Self {
+        let shards = if shards == 0 {
+            auto_shards_for(budget)
+        } else {
+            shards
+        };
         let user_count = population.user_count();
+        let shards = shards.min(user_count.max(1));
         let width = population.feature_width();
         let shards = population.into_row_shards(shards);
         let mut next = 0;
@@ -366,6 +409,7 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
             filter,
             delay,
             policy: RecordPolicy::Full,
+            budget,
             user_count,
             width,
             pending: VecDeque::new(),
@@ -430,11 +474,36 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
     /// telemetry. The sink runs at the sequential step barrier (after the
     /// filter, before retraining), so it sees the merged buffers in step
     /// order — identical to what the sequential runner's sink sees.
+    ///
+    /// Leases lanes from the runner's [`ThreadBudget`] and spins up one
+    /// [`WorkerPool`] for the whole run; both are released when the run
+    /// returns. To reuse a pool across several runs, drive
+    /// [`Self::run_in_pool`] yourself.
     pub fn run_with_sink<K: StepSink + ?Sized>(
         &mut self,
         steps: usize,
         rng: &mut SimRng,
         sink: &mut K,
+    ) -> LoopRecord {
+        // One lease and one pool per run (not per step): the budget
+        // grants what is free, down to the caller's own lane — in which
+        // case the pool has zero workers and every sweep runs inline.
+        let lease = self.budget.lease(self.shards.len());
+        let mut pool = WorkerPool::new(lease.lanes() - 1);
+        self.run_in_pool(steps, rng, sink, &mut pool)
+    }
+
+    /// [`Self::run_with_sink`] on a caller-managed [`WorkerPool`] (no
+    /// budget lease is taken — the caller owns the pool's sizing). The
+    /// pool only carries threads, never state, so one pool may drive any
+    /// number of consecutive runs, of this runner or others, without
+    /// affecting a single recorded bit.
+    pub fn run_in_pool<K: StepSink + ?Sized>(
+        &mut self,
+        steps: usize,
+        rng: &mut SimRng,
+        sink: &mut K,
+        pool: &mut WorkerPool,
     ) -> LoopRecord {
         let n = self.user_count;
         let w = self.width;
@@ -449,10 +518,16 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
             let respond = RowStreams::respond(rng, k);
             {
                 let ai = &self.ai;
+                // Budget-exhausted pools have no workers: skip the
+                // submit/barrier machinery entirely and sweep inline —
+                // the pooled runner then costs exactly the sequential
+                // chunked sweep.
+                let inline = pool.worker_count() == 0;
                 let mut vis_rest = self.visible.as_mut_slice();
                 let mut sig_rest = &mut self.signals[..];
                 let mut act_rest = &mut self.actions[..];
-                let mut jobs = Vec::with_capacity(self.shards.len());
+                let mut jobs: Vec<PoolJob<'_>> =
+                    Vec::with_capacity(if inline { 0 } else { self.shards.len() });
                 let mut offset = 0;
                 for shard in self.shards.iter_mut() {
                     let rows = shard.rows();
@@ -464,23 +539,22 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
                     sig_rest = rest;
                     let (act, rest) = act_rest.split_at_mut(rows.len());
                     act_rest = rest;
-                    jobs.push((shard, rows, vis, sig, act));
-                }
-                // The last shard runs on this thread; the rest are scoped
-                // workers that all join before the sequential tail.
-                std::thread::scope(|scope| {
-                    let mut jobs = jobs.into_iter();
-                    let home = jobs.next_back();
-                    for (shard, rows, vis, sig, act) in jobs {
-                        let (observe, respond) = (&observe, &respond);
-                        scope.spawn(move || {
-                            sweep_shard(ai, shard, k, rows, w, vis, sig, act, observe, respond)
-                        });
-                    }
-                    if let Some((shard, rows, vis, sig, act)) = home {
+                    if inline {
                         sweep_shard(ai, shard, k, rows, w, vis, sig, act, &observe, &respond);
+                    } else {
+                        let (observe, respond) = (&observe, &respond);
+                        jobs.push(Box::new(move || {
+                            sweep_shard(ai, shard, k, rows, w, vis, sig, act, observe, respond)
+                        }));
                     }
-                });
+                }
+                // Submit the step's sweep to the parked workers and wait
+                // at the pool's barrier: every shard has finished (each
+                // wrote only its disjoint slice) before the sequential
+                // tail below reads the merged buffers.
+                if !inline {
+                    pool.run(jobs);
+                }
             }
 
             // The step barrier: filter, record and retrain run on the
@@ -756,5 +830,224 @@ mod tests {
     fn row_view_checks_range() {
         let data = vec![0.0; 2];
         RowsView::new(&data, 2, 3..4).row(2);
+    }
+
+    #[test]
+    fn auto_shards_resolve_against_the_budget() {
+        let budget = ThreadBudget::leaked(3);
+        let runner = ShardedRunner::with_budget(
+            LevelAi { level: 0.0 },
+            NoisyUsers { n: 50, width: 1 },
+            crate::closed_loop::MeanFilter::default(),
+            1,
+            0,
+            budget,
+        );
+        assert_eq!(runner.shard_count(), 3, "auto = the budget's lanes");
+
+        // With two of the three lanes leased away, auto resolves to what
+        // is actually attainable.
+        let lease = budget.lease(3);
+        assert_eq!(lease.lanes(), 3);
+        let nested = ShardedRunner::with_budget(
+            LevelAi { level: 0.0 },
+            NoisyUsers { n: 50, width: 1 },
+            crate::closed_loop::MeanFilter::default(),
+            1,
+            0,
+            budget,
+        );
+        assert_eq!(nested.shard_count(), 1, "budget exhausted: sequential");
+    }
+
+    #[test]
+    fn shard_requests_clamp_to_the_population() {
+        // More shards than users: one shard per user, no empty shards,
+        // and the record still matches the sequential reference.
+        let runner = ShardedRunner::new(
+            LevelAi { level: 0.0 },
+            NoisyUsers { n: 3, width: 2 },
+            crate::closed_loop::MeanFilter::default(),
+            1,
+            64,
+        );
+        assert_eq!(runner.shard_count(), 3);
+        assert!(runner.shards.iter().all(|s| !s.rows().is_empty()));
+        let reference = sequential_record(3, 2, 7, 19);
+        assert_eq!(sharded_record(3, 2, 7, 19, 64), reference);
+    }
+
+    #[test]
+    fn exhausted_budget_runs_match_the_sequential_reference() {
+        // Every lane leased away: the pooled run degrades to an inline
+        // sweep and must not change a single recorded bit.
+        let budget = ThreadBudget::leaked(1);
+        let reference = sequential_record(17, 2, 9, 123);
+        let mut runner = ShardedRunner::with_budget(
+            LevelAi { level: 0.5 },
+            NoisyUsers { n: 17, width: 2 },
+            crate::closed_loop::MeanFilter::default(),
+            1,
+            4,
+            budget,
+        );
+        assert_eq!(runner.shard_count(), 4, "shards are a layout, not lanes");
+        let record = runner.run(9, &mut SimRng::new(123));
+        assert_eq!(record, reference);
+    }
+
+    #[test]
+    fn one_pool_drives_consecutive_runs_bit_identically() {
+        // Satellite: pool reuse. One worker pool drives two consecutive
+        // runs (fresh runner, then the same runner re-run); each record
+        // must be bit-identical to a fresh sequential run.
+        let mut pool = WorkerPool::new(2);
+        let make = || {
+            LoopBuilder::new(LevelAi { level: 0.5 }, NoisyUsers { n: 23, width: 2 })
+                .delay(1)
+                .shards(5)
+                .build_sharded()
+        };
+        let mut first = make();
+        let a = first.run_in_pool(12, &mut SimRng::new(77), &mut (), &mut pool);
+        assert_eq!(a, sequential_record(23, 2, 12, 77), "first pooled run");
+
+        let mut second = make();
+        let b = second.run_in_pool(12, &mut SimRng::new(909), &mut (), &mut pool);
+        assert_eq!(b, sequential_record(23, 2, 12, 909), "second pooled run");
+
+        // A third run through the same (now well-used) pool: a fresh
+        // runner with the second seed reproduces the second record — the
+        // pool carries threads, never state.
+        let c = make().run_in_pool(12, &mut SimRng::new(909), &mut (), &mut pool);
+        assert_eq!(c, b, "same pool, fresh runner, same seed");
+        assert!(!pool.is_poisoned());
+    }
+
+    /// Concurrency probe: counts how many sweeps are live at once.
+    #[derive(Default)]
+    struct Probe {
+        active: std::sync::atomic::AtomicUsize,
+        peak: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Probe {
+        fn enter(&self) {
+            use std::sync::atomic::Ordering::SeqCst;
+            let now = self.active.fetch_add(1, SeqCst) + 1;
+            self.peak.fetch_max(now, SeqCst);
+        }
+        fn exit(&self) {
+            self.active
+                .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    struct ProbedUsers {
+        n: usize,
+        probe: std::sync::Arc<Probe>,
+    }
+
+    struct ProbedShard {
+        rows: Range<usize>,
+        probe: std::sync::Arc<Probe>,
+    }
+
+    impl UserPopulation for ProbedUsers {
+        fn user_count(&self) -> usize {
+            self.n
+        }
+        fn observe_into(&mut self, _k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
+            out.reshape(self.n, 1);
+        }
+        fn respond_into(
+            &mut self,
+            _k: usize,
+            signals: &[f64],
+            _rng: &mut SimRng,
+            out: &mut Vec<f64>,
+        ) {
+            out.clear();
+            out.extend_from_slice(signals);
+        }
+    }
+
+    impl ShardablePopulation for ProbedUsers {
+        type Shard = ProbedShard;
+        fn feature_width(&self) -> usize {
+            1
+        }
+        fn into_row_shards(self, parts: usize) -> Vec<ProbedShard> {
+            shard_bounds(self.n, parts)
+                .into_iter()
+                .map(|rows| ProbedShard {
+                    rows,
+                    probe: self.probe.clone(),
+                })
+                .collect()
+        }
+        fn from_row_shards(shards: Vec<ProbedShard>) -> Self {
+            let n = shards.last().map(|s| s.rows.end).unwrap_or(0);
+            let probe = shards.first().map(|s| s.probe.clone()).unwrap_or_default();
+            ProbedUsers { n, probe }
+        }
+    }
+
+    impl PopulationShard for ProbedShard {
+        fn rows(&self) -> Range<usize> {
+            self.rows.clone()
+        }
+        fn observe_rows(&mut self, k: usize, _streams: &RowStreams, mut out: RowsMut<'_>) {
+            self.probe.enter();
+            // Hold the sweep open long enough for overlapping trials
+            // and shards to be observable.
+            std::thread::sleep(std::time::Duration::from_micros(300));
+            for i in out.rows() {
+                out.row_mut(i)[0] = (i + k) as f64;
+            }
+            self.probe.exit();
+        }
+        fn respond_rows(
+            &mut self,
+            _k: usize,
+            signals: &[f64],
+            _streams: &RowStreams,
+            out: &mut [f64],
+        ) {
+            out.copy_from_slice(signals);
+        }
+    }
+
+    #[test]
+    fn trials_times_shards_never_exceed_the_budget() {
+        // The oversubscription regression: 4 trials x 4 shards on a
+        // simulated 2-core budget must never run more than 2 sweeps
+        // concurrently — the trial stripes take the whole budget and the
+        // nested sharded runs degrade to their own lane.
+        use crate::trials::run_trials_with_budget;
+        let budget = ThreadBudget::leaked(2);
+        let probe = std::sync::Arc::new(Probe::default());
+        let records = run_trials_with_budget(budget, 4, |t| {
+            let mut runner = ShardedRunner::with_budget(
+                LevelAi { level: 0.0 },
+                ProbedUsers {
+                    n: 8,
+                    probe: probe.clone(),
+                },
+                crate::closed_loop::MeanFilter::default(),
+                1,
+                4,
+                budget,
+            );
+            runner.run(6, &mut SimRng::new(t as u64))
+        });
+        assert_eq!(records.len(), 4);
+        let peak = probe.peak.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(peak >= 1, "the probe must have seen the sweeps");
+        assert!(
+            peak <= 2,
+            "peak of {peak} concurrent sweeps exceeds the 2-lane budget"
+        );
+        assert_eq!(budget.available_lanes(), 2, "all leases returned");
     }
 }

@@ -2,10 +2,16 @@
 //! each with a fresh batch of users, run in parallel with deterministic
 //! per-trial seeds.
 //!
-//! The worker pool is capped at [`std::thread::available_parallelism`]
-//! (trials are striped over the workers), and a panic inside any trial is
-//! re-raised on the caller's thread with the trial index attached.
+//! The worker threads are leased from the process-wide
+//! [`ThreadBudget`](crate::pool::ThreadBudget) (trials are striped over
+//! the granted lanes), so trial parallelism composes with intra-trial
+//! sharding instead of multiplying with it — a
+//! [`ShardedRunner`](crate::shard::ShardedRunner) nested inside a trial
+//! worker finds the budget spent and sweeps sequentially on its own
+//! lane. A panic inside any trial is re-raised on the caller's thread
+//! with the trial index attached.
 
+use crate::pool::ThreadBudget;
 use crate::recorder::LoopRecord;
 use eqimpact_stats::describe::Summary;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -18,8 +24,9 @@ pub struct TrialSet {
     pub records: Vec<LoopRecord>,
 }
 
-/// Runs `trials` independent trials of any outcome type in parallel, on at
-/// most `available_parallelism()` worker threads. `factory(trial_index)`
+/// Runs `trials` independent trials of any outcome type in parallel, on
+/// worker threads leased from the **global**
+/// [`ThreadBudget`](crate::pool::ThreadBudget). `factory(trial_index)`
 /// must build and run one complete trial; it receives the trial index so
 /// it can derive a deterministic seed (the convention is
 /// `base_seed + trial_index`). Results come back in trial order.
@@ -32,11 +39,22 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_trials_with_budget(ThreadBudget::global(), trials, factory)
+}
+
+/// [`run_trials_with`] leasing from an explicit budget. The lease is
+/// held for the whole protocol: `lease.lanes()` stripes run concurrently
+/// (the caller's thread only waits, so its implicit lane is spent on one
+/// of the stripes), and the lanes return to the budget when every trial
+/// has finished.
+pub fn run_trials_with_budget<T, F>(budget: &ThreadBudget, trials: usize, factory: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     assert!(trials > 0, "run_trials_with: zero trials");
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials);
+    let lease = budget.lease(trials);
+    let workers = lease.lanes().min(trials);
     let mut outcomes: Vec<Option<T>> = (0..trials).map(|_| None).collect();
     // Lowest-indexed panic across all workers.
     let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);

@@ -39,7 +39,8 @@ pub struct CreditConfig {
     pub delay: usize,
     /// Intra-trial shards: `1` runs the sequential `LoopRunner`, `n > 1`
     /// the `ShardedRunner` over `n` row shards, `0` auto-shards (one per
-    /// core). The record is bit-identical for every setting.
+    /// available thread-budget lane). The record is bit-identical for
+    /// every setting.
     pub shards: usize,
     /// How much telemetry to keep ([`RecordPolicy::Full`] for the paper's
     /// figures; [`RecordPolicy::Thin`] for production-scale perf runs).
@@ -211,9 +212,13 @@ pub fn run_trial_sunk<K: StepSink>(
 }
 
 /// Runs the full multi-trial protocol in parallel (the paper's five trials
-/// with a fresh batch of users each), striped over at most
-/// `available_parallelism()` threads by
-/// [`eqimpact_core::trials::run_trials_with`].
+/// with a fresh batch of users each), striped by
+/// [`eqimpact_core::trials::run_trials_with`] over worker threads leased
+/// from the process-wide [`eqimpact_core::pool::ThreadBudget`]. Trial
+/// striping and intra-trial sharding ([`CreditConfig::shards`]) lease
+/// from the same budget, so `trials × shards` can never oversubscribe
+/// the host: when the trial stripes take every lane, each trial's
+/// sharded sweep runs sequentially on its own lane.
 pub fn run_trials_protocol(config: &CreditConfig) -> Vec<CreditOutcome> {
     assert!(config.trials > 0, "run_trials_protocol: zero trials");
     run_trials_with(config.trials, |t| run_trial(config, t))

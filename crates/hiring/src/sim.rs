@@ -200,7 +200,9 @@ pub fn run_trial_sunk<K: StepSink>(
 }
 
 /// Runs the full multi-trial protocol in parallel (a fresh applicant pool
-/// per trial), striped over at most `available_parallelism()` threads.
+/// per trial), striped over worker threads leased from the process-wide
+/// [`eqimpact_core::pool::ThreadBudget`] — shared with the intra-trial
+/// sharded sweeps, so `trials × shards` stays within the host's lanes.
 pub fn run_trials_protocol(config: &HiringConfig) -> Vec<HiringOutcome> {
     assert!(config.trials > 0, "run_trials_protocol: zero trials");
     run_trials_with(config.trials, |t| run_trial(config, t))

@@ -27,6 +27,7 @@ pub mod prelude {
         UserPopulation,
     };
     pub use eqimpact_core::features::FeatureMatrix;
+    pub use eqimpact_core::pool::{BudgetLease, ThreadBudget, WorkerPool};
     pub use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
     pub use eqimpact_core::scenario::{
         run_scenario, write_artifacts, Artifact, ArtifactSpec, DynScenario, Scale, Scenario,
@@ -36,6 +37,6 @@ pub mod prelude {
         full_rows, shard_bounds, PopulationShard, RowStreams, RowsMut, RowsView, ShardableAi,
         ShardablePopulation, ShardedRunner,
     };
-    pub use eqimpact_core::trials::run_trials;
+    pub use eqimpact_core::trials::{run_trials, run_trials_with, run_trials_with_budget};
     pub use eqimpact_stats::SimRng;
 }
