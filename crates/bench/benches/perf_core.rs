@@ -1,7 +1,7 @@
-//! P0-P6: performance microbenchmarks of the building blocks (not paper
+//! P0-P7: performance microbenchmarks of the building blocks (not paper
 //! artifacts): loop step throughput, intra-trial sharding speedup, the
-//! trace store, IRLS fitting, Markov operator application, and
-//! invariant-measure estimation.
+//! trace store, the counterfactual lab, IRLS fitting, Markov operator
+//! application, and invariant-measure estimation.
 //!
 //! The sharding bench (P5) additionally writes `BENCH_shard.json` (path
 //! overridable via `BENCH_SHARD_OUT`) with the measured wall-clock per
@@ -13,7 +13,10 @@
 //! path). The trace bench (P6) writes
 //! `BENCH_trace.json` (`BENCH_TRACE_OUT`): replay-vs-resimulate
 //! wall-clock of one credit trial plus the trace's on-disk bytes against
-//! the equivalent JSON dump.
+//! the equivalent JSON dump. The counterfactual-lab bench (P7) writes
+//! `BENCH_sweep.json` (`BENCH_SWEEP_OUT`): checkpointed-replay vs
+//! re-simulate wall-clock plus the timing of a default-grid off-policy
+//! sweep over the recorded trace.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eqimpact_core::closed_loop::{
@@ -450,6 +453,44 @@ fn bench_trace_store(_c: &mut Criterion) {
     println!("perf/trace_store: wrote {path}");
 }
 
+/// P7: the counterfactual lab. Records one **checkpointed** credit trial
+/// to an in-memory trace, then times checkpointed replay (model states
+/// restored at each retrain) against re-simulation, plus a default-grid
+/// off-policy sweep through the lab engine. Self-measured through
+/// `eqimpact_bench::perf_sweep` and exported to `BENCH_sweep.json`
+/// (path overridable via `BENCH_SWEEP_OUT`).
+fn bench_sweep(_c: &mut Criterion) {
+    use eqimpact_bench::perf_sweep;
+    use eqimpact_core::scenario::Scale as ScenarioScale;
+    use eqimpact_stats::json::ToJson;
+
+    let quick = criterion::is_quick();
+    let scale = if quick {
+        ScenarioScale::Quick
+    } else {
+        ScenarioScale::Paper
+    };
+    println!("\n-- group: perf/sweep ({scale:?} checkpointed credit trial) --");
+    let r = perf_sweep(scale, None);
+    println!(
+        "perf/sweep/resimulate                              median {:>10.2} ms",
+        r.resimulate_ms
+    );
+    println!(
+        "perf/sweep/checkpointed_replay                     median {:>10.2} ms  speedup x{:.2} ({} checkpoints)",
+        r.checkpointed_replay_ms, r.replay_speedup, r.checkpoints_restored
+    );
+    println!(
+        "perf/sweep/default_grid: {} candidates in {:.2} ms",
+        r.candidates, r.sweep_ms
+    );
+    let path = std::env::var("BENCH_SWEEP_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json").to_string()
+    });
+    std::fs::write(&path, r.to_json().render_pretty()).expect("write BENCH_sweep.json");
+    println!("perf/sweep: wrote {path}");
+}
+
 fn bench_loop_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf/credit_loop");
     group.sample_size(10);
@@ -549,6 +590,7 @@ criterion_group!(
     bench_loop_api,
     bench_sharded_loop,
     bench_trace_store,
+    bench_sweep,
     bench_loop_step,
     bench_irls,
     bench_markov_operator,

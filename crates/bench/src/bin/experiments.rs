@@ -25,6 +25,17 @@
 //!       the recorded bits). With --policy: off-policy evaluation — score
 //!       the named alternative policy against the recorded trajectory
 //!       and write the fairness/impact deltas under --out.
+//!   sweep <scenario> [--traces DIR] [--grid SPEC] [--quick] [--seed N] [--threads N] [--out DIR]
+//!       The counterfactual lab: evaluate a candidate grid (policy x
+//!       filter x decision threshold) off-policy over every recorded
+//!       trace of the scenario under --traces (default `traces/`), and
+//!       write a ranked report with bootstrap confidence intervals on
+//!       every fairness gap and outcome delta. `--grid` overrides the
+//!       scenario's default axes (`policy=a,b;threshold=0,10`); `--quick`
+//!       cuts the bootstrap resamples for CI smoke runs. Exits 3 for
+//!       scenarios without sweep support. The ranking is deterministic:
+//!       same traces + same seed give the same report at any thread
+//!       count.
 //!
 //! Flags:
 //!   --quick      reduced CI scale instead of the paper's parameters
@@ -47,6 +58,7 @@
 use eqimpact_bench::registry;
 use eqimpact_core::pool::ThreadBudget;
 use eqimpact_core::scenario::{write_artifacts, DynScenario, Scale, ScenarioConfig};
+use eqimpact_lab::{run_sweep, CandidateGrid, FileTrace, SweepConfig, TraceSource};
 use eqimpact_stats::ToJson;
 use eqimpact_trace::{TraceDirFactory, TraceReader};
 use std::path::PathBuf;
@@ -58,11 +70,15 @@ const RUN_FLAGS: &str = "--all, --quick, --seed N, --shards N, --threads N, --ou
 /// Flags accepted by `record`.
 const RECORD_FLAGS: &str = "--quick, --seed N, --shards N, --threads N, --out DIR";
 
+/// Flags accepted by `sweep`.
+const SWEEP_FLAGS: &str = "--traces DIR, --grid SPEC, --quick, --seed N, --threads N, --out DIR";
+
 /// A CLI failure, carrying its exit status: 2 for usage/validation
 /// errors, 3 for "this scenario lacks the requested capability" — no
 /// trace support for `record`, no intra-trial sharding for a sharded
 /// `run` — so CI matrix legs can skip unsupported scenarios cleanly
 /// without masking real failures.
+#[derive(Debug)]
 struct CliError {
     message: String,
     code: u8,
@@ -112,8 +128,9 @@ fn real_main() -> Result<(), CliError> {
         Some("run") => cmd_run(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some(other) => Err(CliError::usage(format!(
-            "unknown command `{other}` (known commands: list, run, record, replay, help)"
+            "unknown command `{other}` (known commands: list, run, record, replay, sweep, help)"
         ))),
     }
 }
@@ -132,6 +149,9 @@ fn print_usage() {
         "  experiments record <scenario> [--quick] [--seed N] [--shards N] [--threads N] [--out DIR]"
     );
     println!("  experiments replay <trace> [--policy NAME] [--out DIR]");
+    println!(
+        "  experiments sweep <scenario> [--traces DIR] [--grid SPEC] [--quick] [--seed N] [--threads N] [--out DIR]"
+    );
     println!();
     println!("  --threads N caps the process-wide thread budget: trials x shards");
     println!("  lease lanes from it, so the host is never oversubscribed.");
@@ -152,6 +172,18 @@ fn print_scenarios() {
     for tracer in registry::tracers() {
         let policies: Vec<&str> = tracer.policies().iter().map(|p| p.name).collect();
         println!("  {:<11} policies: {}", tracer.name(), policies.join(", "));
+    }
+    println!();
+    println!("sweepable scenarios (experiments sweep):");
+    for sweep in registry::sweeps() {
+        let grid = sweep.default_grid();
+        println!(
+            "  {:<11} default grid: {} candidates (policies: {}; filters: {})",
+            sweep.name(),
+            grid.len(),
+            sweep.known_policies().join(", "),
+            sweep.known_filters().join(", ")
+        );
     }
 }
 
@@ -223,15 +255,7 @@ fn parse_common(
                 let value = iter
                     .next()
                     .ok_or_else(|| CliError::usage("--threads requires a positive lane count"))?;
-                let threads: usize = value.parse().map_err(|_| {
-                    CliError::usage(format!("--threads requires an integer, got `{value}`"))
-                })?;
-                if threads == 0 {
-                    return Err(CliError::usage(
-                        "--threads requires at least 1 lane (the calling thread)",
-                    ));
-                }
-                flags.threads = Some(threads);
+                flags.threads = Some(parse_threads(value)?);
             }
             "--out" => {
                 flags.out_dir = Some(PathBuf::from(
@@ -254,6 +278,21 @@ fn parse_common(
         }
     }
     Ok(flags)
+}
+
+/// Parses a `--threads` value. `0` is clamped to one lane with a
+/// warning — the calling thread always exists, so zero cannot mean "no
+/// lanes" and aborting would make `--threads $(nproc --ignore=N)`-style
+/// invocations fragile (the same clamp `EQIMPACT_THREADS=0` gets).
+fn parse_threads(value: &str) -> Result<usize, CliError> {
+    let threads: usize = value
+        .parse()
+        .map_err(|_| CliError::usage(format!("--threads requires an integer, got `{value}`")))?;
+    if threads == 0 {
+        eprintln!("warning: --threads 0 clamped to 1 (the calling thread is always a lane)");
+        return Ok(1);
+    }
+    Ok(threads)
 }
 
 fn scale_of(quick: bool) -> Scale {
@@ -440,7 +479,11 @@ fn cmd_record(args: &[String]) -> Result<(), CliError> {
         .out_dir
         .clone()
         .unwrap_or_else(|| PathBuf::from("traces"));
-    let factory = TraceDirFactory::create(&out_dir)
+    // Record with model checkpoints: the frames let `replay` and `sweep`
+    // restore the retrained model at each delay-line pop instead of
+    // refitting — the counterfactual lab's fast-path. Checkpoint-free
+    // readers skip the frames transparently.
+    let factory = TraceDirFactory::create_with(&out_dir, true)
         .map_err(|e| CliError::usage(format!("cannot create {}: {e}", out_dir.display())))?;
 
     println!(
@@ -511,10 +554,20 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
     let reader = TraceReader::new(&mut input as &mut dyn std::io::Read)
         .map_err(|e| CliError::usage(format!("{}: {e}", trace_path.display())))?;
     let header = reader.header().clone();
+    // Exit 3, not 2: the trace is well-formed and the command is valid —
+    // the scenario just lacks the replay capability. CI legs iterating
+    // recorded traces can skip these cleanly, same as `record` on an
+    // untraceable scenario.
     let tracer = registry::find_tracer(&header.scenario).ok_or_else(|| {
-        CliError::usage(format!(
-            "trace was recorded by scenario `{}`, which has no registered replayer",
-            header.scenario
+        CliError::unsupported(format!(
+            "trace was recorded by scenario `{}`, which has no registered replayer \
+             (replayable scenarios: {})",
+            header.scenario,
+            registry::tracers()
+                .iter()
+                .map(|t| t.name())
+                .collect::<Vec<_>>()
+                .join(", ")
         ))
     })?;
     println!(
@@ -580,5 +633,195 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
             println!("  wrote {}", out_path.display());
             Ok(())
         }
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
+    let mut scenario: Option<String> = None;
+    let mut traces_dir = PathBuf::from("traces");
+    let mut grid_spec: Option<String> = None;
+    let mut quick = false;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--traces" => {
+                traces_dir = PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| CliError::usage("--traces requires a directory argument"))?
+                        .clone(),
+                );
+            }
+            "--grid" => {
+                grid_spec = Some(
+                    iter.next()
+                        .ok_or_else(|| {
+                            CliError::usage(
+                                "--grid requires a spec like `policy=a,b;threshold=0,10`",
+                            )
+                        })?
+                        .clone(),
+                );
+            }
+            "--quick" => quick = true,
+            "--seed" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--seed requires a u64 value"))?;
+                seed = Some(value.parse().map_err(|_| {
+                    CliError::usage(format!("--seed requires a u64, got `{value}`"))
+                })?);
+            }
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--threads requires a positive lane count"))?;
+                threads = Some(parse_threads(value)?);
+            }
+            "--out" => {
+                out_dir = PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| CliError::usage("--out requires a directory argument"))?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!(
+                    "unknown flag `{flag}` (known flags: {SWEEP_FLAGS})"
+                )));
+            }
+            positional if scenario.is_none() => scenario = Some(positional.to_string()),
+            positional => {
+                return Err(CliError::usage(format!(
+                    "`sweep` takes one scenario name (unexpected: {positional})"
+                )));
+            }
+        }
+    }
+    let sweep_names: Vec<&str> = registry::sweeps().iter().map(|s| s.name()).collect();
+    let name = scenario.ok_or_else(|| {
+        CliError::usage(format!(
+            "`sweep` needs a scenario name (sweepable scenarios: {})",
+            sweep_names.join(", ")
+        ))
+    })?;
+    // Unknown scenario is exit 2 (a typo); a known scenario without a
+    // sweep target is exit 3 (a clean capability skip for CI legs).
+    find_scenario(&name)?;
+    let target = registry::find_sweep(&name).ok_or_else(|| {
+        CliError::unsupported(format!(
+            "scenario `{name}` does not support sweeps (sweepable scenarios: {})",
+            sweep_names.join(", ")
+        ))
+    })?;
+    if let Some(threads) = threads {
+        ThreadBudget::init_global(threads).map_err(|existing| {
+            CliError::usage(format!(
+                "--threads {threads} rejected: the thread budget was already \
+                 fixed at {existing} lanes (set it before any parallel work)"
+            ))
+        })?;
+    }
+
+    let grid = match &grid_spec {
+        None => target.default_grid(),
+        Some(spec) => CandidateGrid::parse(spec, &target.default_grid())
+            .map_err(|e| CliError::usage(format!("--grid: {e}")))?,
+    };
+    if grid.is_empty() {
+        return Err(CliError::usage("--grid selects no candidates"));
+    }
+
+    // Every trace the scenario recorded under --traces, in deterministic
+    // (sorted-filename) order — the order trace labels appear in the
+    // report and per-candidate statistics pool over.
+    let mut trace_paths: Vec<PathBuf> = std::fs::read_dir(&traces_dir)
+        .map_err(|e| CliError::usage(format!("cannot read {}: {e}", traces_dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.extension().is_some_and(|ext| ext == "eqtrace")
+                && path
+                    .file_name()
+                    .and_then(|f| f.to_str())
+                    .is_some_and(|f| f.starts_with(&format!("{name}-")))
+        })
+        .collect();
+    trace_paths.sort();
+    if trace_paths.is_empty() {
+        return Err(CliError::usage(format!(
+            "no `{name}-*.eqtrace` files under {} (record some with: experiments record {name})",
+            traces_dir.display()
+        )));
+    }
+    let traces: Vec<FileTrace> = trace_paths.iter().map(FileTrace::new).collect();
+    let sources: Vec<&dyn TraceSource> = traces.iter().map(|t| t as &dyn TraceSource).collect();
+
+    let config = SweepConfig {
+        seed: seed.unwrap_or(SweepConfig::default().seed),
+        // --quick cuts the bootstrap work for CI smoke runs; the
+        // rankings stay deterministic either way.
+        resamples: if quick {
+            50
+        } else {
+            SweepConfig::default().resamples
+        },
+        ..SweepConfig::default()
+    };
+    println!(
+        "eqimpact experiments — sweeping {name}: {} candidates x {} traces, seed {}, {} resamples, threads {}",
+        grid.len(),
+        sources.len(),
+        config.seed,
+        config.resamples,
+        match threads {
+            Some(n) => n.to_string(),
+            None => format!("{} (auto)", ThreadBudget::global().capacity()),
+        }
+    );
+    let report = run_sweep(target, &sources, &grid, &config, ThreadBudget::global())
+        .map_err(|e| CliError::usage(format!("sweep failed: {e}")))?;
+
+    println!();
+    print!("{}", report.render_text());
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| CliError::usage(format!("cannot create {}: {e}", out_dir.display())))?;
+    let json_path = out_dir.join(format!("sweep_{name}.json"));
+    std::fs::write(&json_path, report.to_json().render_pretty())
+        .map_err(|e| CliError::usage(format!("cannot write {}: {e}", json_path.display())))?;
+    let text_path = out_dir.join(format!("sweep_{name}.txt"));
+    std::fs::write(&text_path, report.render_text())
+        .map_err(|e| CliError::usage(format!("cannot write {}: {e}", text_path.display())))?;
+    println!("wrote {}", json_path.display());
+    println!("wrote {}", text_path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_zero_clamps_to_one_lane_instead_of_erroring() {
+        // The calling thread is always a lane, so `--threads 0` means
+        // "the minimum budget", not a usage error (mirrors
+        // EQIMPACT_THREADS=0 handling in the core pool).
+        assert_eq!(parse_threads("0").unwrap(), 1);
+        let flags = parse_common(&strings(&["credit", "--threads", "0"]), RUN_FLAGS, true).unwrap();
+        assert_eq!(flags.threads, Some(1));
+        assert_eq!(flags.scenario.as_deref(), Some("credit"));
+    }
+
+    #[test]
+    fn threads_parse_accepts_positive_and_rejects_garbage() {
+        assert_eq!(parse_threads("4").unwrap(), 4);
+        let err = parse_threads("lots").unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("lots"));
     }
 }

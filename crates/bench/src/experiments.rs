@@ -747,6 +747,140 @@ pub fn perf_trace(scale: Scale, seed: Option<u64>) -> PerfTraceResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// P-SW — counterfactual lab: checkpointed replay vs re-simulate, sweep
+// ---------------------------------------------------------------------------
+
+/// P-SW result: wall-clock of checkpointed replay vs re-simulation of
+/// one credit trial, plus a default-grid off-policy sweep over the same
+/// trace through the lab engine.
+#[derive(Debug, Clone)]
+pub struct PerfSweepResult {
+    /// Users simulated.
+    pub users: usize,
+    /// Steps simulated.
+    pub steps: usize,
+    /// Median wall-clock of re-simulating the trial from scratch, ms.
+    pub resimulate_ms: f64,
+    /// Median wall-clock of verified **checkpointed** replay (model
+    /// states restored at each retrain instead of refit), ms.
+    pub checkpointed_replay_ms: f64,
+    /// `resimulate_ms / checkpointed_replay_ms`.
+    pub replay_speedup: f64,
+    /// Model checkpoints restored per replay (> 0, or the fast-path
+    /// never engaged).
+    pub checkpoints_restored: usize,
+    /// Candidates evaluated by the sweep leg.
+    pub candidates: usize,
+    /// Wall-clock of the default-grid sweep over the recorded trace, ms.
+    pub sweep_ms: f64,
+}
+
+impl ToJson for PerfSweepResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("users", self.users.to_json()),
+            ("steps", self.steps.to_json()),
+            ("resimulate_ms", self.resimulate_ms.to_json()),
+            (
+                "checkpointed_replay_ms",
+                self.checkpointed_replay_ms.to_json(),
+            ),
+            ("replay_speedup", self.replay_speedup.to_json()),
+            ("checkpoints_restored", self.checkpoints_restored.to_json()),
+            ("candidates", self.candidates.to_json()),
+            ("sweep_ms", self.sweep_ms.to_json()),
+        ])
+    }
+}
+
+/// P-SW: records one paper-shape credit trial (N = 1000; 400 under
+/// `--quick`) to an in-memory **checkpointed** trace, then measures
+/// (a) verified checkpointed replay against re-simulating the trial from
+/// scratch — the counterfactual lab's fast-path — and (b) a default-grid
+/// off-policy sweep over the recorded trace. `seed` overrides the
+/// protocol's base seed.
+pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> PerfSweepResult {
+    use eqimpact_core::pool::ThreadBudget;
+    use eqimpact_core::scenario::TraceMeta;
+    use eqimpact_credit::sim::run_trial_sunk;
+    use eqimpact_credit::{AdrFilter, CreditSweep, ScorecardLender};
+    use eqimpact_lab::{run_sweep, MemTrace, SweepConfig, SweepTarget, TraceSource};
+    use eqimpact_trace::{ReplayRunner, TraceHeader, TraceReader, TraceStepSink};
+
+    let base = credit_config(scale, LenderKind::Scorecard);
+    let config = CreditConfig {
+        trials: 1,
+        seed: seed.unwrap_or(base.seed),
+        ..base
+    };
+    let header = TraceHeader::from_meta(&TraceMeta {
+        scenario: "credit".to_string(),
+        variant: eqimpact_credit::scenario::TRACE_VARIANT.to_string(),
+        trial: 0,
+        scale,
+        seed: config.seed,
+        shards: config.shards,
+        delay: config.delay,
+        policy: config.policy,
+    })
+    .with_checkpoints();
+    let mut sink = TraceStepSink::new(Vec::new(), &header).expect("in-memory trace");
+    let outcome = run_trial_sunk(&config, 0, &mut sink);
+    let bytes = sink.finish().expect("in-memory trace finishes");
+
+    let resimulate_ms = median_ms(|| {
+        let again = eqimpact_credit::sim::run_trial(&config, 0);
+        assert_eq!(again.record.steps(), config.steps);
+    });
+    let mut checkpoints_restored = 0;
+    let checkpointed_replay_ms = median_ms(|| {
+        let mut input: &[u8] = &bytes;
+        let reader =
+            TraceReader::new(&mut input as &mut dyn std::io::Read).expect("perf sweep opens");
+        let mut runner =
+            ReplayRunner::new(reader, ScorecardLender::paper_default(), AdrFilter::new());
+        let record = runner.run().expect("verified checkpointed replay");
+        assert_eq!(record, outcome.record);
+        checkpoints_restored = runner.checkpoints_restored();
+        assert!(
+            checkpoints_restored > 0,
+            "checkpoint fast-path never engaged"
+        );
+    });
+
+    let trace = MemTrace::new("perf-sweep.eqtrace", bytes);
+    let sources: [&dyn TraceSource; 1] = [&trace];
+    let grid = CreditSweep.default_grid();
+    let candidates = grid.len();
+    let sweep_config = SweepConfig {
+        seed: config.seed,
+        ..SweepConfig::default()
+    };
+    let start = std::time::Instant::now();
+    let report = run_sweep(
+        &CreditSweep,
+        &sources,
+        &grid,
+        &sweep_config,
+        ThreadBudget::global(),
+    )
+    .expect("perf sweep runs");
+    let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.ranked.len(), candidates);
+
+    PerfSweepResult {
+        users: config.users,
+        steps: config.steps,
+        resimulate_ms,
+        checkpointed_replay_ms,
+        replay_speedup: resimulate_ms / checkpointed_replay_ms,
+        checkpoints_restored,
+        candidates,
+        sweep_ms,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,7 +11,7 @@
 
 use crate::experiments::{
     ablate_delay, ablate_filter, ablate_integral, ablate_markov, ablate_policy, perf_shard,
-    perf_trace,
+    perf_sweep, perf_trace,
 };
 use eqimpact_census::FIRST_YEAR;
 use eqimpact_core::scenario::{
@@ -20,8 +20,9 @@ use eqimpact_core::scenario::{
 };
 use eqimpact_credit::report;
 use eqimpact_credit::sim::{run_trials_protocol, CreditConfig, LenderKind};
-use eqimpact_credit::{CreditScenario, CreditTracer};
-use eqimpact_hiring::{HiringScenario, HiringTracer};
+use eqimpact_credit::{CreditScenario, CreditSweep, CreditTracer};
+use eqimpact_hiring::{HiringScenario, HiringSweep, HiringTracer};
+use eqimpact_lab::SweepTarget;
 use eqimpact_stats::ToJson;
 use eqimpact_trace::TraceReplayer;
 
@@ -288,6 +289,73 @@ impl DynScenario for PerfTraceScenario {
     }
 }
 
+/// The counterfactual-lab perf measurement as a registry scenario:
+/// records a checkpointed paper-scale credit trace in memory, then times
+/// checkpointed replay against re-simulation and a default-grid
+/// off-policy sweep over the recorded trace.
+pub struct PerfSweepScenario;
+
+const PERF_SWEEP_ARTIFACTS: &[ArtifactSpec] = &[ArtifactSpec {
+    name: "perf-sweep",
+    description: "checkpointed replay vs re-simulate wall-clock plus a default-grid sweep",
+}];
+
+impl DynScenario for PerfSweepScenario {
+    fn name(&self) -> &'static str {
+        "perf-sweep"
+    }
+
+    fn description(&self) -> &'static str {
+        "counterfactual-lab perf: checkpointed replay vs re-simulate, default-grid sweep timing"
+    }
+
+    fn artifacts(&self) -> &'static [ArtifactSpec] {
+        PERF_SWEEP_ARTIFACTS
+    }
+
+    fn supports_sharding(&self) -> bool {
+        false
+    }
+
+    fn run(&self, config: &ScenarioConfig) -> Result<ScenarioReport, ScenarioError> {
+        validate_artifacts(DynScenario::name(self), self.artifacts(), config)?;
+        if config.shards != 1 {
+            return Err(ScenarioError::ShardingUnsupported {
+                scenario: DynScenario::name(self),
+            });
+        }
+        if config.trace.is_some() {
+            return Err(ScenarioError::TracingUnsupported {
+                scenario: DynScenario::name(self),
+            });
+        }
+        let r = perf_sweep(config.scale, config.seed);
+        let summary = vec![
+            format!(
+                "{} users x {} steps: re-simulate {:.2} ms, checkpointed replay {:.2} ms (x{:.2} faster, {} checkpoints restored)",
+                r.users,
+                r.steps,
+                r.resimulate_ms,
+                r.checkpointed_replay_ms,
+                r.replay_speedup,
+                r.checkpoints_restored
+            ),
+            format!(
+                "default-grid sweep: {} candidates over the recorded trace in {:.2} ms",
+                r.candidates, r.sweep_ms
+            ),
+        ];
+        Ok(ScenarioReport {
+            summary,
+            artifacts: vec![Artifact {
+                name: "perf-sweep",
+                file: "perf_sweep.json".to_string(),
+                contents: r.to_json().render_pretty(),
+            }],
+        })
+    }
+}
+
 /// Rejects duplicate names in a registry listing — the invariant behind
 /// [`find`]'s "one name, one scenario" contract.
 fn validate_unique_names(names: &[&str]) -> Result<(), String> {
@@ -307,12 +375,13 @@ fn validate_unique_names(names: &[&str]) -> Result<(), String> {
 /// name — a duplicate would make [`find`] and the CLI ambiguous, so the
 /// registry refuses to construct.
 pub fn scenarios() -> &'static [&'static dyn DynScenario] {
-    static REGISTRY: [&dyn DynScenario; 5] = [
+    static REGISTRY: [&dyn DynScenario; 6] = [
         &CreditScenario,
         &HiringScenario,
         &AblationScenario,
         &PerfShardScenario,
         &PerfTraceScenario,
+        &PerfSweepScenario,
     ];
     static VALIDATED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
     VALIDATED.get_or_init(|| {
@@ -351,6 +420,19 @@ pub fn tracers() -> &'static [&'static dyn TraceReplayer] {
 /// Looks a trace replayer up by its scenario name.
 pub fn find_tracer(name: &str) -> Option<&'static dyn TraceReplayer> {
     tracers().iter().copied().find(|t| t.name() == name)
+}
+
+/// Every registered sweep target (the scenarios whose recorded traces
+/// the counterfactual lab can sweep candidate grids over), in listing
+/// order.
+pub fn sweeps() -> &'static [&'static dyn SweepTarget] {
+    static SWEEPS: [&dyn SweepTarget; 2] = [&CreditSweep, &HiringSweep];
+    &SWEEPS
+}
+
+/// Looks a sweep target up by its scenario name.
+pub fn find_sweep(name: &str) -> Option<&'static dyn SweepTarget> {
+    sweeps().iter().copied().find(|s| s.name() == name)
 }
 
 #[cfg(test)]
@@ -413,6 +495,33 @@ mod tests {
         }
         assert!(find_tracer("credit").is_some());
         assert!(find_tracer("ablations").is_none());
+    }
+
+    #[test]
+    fn sweeps_mirror_the_tracer_registrations() {
+        // The counterfactual lab sweeps exactly the scenarios that
+        // record replayable traces — a sweep without a tracer could
+        // never get input, a tracer without a sweep would be a silent
+        // gap in `experiments sweep`.
+        let sweep_names: Vec<&str> = sweeps().iter().map(|s| s.name()).collect();
+        let tracer_names: Vec<&str> = tracers().iter().map(|t| t.name()).collect();
+        assert_eq!(sweep_names, tracer_names);
+        for sweep in sweeps() {
+            assert!(find(sweep.name()).is_some(), "{}", sweep.name());
+            assert!(!sweep.default_grid().is_empty(), "{}", sweep.name());
+            assert!(!sweep.known_policies().is_empty(), "{}", sweep.name());
+            assert!(!sweep.known_filters().is_empty(), "{}", sweep.name());
+            // The default grid stays within the declared axes.
+            let grid = sweep.default_grid();
+            for policy in &grid.policies {
+                assert!(sweep.known_policies().contains(&policy.as_str()));
+            }
+            for filter in &grid.filters {
+                assert!(sweep.known_filters().contains(&filter.as_str()));
+            }
+        }
+        assert!(find_sweep("credit").is_some());
+        assert!(find_sweep("ablations").is_none());
     }
 
     #[test]

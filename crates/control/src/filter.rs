@@ -155,6 +155,17 @@ impl EwmaFilter {
             alpha,
         }
     }
+
+    /// The raw running value (`None` before any input) — the
+    /// checkpoint-capture hook.
+    pub fn state(&self) -> Option<f64> {
+        self.ewma.value()
+    }
+
+    /// Overwrites the running value — the checkpoint-restore hook.
+    pub fn restore_state(&mut self, value: Option<f64>) {
+        self.ewma.restore(value);
+    }
 }
 
 impl Filter for EwmaFilter {
@@ -375,6 +386,17 @@ mod tests {
         assert_eq!(f.push(0.0), 2.0);
         f.reset();
         assert!(f.value().is_nan());
+    }
+
+    #[test]
+    fn ewma_filter_state_round_trips() {
+        let mut f = EwmaFilter::new(0.5);
+        assert_eq!(f.state(), None);
+        f.push(4.0);
+        f.push(0.0);
+        let mut g = EwmaFilter::new(0.5);
+        g.restore_state(f.state());
+        assert_eq!(g.push(2.0), f.push(2.0), "restored filter tracks");
     }
 
     #[test]

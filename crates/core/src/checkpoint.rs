@@ -1,0 +1,145 @@
+//! Model checkpoints: the AI system's learned state, captured at a
+//! retrain boundary.
+//!
+//! A [`ModelCheckpoint`] is a small bag of named `f64` columns — enough
+//! to carry logistic weights, per-user memory (previous ADRs, exclusion
+//! flags) and filter state without committing the core crate to any
+//! concrete learner. The [`AiSystem`](crate::closed_loop::AiSystem) and
+//! [`FeedbackFilter`](crate::closed_loop::FeedbackFilter) traits expose
+//! defaulted `checkpoint_into` / `restore_checkpoint` hooks over it, and
+//! the loop runners emit one checkpoint per retrain to any
+//! [`StepSink`](crate::recorder::StepSink) that asks for them
+//! ([`StepSink::wants_checkpoints`](crate::recorder::StepSink::wants_checkpoints)).
+//!
+//! Checkpointed replay skips training entirely: a replayer that finds a
+//! checkpoint at a retrain boundary restores it instead of calling
+//! `retrain`, which turns the dominant cost of replaying a learning
+//! policy (refitting on an ever-growing training set) into a copy of the
+//! final weights.
+//!
+//! # Field naming
+//!
+//! Fields live in one flat namespace per checkpoint. By convention AI
+//! systems use bare names (`prev_adr`, `model.intercept`) and feedback
+//! filters prefix theirs with `filter.` — the runner captures both into
+//! the same checkpoint, so the two implementors of a loop must not
+//! collide.
+//!
+//! Counters and flags travel as `f64` too: every count a loop can
+//! produce (bounded by `steps × users`) is far below 2^53, so the
+//! round-trip is exact.
+
+/// A named-column snapshot of learned state at one retrain boundary.
+///
+/// Buffers are recycled: [`Self::reset`] keeps every column's allocation
+/// for the next capture, so per-retrain emission is allocation-free in
+/// steady state.
+#[derive(Debug, Clone, Default)]
+pub struct ModelCheckpoint {
+    /// The step whose retrain this checkpoint captures (the `k` passed
+    /// to `retrain`).
+    pub step: usize,
+    fields: Vec<(String, Vec<f64>)>,
+    live: usize,
+}
+
+impl ModelCheckpoint {
+    /// An empty checkpoint.
+    pub fn new() -> Self {
+        ModelCheckpoint::default()
+    }
+
+    /// Clears the checkpoint for a new capture at `step`, keeping the
+    /// column allocations.
+    pub fn reset(&mut self, step: usize) {
+        self.step = step;
+        self.live = 0;
+    }
+
+    /// Number of fields captured.
+    pub fn field_count(&self) -> usize {
+        self.live
+    }
+
+    /// Starts a new field and returns its (empty) column buffer.
+    pub fn field_mut(&mut self, name: &str) -> &mut Vec<f64> {
+        if self.live == self.fields.len() {
+            self.fields.push((String::new(), Vec::new()));
+        }
+        let (slot_name, values) = &mut self.fields[self.live];
+        slot_name.clear();
+        slot_name.push_str(name);
+        values.clear();
+        self.live += 1;
+        values
+    }
+
+    /// Captures a whole column under `name`.
+    pub fn push_field(&mut self, name: &str, values: &[f64]) {
+        self.field_mut(name).extend_from_slice(values);
+    }
+
+    /// Captures a single value under `name`.
+    pub fn push_scalar(&mut self, name: &str, value: f64) {
+        self.field_mut(name).push(value);
+    }
+
+    /// The column captured under `name`, if any.
+    pub fn field(&self, name: &str) -> Option<&[f64]> {
+        self.fields[..self.live]
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// The single value captured under `name`, if the field exists and
+    /// holds exactly one value.
+    pub fn scalar(&self, name: &str) -> Option<f64> {
+        match self.field(name) {
+            Some([v]) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Iterates the captured `(name, column)` pairs in capture order.
+    pub fn fields(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.fields[..self.live]
+            .iter()
+            .map(|(n, v)| (n.as_str(), v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_capture_and_read_back() {
+        let mut cp = ModelCheckpoint::new();
+        cp.reset(4);
+        cp.push_field("weights", &[0.5, -1.25]);
+        cp.push_scalar("intercept", 2.0);
+        assert_eq!(cp.step, 4);
+        assert_eq!(cp.field_count(), 2);
+        assert_eq!(cp.field("weights"), Some(&[0.5, -1.25][..]));
+        assert_eq!(cp.scalar("intercept"), Some(2.0));
+        assert_eq!(cp.scalar("weights"), None, "multi-value field");
+        assert_eq!(cp.field("missing"), None);
+        let names: Vec<&str> = cp.fields().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["weights", "intercept"]);
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_hides_stale_fields() {
+        let mut cp = ModelCheckpoint::new();
+        cp.reset(0);
+        cp.push_field("a", &[1.0]);
+        cp.push_field("b", &[2.0, 3.0]);
+        cp.reset(1);
+        cp.push_field("c", &[9.0]);
+        assert_eq!(cp.field_count(), 1);
+        assert_eq!(cp.field("a"), None, "stale field visible after reset");
+        assert_eq!(cp.field("b"), None);
+        assert_eq!(cp.field("c"), Some(&[9.0][..]));
+    }
+}

@@ -14,6 +14,7 @@
 //! that choose blocks at runtime, and produces bit-identical records for
 //! the same seed.
 
+use crate::checkpoint::ModelCheckpoint;
 use crate::features::FeatureMatrix;
 use crate::recorder::{LoopRecord, RecordPolicy, StepSink};
 use eqimpact_stats::SimRng;
@@ -65,6 +66,25 @@ pub trait AiSystem {
     /// Absorbs one (delayed, filtered) feedback package — the retraining
     /// edge of Fig. 1.
     fn retrain(&mut self, k: usize, feedback: &Feedback);
+
+    /// Captures this system's learned state (weights, per-user memory)
+    /// into `out` and returns `true`, or returns `false` when the system
+    /// does not support checkpointing (the default). `out` arrives
+    /// already [`reset`](ModelCheckpoint::reset) for the current step —
+    /// implementations only append fields.
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        let _ = out;
+        false
+    }
+
+    /// Restores learned state previously captured by
+    /// [`Self::checkpoint_into`], returning `true` on success. Returning
+    /// `false` (the default, or on an unrecognized checkpoint) tells the
+    /// caller to fall back to [`Self::retrain`].
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        let _ = checkpoint;
+        false
+    }
 
     /// Optional downcasting hook so callers can inspect a concrete AI
     /// system (e.g. read the final scorecard) after a type-erased run.
@@ -156,6 +176,23 @@ pub trait FeedbackFilter {
     ) {
         *out = self.apply(k, visible, signals, actions);
     }
+
+    /// Captures the filter's accumulated state into `out` (append-only;
+    /// by convention filter fields are prefixed `filter.`) and returns
+    /// `true`, or `false` when the filter does not support checkpointing
+    /// (the default — correct for stateless filters).
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        let _ = out;
+        false
+    }
+
+    /// Restores state captured by [`Self::checkpoint_into`], returning
+    /// `true` on success; `false` means the caller must rebuild the
+    /// filter state some other way (e.g. re-applying the trace).
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        let _ = checkpoint;
+        false
+    }
 }
 
 // Boxed adapters: a `Box<dyn Block>` is itself a block, so the generic
@@ -170,6 +207,12 @@ impl<T: AiSystem + ?Sized> AiSystem for Box<T> {
     }
     fn retrain(&mut self, k: usize, feedback: &Feedback) {
         (**self).retrain(k, feedback)
+    }
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        (**self).checkpoint_into(out)
+    }
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        (**self).restore_checkpoint(checkpoint)
     }
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         (**self).as_any()
@@ -213,6 +256,12 @@ impl<T: FeedbackFilter + ?Sized> FeedbackFilter for Box<T> {
         out: &mut Feedback,
     ) {
         (**self).apply_into(k, visible, signals, actions, out)
+    }
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        (**self).checkpoint_into(out)
+    }
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        (**self).restore_checkpoint(checkpoint)
     }
 }
 
@@ -344,6 +393,8 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopRunner<S, P, F> {
         let n = self.population.user_count();
         let mut record = LoopRecord::with_policy(n, self.policy);
         record.reserve(steps);
+        let wants_checkpoints = sink.wants_checkpoints();
+        let mut checkpoint = ModelCheckpoint::new();
 
         for k in 0..steps {
             self.population.observe_into(k, rng, &mut self.visible);
@@ -389,6 +440,13 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopRunner<S, P, F> {
                 self.ai.retrain(k, &due);
                 // Recycle the package: its buffers become the next step's.
                 self.spare.push(due);
+                if wants_checkpoints {
+                    checkpoint.reset(k);
+                    if self.ai.checkpoint_into(&mut checkpoint) {
+                        let _ = self.filter.checkpoint_into(&mut checkpoint);
+                        sink.on_checkpoint(k, &checkpoint);
+                    }
+                }
             }
         }
         record

@@ -103,6 +103,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod closed_loop;
 pub mod fairness;
 pub mod features;
@@ -114,6 +115,7 @@ pub mod shard;
 pub mod treatment;
 pub mod trials;
 
+pub use checkpoint::ModelCheckpoint;
 pub use closed_loop::{
     AiSystem, DynLoopRunner, Feedback, FeedbackFilter, LoopBuilder, LoopRunner, MeanFilter,
     UserPopulation,

@@ -167,15 +167,25 @@ impl ThreadBudget {
 
 /// Capacity of the lazily initialized global budget.
 fn default_capacity() -> usize {
-    std::env::var("EQIMPACT_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    capacity_from_env(std::env::var("EQIMPACT_THREADS").ok(), |warning| {
+        eprintln!("{warning}")
+    })
+}
+
+/// Resolves the `EQIMPACT_THREADS` override into a budget capacity.
+/// `0` is clamped to 1 (a budget always owns the caller's lane) with a
+/// warning through `warn`; unparsable values are ignored.
+fn capacity_from_env(var: Option<String>, mut warn: impl FnMut(&str)) -> usize {
+    match var.as_deref().map(str::parse::<usize>) {
+        Some(Ok(0)) => {
+            warn("warning: EQIMPACT_THREADS=0 is not a usable budget; clamping to 1 lane");
+            1
+        }
+        Some(Ok(n)) => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
 }
 
 /// A granted allocation of lanes (see [`ThreadBudget::lease`]). Holds
@@ -416,6 +426,37 @@ mod tests {
             Err(existing) => assert_eq!(existing, capacity),
             Ok(_) => panic!("a second capacity must be rejected"),
         }
+    }
+
+    #[test]
+    fn env_capacity_zero_clamps_to_one_with_a_warning() {
+        let mut warnings = Vec::new();
+        let capacity = capacity_from_env(Some("0".to_string()), |w| warnings.push(w.to_string()));
+        assert_eq!(capacity, 1);
+        assert_eq!(warnings.len(), 1);
+        assert!(
+            warnings[0].contains("EQIMPACT_THREADS=0"),
+            "warning names the bad setting: {}",
+            warnings[0]
+        );
+    }
+
+    #[test]
+    fn env_capacity_positive_and_garbage_values() {
+        let mut warned = false;
+        assert_eq!(
+            capacity_from_env(Some("3".to_string()), |_| warned = true),
+            3
+        );
+        assert!(!warned, "positive values warn nothing");
+        let fallback = capacity_from_env(None, |_| warned = true);
+        assert!(fallback >= 1);
+        assert_eq!(
+            capacity_from_env(Some("not-a-number".to_string()), |_| warned = true),
+            fallback,
+            "garbage falls back to host parallelism"
+        );
+        assert!(!warned, "unparsable values are ignored silently");
     }
 
     #[test]

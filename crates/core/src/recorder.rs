@@ -40,6 +40,22 @@ pub trait StepSink {
         actions: &[f64],
         filtered: &[f64],
     );
+
+    /// Whether this sink wants per-retrain model checkpoints. The
+    /// runners only ask the AI system to capture its state when this
+    /// returns `true` (checkpoint capture is not free), and only sinks
+    /// that return `true` receive [`Self::on_checkpoint`] calls.
+    fn wants_checkpoints(&self) -> bool {
+        false
+    }
+
+    /// One model checkpoint, captured right after the retrain of step
+    /// `k`'s delayed feedback. Called at the step barrier like
+    /// [`Self::on_step`], after the `on_step` of the same `k`. Defaults
+    /// to a no-op.
+    fn on_checkpoint(&mut self, k: usize, checkpoint: &crate::checkpoint::ModelCheckpoint) {
+        let _ = (k, checkpoint);
+    }
 }
 
 impl StepSink for () {
@@ -67,6 +83,12 @@ impl<T: StepSink + ?Sized> StepSink for Box<T> {
         filtered: &[f64],
     ) {
         (**self).on_step(k, visible, signals, actions, filtered)
+    }
+    fn wants_checkpoints(&self) -> bool {
+        (**self).wants_checkpoints()
+    }
+    fn on_checkpoint(&mut self, k: usize, checkpoint: &crate::checkpoint::ModelCheckpoint) {
+        (**self).on_checkpoint(k, checkpoint)
     }
 }
 

@@ -42,6 +42,7 @@
 //! everywhere the sequential runner is used; sharding simply requires the
 //! extra impls.
 
+use crate::checkpoint::ModelCheckpoint;
 use crate::closed_loop::{AiSystem, Feedback, FeedbackFilter, UserPopulation};
 use crate::features::FeatureMatrix;
 use crate::pool::{PoolJob, ThreadBudget, WorkerPool};
@@ -512,6 +513,8 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
         self.visible.reshape(n, w);
         self.signals.resize(n, 0.0);
         self.actions.resize(n, 0.0);
+        let wants_checkpoints = sink.wants_checkpoints();
+        let mut checkpoint = ModelCheckpoint::new();
 
         for k in 0..steps {
             let observe = RowStreams::observe(rng, k);
@@ -581,6 +584,13 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
                 let due = self.pending.pop_front().expect("non-empty by check");
                 self.ai.retrain(k, &due);
                 self.spare.push(due);
+                if wants_checkpoints {
+                    checkpoint.reset(k);
+                    if self.ai.checkpoint_into(&mut checkpoint) {
+                        let _ = self.filter.checkpoint_into(&mut checkpoint);
+                        sink.on_checkpoint(k, &checkpoint);
+                    }
+                }
             }
         }
         record

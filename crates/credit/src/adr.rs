@@ -8,6 +8,7 @@
 //! matching the initialization of the paper (everyone approved in
 //! 2002-2003 before any scorecard exists).
 
+use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::closed_loop::{Feedback, FeedbackFilter};
 use eqimpact_core::features::FeatureMatrix;
 
@@ -143,6 +144,32 @@ impl FeedbackFilter for AdrFilter {
         out.signals.extend_from_slice(signals);
         out.actions.clear();
         out.actions.extend_from_slice(actions);
+    }
+
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        let Some(tracker) = &self.tracker else {
+            return false;
+        };
+        out.field_mut("filter.offers")
+            .extend(tracker.offers.iter().map(|&c| c as f64));
+        out.field_mut("filter.defaults")
+            .extend(tracker.defaults.iter().map(|&c| c as f64));
+        true
+    }
+
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        let (Some(offers), Some(defaults)) = (
+            checkpoint.field("filter.offers"),
+            checkpoint.field("filter.defaults"),
+        ) else {
+            return false;
+        };
+        // Counts are exact in f64 (bounded by steps, far below 2^53).
+        self.tracker = Some(AdrTracker {
+            offers: offers.iter().map(|&c| c as u64).collect(),
+            defaults: defaults.iter().map(|&c| c as u64).collect(),
+        });
+        true
     }
 }
 

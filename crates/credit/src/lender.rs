@@ -16,6 +16,7 @@
 //! the 3.5x mortgage, as in the paper.
 
 use crate::model;
+use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::closed_loop::{AiSystem, Feedback};
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::shard::{full_rows, RowsView, ShardableAi};
@@ -140,6 +141,39 @@ impl AiSystem for ScorecardLender {
         }
     }
 
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        out.push_field("prev_adr", &self.prev_adr);
+        if let Some(model) = &self.model {
+            out.push_scalar("model.intercept", model.intercept);
+            out.push_field("model.coefficients", &model.coefficients);
+            out.push_scalar("model.iterations", model.iterations as f64);
+            out.push_scalar("model.converged", if model.converged { 1.0 } else { 0.0 });
+        }
+        true
+    }
+
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        let Some(prev_adr) = checkpoint.field("prev_adr") else {
+            return false;
+        };
+        self.prev_adr.clear();
+        self.prev_adr.extend_from_slice(prev_adr);
+        // The model is present exactly when its intercept was captured;
+        // the training set stays untouched — decisions never read it.
+        self.model = checkpoint
+            .scalar("model.intercept")
+            .map(|intercept| LogisticModel {
+                intercept,
+                coefficients: checkpoint
+                    .field("model.coefficients")
+                    .unwrap_or(&[])
+                    .to_vec(),
+                iterations: checkpoint.scalar("model.iterations").unwrap_or(0.0) as usize,
+                converged: checkpoint.scalar("model.converged") == Some(1.0),
+            });
+        true
+    }
+
     fn as_any(&self) -> Option<&dyn std::any::Any> {
         Some(self)
     }
@@ -223,6 +257,21 @@ impl AiSystem for UniformExclusionLender {
                 self.defaulted[i] = true;
             }
         }
+    }
+
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        out.field_mut("defaulted")
+            .extend(self.defaulted.iter().map(|&d| if d { 1.0 } else { 0.0 }));
+        true
+    }
+
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        let Some(defaulted) = checkpoint.field("defaulted") else {
+            return false;
+        };
+        self.defaulted.clear();
+        self.defaulted.extend(defaulted.iter().map(|&d| d != 0.0));
+        true
     }
 }
 

@@ -15,7 +15,10 @@
 //!   [`Scenario`](eqimpact_core::scenario::Scenario) (`experiments run
 //!   credit`);
 //! * [`trace`] — replay and off-policy evaluation of recorded credit
-//!   traces (`experiments record credit` / `experiments replay`).
+//!   traces (`experiments record credit` / `experiments replay`);
+//! * [`sweep`] — the counterfactual-lab sweep face: candidate grids of
+//!   lenders/thresholds evaluated off-policy over recorded traces
+//!   (`experiments sweep credit`).
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@ pub mod model;
 pub mod report;
 pub mod scenario;
 pub mod sim;
+pub mod sweep;
 pub mod trace;
 pub mod users;
 
@@ -42,5 +46,6 @@ pub use adr::{AdrFilter, AdrTracker};
 pub use lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLender};
 pub use scenario::CreditScenario;
 pub use sim::{run_trial, run_trials_protocol, CreditConfig, CreditOutcome, LenderKind};
+pub use sweep::CreditSweep;
 pub use trace::CreditTracer;
 pub use users::CreditPopulation;

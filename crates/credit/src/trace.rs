@@ -28,7 +28,7 @@ pub const DECISION_THRESHOLD: f64 = 0.0;
 pub struct CreditTracer;
 
 /// The alternative policies [`CreditTracer`] can evaluate.
-const POLICIES: &[PolicySpec] = &[
+pub(crate) const POLICIES: &[PolicySpec] = &[
     PolicySpec {
         name: "scorecard",
         description: "the paper's retrained scorecard lender (the recorded behaviour)",
@@ -45,7 +45,7 @@ const POLICIES: &[PolicySpec] = &[
 
 /// Builds the lender a variant/policy name denotes, boxed for uniform
 /// dispatch (replay and evaluation are not hot paths).
-fn build_lender(name: &str) -> Option<Box<dyn AiSystem>> {
+pub(crate) fn build_lender(name: &str) -> Option<Box<dyn AiSystem>> {
     match name {
         "scorecard" => Some(Box::new(ScorecardLender::paper_default())),
         "uniform-exclusion" => Some(Box::new(UniformExclusionLender::paper_default())),
@@ -102,6 +102,14 @@ mod tests {
     use eqimpact_trace::{TraceHeader, TraceStepSink, FORMAT_VERSION};
 
     fn record_trace(config: &CreditConfig, trial: usize) -> (Vec<u8>, eqimpact_core::LoopRecord) {
+        record_trace_with(config, trial, false)
+    }
+
+    fn record_trace_with(
+        config: &CreditConfig,
+        trial: usize,
+        checkpoints: bool,
+    ) -> (Vec<u8>, eqimpact_core::LoopRecord) {
         let header = TraceHeader {
             version: FORMAT_VERSION,
             scenario: "credit".to_string(),
@@ -112,6 +120,7 @@ mod tests {
             shards: config.shards,
             delay: config.delay,
             policy: config.policy,
+            checkpoints,
         };
         let mut sink = TraceStepSink::new(Vec::new(), &header).expect("header writes");
         let outcome = run_trial_sunk(config, trial, &mut sink);
@@ -145,6 +154,64 @@ mod tests {
             summary.record.to_json().render(),
             original.to_json().render()
         );
+    }
+
+    #[test]
+    fn checkpointed_replay_skips_retraining_byte_identically() {
+        let config = small_config();
+        let (bytes, original) = record_trace_with(&config, 0, true);
+        let mut input: &[u8] = &bytes;
+        let reader = TraceReader::new(&mut input as &mut dyn std::io::Read).unwrap();
+        let mut runner = eqimpact_trace::ReplayRunner::new(
+            reader,
+            ScorecardLender::paper_default(),
+            AdrFilter::new(),
+        );
+        let record = runner.run().unwrap();
+        assert_eq!(record, original);
+        assert!(
+            runner.checkpoints_restored() > 0,
+            "checkpoint fast-path never engaged"
+        );
+        let (lender, _) = runner.into_parts();
+        assert_eq!(lender.refits(), 0, "restore must replace every retrain");
+
+        // The same trace replays with the fast-path off too (the frames
+        // are transparent), exercising the real retrain path.
+        let mut input: &[u8] = &bytes;
+        let reader = TraceReader::new(&mut input as &mut dyn std::io::Read).unwrap();
+        let mut slow = eqimpact_trace::ReplayRunner::new(
+            reader,
+            ScorecardLender::paper_default(),
+            AdrFilter::new(),
+        )
+        .use_checkpoints(false);
+        assert_eq!(slow.run().unwrap(), original);
+        assert_eq!(slow.checkpoints_restored(), 0);
+    }
+
+    #[test]
+    fn checkpointed_off_policy_matches_retrained_evaluation() {
+        // A candidate that shares the logged learner gives the same
+        // verdict whether it retrains or restores the checkpoints.
+        let config = small_config();
+        let (bytes, _) = record_trace_with(&config, 0, true);
+        let run = |use_checkpoints: bool| {
+            let mut input: &[u8] = &bytes;
+            let reader = TraceReader::new(&mut input as &mut dyn std::io::Read).unwrap();
+            eqimpact_trace::evaluate_off_policy_with(
+                reader,
+                ScorecardLender::paper_default(),
+                AdrFilter::new(),
+                DECISION_THRESHOLD,
+                eqimpact_trace::OffPolicyOptions { use_checkpoints },
+            )
+            .unwrap()
+        };
+        let fast = run(true);
+        let slow = run(false);
+        assert_eq!(fast.agreement, slow.agreement);
+        assert_eq!(fast.counterfactual, slow.counterfactual);
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!   [`Scenario`](eqimpact_core::scenario::Scenario) (`experiments run
 //!   hiring`);
 //! * [`trace`] — replay and off-policy evaluation of recorded hiring
-//!   traces (`experiments record hiring` / `experiments replay`).
+//!   traces (`experiments record hiring` / `experiments replay`);
+//! * [`sweep`] — the counterfactual-lab sweep face: candidate grids of
+//!   screeners/thresholds evaluated off-policy over recorded traces
+//!   (`experiments sweep hiring`).
 //!
 //! The loop inherits the workspace-wide determinism contract: records
 //! are **bit-identical for every intra-trial shard count**, including
@@ -51,6 +54,7 @@ pub mod model;
 pub mod scenario;
 pub mod screener;
 pub mod sim;
+pub mod sweep;
 pub mod trace;
 pub mod track;
 
@@ -58,5 +62,6 @@ pub use applicants::{Applicant, ApplicantPool, ApplicantShard};
 pub use scenario::HiringScenario;
 pub use screener::{AdaptiveScreener, CredentialScreener};
 pub use sim::{run_trial, run_trials_protocol, HiringConfig, HiringOutcome, ScreenerKind};
+pub use sweep::HiringSweep;
 pub use trace::HiringTracer;
 pub use track::TrackRecordFilter;

@@ -15,6 +15,7 @@
 //! with bit-identical records.
 
 use crate::applicants::VISIBLE_CREDENTIAL;
+use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::closed_loop::{AiSystem, Feedback};
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::shard::{full_rows, RowsView, ShardableAi};
@@ -125,6 +126,39 @@ impl AiSystem for AdaptiveScreener {
                 self.refits += 1;
             }
         }
+    }
+
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        out.push_field("prev_track", &self.prev_track);
+        if let Some(model) = &self.model {
+            out.push_scalar("model.intercept", model.intercept);
+            out.push_field("model.coefficients", &model.coefficients);
+            out.push_scalar("model.iterations", model.iterations as f64);
+            out.push_scalar("model.converged", if model.converged { 1.0 } else { 0.0 });
+        }
+        true
+    }
+
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        let Some(prev_track) = checkpoint.field("prev_track") else {
+            return false;
+        };
+        self.prev_track.clear();
+        self.prev_track.extend_from_slice(prev_track);
+        // The model is present exactly when its intercept was captured;
+        // the training set stays untouched — decisions never read it.
+        self.model = checkpoint
+            .scalar("model.intercept")
+            .map(|intercept| LogisticModel {
+                intercept,
+                coefficients: checkpoint
+                    .field("model.coefficients")
+                    .unwrap_or(&[])
+                    .to_vec(),
+                iterations: checkpoint.scalar("model.iterations").unwrap_or(0.0) as usize,
+                converged: checkpoint.scalar("model.converged") == Some(1.0),
+            });
+        true
     }
 
     fn as_any(&self) -> Option<&dyn std::any::Any> {

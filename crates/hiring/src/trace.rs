@@ -26,7 +26,7 @@ pub const DECISION_THRESHOLD: f64 = 0.0;
 pub struct HiringTracer;
 
 /// The alternative policies [`HiringTracer`] can evaluate.
-const POLICIES: &[PolicySpec] = &[
+pub(crate) const POLICIES: &[PolicySpec] = &[
     PolicySpec {
         name: "adaptive",
         description: "the retrained logistic screener",
@@ -38,7 +38,7 @@ const POLICIES: &[PolicySpec] = &[
 ];
 
 /// Builds the screener a variant/policy name denotes.
-fn build_screener(name: &str) -> Option<Box<dyn AiSystem>> {
+pub(crate) fn build_screener(name: &str) -> Option<Box<dyn AiSystem>> {
     match name {
         "adaptive" => Some(Box::new(AdaptiveScreener::default_config())),
         "credential" => Some(Box::new(CredentialScreener::new())),
@@ -97,6 +97,14 @@ mod tests {
     use eqimpact_trace::{TraceHeader, TraceStepSink, FORMAT_VERSION};
 
     fn record_trace(config: &HiringConfig, trial: usize) -> (Vec<u8>, eqimpact_core::LoopRecord) {
+        record_trace_with(config, trial, false)
+    }
+
+    fn record_trace_with(
+        config: &HiringConfig,
+        trial: usize,
+        checkpoints: bool,
+    ) -> (Vec<u8>, eqimpact_core::LoopRecord) {
         let header = TraceHeader {
             version: FORMAT_VERSION,
             scenario: "hiring".to_string(),
@@ -107,6 +115,7 @@ mod tests {
             shards: config.shards,
             delay: config.delay,
             policy: config.policy,
+            checkpoints,
         };
         let mut sink = TraceStepSink::new(Vec::new(), &header).expect("header writes");
         let outcome = run_trial_sunk(config, trial, &mut sink);
@@ -134,6 +143,27 @@ mod tests {
             let summary = HiringTracer.replay(reader).unwrap();
             assert_eq!(summary.record, original, "{screener:?}");
         }
+    }
+
+    #[test]
+    fn checkpointed_replay_skips_retraining_byte_identically() {
+        let config = small_config(ScreenerKind::Adaptive);
+        let (bytes, original) = record_trace_with(&config, 0, true);
+        let mut input: &[u8] = &bytes;
+        let reader = TraceReader::new(&mut input as &mut dyn std::io::Read).unwrap();
+        let mut runner = eqimpact_trace::ReplayRunner::new(
+            reader,
+            AdaptiveScreener::default_config(),
+            TrackRecordFilter::new(),
+        );
+        let record = runner.run().unwrap();
+        assert_eq!(record, original);
+        assert!(
+            runner.checkpoints_restored() > 0,
+            "checkpoint fast-path never engaged"
+        );
+        let (screener, _) = runner.into_parts();
+        assert_eq!(screener.refits(), 0, "restore must replace every retrain");
     }
 
     #[test]

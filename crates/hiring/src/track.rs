@@ -14,6 +14,7 @@
 //! instantiated with fading memory instead of full history.
 
 use eqimpact_control::filter::{EwmaFilter, Filter};
+use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::closed_loop::{Feedback, FeedbackFilter};
 use eqimpact_core::features::FeatureMatrix;
 
@@ -108,6 +109,40 @@ impl FeedbackFilter for TrackRecordFilter {
         out.signals.extend_from_slice(signals);
         out.actions.clear();
         out.actions.extend_from_slice(actions);
+    }
+
+    fn checkpoint_into(&self, out: &mut ModelCheckpoint) -> bool {
+        out.field_mut("filter.placements")
+            .extend(self.placements.iter().map(|&c| c as f64));
+        out.field_mut("filter.successes")
+            .extend(self.successes.iter().map(|&c| c as f64));
+        // The EWMA's Option state travels as a [present, value] pair.
+        let state = self.aggregate.state();
+        out.push_field(
+            "filter.aggregate",
+            &[
+                if state.is_some() { 1.0 } else { 0.0 },
+                state.unwrap_or(0.0),
+            ],
+        );
+        true
+    }
+
+    fn restore_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> bool {
+        let (Some(placements), Some(successes)) = (
+            checkpoint.field("filter.placements"),
+            checkpoint.field("filter.successes"),
+        ) else {
+            return false;
+        };
+        // Counts are exact in f64 (bounded by rounds, far below 2^53).
+        self.placements = placements.iter().map(|&c| c as u64).collect();
+        self.successes = successes.iter().map(|&c| c as u64).collect();
+        if let Some([present, value]) = checkpoint.field("filter.aggregate") {
+            self.aggregate
+                .restore_state((*present != 0.0).then_some(*value));
+        }
+        true
     }
 }
 

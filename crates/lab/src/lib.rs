@@ -1,0 +1,40 @@
+//! The counterfactual lab: fleet-scale off-policy **sweeps** over
+//! recorded traces.
+//!
+//! A single `experiments replay --policy X` answers one counterfactual.
+//! This crate asks them in bulk: a [`CandidateGrid`] enumerates
+//! (policy, filter, threshold) combinations, [`run_sweep`] fans every
+//! candidate across every recorded trace on the process-wide
+//! [`ThreadBudget`](eqimpact_core::pool::ThreadBudget) (one lease, one
+//! [`WorkerPool`](eqimpact_core::pool::WorkerPool) batch, per-cell panic
+//! isolation), and the result is a [`SweepReport`]: candidates ranked by
+//! demographic-parity gap, every gap and impact delta carrying a
+//! bootstrap confidence interval.
+//!
+//! # Determinism contract
+//!
+//! The same traces, grid and [`SweepConfig`] produce a bit-identical
+//! report regardless of thread count or scheduling: cells write disjoint
+//! result slots, aggregation is sequential in grid order, and candidate
+//! `i`'s bootstrap RNG is derived from `(seed, i)` alone.
+//!
+//! # The checkpoint fast-path
+//!
+//! Traces recorded with model checkpoints (format v2,
+//! [`TraceHeader::with_checkpoints`](eqimpact_trace::TraceHeader::with_checkpoints))
+//! let a candidate that shares the logged learner skip retraining
+//! entirely; [`SweepTarget`] implementations enable it exactly when the
+//! candidate's policy equals the recorded variant, so the fast-path is
+//! sound by construction and every other candidate retrains as usual.
+
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod report;
+pub mod sweep;
+
+pub use grid::{CandidateGrid, CandidateSpec, GridError};
+pub use report::{RankedCandidate, SweepReport};
+pub use sweep::{
+    run_sweep, FileTrace, MemTrace, SweepConfig, SweepError, SweepEval, SweepTarget, TraceSource,
+};

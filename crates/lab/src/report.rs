@@ -1,0 +1,226 @@
+//! The ranked sweep report: per-candidate fairness gaps and impact
+//! deltas with bootstrap confidence intervals, as JSON (machine
+//! consumers, CI artifacts) and as a text table (the CLI).
+
+use crate::grid::CandidateSpec;
+use eqimpact_stats::{ConfidenceInterval, Json, ToJson};
+use std::fmt::Write as _;
+
+/// One candidate's aggregated read-out across every swept trace.
+#[derive(Debug, Clone)]
+pub struct RankedCandidate {
+    /// The evaluated grid point.
+    pub candidate: CandidateSpec,
+    /// Traces evaluated successfully (cells that errored are excluded
+    /// from every statistic and listed in [`Self::errors`]).
+    pub traces: usize,
+    /// Mean decision-agreement rate with the logged policy — the
+    /// off-policy validity measure (low agreement = the counterfactual
+    /// left the support of the log).
+    pub agreement: f64,
+    /// Bootstrap CI of the demographic-parity gap (max − min group mean
+    /// of per-user positive-decision shares).
+    pub parity_gap: ConfidenceInterval,
+    /// Bootstrap CI of the equal-opportunity gap (among
+    /// favourable-action steps).
+    pub opportunity_gap: ConfidenceInterval,
+    /// Bootstrap CI of the mean per-user final-filter-output delta,
+    /// candidate − recorded behaviour (the impact channel).
+    pub outcome_delta: ConfidenceInterval,
+    /// Per-cell failures (trace label + cause), empty when every trace
+    /// evaluated.
+    pub errors: Vec<String>,
+}
+
+/// The full sweep result, ranked most demographically even first.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The swept scenario.
+    pub scenario: String,
+    /// Base bootstrap seed.
+    pub seed: u64,
+    /// Bootstrap resamples per interval.
+    pub resamples: usize,
+    /// Nominal CI coverage level.
+    pub level: f64,
+    /// Labels of the traces swept over, in cell order.
+    pub traces: Vec<String>,
+    /// Candidates enumerated from the grid.
+    pub candidates: usize,
+    /// Every candidate, ranked (parity gap, then opportunity gap, then
+    /// candidate key).
+    pub ranked: Vec<RankedCandidate>,
+}
+
+fn ci_json(ci: &ConfidenceInterval) -> Json {
+    Json::obj([
+        ("lo", ci.lo.to_json()),
+        ("estimate", ci.estimate.to_json()),
+        ("hi", ci.hi.to_json()),
+        ("level", ci.level.to_json()),
+    ])
+}
+
+impl ToJson for RankedCandidate {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("policy", self.candidate.policy.as_str().to_json()),
+            ("filter", self.candidate.filter.as_str().to_json()),
+            ("threshold", self.candidate.threshold.to_json()),
+            ("grid_index", self.candidate.index.to_json()),
+            ("key", self.candidate.key().as_str().to_json()),
+            ("traces", self.traces.to_json()),
+            ("agreement", self.agreement.to_json()),
+            ("parity_gap", ci_json(&self.parity_gap)),
+            ("opportunity_gap", ci_json(&self.opportunity_gap)),
+            ("outcome_delta", ci_json(&self.outcome_delta)),
+            (
+                "errors",
+                Json::Arr(self.errors.iter().map(|e| e.as_str().to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+impl ToJson for SweepReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("scenario", self.scenario.as_str().to_json()),
+            ("seed", self.seed.to_string().as_str().to_json()),
+            ("resamples", self.resamples.to_json()),
+            ("level", self.level.to_json()),
+            (
+                "traces",
+                Json::Arr(self.traces.iter().map(|t| t.as_str().to_json()).collect()),
+            ),
+            ("candidates", self.candidates.to_json()),
+            (
+                "ranked",
+                Json::Arr(self.ranked.iter().map(|r| r.to_json()).collect()),
+            ),
+        ])
+    }
+}
+
+fn fmt_ci(ci: &ConfidenceInterval) -> String {
+    if ci.estimate.is_nan() {
+        "undefined".to_string()
+    } else {
+        format!("{:.4} [{:.4}, {:.4}]", ci.estimate, ci.lo, ci.hi)
+    }
+}
+
+impl SweepReport {
+    /// Renders the ranked table the CLI prints (and writes next to the
+    /// JSON artifact).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "sweep {}: {} candidates x {} traces, seed {}, {}% CIs ({} resamples)",
+            self.scenario,
+            self.candidates,
+            self.traces.len(),
+            self.seed,
+            self.level * 100.0,
+            self.resamples
+        );
+        let _ = writeln!(
+            out,
+            "{:<4} {:<38} {:>7} {:>28} {:>28} {:>28}",
+            "rank", "candidate", "agree", "parity gap", "opportunity gap", "outcome delta"
+        );
+        for (rank, r) in self.ranked.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{:<4} {:<38} {:>7.4} {:>28} {:>28} {:>28}",
+                rank + 1,
+                r.candidate.key(),
+                r.agreement,
+                fmt_ci(&r.parity_gap),
+                fmt_ci(&r.opportunity_gap),
+                fmt_ci(&r.outcome_delta),
+            );
+            for error in &r.errors {
+                let _ = writeln!(out, "     ! {error}");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ci(estimate: f64) -> ConfidenceInterval {
+        ConfidenceInterval {
+            lo: estimate - 0.01,
+            estimate,
+            hi: estimate + 0.01,
+            level: 0.95,
+        }
+    }
+
+    fn report() -> SweepReport {
+        SweepReport {
+            scenario: "credit".to_string(),
+            seed: 42,
+            resamples: 200,
+            level: 0.95,
+            traces: vec!["credit-scorecard-trial0.eqtrace".to_string()],
+            candidates: 1,
+            ranked: vec![RankedCandidate {
+                candidate: CandidateSpec {
+                    index: 0,
+                    policy: "scorecard".to_string(),
+                    filter: "adr".to_string(),
+                    threshold: 0.0,
+                },
+                traces: 1,
+                agreement: 0.97,
+                parity_gap: ci(0.12),
+                opportunity_gap: ci(0.08),
+                outcome_delta: ci(-0.02),
+                errors: vec!["bad.eqtrace: truncated".to_string()],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_report_carries_every_interval() {
+        let rendered = report().to_json().render_pretty();
+        for key in [
+            "\"scenario\"",
+            "\"parity_gap\"",
+            "\"opportunity_gap\"",
+            "\"outcome_delta\"",
+            "\"estimate\"",
+            "\"errors\"",
+            "\"agreement\"",
+        ] {
+            assert!(rendered.contains(key), "missing {key} in {rendered}");
+        }
+    }
+
+    #[test]
+    fn text_report_lists_rank_key_and_errors() {
+        let text = report().render_text();
+        assert!(text.contains("scorecard/adr/thr=0"));
+        assert!(text.contains("parity gap"));
+        assert!(text.contains("! bad.eqtrace: truncated"));
+        assert!(text.starts_with("sweep credit: 1 candidates"));
+    }
+
+    #[test]
+    fn undefined_intervals_render_as_text_not_nan_soup() {
+        let mut r = report();
+        r.ranked[0].parity_gap = ConfidenceInterval {
+            lo: f64::NAN,
+            estimate: f64::NAN,
+            hi: f64::NAN,
+            level: 0.95,
+        };
+        assert!(r.render_text().contains("undefined"));
+    }
+}

@@ -1,0 +1,491 @@
+//! The sweep engine: fan a [`CandidateGrid`] across recorded traces on
+//! the process-wide thread budget and aggregate per-candidate fairness
+//! statistics with bootstrap confidence intervals.
+//!
+//! A sweep's unit of work is a **cell** — one candidate evaluated
+//! off-policy against one trace. Cells are independent, so all of them
+//! go into a single [`WorkerPool`] batch under one [`ThreadBudget`]
+//! lease; each cell streams its trace from its own reader (traces are
+//! never materialized in memory by the engine) and reduces the two
+//! [`LoopRecord`](eqimpact_core::LoopRecord)s to compact per-user
+//! statistics before the records are dropped. A panicking cell is
+//! caught inside the job and reported as that cell's error — one corrupt
+//! trace or misbehaving candidate never takes down the sweep.
+//!
+//! Aggregation is sequential and index-ordered, with every candidate's
+//! bootstrap RNG derived from `(config.seed, candidate.index)` — so the
+//! ranked report is bit-identical across runs and across thread counts.
+
+use crate::grid::{CandidateGrid, CandidateSpec};
+use crate::report::{RankedCandidate, SweepReport};
+use eqimpact_core::pool::{PoolJob, ThreadBudget, WorkerPool};
+use eqimpact_stats::{bootstrap_mean_ci, bootstrap_stratified_ci, ConfidenceInterval, SimRng};
+use eqimpact_trace::{OffPolicyOutcome, TraceError, TraceHeader};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Read;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// What a workload hands back for one (trace, candidate) cell.
+pub struct SweepEval {
+    /// The trace's provenance header.
+    pub header: TraceHeader,
+    /// The off-policy evaluation of the candidate against the trace.
+    pub outcome: OffPolicyOutcome,
+}
+
+/// The sweep face a workload exposes: how to build and evaluate the
+/// candidates its grid names. Implemented by the traceable scenarios
+/// (credit, hiring) and registered next to their
+/// [`TraceReplayer`](eqimpact_trace::TraceReplayer)s.
+pub trait SweepTarget: Sync {
+    /// The scenario name (matches the scenario registry and trace
+    /// headers).
+    fn name(&self) -> &'static str;
+
+    /// The grid swept when the CLI gets no `--grid` spec.
+    fn default_grid(&self) -> CandidateGrid;
+
+    /// Every policy name the workload can instantiate.
+    fn known_policies(&self) -> &'static [&'static str];
+
+    /// Every filter name the workload can instantiate.
+    fn known_filters(&self) -> &'static [&'static str];
+
+    /// Evaluates one candidate against one trace stream. Implementations
+    /// should enable the checkpointed fast-path only when it is sound:
+    /// the trace carries checkpoints **and** the candidate's policy is
+    /// the recorded variant (same learner, so restored weights are the
+    /// weights retraining would have produced).
+    fn evaluate(
+        &self,
+        input: &mut dyn Read,
+        candidate: &CandidateSpec,
+    ) -> Result<SweepEval, TraceError>;
+}
+
+/// A source of trace bytes a sweep can re-open once per cell. File-backed
+/// in the CLI ([`FileTrace`]); in-memory in tests and benches
+/// ([`MemTrace`]).
+pub trait TraceSource: Sync {
+    /// Display name (the ranked report's provenance listing).
+    fn label(&self) -> &str;
+
+    /// Opens a fresh reader over the trace bytes.
+    fn open(&self) -> std::io::Result<Box<dyn Read + '_>>;
+}
+
+/// A trace on disk.
+pub struct FileTrace {
+    path: PathBuf,
+    label: String,
+}
+
+impl FileTrace {
+    /// Wraps a trace file path.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        let label = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        FileTrace { path, label }
+    }
+}
+
+impl TraceSource for FileTrace {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn open(&self) -> std::io::Result<Box<dyn Read + '_>> {
+        Ok(Box::new(std::io::BufReader::new(std::fs::File::open(
+            &self.path,
+        )?)))
+    }
+}
+
+/// A trace held in memory.
+pub struct MemTrace {
+    name: String,
+    bytes: Vec<u8>,
+}
+
+impl MemTrace {
+    /// Wraps recorded trace bytes under a display name.
+    pub fn new(name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        MemTrace {
+            name: name.into(),
+            bytes,
+        }
+    }
+}
+
+impl TraceSource for MemTrace {
+    fn label(&self) -> &str {
+        &self.name
+    }
+
+    fn open(&self) -> std::io::Result<Box<dyn Read + '_>> {
+        Ok(Box::new(self.bytes.as_slice()))
+    }
+}
+
+/// Knobs of [`run_sweep`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Base seed of the per-candidate bootstrap RNGs.
+    pub seed: u64,
+    /// Bootstrap resamples per confidence interval.
+    pub resamples: usize,
+    /// Nominal CI coverage level in `(0, 1)`.
+    pub level: f64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 42,
+            resamples: 200,
+            level: 0.95,
+        }
+    }
+}
+
+/// A sweep that cannot start (per-cell failures are reported in the
+/// ranked candidates instead, so one bad trace never aborts the rest).
+#[derive(Debug)]
+pub enum SweepError {
+    /// The grid has an empty axis.
+    EmptyGrid,
+    /// No traces were supplied.
+    NoTraces,
+    /// A grid axis names a value the target cannot instantiate.
+    UnknownAxisValue {
+        /// The offending axis (`policy` or `filter`).
+        axis: &'static str,
+        /// The unrecognized value.
+        value: String,
+        /// Every value the target knows.
+        known: Vec<&'static str>,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::EmptyGrid => write!(f, "the candidate grid has an empty axis"),
+            SweepError::NoTraces => write!(f, "no traces to sweep over"),
+            SweepError::UnknownAxisValue { axis, value, known } => write!(
+                f,
+                "unknown {axis} `{value}` (known values: {})",
+                known.join(", ")
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// The per-cell reduction: everything aggregation needs, with the two
+/// full [`LoopRecord`](eqimpact_core::LoopRecord)s already dropped.
+struct CellStats {
+    /// Decision-agreement rate with the logged policy.
+    agreement: f64,
+    /// Per group label: per-user positive-decision shares of the
+    /// candidate (the demographic-parity strata).
+    parity: BTreeMap<String, Vec<f64>>,
+    /// Per group label: per-user positive shares among favourable-action
+    /// steps (the equal-opportunity strata; users with no favourable
+    /// step contribute nothing).
+    opportunity: BTreeMap<String, Vec<f64>>,
+    /// Per-user final-filter-output delta, candidate − baseline (the
+    /// impact channel, e.g. ADR shift).
+    outcome_delta: Vec<f64>,
+}
+
+/// Favourable-action cutoff of the equal-opportunity strata — the same
+/// convention as `eqimpact_core::fairness::equal_opportunity` is called
+/// with throughout the workspace (binary outcomes encoded as 0/1).
+const FAVOURABLE_ACTION: f64 = 0.5;
+
+fn cell_stats(eval: &SweepEval, threshold: f64) -> CellStats {
+    let outcome = &eval.outcome;
+    let steps = outcome.counterfactual.steps();
+    let (labels, groups) = match &outcome.groups {
+        Some(g) => (g.labels.clone(), g.index_sets()),
+        None => (Vec::new(), Vec::new()),
+    };
+    let mut parity = BTreeMap::new();
+    let mut opportunity = BTreeMap::new();
+    for (label, members) in labels.iter().zip(&groups) {
+        let mut parity_shares = Vec::with_capacity(members.len());
+        let mut opportunity_shares = Vec::new();
+        for &i in members {
+            let mut positive = 0usize;
+            let mut favourable = 0usize;
+            let mut favourable_positive = 0usize;
+            for k in 0..steps {
+                let decided = outcome.counterfactual.signals(k)[i] > threshold;
+                if decided {
+                    positive += 1;
+                }
+                if outcome.counterfactual.actions(k)[i] > FAVOURABLE_ACTION {
+                    favourable += 1;
+                    if decided {
+                        favourable_positive += 1;
+                    }
+                }
+            }
+            if steps > 0 {
+                parity_shares.push(positive as f64 / steps as f64);
+            }
+            if favourable > 0 {
+                opportunity_shares.push(favourable_positive as f64 / favourable as f64);
+            }
+        }
+        parity
+            .entry(label.clone())
+            .or_insert_with(Vec::new)
+            .extend(parity_shares);
+        opportunity
+            .entry(label.clone())
+            .or_insert_with(Vec::new)
+            .extend(opportunity_shares);
+    }
+    let outcome_delta = if steps > 0 {
+        let candidate = outcome.counterfactual.filtered(steps - 1);
+        let baseline = outcome.baseline.filtered(steps - 1);
+        candidate.iter().zip(baseline).map(|(c, b)| c - b).collect()
+    } else {
+        Vec::new()
+    };
+    CellStats {
+        agreement: outcome.agreement,
+        parity,
+        opportunity,
+        outcome_delta,
+    }
+}
+
+fn evaluate_cell(
+    target: &dyn SweepTarget,
+    trace: &dyn TraceSource,
+    candidate: &CandidateSpec,
+) -> Result<CellStats, TraceError> {
+    let mut input = trace.open().map_err(TraceError::Io)?;
+    let eval = target.evaluate(&mut input, candidate)?;
+    Ok(cell_stats(&eval, candidate.threshold))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A NaN interval at `level`: the statistic had no samples (e.g. a trace
+/// without group metadata), which the report renders as "undefined"
+/// rather than inventing a number.
+fn nan_ci(level: f64) -> ConfidenceInterval {
+    ConfidenceInterval {
+        lo: f64::NAN,
+        estimate: f64::NAN,
+        hi: f64::NAN,
+        level,
+    }
+}
+
+/// Bootstrap CI of the max-minus-min group-mean gap over pooled strata.
+fn gap_ci(
+    strata: &BTreeMap<String, Vec<f64>>,
+    config: &SweepConfig,
+    rng: &mut SimRng,
+) -> ConfidenceInterval {
+    let views: Vec<&[f64]> = strata
+        .values()
+        .map(|v| v.as_slice())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if views.is_empty() {
+        return nan_ci(config.level);
+    }
+    bootstrap_stratified_ci(
+        &views,
+        |resampled| {
+            let mut hi = f64::NEG_INFINITY;
+            let mut lo = f64::INFINITY;
+            for stratum in resampled.iter().filter(|s| !s.is_empty()) {
+                let mean = stratum.iter().sum::<f64>() / stratum.len() as f64;
+                hi = hi.max(mean);
+                lo = lo.min(mean);
+            }
+            hi - lo
+        },
+        config.resamples,
+        config.level,
+        rng,
+    )
+}
+
+/// Runs the sweep: every grid candidate against every trace, one
+/// [`ThreadBudget`] lease for the whole batch, bootstrap CIs on every
+/// reported gap, ranked most-parity-even first. See the module docs for
+/// the determinism contract.
+pub fn run_sweep(
+    target: &dyn SweepTarget,
+    traces: &[&dyn TraceSource],
+    grid: &CandidateGrid,
+    config: &SweepConfig,
+    budget: &ThreadBudget,
+) -> Result<SweepReport, SweepError> {
+    if grid.is_empty() {
+        return Err(SweepError::EmptyGrid);
+    }
+    if traces.is_empty() {
+        return Err(SweepError::NoTraces);
+    }
+    for policy in &grid.policies {
+        if !target.known_policies().contains(&policy.as_str()) {
+            return Err(SweepError::UnknownAxisValue {
+                axis: "policy",
+                value: policy.clone(),
+                known: target.known_policies().to_vec(),
+            });
+        }
+    }
+    for filter in &grid.filters {
+        if !target.known_filters().contains(&filter.as_str()) {
+            return Err(SweepError::UnknownAxisValue {
+                axis: "filter",
+                value: filter.clone(),
+                known: target.known_filters().to_vec(),
+            });
+        }
+    }
+
+    let candidates = grid.candidates();
+    let cells = candidates.len() * traces.len();
+    let mut results: Vec<Option<Result<CellStats, String>>> = (0..cells).map(|_| None).collect();
+
+    // One lease for the whole sweep: at most one lane per cell, and
+    // whatever the budget can spare. With zero extra lanes the pool runs
+    // every cell inline on this thread — same results, sequentially.
+    let lease = budget.lease(cells);
+    let mut pool = WorkerPool::new(lease.extra());
+    let jobs: Vec<PoolJob> = results
+        .iter_mut()
+        .enumerate()
+        .map(|(cell, slot)| {
+            let candidate = &candidates[cell / traces.len()];
+            let trace = traces[cell % traces.len()];
+            Box::new(move || {
+                // Cells must not poison the pool (a panic in WorkerPool
+                // jobs aborts the batch): catch here, report per cell.
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| evaluate_cell(target, trace, candidate)));
+                *slot = Some(match outcome {
+                    Ok(Ok(stats)) => Ok(stats),
+                    Ok(Err(e)) => Err(format!("{}: {e}", trace.label())),
+                    Err(payload) => Err(format!(
+                        "{}: candidate panicked: {}",
+                        trace.label(),
+                        panic_message(payload.as_ref())
+                    )),
+                });
+            }) as PoolJob
+        })
+        .collect();
+    pool.run(jobs);
+    drop(pool);
+    drop(lease);
+
+    // Sequential, index-ordered aggregation: candidate i's bootstrap RNG
+    // depends only on (seed, i), never on scheduling.
+    let mut ranked = Vec::with_capacity(candidates.len());
+    for (ci, candidate) in candidates.iter().enumerate() {
+        let mut errors = Vec::new();
+        let mut evaluated = 0usize;
+        let mut agreement_sum = 0.0;
+        let mut agreement_count = 0usize;
+        let mut parity: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        let mut opportunity: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        let mut outcome_delta = Vec::new();
+        for slot in &mut results[ci * traces.len()..(ci + 1) * traces.len()] {
+            match slot.take() {
+                Some(Ok(stats)) => {
+                    evaluated += 1;
+                    if stats.agreement.is_finite() {
+                        agreement_sum += stats.agreement;
+                        agreement_count += 1;
+                    }
+                    for (label, shares) in stats.parity {
+                        parity.entry(label).or_default().extend(shares);
+                    }
+                    for (label, shares) in stats.opportunity {
+                        opportunity.entry(label).or_default().extend(shares);
+                    }
+                    outcome_delta.extend(stats.outcome_delta);
+                }
+                Some(Err(e)) => errors.push(e),
+                None => errors.push("cell was never scheduled".to_string()),
+            }
+        }
+        let base = SimRng::new(config.seed).split(candidate.index as u64);
+        let parity_gap = gap_ci(&parity, config, &mut base.split(1));
+        let opportunity_gap = gap_ci(&opportunity, config, &mut base.split(2));
+        let outcome_delta = if outcome_delta.is_empty() {
+            nan_ci(config.level)
+        } else {
+            bootstrap_mean_ci(
+                &outcome_delta,
+                config.resamples,
+                config.level,
+                &mut base.split(3),
+            )
+        };
+        ranked.push(RankedCandidate {
+            candidate: candidate.clone(),
+            traces: evaluated,
+            agreement: if agreement_count == 0 {
+                f64::NAN
+            } else {
+                agreement_sum / agreement_count as f64
+            },
+            parity_gap,
+            opportunity_gap,
+            outcome_delta,
+            errors,
+        });
+    }
+
+    // Most demographically even first; ties broken by opportunity gap,
+    // then by the candidate key — total_cmp orders NaN after every
+    // number, so all-failed candidates sink to the bottom.
+    ranked.sort_by(|a, b| {
+        a.parity_gap
+            .estimate
+            .total_cmp(&b.parity_gap.estimate)
+            .then_with(|| {
+                a.opportunity_gap
+                    .estimate
+                    .total_cmp(&b.opportunity_gap.estimate)
+            })
+            .then_with(|| a.candidate.key().cmp(&b.candidate.key()))
+    });
+
+    Ok(SweepReport {
+        scenario: target.name().to_string(),
+        seed: config.seed,
+        resamples: config.resamples,
+        level: config.level,
+        traces: traces.iter().map(|t| t.label().to_string()).collect(),
+        candidates: candidates.len(),
+        ranked,
+    })
+}

@@ -72,6 +72,61 @@ pub fn bootstrap_ci(
     }
 }
 
+/// Percentile-bootstrap confidence interval for a statistic over
+/// **stratified** samples: each resample draws with replacement *within*
+/// every stratum, preserving the strata sizes, and the statistic sees
+/// the full set of resampled strata. This is the right resampling scheme
+/// for group-gap statistics (e.g. max-minus-min of per-group means),
+/// where pooled resampling would let group sizes drift.
+///
+/// Empty strata are passed through empty — the statistic must handle
+/// them (e.g. by skipping the group).
+///
+/// # Panics
+/// Panics when `strata` is empty or every stratum is empty, for
+/// `resamples == 0`, or `level` outside (0, 1).
+pub fn bootstrap_stratified_ci(
+    strata: &[&[f64]],
+    statistic: impl Fn(&[Vec<f64>]) -> f64,
+    resamples: usize,
+    level: f64,
+    rng: &mut SimRng,
+) -> ConfidenceInterval {
+    assert!(!strata.is_empty(), "bootstrap: empty sample");
+    assert!(
+        strata.iter().any(|s| !s.is_empty()),
+        "bootstrap: empty sample"
+    );
+    assert!(resamples > 0, "bootstrap: zero resamples");
+    assert!(
+        (0.0..1.0).contains(&level) && level > 0.0,
+        "bootstrap: bad level"
+    );
+
+    let original: Vec<Vec<f64>> = strata.iter().map(|s| s.to_vec()).collect();
+    let estimate = statistic(&original);
+    let mut scratch: Vec<Vec<f64>> = strata.iter().map(|s| vec![0.0; s.len()]).collect();
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for (stratum, resampled) in strata.iter().zip(scratch.iter_mut()) {
+            for slot in resampled.iter_mut() {
+                *slot = stratum[rng.index(stratum.len())];
+            }
+        }
+        stats.push(statistic(&scratch));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((alpha * resamples as f64) as usize).min(resamples - 1);
+    let hi_idx = (((1.0 - alpha) * resamples as f64) as usize).min(resamples - 1);
+    ConfidenceInterval {
+        lo: stats[lo_idx],
+        estimate,
+        hi: stats[hi_idx],
+        level,
+    }
+}
+
 /// Bootstrap CI for the mean — the workhorse call.
 pub fn bootstrap_mean_ci(
     sample: &[f64],
@@ -139,6 +194,57 @@ mod tests {
             }
         }
         assert!(covered >= 45, "coverage {covered}/{runs}");
+    }
+
+    fn group_gap(groups: &[Vec<f64>]) -> f64 {
+        let means: Vec<f64> = groups
+            .iter()
+            .filter(|g| !g.is_empty())
+            .map(|g| g.iter().sum::<f64>() / g.len() as f64)
+            .collect();
+        let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+
+    #[test]
+    fn stratified_ci_preserves_strata_and_covers_gap() {
+        let mut rng = SimRng::new(5);
+        let a: Vec<f64> = (0..400).map(|_| rng.uniform()).collect();
+        let b: Vec<f64> = (0..400).map(|_| 0.2 + rng.uniform()).collect();
+        let ci = bootstrap_stratified_ci(&[&a, &b], group_gap, 500, 0.95, &mut rng);
+        assert!(ci.contains(0.2), "{ci:?}");
+        assert!(ci.lo < ci.hi);
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn stratified_ci_tolerates_empty_strata() {
+        let mut rng = SimRng::new(6);
+        let a = [1.0, 1.5, 0.5];
+        let ci = bootstrap_stratified_ci(&[&a, &[]], group_gap, 100, 0.9, &mut rng);
+        // One non-empty group: the gap statistic is identically zero.
+        assert_eq!(ci.estimate, 0.0);
+        assert_eq!(ci.lo, 0.0);
+        assert_eq!(ci.hi, 0.0);
+    }
+
+    #[test]
+    fn stratified_ci_is_deterministic_for_a_seed() {
+        let a = [0.1, 0.9, 0.4, 0.6];
+        let b = [0.2, 0.8];
+        let run = || {
+            let mut rng = SimRng::new(7);
+            bootstrap_stratified_ci(&[&a, &b], group_gap, 200, 0.9, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn stratified_rejects_all_empty() {
+        let mut rng = SimRng::new(0);
+        bootstrap_stratified_ci(&[&[], &[]], group_gap, 10, 0.9, &mut rng);
     }
 
     #[test]

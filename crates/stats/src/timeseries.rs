@@ -91,6 +91,12 @@ impl Ewma {
         self.value
     }
 
+    /// Overwrites the running value — the checkpoint-restore hook.
+    /// `None` resets to the never-observed state.
+    pub fn restore(&mut self, value: Option<f64>) {
+        self.value = value;
+    }
+
     /// Smoothing factor.
     pub fn alpha(&self) -> f64 {
         self.alpha
@@ -225,6 +231,20 @@ mod tests {
     #[should_panic(expected = "outside (0,1]")]
     fn ewma_rejects_bad_alpha() {
         Ewma::new(0.0);
+    }
+
+    #[test]
+    fn ewma_restore_round_trips() {
+        let mut e = Ewma::new(0.5);
+        e.push(4.0);
+        e.push(0.0);
+        let saved = e.value();
+        let mut fresh = Ewma::new(0.5);
+        fresh.restore(saved);
+        assert_eq!(fresh.value(), Some(2.0));
+        assert_eq!(fresh.push(2.0), e.push(2.0), "restored EWMA tracks");
+        fresh.restore(None);
+        assert_eq!(fresh.value(), None, "None resets to unobserved");
     }
 
     #[test]

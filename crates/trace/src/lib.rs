@@ -53,7 +53,10 @@ pub mod sink;
 pub mod store;
 
 pub use column::{decode_column, encode_column};
-pub use offpolicy::{evaluate_off_policy, off_policy_report, OffPolicyOutcome, OffPolicyReport};
+pub use offpolicy::{
+    evaluate_off_policy, evaluate_off_policy_with, off_policy_report, OffPolicyOptions,
+    OffPolicyOutcome, OffPolicyReport,
+};
 pub use replay::{RecordedPopulation, ReplayRunner};
 pub use scenario::{PolicySpec, ReplaySummary, TraceReplayer};
 pub use sink::{TraceDirFactory, TraceStepSink};

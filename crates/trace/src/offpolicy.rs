@@ -22,6 +22,7 @@
 
 use crate::store::{TraceGroups, TraceReader};
 use crate::TraceError;
+use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::closed_loop::{AiSystem, Feedback, FeedbackFilter};
 use eqimpact_core::fairness::{demographic_parity, equal_opportunity};
 use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
@@ -46,18 +47,49 @@ pub struct OffPolicyOutcome {
     pub agreement: f64,
 }
 
+/// Knobs of [`evaluate_off_policy_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OffPolicyOptions {
+    /// Replace the candidate's retrains with recorded model checkpoints
+    /// wherever the candidate accepts them ([`AiSystem::restore_checkpoint`]
+    /// returns `true`). Only sound when the candidate shares the logged
+    /// policy's learner (e.g. threshold variants of the recorded
+    /// scorecard) — a candidate that learns differently must keep
+    /// retraining, which the per-checkpoint fallback guarantees.
+    pub use_checkpoints: bool,
+}
+
 /// Walks the trace once, driving `alt_ai`/`alt_filter` over the recorded
 /// features and actions (see the module docs). `decision_threshold`
 /// defines a positive decision (`signal > threshold`) for the agreement
 /// statistic. Both returned records are [`RecordPolicy::Full`] so the
 /// fairness auditors can read them regardless of the original policy.
 pub fn evaluate_off_policy<S: AiSystem, F: FeedbackFilter, R: Read>(
+    reader: TraceReader<R>,
+    alt_ai: S,
+    alt_filter: F,
+    decision_threshold: f64,
+) -> Result<OffPolicyOutcome, TraceError> {
+    evaluate_off_policy_with(
+        reader,
+        alt_ai,
+        alt_filter,
+        decision_threshold,
+        OffPolicyOptions::default(),
+    )
+}
+
+/// [`evaluate_off_policy`] with explicit [`OffPolicyOptions`] (e.g. the
+/// checkpoint fast-path for candidates that share the logged learner).
+pub fn evaluate_off_policy_with<S: AiSystem, F: FeedbackFilter, R: Read>(
     mut reader: TraceReader<R>,
     mut alt_ai: S,
     mut alt_filter: F,
     decision_threshold: f64,
+    options: OffPolicyOptions,
 ) -> Result<OffPolicyOutcome, TraceError> {
     let delay = reader.header().delay;
+    let mut checkpoint = ModelCheckpoint::new();
     let mut frame = crate::store::StepFrame::default();
     let mut baseline: Option<LoopRecord> = None;
     let mut counterfactual: Option<LoopRecord> = None;
@@ -97,7 +129,13 @@ pub fn evaluate_off_policy<S: AiSystem, F: FeedbackFilter, R: Read>(
         pending.push_back(feedback);
         if pending.len() > delay {
             let due = pending.pop_front().expect("non-empty by check");
-            alt_ai.retrain(k, &due);
+            let mut restored = false;
+            if options.use_checkpoints && reader.next_checkpoint(&mut checkpoint)? {
+                restored = alt_ai.restore_checkpoint(&checkpoint);
+            }
+            if !restored {
+                alt_ai.retrain(k, &due);
+            }
             spare.push(due);
         }
     }
@@ -288,5 +326,165 @@ pub fn off_policy_report(
         opportunity_gap_delta: candidate.opportunity_gap - baseline.opportunity_gap,
         baseline,
         candidate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TraceHeader;
+    use crate::TraceStepSink;
+    use eqimpact_core::features::FeatureMatrix;
+    use eqimpact_core::recorder::StepSink;
+    use eqimpact_core::scenario::TraceMeta;
+
+    /// Echoes the first visible feature column as its signal — by
+    /// construction in [`synthetic_trace`], identical to the recorded
+    /// behaviour policy. Retrains are counted, never needed for output.
+    struct EchoAi {
+        retrains: usize,
+    }
+
+    impl AiSystem for EchoAi {
+        fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+            out.clear();
+            out.extend(visible.rows().map(|row| row[0]));
+        }
+        fn retrain(&mut self, _k: usize, _feedback: &Feedback) {
+            self.retrains += 1;
+        }
+    }
+
+    /// Emits a constant signal for every user.
+    struct ConstAi(f64);
+
+    impl AiSystem for ConstAi {
+        fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+            out.clear();
+            out.extend(std::iter::repeat_n(self.0, visible.row_count()));
+        }
+        fn retrain(&mut self, _k: usize, _feedback: &Feedback) {
+            panic!("a single-step trace must never reach a retrain");
+        }
+    }
+
+    /// Passes the raw actions through as the per-user filter output.
+    struct IdentityFilter;
+
+    impl FeedbackFilter for IdentityFilter {
+        fn apply_into(
+            &mut self,
+            k: usize,
+            visible: &FeatureMatrix,
+            signals: &[f64],
+            actions: &[f64],
+            out: &mut Feedback,
+        ) {
+            out.step = k;
+            out.per_user.clear();
+            out.per_user.extend_from_slice(actions);
+            out.aggregate = actions.iter().sum::<f64>() / actions.len().max(1) as f64;
+            out.visible.fill_from(visible);
+            out.actions.clear();
+            out.actions.extend_from_slice(actions);
+            out.signals.clear();
+            out.signals.extend_from_slice(signals);
+        }
+    }
+
+    /// A delay-1 trace over four users (group codes `codes`, labels
+    /// `labels`): the behaviour policy signals +1 for the first two users
+    /// and −1 for the rest, every step; positive signals become
+    /// favourable (1.0) actions. The signal is mirrored into the visible
+    /// feature column so [`EchoAi`] reproduces it exactly.
+    fn synthetic_trace(steps: usize, labels: &[&str], codes: &[u32]) -> (Vec<u8>, TraceHeader) {
+        let header = TraceHeader::from_meta(&TraceMeta {
+            scenario: "synthetic".to_string(),
+            variant: "fixed".to_string(),
+            trial: 0,
+            scale: Scale::Quick,
+            seed: 1,
+            shards: 1,
+            delay: 1,
+            policy: RecordPolicy::Full,
+        });
+        let mut sink = TraceStepSink::new(Vec::new(), &header).expect("header writes");
+        sink.on_groups(labels, codes);
+        let n = codes.len();
+        let signals: Vec<f64> = (0..n).map(|i| if i < n / 2 { 1.0 } else { -1.0 }).collect();
+        let actions: Vec<f64> = signals
+            .iter()
+            .map(|&s| if s > 0.0 { 1.0 } else { 0.0 })
+            .collect();
+        let mut visible = FeatureMatrix::new(1);
+        for &s in &signals {
+            visible.push_row(&[s]);
+        }
+        for k in 0..steps {
+            sink.on_step(k, &visible, &signals, &actions, &actions);
+        }
+        (sink.finish().expect("trace finishes"), header)
+    }
+
+    fn evaluate<S: AiSystem>(bytes: &[u8], ai: S) -> OffPolicyOutcome {
+        let mut input: &[u8] = bytes;
+        let reader = TraceReader::new(&mut input).expect("trace reads back");
+        evaluate_off_policy(reader, ai, IdentityFilter, 0.0).expect("evaluation runs")
+    }
+
+    #[test]
+    fn single_step_trace_evaluates_without_ever_retraining() {
+        // One step at delay 1: the feedback stays in the delay line, so
+        // the candidate's (panicking) retrain hook must never fire, and
+        // the statistics still come out well-defined.
+        let (bytes, header) = synthetic_trace(1, &["alpha", "beta"], &[0, 0, 1, 1]);
+        let outcome = evaluate(&bytes, ConstAi(2.0));
+        assert_eq!(outcome.baseline.steps(), 1);
+        assert_eq!(outcome.counterfactual.steps(), 1);
+        // ConstAi(2.0) is positive everywhere; the log is positive for
+        // exactly half the users.
+        assert!((outcome.agreement - 0.5).abs() < 1e-12);
+        let report = off_policy_report(&outcome, &header, "const", 0.0);
+        assert_eq!(report.steps, 1);
+        assert_eq!(report.users, 4);
+        assert!((report.candidate.positive_rate - 1.0).abs() < 1e-12);
+        assert_eq!(report.candidate.parity_gap, 0.0);
+    }
+
+    #[test]
+    fn absent_group_rates_are_nan_and_excluded_from_gaps() {
+        // The "ghost" label has no members in the trace: its rate column
+        // is NaN, and the parity/opportunity gaps are computed over the
+        // populated groups only instead of poisoning to NaN.
+        let (bytes, header) = synthetic_trace(3, &["alpha", "beta", "ghost"], &[0, 0, 1, 1]);
+        let outcome = evaluate(&bytes, EchoAi { retrains: 0 });
+        let report = off_policy_report(&outcome, &header, "echo", 0.0);
+        assert_eq!(report.group_labels.len(), 3);
+        assert_eq!(report.candidate.group_rates.len(), 3);
+        assert!(report.candidate.group_rates[2].is_nan());
+        assert!(report.candidate.group_final_filtered[2].is_nan());
+        // alpha decides 1.0, beta 0.0 — the gap over the live groups.
+        assert!((report.candidate.parity_gap - 1.0).abs() < 1e-12);
+        assert!(report.candidate.opportunity_gap.is_finite());
+    }
+
+    #[test]
+    fn full_agreement_candidate_scores_one_with_zero_deltas() {
+        // A candidate that reproduces every logged decision: agreement
+        // is exactly 1.0 and every fairness delta is exactly zero.
+        let (bytes, header) = synthetic_trace(4, &["alpha", "beta"], &[0, 0, 1, 1]);
+        let outcome = evaluate(&bytes, EchoAi { retrains: 0 });
+        assert_eq!(outcome.agreement, 1.0);
+        assert_eq!(
+            outcome.counterfactual.signals(0),
+            outcome.baseline.signals(0)
+        );
+        let report = off_policy_report(&outcome, &header, "echo", 0.0);
+        assert_eq!(report.parity_gap_delta, 0.0);
+        assert_eq!(report.opportunity_gap_delta, 0.0);
+        assert_eq!(
+            report.candidate.positive_rate,
+            report.baseline.positive_rate
+        );
     }
 }

@@ -18,6 +18,7 @@
 
 use crate::store::{StepFrame, TraceHeader, TraceReader};
 use crate::TraceError;
+use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::closed_loop::{AiSystem, Feedback, FeedbackFilter, UserPopulation};
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::recorder::LoopRecord;
@@ -40,6 +41,9 @@ pub struct ReplayRunner<S, F, R: Read> {
     ai: S,
     filter: F,
     verify: bool,
+    use_checkpoints: bool,
+    restored: usize,
+    checkpoint: ModelCheckpoint,
     frame: StepFrame,
     signals: Vec<f64>,
     pending: VecDeque<Feedback>,
@@ -48,13 +52,17 @@ pub struct ReplayRunner<S, F, R: Read> {
 
 impl<S: AiSystem, F: FeedbackFilter, R: Read> ReplayRunner<S, F, R> {
     /// Wraps an opened trace with the blocks to replay it against.
-    /// Verification is on by default.
+    /// Verification is on by default, and so is the checkpoint
+    /// fast-path (a no-op on checkpoint-free traces).
     pub fn new(reader: TraceReader<R>, ai: S, filter: F) -> Self {
         ReplayRunner {
             reader,
             ai,
             filter,
             verify: true,
+            use_checkpoints: true,
+            restored: 0,
+            checkpoint: ModelCheckpoint::new(),
             frame: StepFrame::default(),
             signals: Vec::new(),
             pending: VecDeque::new(),
@@ -67,6 +75,22 @@ impl<S: AiSystem, F: FeedbackFilter, R: Read> ReplayRunner<S, F, R> {
     pub fn verify(mut self, on: bool) -> Self {
         self.verify = on;
         self
+    }
+
+    /// Enables or disables the checkpoint fast-path: when on (the
+    /// default) a recorded model checkpoint replaces the corresponding
+    /// `retrain` call wherever the AI system accepts it, skipping
+    /// training entirely. Per-step verification still applies, so a
+    /// restored model that diverges from the recorded signals surfaces
+    /// as a [`TraceError::ReplayMismatch`].
+    pub fn use_checkpoints(mut self, on: bool) -> Self {
+        self.use_checkpoints = on;
+        self
+    }
+
+    /// How many retrains were replaced by checkpoint restores so far.
+    pub fn checkpoints_restored(&self) -> usize {
+        self.restored
     }
 
     /// The trace's provenance header.
@@ -112,7 +136,23 @@ impl<S: AiSystem, F: FeedbackFilter, R: Read> ReplayRunner<S, F, R> {
             self.pending.push_back(feedback);
             if self.pending.len() > delay {
                 let due = self.pending.pop_front().expect("non-empty by check");
-                self.ai.retrain(k, &due);
+                // The checkpoint of step k's retrain sits directly after
+                // the step-k frame; restore it instead of retraining
+                // when present and accepted. A missing or rejected
+                // checkpoint falls back to the real retrain, so partial
+                // support degrades to correctness, not corruption.
+                let mut restored = false;
+                if self.use_checkpoints && self.reader.next_checkpoint(&mut self.checkpoint)? {
+                    restored = self.ai.restore_checkpoint(&self.checkpoint);
+                    if restored {
+                        let _ = self.filter.restore_checkpoint(&self.checkpoint);
+                    }
+                }
+                if restored {
+                    self.restored += 1;
+                } else {
+                    self.ai.retrain(k, &due);
+                }
                 self.spare.push(due);
             }
         }

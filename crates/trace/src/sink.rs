@@ -25,14 +25,19 @@ use std::sync::{Arc, Mutex};
 pub struct TraceStepSink<W: Write> {
     writer: Option<TraceWriter<W>>,
     error: Option<TraceError>,
+    checkpoints: bool,
 }
 
 impl<W: Write> TraceStepSink<W> {
     /// Starts a trace stream on `out` (writes the header immediately).
+    /// When the header was built [`TraceHeader::with_checkpoints`], the
+    /// sink asks the runners for per-retrain model checkpoints and
+    /// writes them as checkpoint frames.
     pub fn new(out: W, header: &TraceHeader) -> Result<Self, TraceError> {
         Ok(TraceStepSink {
             writer: Some(TraceWriter::new(out, header)?),
             error: None,
+            checkpoints: header.checkpoints,
         })
     }
 
@@ -77,6 +82,17 @@ impl<W: Write> StepSink for TraceStepSink<W> {
             self.latch(result);
         }
     }
+
+    fn wants_checkpoints(&self) -> bool {
+        self.checkpoints
+    }
+
+    fn on_checkpoint(&mut self, _k: usize, checkpoint: &eqimpact_core::ModelCheckpoint) {
+        if let Some(writer) = self.writer.as_mut() {
+            let result = writer.write_checkpoint(checkpoint);
+            self.latch(result);
+        }
+    }
 }
 
 /// The directory-backed sink factory behind `experiments record`: one
@@ -84,6 +100,7 @@ impl<W: Write> StepSink for TraceStepSink<W> {
 /// `<scenario>-<variant>-trial<t>.eqtrace`.
 pub struct TraceDirFactory {
     dir: PathBuf,
+    checkpoints: bool,
     errors: Arc<Mutex<Vec<String>>>,
     written: Arc<Mutex<Vec<PathBuf>>>,
 }
@@ -92,10 +109,18 @@ impl TraceDirFactory {
     /// Creates the output directory (so unwritable destinations fail
     /// up front, before any trial runs) and returns the factory.
     pub fn create(dir: impl Into<PathBuf>) -> std::io::Result<Arc<Self>> {
+        Self::create_with(dir, false)
+    }
+
+    /// [`Self::create`] with control over checkpoint frames: when
+    /// `checkpoints` is true every recorded trace carries per-retrain
+    /// model checkpoints (format version 2) for fast replay.
+    pub fn create_with(dir: impl Into<PathBuf>, checkpoints: bool) -> std::io::Result<Arc<Self>> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
         Ok(Arc::new(TraceDirFactory {
             dir,
+            checkpoints,
             errors: Arc::new(Mutex::new(Vec::new())),
             written: Arc::new(Mutex::new(Vec::new())),
         }))
@@ -157,6 +182,18 @@ impl StepSink for DirSink {
             sink.on_step(k, visible, signals, actions, filtered);
         }
     }
+
+    fn wants_checkpoints(&self) -> bool {
+        self.sink
+            .as_ref()
+            .is_some_and(|sink| sink.wants_checkpoints())
+    }
+
+    fn on_checkpoint(&mut self, k: usize, checkpoint: &eqimpact_core::ModelCheckpoint) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.on_checkpoint(k, checkpoint);
+        }
+    }
 }
 
 impl Drop for DirSink {
@@ -188,7 +225,10 @@ impl Drop for DirSink {
 impl TraceSinkFactory for TraceDirFactory {
     fn sink(&self, meta: &TraceMeta) -> Box<dyn StepSink + Send> {
         let path = self.dir.join(Self::file_name(meta));
-        let header = TraceHeader::from_meta(meta);
+        let mut header = TraceHeader::from_meta(meta);
+        if self.checkpoints {
+            header = header.with_checkpoints();
+        }
         let open = std::fs::File::create(&path)
             .map_err(TraceError::Io)
             .and_then(|file| TraceStepSink::new(BufWriter::new(file), &header));

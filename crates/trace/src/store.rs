@@ -8,15 +8,25 @@
 //! Frame kinds, in stream order:
 //!
 //! 1. **header** — a compact JSON object (`version`, `scenario`,
-//!    `variant`, `trial`, `scale`, `seed`, `shards`, `delay`, `policy`),
-//!    so a trace is self-describing and the header stays extensible;
+//!    `variant`, `trial`, `scale`, `seed`, `shards`, `delay`, `policy`,
+//!    `checkpoints`), so a trace is self-describing and the header stays
+//!    extensible;
 //! 2. **groups** (optional) — per-user group metadata: the labels and a
 //!    column of group codes (e.g. race per user);
 //! 3. **step** (repeated) — one loop step: the step index, the row/width
 //!    shape, and four column blocks (visible features, signals, actions,
 //!    filter outputs), each length-prefixed;
-//! 4. **footer** — the step count and final shape, closing the stream; a
+//! 4. **checkpoint** (optional, format version 2, after the step whose
+//!    retrain it captures) — a [`ModelCheckpoint`]: the retrain step and
+//!    named float columns of learned state (logistic weights, per-user
+//!    memory, filter state), so replay can restore instead of retrain;
+//! 5. **footer** — the step count and final shape, closing the stream; a
 //!    missing footer is reported as a truncated trace.
+//!
+//! Traces without checkpoint frames are written as format version 1 —
+//! exactly the pre-checkpoint format, so older readers keep reading
+//! them; checkpointed traces carry version 2, which older readers
+//! reject with the named [`TraceError::UnsupportedVersion`].
 //!
 //! Every payload is covered by a CRC-32; a flipped bit anywhere surfaces
 //! as [`TraceError::ChecksumMismatch`] instead of bad data. The reader
@@ -25,6 +35,7 @@
 
 use crate::column::{decode_column, decode_f64_column, encode_column, encode_f64_column};
 use crate::TraceError;
+use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
 use eqimpact_core::scenario::{Scale, TraceMeta};
@@ -35,13 +46,22 @@ use std::io::{Read, Write};
 /// The stream magic.
 pub const MAGIC: &[u8; 8] = b"EQTRACE1";
 
-/// The format version this crate writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The newest format version this crate reads and writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The version written for traces that use no optional feature — the
+/// pre-checkpoint format, readable by version-1 readers.
+const BASE_VERSION: u32 = 1;
 
 const KIND_HEADER: u8 = 1;
 const KIND_GROUPS: u8 = 2;
 const KIND_STEP: u8 = 3;
 const KIND_FOOTER: u8 = 4;
+const KIND_CHECKPOINT: u8 = 5;
+
+/// Hard cap on the fields a checkpoint frame may declare (a corrupt
+/// count must not size buffers).
+const MAX_CHECKPOINT_FIELDS: usize = 1 << 16;
 
 /// Hard cap on a single frame's payload, so a corrupt length field
 /// cannot ask the reader to allocate the universe.
@@ -79,13 +99,18 @@ pub struct TraceHeader {
     pub delay: usize,
     /// Record policy of the recorded run.
     pub policy: RecordPolicy,
+    /// Whether the stream carries per-retrain model-checkpoint frames
+    /// (a format-version-2 feature).
+    pub checkpoints: bool,
 }
 
 impl TraceHeader {
-    /// Builds a header from the scenario machinery's [`TraceMeta`].
+    /// Builds a header from the scenario machinery's [`TraceMeta`]. The
+    /// header starts at the base (checkpoint-free) format version; opt
+    /// into checkpoint frames with [`Self::with_checkpoints`].
     pub fn from_meta(meta: &TraceMeta) -> Self {
         TraceHeader {
-            version: FORMAT_VERSION,
+            version: BASE_VERSION,
             scenario: meta.scenario.clone(),
             variant: meta.variant.clone(),
             trial: meta.trial,
@@ -94,7 +119,18 @@ impl TraceHeader {
             shards: meta.shards,
             delay: meta.delay,
             policy: meta.policy,
+            checkpoints: false,
         }
+    }
+
+    /// Declares that the stream will carry model-checkpoint frames,
+    /// bumping the format version to [`FORMAT_VERSION`] (version-1
+    /// readers reject such traces with a named
+    /// [`TraceError::UnsupportedVersion`]).
+    pub fn with_checkpoints(mut self) -> Self {
+        self.checkpoints = true;
+        self.version = FORMAT_VERSION;
+        self
     }
 
     fn to_json(&self) -> Json {
@@ -124,6 +160,7 @@ impl TraceHeader {
                 }
                 .to_json(),
             ),
+            ("checkpoints", self.checkpoints.to_json()),
         ])
     }
 
@@ -163,6 +200,8 @@ impl TraceHeader {
         let seed = text("seed")?
             .parse::<u64>()
             .map_err(|_| corrupt("seed is not a u64"))?;
+        // Absent in version-1 headers; defaults to no checkpoints.
+        let checkpoints = matches!(doc.get("checkpoints"), Some(Json::Bool(true)));
         Ok(TraceHeader {
             version,
             scenario: text("scenario")?,
@@ -173,6 +212,7 @@ impl TraceHeader {
             shards: int("shards")?,
             delay: int("delay")?,
             policy,
+            checkpoints,
         })
     }
 }
@@ -328,6 +368,29 @@ impl<W: Write> TraceWriter<W> {
         Ok(())
     }
 
+    /// Writes one model-checkpoint frame (format version 2). Call right
+    /// after the [`Self::write_step`] whose retrain the checkpoint
+    /// captures; the header should have been built
+    /// [`TraceHeader::with_checkpoints`] so readers expect the frames.
+    pub fn write_checkpoint(&mut self, checkpoint: &ModelCheckpoint) -> Result<(), TraceError> {
+        self.payload.clear();
+        write_varint(&mut self.payload, checkpoint.step as u64);
+        write_varint(&mut self.payload, checkpoint.field_count() as u64);
+        let mut block = std::mem::take(&mut self.block);
+        for (name, values) in checkpoint.fields() {
+            write_varint(&mut self.payload, name.len() as u64);
+            self.payload.extend_from_slice(name.as_bytes());
+            write_varint(&mut self.payload, values.len() as u64);
+            block.clear();
+            encode_f64_column(values, &mut self.words, &mut block);
+            write_varint(&mut self.payload, block.len() as u64);
+            self.payload.extend_from_slice(&block);
+        }
+        self.block = block;
+        self.bytes += write_frame(&mut self.out, KIND_CHECKPOINT, &self.payload)? as u64;
+        Ok(())
+    }
+
     /// Steps written so far.
     pub fn steps_written(&self) -> usize {
         self.steps
@@ -438,49 +501,84 @@ impl<R: Read> TraceReader<R> {
         if self.done {
             return Ok(false);
         }
-        let kind = match self.pending.take() {
-            Some((kind, payload)) => {
-                self.payload = payload;
-                Some(kind)
-            }
-            None => read_frame_into(&mut self.input, &mut self.frame_index, &mut self.payload)?,
-        };
-        let kind = kind.ok_or(TraceError::Truncated {
-            what: "step or footer frame",
-        })?;
-        match kind {
-            KIND_STEP => {
-                decode_step(&self.payload, &mut self.words, &mut self.column, frame)?;
-                if frame.step != self.steps_read {
-                    return Err(TraceError::Corrupt {
-                        what: format!(
-                            "step frame out of order: found step {}, expected {}",
-                            frame.step, self.steps_read
-                        ),
-                    });
+        loop {
+            let kind = match self.pending.take() {
+                Some((kind, payload)) => {
+                    self.payload = payload;
+                    Some(kind)
                 }
-                self.steps_read += 1;
+                None => read_frame_into(&mut self.input, &mut self.frame_index, &mut self.payload)?,
+            };
+            let kind = kind.ok_or(TraceError::Truncated {
+                what: "step or footer frame",
+            })?;
+            match kind {
+                KIND_STEP => {
+                    decode_step(&self.payload, &mut self.words, &mut self.column, frame)?;
+                    if frame.step != self.steps_read {
+                        return Err(TraceError::Corrupt {
+                            what: format!(
+                                "step frame out of order: found step {}, expected {}",
+                                frame.step, self.steps_read
+                            ),
+                        });
+                    }
+                    self.steps_read += 1;
+                    return Ok(true);
+                }
+                KIND_FOOTER => {
+                    let mut pos = 0;
+                    let steps =
+                        read_varint(&self.payload, &mut pos).ok_or(TraceError::Truncated {
+                            what: "footer step count",
+                        })?;
+                    if steps as usize != self.steps_read {
+                        return Err(TraceError::Corrupt {
+                            what: format!(
+                                "footer declares {steps} steps but {} were read",
+                                self.steps_read
+                            ),
+                        });
+                    }
+                    self.done = true;
+                    return Ok(false);
+                }
+                // Checkpoint frames are transparent to step iteration:
+                // callers that don't ask for them (read_record, legacy
+                // replay) skip straight to the next step.
+                KIND_CHECKPOINT => continue,
+                other => {
+                    return Err(TraceError::Corrupt {
+                        what: format!("unexpected frame kind {other} in the step stream"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Decodes the next frame **if** it is a model checkpoint (buffers
+    /// reused), leaving step iteration untouched otherwise. The
+    /// checkpoint of step `k`'s retrain sits between the step-`k` frame
+    /// and the next step frame, so a replayer calls this right after
+    /// consuming step `k`.
+    pub fn next_checkpoint(
+        &mut self,
+        checkpoint: &mut ModelCheckpoint,
+    ) -> Result<bool, TraceError> {
+        if self.done {
+            return Ok(false);
+        }
+        if self.pending.is_none() {
+            self.pending = read_frame(&mut self.input, &mut self.frame_index)?;
+        }
+        match &self.pending {
+            Some((KIND_CHECKPOINT, _)) => {
+                let (_, payload) = self.pending.take().expect("matched above");
+                self.payload = payload;
+                decode_checkpoint(&self.payload, &mut self.words, checkpoint)?;
                 Ok(true)
             }
-            KIND_FOOTER => {
-                let mut pos = 0;
-                let steps = read_varint(&self.payload, &mut pos).ok_or(TraceError::Truncated {
-                    what: "footer step count",
-                })?;
-                if steps as usize != self.steps_read {
-                    return Err(TraceError::Corrupt {
-                        what: format!(
-                            "footer declares {steps} steps but {} were read",
-                            self.steps_read
-                        ),
-                    });
-                }
-                self.done = true;
-                Ok(false)
-            }
-            other => Err(TraceError::Corrupt {
-                what: format!("unexpected frame kind {other} in the step stream"),
-            }),
+            _ => Ok(false),
         }
     }
 
@@ -609,6 +707,63 @@ fn decode_groups(payload: &[u8]) -> Result<TraceGroups, TraceError> {
             what: "group code exceeds u32".to_string(),
         })?;
     Ok(TraceGroups { labels, codes })
+}
+
+fn decode_checkpoint(
+    payload: &[u8],
+    words: &mut Vec<u64>,
+    checkpoint: &mut ModelCheckpoint,
+) -> Result<(), TraceError> {
+    let truncated = |what: &'static str| TraceError::Truncated { what };
+    let mut pos = 0;
+    let step = read_varint(payload, &mut pos).ok_or(truncated("checkpoint step"))? as usize;
+    let field_count =
+        read_varint(payload, &mut pos).ok_or(truncated("checkpoint field count"))? as usize;
+    if field_count > MAX_CHECKPOINT_FIELDS {
+        return Err(TraceError::Corrupt {
+            what: format!("checkpoint frame declares an absurd field count {field_count}"),
+        });
+    }
+    checkpoint.reset(step);
+    for _ in 0..field_count {
+        let name_len =
+            read_varint(payload, &mut pos).ok_or(truncated("checkpoint field name"))? as usize;
+        let end = pos
+            .checked_add(name_len)
+            .filter(|&e| e <= payload.len())
+            .ok_or(truncated("checkpoint field name bytes"))?;
+        let name = std::str::from_utf8(&payload[pos..end]).map_err(|_| TraceError::Corrupt {
+            what: "checkpoint field name is not UTF-8".to_string(),
+        })?;
+        pos = end;
+        let count =
+            read_varint(payload, &mut pos).ok_or(truncated("checkpoint value count"))? as usize;
+        if count > MAX_FRAME_CELLS {
+            return Err(TraceError::Corrupt {
+                what: format!("checkpoint field declares an absurd value count {count}"),
+            });
+        }
+        let block_len =
+            read_varint(payload, &mut pos).ok_or(truncated("checkpoint block length"))? as usize;
+        let end = pos
+            .checked_add(block_len)
+            .filter(|&e| e <= payload.len())
+            .ok_or(truncated("checkpoint block"))?;
+        let mut block_pos = pos;
+        let column = checkpoint.field_mut(name);
+        decode_f64_column(&payload[..end], &mut block_pos, count, words, column).ok_or(
+            TraceError::Corrupt {
+                what: "checkpoint column does not decode".to_string(),
+            },
+        )?;
+        if block_pos != end {
+            return Err(TraceError::Corrupt {
+                what: "checkpoint block has trailing bytes".to_string(),
+            });
+        }
+        pos = end;
+    }
+    Ok(())
 }
 
 fn decode_step(

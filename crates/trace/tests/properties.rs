@@ -26,6 +26,7 @@ fn header() -> TraceHeader {
         shards: 4,
         delay: 1,
         policy: RecordPolicy::Full,
+        checkpoints: false,
     }
 }
 
@@ -217,6 +218,99 @@ fn bad_magic_is_a_named_error() {
         Err(TraceError::BadMagic) => {}
         other => panic!("expected BadMagic, got {:?}", other.err()),
     }
+}
+
+#[test]
+fn checkpoint_frames_roundtrip_and_are_transparent_to_steps() {
+    use eqimpact_core::ModelCheckpoint;
+    let steps = [
+        (
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.25],
+        ),
+        (
+            vec![5.0, 6.0, 7.0, 8.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![0.25, 0.5],
+        ),
+    ];
+    let checkpointed_header = header().with_checkpoints();
+    assert_eq!(checkpointed_header.version, FORMAT_VERSION);
+    let mut writer = TraceWriter::new(Vec::new(), &checkpointed_header).expect("header");
+    let mut cp = ModelCheckpoint::new();
+    for (k, (visible, signals, actions, filtered)) in steps.iter().enumerate() {
+        let mut matrix = FeatureMatrix::new(2);
+        for row in visible.chunks(2) {
+            matrix.push_row(row);
+        }
+        writer
+            .write_step(&matrix, signals, actions, filtered)
+            .expect("step");
+        cp.reset(k);
+        cp.push_field("weights", &[0.5 + k as f64, -1.0]);
+        cp.push_scalar("intercept", k as f64);
+        writer.write_checkpoint(&cp).expect("checkpoint");
+    }
+    let bytes = writer.finish().expect("footer");
+
+    // Interleaved read: step, then its checkpoint.
+    let mut input: &[u8] = &bytes;
+    let mut reader = TraceReader::new(&mut input).expect("opens");
+    assert!(reader.header().checkpoints);
+    let mut frame = StepFrame::default();
+    let mut got = ModelCheckpoint::new();
+    for k in 0..steps.len() {
+        assert!(!reader.next_checkpoint(&mut got).expect("no checkpoint yet"));
+        assert!(reader.next_step(&mut frame).expect("step"));
+        assert!(reader.next_checkpoint(&mut got).expect("checkpoint"));
+        assert_eq!(got.step, k);
+        assert_eq!(got.field("weights"), Some(&[0.5 + k as f64, -1.0][..]));
+        assert_eq!(got.scalar("intercept"), Some(k as f64));
+    }
+    assert!(!reader.next_step(&mut frame).expect("footer"));
+    assert!(!reader.next_checkpoint(&mut got).expect("done"));
+
+    // Step-only read: checkpoints are skipped transparently, the record
+    // is unchanged.
+    let mut input: &[u8] = &bytes;
+    let mut reader = TraceReader::new(&mut input).expect("opens");
+    let record = reader.read_record().expect("record");
+    assert_eq!(record.steps(), steps.len());
+    assert_eq!(record.signals(1), &steps[1].1[..]);
+}
+
+#[test]
+fn checkpoint_free_headers_stay_base_version() {
+    use eqimpact_core::scenario::TraceMeta;
+    let meta = TraceMeta {
+        scenario: "synthetic".to_string(),
+        variant: "test".to_string(),
+        trial: 0,
+        scale: Scale::Quick,
+        seed: 7,
+        shards: 1,
+        delay: 1,
+        policy: RecordPolicy::Full,
+    };
+    let plain = TraceHeader::from_meta(&meta);
+    assert_eq!(
+        plain.version, 1,
+        "plain traces keep the version-1 format for old readers"
+    );
+    assert!(!plain.checkpoints);
+    let writer = TraceWriter::new(Vec::new(), &plain).unwrap();
+    let bytes = writer.finish().unwrap();
+    let mut input: &[u8] = &bytes;
+    let reader = TraceReader::new(&mut input).unwrap();
+    assert_eq!(reader.header().version, 1);
+    assert!(!reader.header().checkpoints);
+    assert_eq!(
+        TraceHeader::from_meta(&meta).with_checkpoints().version,
+        FORMAT_VERSION
+    );
 }
 
 #[test]

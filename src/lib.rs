@@ -14,6 +14,7 @@ pub use eqimpact_core as core;
 pub use eqimpact_credit as credit;
 pub use eqimpact_graph as graph;
 pub use eqimpact_hiring as hiring;
+pub use eqimpact_lab as lab;
 pub use eqimpact_linalg as linalg;
 pub use eqimpact_markov as markov;
 pub use eqimpact_ml as ml;

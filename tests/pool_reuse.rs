@@ -156,6 +156,7 @@ fn header(seed: u64, shards: usize) -> TraceHeader {
         shards,
         delay: 1,
         policy: RecordPolicy::Full,
+        checkpoints: false,
     }
 }
 

@@ -1,0 +1,216 @@
+//! Integration: the counterfactual lab end to end — a 51-candidate grid
+//! swept off-policy over recorded credit traces (and a smaller grid over
+//! hiring traces), with the determinism contract checked the strong way:
+//! the full ranked report, bootstrap confidence intervals included, is
+//! byte-identical across repeated runs and across thread-budget
+//! capacities.
+
+use eqimpact::lab::{run_sweep, CandidateGrid, MemTrace, SweepConfig, TraceSource};
+use eqimpact::prelude::*;
+use eqimpact_credit::sim::{CreditConfig, LenderKind};
+use eqimpact_credit::CreditSweep;
+use eqimpact_hiring::sim::{HiringConfig, ScreenerKind};
+use eqimpact_hiring::HiringSweep;
+use eqimpact_stats::ToJson;
+use eqimpact_trace::{TraceHeader, TraceStepSink};
+
+/// Records `trials` checkpointed credit traces in memory.
+fn credit_traces(trials: usize) -> Vec<MemTrace> {
+    (0..trials)
+        .map(|trial| {
+            let config = CreditConfig {
+                users: 80,
+                steps: 6,
+                trials: 1,
+                seed: 21 + trial as u64,
+                lender: LenderKind::Scorecard,
+                ..CreditConfig::default()
+            };
+            let header = TraceHeader::from_meta(&eqimpact_core::scenario::TraceMeta {
+                scenario: "credit".to_string(),
+                variant: eqimpact_credit::scenario::TRACE_VARIANT.to_string(),
+                trial,
+                scale: Scale::Quick,
+                seed: config.seed,
+                shards: config.shards,
+                delay: config.delay,
+                policy: config.policy,
+            })
+            .with_checkpoints();
+            let mut sink = TraceStepSink::new(Vec::new(), &header).expect("header writes");
+            eqimpact_credit::sim::run_trial_sunk(&config, 0, &mut sink);
+            MemTrace::new(
+                format!("credit-trial{trial}.eqtrace"),
+                sink.finish().expect("trace finishes"),
+            )
+        })
+        .collect()
+}
+
+/// Records `trials` checkpointed hiring traces in memory.
+fn hiring_traces(trials: usize) -> Vec<MemTrace> {
+    (0..trials)
+        .map(|trial| {
+            let config = HiringConfig {
+                applicants: 80,
+                rounds: 6,
+                trials: 1,
+                seed: 31 + trial as u64,
+                screener: ScreenerKind::Adaptive,
+                ..HiringConfig::default()
+            };
+            let header = TraceHeader::from_meta(&eqimpact_core::scenario::TraceMeta {
+                scenario: "hiring".to_string(),
+                variant: eqimpact_hiring::scenario::variant_name(config.screener).to_string(),
+                trial,
+                scale: Scale::Quick,
+                seed: config.seed,
+                shards: config.shards,
+                delay: config.delay,
+                policy: config.policy,
+            })
+            .with_checkpoints();
+            let mut sink = TraceStepSink::new(Vec::new(), &header).expect("header writes");
+            eqimpact_hiring::sim::run_trial_sunk(&config, 0, &mut sink);
+            MemTrace::new(
+                format!("hiring-trial{trial}.eqtrace"),
+                sink.finish().expect("trace finishes"),
+            )
+        })
+        .collect()
+}
+
+/// A 3 policies x 1 filter x 17 thresholds = 51-candidate credit grid.
+fn wide_credit_grid() -> CandidateGrid {
+    CandidateGrid::new(
+        ["scorecard", "uniform-exclusion", "income-multiple"],
+        ["adr"],
+        (0..17).map(|i| i as f64 * 5.0),
+    )
+}
+
+#[test]
+fn fifty_plus_candidate_sweep_is_deterministic_across_runs_and_thread_counts() {
+    let traces = credit_traces(2);
+    let sources: Vec<&dyn TraceSource> = traces.iter().map(|t| t as &dyn TraceSource).collect();
+    let grid = wide_credit_grid();
+    assert!(grid.len() >= 50, "grid has {} candidates", grid.len());
+    let config = SweepConfig {
+        seed: 7,
+        resamples: 50,
+        ..SweepConfig::default()
+    };
+
+    // Distinct budgets (not the process-global one) so the test pins the
+    // capacities: 1 lane = fully sequential, 4 lanes = pooled workers.
+    let runs: Vec<String> = [1, 1, 4]
+        .iter()
+        .map(|&lanes| {
+            let budget = ThreadBudget::leaked(lanes);
+            let report =
+                run_sweep(&CreditSweep, &sources, &grid, &config, budget).expect("sweep runs");
+            assert_eq!(report.ranked.len(), grid.len());
+            report.to_json().render_pretty()
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1], "same budget, different report");
+    assert_eq!(runs[0], runs[2], "1-lane vs 4-lane reports differ");
+}
+
+#[test]
+fn every_ranked_candidate_carries_bootstrap_intervals() {
+    let traces = credit_traces(2);
+    let sources: Vec<&dyn TraceSource> = traces.iter().map(|t| t as &dyn TraceSource).collect();
+    let grid = wide_credit_grid();
+    let config = SweepConfig {
+        seed: 7,
+        resamples: 50,
+        ..SweepConfig::default()
+    };
+    let report = run_sweep(
+        &CreditSweep,
+        &sources,
+        &grid,
+        &config,
+        ThreadBudget::leaked(2),
+    )
+    .expect("sweep runs");
+    assert_eq!(report.traces.len(), 2);
+    for ranked in &report.ranked {
+        assert!(
+            ranked.errors.is_empty(),
+            "{}: {:?}",
+            ranked.candidate.key(),
+            ranked.errors
+        );
+        assert_eq!(ranked.traces, 2);
+        for ci in [
+            &ranked.parity_gap,
+            &ranked.opportunity_gap,
+            &ranked.outcome_delta,
+        ] {
+            assert_eq!(ci.level, config.level);
+            if ci.estimate.is_finite() {
+                assert!(
+                    ci.lo <= ci.estimate && ci.estimate <= ci.hi,
+                    "{}: [{}, {}] around {}",
+                    ranked.candidate.key(),
+                    ci.lo,
+                    ci.hi,
+                    ci.estimate
+                );
+            }
+        }
+        // The parity gap always has data (every trace carries groups).
+        assert!(ranked.parity_gap.estimate.is_finite());
+        assert!(ranked.agreement.is_finite());
+    }
+    // The ranking is parity-gap ascending (ties broken deterministically).
+    for pair in report.ranked.windows(2) {
+        assert!(
+            pair[0].parity_gap.estimate <= pair[1].parity_gap.estimate
+                || !pair[1].parity_gap.estimate.is_finite()
+        );
+    }
+}
+
+#[test]
+fn hiring_traces_sweep_deterministically_too() {
+    let traces = hiring_traces(2);
+    let sources: Vec<&dyn TraceSource> = traces.iter().map(|t| t as &dyn TraceSource).collect();
+    let grid = CandidateGrid::new(
+        ["adaptive", "credential"],
+        ["track-record"],
+        (0..5).map(|i| i as f64 * 0.25),
+    );
+    let config = SweepConfig {
+        seed: 9,
+        resamples: 50,
+        ..SweepConfig::default()
+    };
+    let one = run_sweep(
+        &HiringSweep,
+        &sources,
+        &grid,
+        &config,
+        ThreadBudget::leaked(1),
+    )
+    .expect("sequential sweep runs");
+    let four = run_sweep(
+        &HiringSweep,
+        &sources,
+        &grid,
+        &config,
+        ThreadBudget::leaked(4),
+    )
+    .expect("pooled sweep runs");
+    assert_eq!(
+        one.to_json().render_pretty(),
+        four.to_json().render_pretty(),
+        "hiring sweep is thread-count sensitive"
+    );
+    assert_eq!(one.ranked.len(), grid.len());
+    for ranked in &one.ranked {
+        assert!(ranked.errors.is_empty(), "{:?}", ranked.errors);
+    }
+}

@@ -43,6 +43,7 @@ fn credit_header(config: &credit_sim::CreditConfig, trial: usize) -> TraceHeader
         shards: config.shards,
         delay: config.delay,
         policy: config.policy,
+        checkpoints: false,
     }
 }
 
@@ -57,6 +58,7 @@ fn hiring_header(config: &hiring_sim::HiringConfig, trial: usize) -> TraceHeader
         shards: config.shards,
         delay: config.delay,
         policy: config.policy,
+        checkpoints: false,
     }
 }
 
