@@ -1,7 +1,8 @@
-//! P0-P7: performance microbenchmarks of the building blocks (not paper
+//! P0-P8: performance microbenchmarks of the building blocks (not paper
 //! artifacts): loop step throughput, intra-trial sharding speedup, the
-//! trace store, the counterfactual lab, IRLS fitting, Markov operator
-//! application, and invariant-measure estimation.
+//! trace store, the counterfactual lab, the columnar feature plane, IRLS
+//! fitting, Markov operator application, and invariant-measure
+//! estimation.
 //!
 //! The sharding bench (P5) additionally writes `BENCH_shard.json` (path
 //! overridable via `BENCH_SHARD_OUT`) with the measured wall-clock per
@@ -16,7 +17,10 @@
 //! the equivalent JSON dump. The counterfactual-lab bench (P7) writes
 //! `BENCH_sweep.json` (`BENCH_SWEEP_OUT`): checkpointed-replay vs
 //! re-simulate wall-clock plus the timing of a default-grid off-policy
-//! sweep over the recorded trace.
+//! sweep over the recorded trace. The columnar bench (P8) writes
+//! `BENCH_columnar.json` (`BENCH_COLUMNAR_OUT`): batched column-kernel
+//! scoring versus a row-gathering baseline replicating the pre-redesign
+//! row-major hot path, on the same loop at the same scale.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eqimpact_core::closed_loop::{
@@ -26,14 +30,13 @@ use eqimpact_core::closed_loop::{
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::recorder::RecordPolicy;
 use eqimpact_core::shard::{
-    full_rows, shard_bounds, PopulationShard, RowStreams, RowsMut, RowsView, ShardableAi,
-    ShardablePopulation,
+    shard_bounds, ColsMut, ColsView, PopulationShard, RowStreams, ShardableAi, ShardablePopulation,
 };
 use eqimpact_credit::sim::{run_trial, CreditConfig, LenderKind};
 use eqimpact_markov::ifs::{affine1d, Ifs};
 use eqimpact_markov::invariant::estimate_invariant_measure;
 use eqimpact_markov::operator::{markov_operator_apply, ParticleMeasure};
-use eqimpact_ml::logistic::{sigmoid, LogisticRegression};
+use eqimpact_ml::logistic::{sigmoid, LogisticModel, LogisticRegression};
 use eqimpact_ml::Dataset;
 use eqimpact_stats::SimRng;
 use std::ops::Range;
@@ -47,8 +50,9 @@ impl AiSystem for ThresholdAi {
         out.clear();
         out.extend(
             visible
-                .rows()
-                .map(|row| if row[0] > 0.5 { 1.0 } else { 0.3 }),
+                .col(0)
+                .iter()
+                .map(|&v| if v > 0.5 { 1.0 } else { 0.3 }),
         );
     }
     fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
@@ -61,8 +65,9 @@ struct ThresholdAiAlloc;
 impl AiSystem for ThresholdAiAlloc {
     fn signals(&mut self, _k: usize, visible: &FeatureMatrix) -> Vec<f64> {
         visible
-            .rows()
-            .map(|row| if row[0] > 0.5 { 1.0 } else { 0.3 })
+            .col(0)
+            .iter()
+            .map(|&v| if v > 0.5 { 1.0 } else { 0.3 })
             .collect()
     }
     fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
@@ -85,10 +90,10 @@ impl UserPopulation for SyntheticUsers {
     }
     fn observe_into(&mut self, k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
         out.reshape(self.n, 2);
+        let (c0, c1) = out.cols_pair_mut(0, 1);
         for i in 0..self.n {
-            let row = out.row_mut(i);
-            row[0] = self.feature(k, i, 0);
-            row[1] = self.feature(k, i, 1);
+            c0[i] = self.feature(k, i, 0);
+            c1[i] = self.feature(k, i, 1);
         }
     }
     fn respond_into(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
@@ -191,13 +196,16 @@ struct ShardSynthShard {
     rows: Range<usize>,
 }
 
-fn synth_observe(k: usize, streams: &RowStreams, mut out: RowsMut<'_>) {
-    for i in out.rows() {
+fn synth_observe(k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
+    // Row-major draw order (all of row i's draws from row i's stream)
+    // with columnar writes.
+    let rows = out.rows();
+    let (gate, income_col) = out.cols_pair_mut(0, 1);
+    for (j, i) in rows.enumerate() {
         let mut rng = streams.for_row(i);
         let income = 10.0 + 40.0 * rng.uniform() + rng.standard_normal().abs();
-        let row = out.row_mut(i);
-        row[0] = if income >= 15.0 { 1.0 } else { 0.0 };
-        row[1] = income + 0.001 * k as f64;
+        gate[j] = if income >= 15.0 { 1.0 } else { 0.0 };
+        income_col[j] = income + 0.001 * k as f64;
     }
 }
 
@@ -221,7 +229,7 @@ impl UserPopulation for ShardSynthUsers {
     ) {
         out.reshape(self.n, 2);
         let streams = RowStreams::observe(rng, k);
-        synth_observe(k, &streams, RowsMut::new(out.as_mut_slice(), 2, 0..self.n));
+        synth_observe(k, &streams, &mut ColsMut::full(out));
     }
     fn respond_into(
         &mut self,
@@ -259,7 +267,7 @@ impl PopulationShard for ShardSynthShard {
     fn rows(&self) -> Range<usize> {
         self.rows.clone()
     }
-    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+    fn observe_cols(&mut self, k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
         synth_observe(k, streams, out);
     }
     fn respond_rows(&mut self, _k: usize, signals: &[f64], streams: &RowStreams, out: &mut [f64]) {
@@ -273,18 +281,17 @@ struct ShardThresholdAi;
 
 impl AiSystem for ShardThresholdAi {
     fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
-        out.clear();
-        out.resize(visible.row_count(), 0.0);
-        self.signals_rows(k, full_rows(visible), out);
+        self.signals_full(k, visible, out);
     }
     fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
 }
 
 impl ShardableAi for ShardThresholdAi {
-    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-        for (j, i) in visible.rows().enumerate() {
-            let row = visible.row(i);
-            out[j] = if row[0] > 0.5 { 3.5 * row[1] } else { 0.0 };
+    fn signals_batch(&self, _k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        let gate = visible.col(0);
+        let income = visible.col(1);
+        for (j, o) in out.iter_mut().enumerate() {
+            *o = if gate[j] > 0.5 { 3.5 * income[j] } else { 0.0 };
         }
     }
 }
@@ -491,6 +498,221 @@ fn bench_sweep(_c: &mut Criterion) {
     println!("perf/sweep: wrote {path}");
 }
 
+/// Feature width of the columnar bench population: wide enough that the
+/// per-column kernel passes dominate the fixed loop overhead.
+const COLUMNAR_WIDTH: usize = 8;
+
+/// Deterministic wide population for the columnar bench (no RNG in the
+/// observe sweep, so the measured difference is pure scoring cost).
+struct WideUsers {
+    n: usize,
+}
+
+impl UserPopulation for WideUsers {
+    fn user_count(&self) -> usize {
+        self.n
+    }
+    fn observe_into(&mut self, k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
+        out.reshape(self.n, COLUMNAR_WIDTH);
+        for j in 0..COLUMNAR_WIDTH {
+            for (i, cell) in out.col_mut(j).iter_mut().enumerate() {
+                *cell = ((i * 31 + k * 17 + j * 7) % 100) as f64 / 100.0;
+            }
+        }
+    }
+    fn respond_into(&mut self, _k: usize, signals: &[f64], _rng: &mut SimRng, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(signals.iter().map(|&s| if s > 0.0 { 1.0 } else { 0.0 }));
+    }
+}
+
+fn columnar_model() -> LogisticModel {
+    LogisticModel {
+        intercept: -0.25,
+        coefficients: (0..COLUMNAR_WIDTH)
+            .map(|j| 0.05 * (j + 1) as f64 * if j % 2 == 0 { 1.0 } else { -1.0 })
+            .collect(),
+        iterations: 0,
+        converged: true,
+    }
+}
+
+/// The pre-redesign row-major hot path: gather each row into a scratch
+/// buffer, fold the dot product per row.
+struct RowScoredAi {
+    model: LogisticModel,
+    buf: Vec<f64>,
+}
+
+impl AiSystem for RowScoredAi {
+    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(visible.row_count());
+        for i in 0..visible.row_count() {
+            visible.copy_row_into(i, &mut self.buf);
+            out.push(self.model.linear_score(&self.buf));
+        }
+    }
+    fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
+}
+
+/// The columnar hot path: one batched kernel sweep over the column
+/// slices ([`LogisticModel::linear_scores_into`]).
+struct BatchScoredAi {
+    model: LogisticModel,
+}
+
+impl AiSystem for BatchScoredAi {
+    fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(visible.row_count(), 0.0);
+        self.model.linear_scores_into(&visible.col_slices(), out);
+    }
+    fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
+}
+
+/// One timed run of the columnar-vs-row loop (`columnar` picks the arm).
+fn time_columnar_run(users: usize, steps: usize, columnar: bool) -> f64 {
+    fn timed(mut runner: impl FnMut() -> usize, steps: usize) -> f64 {
+        let start = Instant::now();
+        let recorded = runner();
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(recorded, steps);
+        elapsed
+    }
+    if columnar {
+        let mut runner = LoopBuilder::new(
+            BatchScoredAi {
+                model: columnar_model(),
+            },
+            WideUsers { n: users },
+        )
+        .filter(MeanFilter::default())
+        .delay(1)
+        .record(RecordPolicy::Thin)
+        .build();
+        timed(|| runner.run(steps, &mut SimRng::new(11)).steps(), steps)
+    } else {
+        let mut runner = LoopBuilder::new(
+            RowScoredAi {
+                model: columnar_model(),
+                buf: Vec::with_capacity(COLUMNAR_WIDTH),
+            },
+            WideUsers { n: users },
+        )
+        .filter(MeanFilter::default())
+        .delay(1)
+        .record(RecordPolicy::Thin)
+        .build();
+        timed(|| runner.run(steps, &mut SimRng::new(11)).steps(), steps)
+    }
+}
+
+/// P8: the columnar feature plane. The same loop scored twice — once
+/// through a row-gathering AI replicating the pre-redesign row-major hot
+/// path, once through the batched column kernels — with the two paths
+/// proven bit-identical on a small run before anything is timed.
+/// Samples rotate round-robin as in P5 and the medians land in
+/// `BENCH_columnar.json` (path overridable via `BENCH_COLUMNAR_OUT`).
+fn bench_columnar(_c: &mut Criterion) {
+    use eqimpact_stats::json::{Json, ToJson};
+
+    let quick = criterion::is_quick();
+    let (users, steps) = (100_000usize, 50usize);
+    let reps = if quick { 2 } else { 10 };
+
+    println!(
+        "\n-- group: perf/columnar ({users} users x {steps} steps, width {COLUMNAR_WIDTH}) --"
+    );
+
+    // The two arms are the same computation by the kernel bit-identity
+    // contract — proven here, so the timing compares equal work.
+    {
+        let mut batched = LoopBuilder::new(
+            BatchScoredAi {
+                model: columnar_model(),
+            },
+            WideUsers { n: 1_000 },
+        )
+        .filter(MeanFilter::default())
+        .delay(1)
+        .build();
+        let mut gathered = LoopBuilder::new(
+            RowScoredAi {
+                model: columnar_model(),
+                buf: Vec::new(),
+            },
+            WideUsers { n: 1_000 },
+        )
+        .filter(MeanFilter::default())
+        .delay(1)
+        .build();
+        assert_eq!(
+            batched.run(5, &mut SimRng::new(11)),
+            gathered.run(5, &mut SimRng::new(11)),
+            "columnar and row-gathered scoring diverged"
+        );
+    }
+
+    let mut samples: Vec<Vec<f64>> = (0..2).map(|_| Vec::with_capacity(reps)).collect();
+    time_columnar_run(users, steps, true); // warm-up
+    for rep in 0..reps {
+        for j in 0..2 {
+            let c = (j + rep) % 2;
+            samples[c].push(time_columnar_run(users, steps, c == 1));
+        }
+    }
+
+    let row_ms = median(&mut samples[0]);
+    let col_ms = median(&mut samples[1]);
+    let speedup = row_ms / col_ms;
+    let throughput = |ms: f64| users as f64 * steps as f64 / (ms / 1e3);
+    println!("perf/columnar/row_gather                           median {row_ms:>10.2} ms");
+    println!(
+        "perf/columnar/batch_kernels                        median {col_ms:>10.2} ms  speedup x{speedup:.2}"
+    );
+
+    // Hardware-independent invariant: the batched kernels must not lose
+    // to the row gather they replaced — same math, strictly less work
+    // per row (no gather, no per-row call) — modulo measurement noise.
+    assert!(
+        col_ms <= row_ms * 1.10 + 5.0,
+        "columnar batch scoring ({col_ms:.2} ms) regressed vs the \
+         row-gather baseline ({row_ms:.2} ms)"
+    );
+
+    let doc = Json::obj([
+        ("users", users.to_json()),
+        ("steps", steps.to_json()),
+        ("feature_width", COLUMNAR_WIDTH.to_json()),
+        ("record_policy", "thin".to_json()),
+        ("reps", reps.to_json()),
+        (
+            "note",
+            "same loop, same logistic scores (bit-identical, asserted): \
+             row_gather replicates the pre-redesign row-major hot path \
+             (per-row gather + dot fold); batch_kernels is the columnar \
+             fill/axpy/offset sweep over the column slices."
+                .to_json(),
+        ),
+        ("row_gather_ms", row_ms.to_json()),
+        ("batch_kernels_ms", col_ms.to_json()),
+        ("row_gather_ms_per_step", (row_ms / steps as f64).to_json()),
+        (
+            "batch_kernels_ms_per_step",
+            (col_ms / steps as f64).to_json(),
+        ),
+        ("row_gather_rows_per_sec", throughput(row_ms).to_json()),
+        ("batch_kernels_rows_per_sec", throughput(col_ms).to_json()),
+        ("speedup", speedup.to_json()),
+    ]);
+    let path = std::env::var("BENCH_COLUMNAR_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_columnar.json").to_string()
+    });
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_columnar.json");
+    println!("perf/columnar: wrote {path}");
+}
+
 fn bench_loop_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf/credit_loop");
     group.sample_size(10);
@@ -591,6 +813,7 @@ criterion_group!(
     bench_sharded_loop,
     bench_trace_store,
     bench_sweep,
+    bench_columnar,
     bench_loop_step,
     bench_irls,
     bench_markov_operator,

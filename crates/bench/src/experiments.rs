@@ -658,7 +658,7 @@ fn trace_json_dump(bytes: &[u8]) -> Json {
     let mut frame = StepFrame::default();
     while reader.next_step(&mut frame).expect("perf trace steps") {
         steps.push(Json::obj([
-            ("visible", frame.visible.as_slice().to_vec().to_json()),
+            ("visible", frame.visible.to_row_major().to_json()),
             ("signals", frame.signals.to_json()),
             ("actions", frame.actions.to_json()),
             ("filtered", frame.filtered.to_json()),

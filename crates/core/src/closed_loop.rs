@@ -640,8 +640,8 @@ mod tests {
         }
         fn observe_into(&mut self, k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
             out.reshape(self.n, 1);
-            for i in 0..self.n {
-                out.row_mut(i)[0] = (i + k) as f64;
+            for (i, cell) in out.col_mut(0).iter_mut().enumerate() {
+                *cell = (i + k) as f64;
             }
         }
         fn respond_into(

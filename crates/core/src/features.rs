@@ -1,22 +1,29 @@
-//! Flat, row-major feature storage for the loop's hot path.
+//! Columnar (struct-of-arrays) feature storage for the loop's hot path.
 //!
 //! The paper's protocol (N = 1000, 5 trials) tolerates a `Vec<Vec<f64>>`
 //! per step; a production-scale loop serving millions of simulated users
-//! does not. [`FeatureMatrix`] stores all per-user feature rows in one
-//! contiguous `Vec<f64>` so a step's observation can be rewritten in place
-//! with zero allocation, rows are cache-friendly to scan, and the layout
-//! is ready for future batching/SIMD passes.
+//! does not. [`FeatureMatrix`] stores each feature as one contiguous
+//! column buffer so a step's observation can be rewritten in place with
+//! zero allocation, batched scoring kernels stream each column linearly
+//! (the autovectorizer's favourite shape), and the layout matches the
+//! EQTRACE1 trace codec exactly — recording a step is a per-column
+//! near-memcpy instead of a strided gather.
+//!
+//! Row-oriented access survives as a migration shim: [`FeatureMatrix::get`]
+//! reads one cell, [`FeatureMatrix::copy_row_into`] gathers a row, and
+//! [`FeatureMatrix::push_row`] appends one. Hot paths should write columns
+//! in place via [`FeatureMatrix::col_mut`] / [`FeatureMatrix::cols_pair_mut`]
+//! and score through the batched kernels instead.
 
-/// A dense row-major matrix of per-user features: `row_count` rows of
-/// `width` features each, in one flat buffer.
+/// A dense column-major matrix of per-user features: `width` columns of
+/// `row_count` values each, one flat buffer per column.
 ///
 /// `width == 0` is a valid shape (populations with no visible features);
-/// the row count is tracked independently of the buffer length so empty
+/// the row count is tracked independently of the column buffers so empty
 /// rows still count.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct FeatureMatrix {
-    data: Vec<f64>,
-    width: usize,
+    cols: Vec<Vec<f64>>,
     rows: usize,
 }
 
@@ -24,8 +31,7 @@ impl FeatureMatrix {
     /// Creates an empty matrix of the given row width.
     pub fn new(width: usize) -> Self {
         FeatureMatrix {
-            data: Vec::new(),
-            width,
+            cols: (0..width).map(|_| Vec::new()).collect(),
             rows: 0,
         }
     }
@@ -33,8 +39,7 @@ impl FeatureMatrix {
     /// Creates an empty matrix with capacity for `rows` rows of `width`.
     pub fn with_capacity(rows: usize, width: usize) -> Self {
         FeatureMatrix {
-            data: Vec::with_capacity(rows * width),
-            width,
+            cols: (0..width).map(|_| Vec::with_capacity(rows)).collect(),
             rows: 0,
         }
     }
@@ -42,13 +47,14 @@ impl FeatureMatrix {
     /// Creates a `rows x width` matrix of zeros.
     pub fn zeros(rows: usize, width: usize) -> Self {
         FeatureMatrix {
-            data: vec![0.0; rows * width],
-            width,
+            cols: (0..width).map(|_| vec![0.0; rows]).collect(),
             rows,
         }
     }
 
-    /// Builds a matrix from nested rows (a migration convenience).
+    /// Builds a matrix from nested rows — a **test-only convenience**:
+    /// it transposes row by row, so hot paths must write columns in
+    /// place ([`Self::col_mut`]) instead.
     ///
     /// # Panics
     /// Panics when rows have unequal lengths.
@@ -63,7 +69,7 @@ impl FeatureMatrix {
 
     /// Row width (features per user).
     pub fn width(&self) -> usize {
-        self.width
+        self.cols.len()
     }
 
     /// Number of rows (users).
@@ -76,58 +82,127 @@ impl FeatureMatrix {
         self.rows == 0
     }
 
-    /// Row `i` as a slice.
+    /// Column `j` as a contiguous slice of `row_count()` values.
     ///
     /// # Panics
-    /// Panics when `i >= row_count()`.
+    /// Panics when `j >= width()`.
     #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
-        &self.data[i * self.width..(i + 1) * self.width]
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(
+            j < self.cols.len(),
+            "col {j} out of {} cols",
+            self.cols.len()
+        );
+        &self.cols[j]
     }
 
-    /// Mutable row `i`.
+    /// Mutable column `j`.
     ///
     /// # Panics
-    /// Panics when `i >= row_count()`.
+    /// Panics when `j >= width()`.
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
-        &mut self.data[i * self.width..(i + 1) * self.width]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(
+            j < self.cols.len(),
+            "col {j} out of {} cols",
+            self.cols.len()
+        );
+        &mut self.cols[j]
     }
 
-    /// Iterates over all rows in order.
-    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + Clone {
-        // `chunks_exact(0)` panics, so empty-width rows iterate explicitly.
-        RowIter {
-            matrix: self,
-            next: 0,
+    /// Two distinct columns, both mutable — the shape of the credit and
+    /// hiring observe sweeps, which write a code column and a raw-value
+    /// column per row.
+    ///
+    /// # Panics
+    /// Panics when `a == b` or either index is out of range.
+    pub fn cols_pair_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(a != b, "cols_pair_mut: columns must be distinct");
+        assert!(
+            a < self.cols.len() && b < self.cols.len(),
+            "cols_pair_mut: ({a}, {b}) out of {} cols",
+            self.cols.len()
+        );
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.cols.split_at_mut(hi);
+        let (x, y) = (&mut head[lo][..], &mut tail[0][..]);
+        if a < b {
+            (x, y)
+        } else {
+            (y, x)
         }
     }
 
-    /// Appends one row.
+    /// All columns as shared slices, in order (the batched-kernel view).
+    pub fn col_slices(&self) -> Vec<&[f64]> {
+        self.cols.iter().map(|c| c.as_slice()).collect()
+    }
+
+    /// All columns as mutable slices, in order.
+    pub fn col_slices_mut(&mut self) -> Vec<&mut [f64]> {
+        self.cols.iter_mut().map(|c| c.as_mut_slice()).collect()
+    }
+
+    /// Cell `(i, j)` — the row-view migration shim for scalar reads.
+    ///
+    /// # Panics
+    /// Panics when `i >= row_count()` or `j >= width()`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        self.col(j)[i]
+    }
+
+    /// Writes cell `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics when `i >= row_count()` or `j >= width()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        self.col_mut(j)[i] = v;
+    }
+
+    /// Gathers row `i` into `out` (cleared first) — the row-view
+    /// migration shim for callers that still need a whole row.
+    ///
+    /// # Panics
+    /// Panics when `i >= row_count()`.
+    pub fn copy_row_into(&self, i: usize, out: &mut Vec<f64>) {
+        assert!(i < self.rows, "row {i} out of {} rows", self.rows);
+        out.clear();
+        out.extend(self.cols.iter().map(|c| c[i]));
+    }
+
+    /// Appends one row (an O(width) scatter; fine off the hot path).
     ///
     /// # Panics
     /// Panics when `row.len() != width()`.
     pub fn push_row(&mut self, row: &[f64]) {
-        assert_eq!(row.len(), self.width, "push_row: width mismatch");
-        self.data.extend_from_slice(row);
+        assert_eq!(row.len(), self.cols.len(), "push_row: width mismatch");
+        for (col, &v) in self.cols.iter_mut().zip(row) {
+            col.push(v);
+        }
         self.rows += 1;
     }
 
-    /// Drops all rows, keeping the width and the allocation.
+    /// Drops all rows, keeping the width and the allocations.
     pub fn clear(&mut self) {
-        self.data.clear();
+        for col in &mut self.cols {
+            col.clear();
+        }
         self.rows = 0;
     }
 
     /// Reshapes in place to `rows x width`, zero-filling and reusing the
-    /// existing allocation where possible.
+    /// existing allocations where possible.
     pub fn reset(&mut self, rows: usize, width: usize) {
-        self.width = width;
+        self.cols.resize_with(width, Vec::new);
         self.rows = rows;
-        self.data.clear();
-        self.data.resize(rows * width, 0.0);
+        for col in &mut self.cols {
+            col.clear();
+            col.resize(rows, 0.0);
+        }
     }
 
     /// Reshapes in place to `rows x width` **without** zeroing retained
@@ -136,61 +211,39 @@ impl FeatureMatrix {
     /// overwrite every cell anyway: in steady state (same shape each
     /// step) it touches no memory at all.
     pub fn reshape(&mut self, rows: usize, width: usize) {
-        self.width = width;
+        self.cols.resize_with(width, Vec::new);
         self.rows = rows;
-        self.data.resize(rows * width, 0.0);
+        for col in &mut self.cols {
+            col.resize(rows, 0.0);
+        }
     }
 
-    /// Becomes a copy of `other`, reusing this matrix's allocation.
+    /// Becomes a copy of `other`, reusing this matrix's allocations.
     pub fn fill_from(&mut self, other: &FeatureMatrix) {
-        self.width = other.width;
+        self.cols.resize_with(other.cols.len(), Vec::new);
         self.rows = other.rows;
-        self.data.clear();
-        self.data.extend_from_slice(&other.data);
-    }
-
-    /// The flat row-major buffer.
-    pub fn as_slice(&self) -> &[f64] {
-        &self.data
-    }
-
-    /// The flat row-major buffer, mutable.
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        for (dst, src) in self.cols.iter_mut().zip(&other.cols) {
+            dst.clear();
+            dst.extend_from_slice(src);
+        }
     }
 
     /// The rows as nested vectors (tests / interop; allocates).
     pub fn to_nested(&self) -> Vec<Vec<f64>> {
-        self.rows().map(|r| r.to_vec()).collect()
+        (0..self.rows)
+            .map(|i| self.cols.iter().map(|c| c[i]).collect())
+            .collect()
     }
-}
 
-/// Iterator over the rows of a [`FeatureMatrix`].
-#[derive(Debug, Clone)]
-struct RowIter<'a> {
-    matrix: &'a FeatureMatrix,
-    next: usize,
-}
-
-impl<'a> Iterator for RowIter<'a> {
-    type Item = &'a [f64];
-
-    fn next(&mut self) -> Option<&'a [f64]> {
-        if self.next >= self.matrix.rows {
-            return None;
+    /// The cells flattened row-major (interop / JSON dumps; allocates).
+    pub fn to_row_major(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows * self.cols.len());
+        for i in 0..self.rows {
+            out.extend(self.cols.iter().map(|c| c[i]));
         }
-        let row = self.matrix.row(self.next);
-        self.next += 1;
-        Some(row)
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        let left = self.matrix.rows - self.next;
-        (left, Some(left))
+        out
     }
 }
-
-impl ExactSizeIterator for RowIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -203,11 +256,13 @@ mod tests {
         m.push_row(&[3.0, 4.0]);
         assert_eq!(m.row_count(), 2);
         assert_eq!(m.width(), 2);
-        assert_eq!(m.row(0), &[1.0, 2.0]);
-        assert_eq!(m.row(1), &[3.0, 4.0]);
-        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
-        let rows: Vec<&[f64]> = m.rows().collect();
-        assert_eq!(rows, vec![&[1.0, 2.0][..], &[3.0, 4.0][..]]);
+        assert_eq!(m.col(0), &[1.0, 3.0]);
+        assert_eq!(m.col(1), &[2.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.to_row_major(), vec![1.0, 2.0, 3.0, 4.0]);
+        let mut row = Vec::new();
+        m.copy_row_into(1, &mut row);
+        assert_eq!(row, vec![3.0, 4.0]);
     }
 
     #[test]
@@ -217,19 +272,19 @@ mod tests {
         m.push_row(&[]);
         assert_eq!(m.row_count(), 2);
         assert_eq!(m.width(), 0);
-        assert_eq!(m.row(1), &[] as &[f64]);
-        assert_eq!(m.rows().len(), 2);
-        assert_eq!(m.rows().count(), 2);
+        let mut row = vec![9.0];
+        m.copy_row_into(1, &mut row);
+        assert_eq!(row, Vec::<f64>::new());
     }
 
     #[test]
     fn fill_from_copies_and_reuses() {
         let src = FeatureMatrix::from_nested(&[vec![1.0], vec![2.0]]);
         let mut dst = FeatureMatrix::zeros(5, 3);
-        let capacity_before = dst.data.capacity();
+        let capacity_before = dst.cols[0].capacity();
         dst.fill_from(&src);
         assert_eq!(dst, src);
-        assert!(dst.data.capacity() >= capacity_before, "allocation kept");
+        assert!(dst.cols[0].capacity() >= capacity_before, "allocation kept");
     }
 
     #[test]
@@ -238,7 +293,7 @@ mod tests {
         m.reset(3, 1);
         assert_eq!(m.row_count(), 3);
         assert_eq!(m.width(), 1);
-        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(m.col(0), &[0.0, 0.0, 0.0]);
     }
 
     #[test]
@@ -248,15 +303,28 @@ mod tests {
         assert_eq!(m.row_count(), 2);
         // Growing zero-fills only the new tail cells.
         m.reshape(3, 2);
-        assert_eq!(m.row(2), &[0.0, 0.0]);
-        assert_eq!(m.as_slice().len(), 6);
+        assert_eq!(m.get(2, 0), 0.0);
+        assert_eq!(m.get(2, 1), 0.0);
+        assert_eq!(m.col(0).len(), 3);
     }
 
     #[test]
-    fn row_mut_writes_through() {
+    fn col_mut_writes_through() {
         let mut m = FeatureMatrix::zeros(2, 2);
-        m.row_mut(1)[0] = 7.0;
-        assert_eq!(m.row(1), &[7.0, 0.0]);
+        m.col_mut(0)[1] = 7.0;
+        m.set(1, 1, 9.0);
+        assert_eq!(m.get(1, 0), 7.0);
+        assert_eq!(m.get(1, 1), 9.0);
+    }
+
+    #[test]
+    fn cols_pair_mut_is_order_aware() {
+        let mut m = FeatureMatrix::zeros(2, 3);
+        let (a, b) = m.cols_pair_mut(2, 0);
+        a[0] = 5.0;
+        b[1] = 6.0;
+        assert_eq!(m.col(2), &[5.0, 0.0]);
+        assert_eq!(m.col(0), &[0.0, 6.0]);
     }
 
     #[test]
@@ -273,8 +341,15 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "out of")]
-    fn row_bounds_checked() {
+    fn cell_bounds_checked() {
         let m = FeatureMatrix::zeros(1, 1);
-        m.row(1);
+        m.get(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn cols_pair_mut_rejects_same_column() {
+        let mut m = FeatureMatrix::zeros(1, 2);
+        m.cols_pair_mut(1, 1);
     }
 }

@@ -30,9 +30,9 @@
 //!
 //! Blocks opt in through three traits:
 //!
-//! * [`ShardableAi`] — per-row signal computation from `&self` (the model
-//!   is read-only during the sweep; it mutates only in `retrain`, at the
-//!   barrier);
+//! * [`ShardableAi`] — batched signal computation over a shard's columns
+//!   from `&self` (the model is read-only during the sweep; it mutates
+//!   only in `retrain`, at the barrier);
 //! * [`ShardablePopulation`] — partitions the population into owned,
 //!   [`Send`] row shards;
 //! * [`PopulationShard`] — the per-shard observe/respond sweep over the
@@ -98,27 +98,35 @@ impl RowStreams {
     }
 }
 
-/// Immutable view of a contiguous block of global rows
-/// `[start, start + len)` of a flat row-major buffer.
+/// Immutable columnar view of a contiguous block of global rows
+/// `[start, start + len)`: one slice per feature column, each covering
+/// exactly those rows.
 ///
-/// Rows are addressed by their **global** index so shard code never has
-/// to translate offsets (and cannot accidentally key RNG streams by a
-/// local index).
+/// The covered rows are reported by their **global** range so shard code
+/// never has to translate offsets (and cannot accidentally key RNG
+/// streams by a local index); the column slices themselves are local —
+/// `col(j)[local]` is global row `rows().start + local`. This is the
+/// batched-kernel shape: every column streams linearly.
 #[derive(Debug, Clone)]
-pub struct RowsView<'a> {
-    data: &'a [f64],
-    width: usize,
+pub struct ColsView<'a> {
+    cols: Vec<&'a [f64]>,
     rows: Range<usize>,
 }
 
-impl<'a> RowsView<'a> {
-    /// Wraps `data` as rows `rows` of `width` cells each.
+impl<'a> ColsView<'a> {
+    /// Wraps per-column slices as the global rows `rows`.
     ///
     /// # Panics
-    /// Panics when `data.len() != rows.len() * width`.
-    pub fn new(data: &'a [f64], width: usize, rows: Range<usize>) -> Self {
-        assert_eq!(data.len(), rows.len() * width, "RowsView: length mismatch");
-        RowsView { data, width, rows }
+    /// Panics when any column's length differs from `rows.len()`.
+    pub fn new(cols: Vec<&'a [f64]>, rows: Range<usize>) -> Self {
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(
+                col.len(),
+                rows.len(),
+                "ColsView: column {j} length mismatch"
+            );
+        }
+        ColsView { cols, rows }
     }
 
     /// The global row range covered by this view.
@@ -126,58 +134,59 @@ impl<'a> RowsView<'a> {
         self.rows.clone()
     }
 
-    /// Cells per row.
+    /// Cells per row (number of columns).
     pub fn width(&self) -> usize {
-        self.width
+        self.cols.len()
     }
 
-    /// Global row `i` as a slice.
+    /// Column `j` over this view's rows (`col(j)[local]` is global row
+    /// `rows().start + local`).
     ///
     /// # Panics
-    /// Panics when `i` is outside the view's range.
+    /// Panics when `j >= width()`.
     #[inline]
-    pub fn row(&self, i: usize) -> &[f64] {
-        assert!(
-            self.rows.contains(&i),
-            "RowsView: row {i} out of {:?}",
-            self.rows
-        );
-        let local = i - self.rows.start;
-        &self.data[local * self.width..(local + 1) * self.width]
+    pub fn col(&self, j: usize) -> &'a [f64] {
+        self.cols[j]
+    }
+
+    /// All columns, in order — the shape the batched scoring kernels
+    /// take.
+    pub fn cols(&self) -> &[&'a [f64]] {
+        &self.cols
     }
 }
 
-/// The full-range [`RowsView`] over a feature matrix — the sequential
-/// path of a sharded signal computation. The canonical
-/// [`AiSystem::signals_into`] bridge of a [`ShardableAi`] is:
-///
-/// ```ignore
-/// fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
-///     out.clear();
-///     out.resize(visible.row_count(), 0.0);
-///     self.signals_rows(k, full_rows(visible), out);
-/// }
-/// ```
-pub fn full_rows(visible: &FeatureMatrix) -> RowsView<'_> {
-    RowsView::new(visible.as_slice(), visible.width(), 0..visible.row_count())
+/// The full-range [`ColsView`] over a feature matrix — the sequential
+/// path of a sharded signal computation (see
+/// [`ShardableAi::signals_full`]).
+pub fn full_cols(visible: &FeatureMatrix) -> ColsView<'_> {
+    ColsView::new(visible.col_slices(), 0..visible.row_count())
 }
 
-/// Mutable counterpart of [`RowsView`].
+/// Mutable counterpart of [`ColsView`] — the observe sweep's output.
 #[derive(Debug)]
-pub struct RowsMut<'a> {
-    data: &'a mut [f64],
-    width: usize,
+pub struct ColsMut<'a> {
+    cols: Vec<&'a mut [f64]>,
     rows: Range<usize>,
 }
 
-impl<'a> RowsMut<'a> {
-    /// Wraps `data` as rows `rows` of `width` cells each.
+impl<'a> ColsMut<'a> {
+    /// Wraps per-column slices as the global rows `rows`.
     ///
     /// # Panics
-    /// Panics when `data.len() != rows.len() * width`.
-    pub fn new(data: &'a mut [f64], width: usize, rows: Range<usize>) -> Self {
-        assert_eq!(data.len(), rows.len() * width, "RowsMut: length mismatch");
-        RowsMut { data, width, rows }
+    /// Panics when any column's length differs from `rows.len()`.
+    pub fn new(cols: Vec<&'a mut [f64]>, rows: Range<usize>) -> Self {
+        for (j, col) in cols.iter().enumerate() {
+            assert_eq!(col.len(), rows.len(), "ColsMut: column {j} length mismatch");
+        }
+        ColsMut { cols, rows }
+    }
+
+    /// The full-range mutable view over a feature matrix — the
+    /// sequential path of a sharded observe sweep.
+    pub fn full(visible: &'a mut FeatureMatrix) -> Self {
+        let rows = 0..visible.row_count();
+        ColsMut::new(visible.col_slices_mut(), rows)
     }
 
     /// The global row range covered by this view.
@@ -185,34 +194,62 @@ impl<'a> RowsMut<'a> {
         self.rows.clone()
     }
 
-    /// Cells per row.
+    /// Cells per row (number of columns).
     pub fn width(&self) -> usize {
-        self.width
+        self.cols.len()
     }
 
-    /// Global row `i`, mutable.
+    /// Column `j`, mutable (`col_mut(j)[local]` is global row
+    /// `rows().start + local`).
     ///
     /// # Panics
-    /// Panics when `i` is outside the view's range.
+    /// Panics when `j >= width()`.
     #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(
-            self.rows.contains(&i),
-            "RowsMut: row {i} out of {:?}",
-            self.rows
-        );
-        let local = i - self.rows.start;
-        &mut self.data[local * self.width..(local + 1) * self.width]
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        self.cols[j]
+    }
+
+    /// Two distinct columns, both mutable — the shape of observe sweeps
+    /// that write a code column and a raw-value column per row.
+    ///
+    /// # Panics
+    /// Panics when `a == b` or either index is out of range.
+    pub fn cols_pair_mut(&mut self, a: usize, b: usize) -> (&mut [f64], &mut [f64]) {
+        assert!(a != b, "cols_pair_mut: columns must be distinct");
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (head, tail) = self.cols.split_at_mut(hi);
+        let (x, y) = (&mut *head[lo], &mut *tail[0]);
+        if a < b {
+            (x, y)
+        } else {
+            (y, x)
+        }
+    }
+
+    /// Reborrows as a shared [`ColsView`] (observe's output becomes the
+    /// signal sweep's input).
+    pub fn as_view(&self) -> ColsView<'_> {
+        ColsView {
+            cols: self.cols.iter().map(|c| &**c).collect(),
+            rows: self.rows.clone(),
+        }
     }
 }
 
-/// An AI system whose per-row signal computation can run concurrently.
+/// An AI system whose signal computation can run batched and
+/// concurrently.
+///
+/// [`Self::signals_batch`] is the **single scoring entry point**: the
+/// sharded runner calls it per shard with that shard's columns, and the
+/// sequential path reaches it through the provided
+/// [`Self::signals_full`] bridge, so every implementation writes the
+/// scoring routine exactly once.
 ///
 /// The model is read-only (`&self`) during the sweep — it only mutates in
 /// [`AiSystem::retrain`], which the sharded runner calls at the step
 /// barrier, after every worker has joined. To keep the sequential and
 /// sharded paths bit-identical, implement [`AiSystem::signals_into`] as
-/// the full-range call of [`Self::signals_rows`] (see [`full_rows`]).
+/// the one-line delegation to [`Self::signals_full`].
 ///
 /// Per-user state (score histories, exclusion flags, …) must be sized
 /// and maintained in `retrain` — the `&self` sweep cannot resize it. A
@@ -222,7 +259,17 @@ pub trait ShardableAi: AiSystem + Sync {
     /// Computes signals for the rows of `visible`, writing `out[j]` for
     /// global row `visible.rows().start + j`. Must read only the given
     /// rows (other shards' rows may still be in flight).
-    fn signals_rows(&self, k: usize, visible: RowsView<'_>, out: &mut [f64]);
+    fn signals_batch(&self, k: usize, visible: &ColsView<'_>, out: &mut [f64]);
+
+    /// The sequential bridge: sizes `out` and scores the whole matrix
+    /// through [`Self::signals_batch`]. The canonical
+    /// [`AiSystem::signals_into`] of a [`ShardableAi`] is
+    /// `self.signals_full(k, visible, out)`.
+    fn signals_full(&self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        out.clear();
+        out.resize(visible.row_count(), 0.0);
+        self.signals_batch(k, &full_cols(visible), out);
+    }
 }
 
 /// One contiguous, owned row-partition of a [`ShardablePopulation`].
@@ -235,8 +282,8 @@ pub trait PopulationShard: Send {
     fn rows(&self) -> Range<usize>;
 
     /// Advances this shard's users to step `k` and writes their visible
-    /// feature rows. `out` covers exactly [`Self::rows`].
-    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>);
+    /// feature columns. `out` covers exactly [`Self::rows`].
+    fn observe_cols(&mut self, k: usize, streams: &RowStreams, out: &mut ColsMut<'_>);
 
     /// Responds to this shard's signals (`signals[j]` is global row
     /// `rows().start + j`), writing the actions in the same layout.
@@ -254,7 +301,7 @@ pub trait ShardablePopulation: UserPopulation + Sized {
     type Shard: PopulationShard;
 
     /// Width of the visible feature rows (must match what
-    /// [`PopulationShard::observe_rows`] writes).
+    /// [`PopulationShard::observe_cols`] writes).
     fn feature_width(&self) -> usize;
 
     /// Partitions the population into at most `parts` contiguous shards
@@ -526,7 +573,11 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
                 // the pooled runner then costs exactly the sequential
                 // chunked sweep.
                 let inline = pool.worker_count() == 0;
-                let mut vis_rest = self.visible.as_mut_slice();
+                // Peel each shard's disjoint sub-slice off every column
+                // (and off the flat signal/action buffers): `take` +
+                // `split_at_mut` hands each shard `rows.len()` elements
+                // per column without unsafe aliasing.
+                let mut vis_rest: Vec<&mut [f64]> = self.visible.col_slices_mut();
                 let mut sig_rest = &mut self.signals[..];
                 let mut act_rest = &mut self.actions[..];
                 let mut jobs: Vec<PoolJob<'_>> =
@@ -536,18 +587,23 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
                     let rows = shard.rows();
                     debug_assert_eq!(rows.start, offset, "shard rows moved after construction");
                     offset = rows.end;
-                    let (vis, rest) = vis_rest.split_at_mut(rows.len() * w);
-                    vis_rest = rest;
+                    let mut vis_cols: Vec<&mut [f64]> = Vec::with_capacity(w);
+                    for slot in vis_rest.iter_mut() {
+                        let (head, tail) = std::mem::take(slot).split_at_mut(rows.len());
+                        vis_cols.push(head);
+                        *slot = tail;
+                    }
+                    let cols = ColsMut::new(vis_cols, rows.clone());
                     let (sig, rest) = sig_rest.split_at_mut(rows.len());
                     sig_rest = rest;
                     let (act, rest) = act_rest.split_at_mut(rows.len());
                     act_rest = rest;
                     if inline {
-                        sweep_shard(ai, shard, k, rows, w, vis, sig, act, &observe, &respond);
+                        sweep_shard(ai, shard, k, cols, sig, act, &observe, &respond);
                     } else {
                         let (observe, respond) = (&observe, &respond);
                         jobs.push(Box::new(move || {
-                            sweep_shard(ai, shard, k, rows, w, vis, sig, act, observe, respond)
+                            sweep_shard(ai, shard, k, cols, sig, act, observe, respond)
                         }));
                     }
                 }
@@ -604,16 +660,14 @@ fn sweep_shard<S: ShardableAi, Sh: PopulationShard>(
     ai: &S,
     shard: &mut Sh,
     k: usize,
-    rows: Range<usize>,
-    width: usize,
-    vis: &mut [f64],
+    mut cols: ColsMut<'_>,
     sig: &mut [f64],
     act: &mut [f64],
     observe: &RowStreams,
     respond: &RowStreams,
 ) {
-    shard.observe_rows(k, observe, RowsMut::new(vis, width, rows.clone()));
-    ai.signals_rows(k, RowsView::new(vis, width, rows), sig);
+    shard.observe_cols(k, observe, &mut cols);
+    ai.signals_batch(k, &cols.as_view(), sig);
     shard.respond_rows(k, sig, respond, act);
 }
 
@@ -634,11 +688,11 @@ mod tests {
         width: usize,
     }
 
-    fn observe_noisy(k: usize, streams: &RowStreams, mut out: RowsMut<'_>) {
-        for i in out.rows() {
+    fn observe_noisy(k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
+        for (j, i) in out.rows().enumerate() {
             let mut r = streams.for_row(i);
-            for cell in out.row_mut(i) {
-                *cell = r.uniform() + k as f64;
+            for c in 0..out.width() {
+                out.col_mut(c)[j] = r.uniform() + k as f64;
             }
         }
     }
@@ -661,11 +715,7 @@ mod tests {
         fn observe_into(&mut self, k: usize, rng: &mut SimRng, out: &mut FeatureMatrix) {
             out.reshape(self.n, self.width);
             let streams = RowStreams::observe(rng, k);
-            observe_noisy(
-                k,
-                &streams,
-                RowsMut::new(out.as_mut_slice(), self.width, 0..self.n),
-            );
+            observe_noisy(k, &streams, &mut ColsMut::full(out));
         }
         fn respond_into(
             &mut self,
@@ -706,7 +756,7 @@ mod tests {
         fn rows(&self) -> Range<usize> {
             self.rows.clone()
         }
-        fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+        fn observe_cols(&mut self, k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
             observe_noisy(k, streams, out);
         }
         fn respond_rows(
@@ -728,9 +778,7 @@ mod tests {
 
     impl AiSystem for LevelAi {
         fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
-            out.clear();
-            out.resize(visible.row_count(), 0.0);
-            self.signals_rows(k, full_rows(visible), out);
+            self.signals_full(k, visible, out);
         }
         fn retrain(&mut self, _k: usize, feedback: &Feedback) {
             self.level = feedback.aggregate;
@@ -738,10 +786,10 @@ mod tests {
     }
 
     impl ShardableAi for LevelAi {
-        fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-            for (j, i) in visible.rows().enumerate() {
-                let features: f64 = visible.row(i).iter().sum();
-                out[j] = self.level + 0.1 * features;
+        fn signals_batch(&self, _k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+            for (j, o) in out.iter_mut().enumerate() {
+                let features: f64 = (0..visible.width()).map(|c| visible.col(c)[j]).sum();
+                *o = self.level + 0.1 * features;
             }
         }
     }
@@ -824,22 +872,29 @@ mod tests {
     }
 
     #[test]
-    fn row_views_address_globally() {
-        let mut data = vec![0.0; 4];
-        let mut rows = RowsMut::new(&mut data, 2, 3..5);
-        rows.row_mut(4)[1] = 7.0;
-        assert_eq!(rows.rows(), 3..5);
-        assert_eq!(rows.width(), 2);
-        let view = RowsView::new(&data, 2, 3..5);
-        assert_eq!(view.row(4), &[0.0, 7.0]);
-        assert_eq!(view.row(3), &[0.0, 0.0]);
+    fn col_views_address_globally() {
+        let mut a = vec![0.0; 2];
+        let mut b = vec![0.0; 2];
+        let mut cols = ColsMut::new(vec![&mut a, &mut b], 3..5);
+        assert_eq!(cols.rows(), 3..5);
+        assert_eq!(cols.width(), 2);
+        // Local index 1 of the second column is global row 4.
+        cols.col_mut(1)[1] = 7.0;
+        let (x, y) = cols.cols_pair_mut(1, 0);
+        x[0] = 5.0;
+        y[0] = 3.0;
+        let view = cols.as_view();
+        assert_eq!(view.rows(), 3..5);
+        assert_eq!(view.col(0), &[3.0, 0.0]);
+        assert_eq!(view.col(1), &[5.0, 7.0]);
+        assert_eq!(view.cols().len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "out of")]
-    fn row_view_checks_range() {
+    #[should_panic(expected = "length mismatch")]
+    fn col_view_checks_lengths() {
         let data = vec![0.0; 2];
-        RowsView::new(&data, 2, 3..4).row(2);
+        ColsView::new(vec![&data], 3..4);
     }
 
     #[test]
@@ -1007,13 +1062,13 @@ mod tests {
         fn rows(&self) -> Range<usize> {
             self.rows.clone()
         }
-        fn observe_rows(&mut self, k: usize, _streams: &RowStreams, mut out: RowsMut<'_>) {
+        fn observe_cols(&mut self, k: usize, _streams: &RowStreams, out: &mut ColsMut<'_>) {
             self.probe.enter();
             // Hold the sweep open long enough for overlapping trials
             // and shards to be observable.
             std::thread::sleep(std::time::Duration::from_micros(300));
-            for i in out.rows() {
-                out.row_mut(i)[0] = (i + k) as f64;
+            for (j, i) in out.rows().enumerate() {
+                out.col_mut(0)[j] = (i + k) as f64;
             }
             self.probe.exit();
         }

@@ -112,8 +112,13 @@ proptest! {
     ) {
         let m = FeatureMatrix::from_nested(&rows);
         prop_assert_eq!(m.row_count(), rows.len());
+        let mut gathered = Vec::new();
         for (i, row) in rows.iter().enumerate() {
-            prop_assert_eq!(m.row(i), &row[..]);
+            m.copy_row_into(i, &mut gathered);
+            prop_assert_eq!(&gathered[..], &row[..]);
+            for (j, &v) in row.iter().enumerate() {
+                prop_assert_eq!(m.get(i, j), v);
+            }
         }
         prop_assert_eq!(m.to_nested(), rows);
     }

@@ -19,7 +19,7 @@ use crate::model;
 use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::closed_loop::{AiSystem, Feedback};
 use eqimpact_core::features::FeatureMatrix;
-use eqimpact_core::shard::{full_rows, RowsView, ShardableAi};
+use eqimpact_core::shard::{ColsView, ShardableAi};
 use eqimpact_ml::logistic::{LogisticModel, LogisticRegression};
 use eqimpact_ml::scorecard::Scorecard;
 
@@ -103,9 +103,7 @@ impl AiSystem for ScorecardLender {
         if self.prev_adr.len() != visible.row_count() {
             self.prev_adr = vec![0.0; visible.row_count()];
         }
-        out.clear();
-        out.resize(visible.row_count(), 0.0);
-        self.signals_rows(k, full_rows(visible), out);
+        self.signals_full(k, visible, out);
     }
 
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
@@ -114,13 +112,11 @@ impl AiSystem for ScorecardLender {
         if self.prev_adr.len() != feedback.actions.len() {
             self.prev_adr = vec![0.0; feedback.actions.len()];
         }
-        for i in 0..feedback.actions.len() {
+        let code = feedback.visible.col(VISIBLE_INCOME_CODE);
+        for (i, &action) in feedback.actions.iter().enumerate() {
             if feedback.signals[i] > 0.0 {
-                self.train_rows.push_row(&[
-                    self.prev_adr[i],
-                    feedback.visible.row(i)[VISIBLE_INCOME_CODE],
-                ]);
-                self.train_labels.push(feedback.actions[i]);
+                self.train_rows.push_row(&[self.prev_adr[i], code[i]]);
+                self.train_labels.push(action);
             }
         }
         // The filter's per-user output is ADR_i up to the feedback step —
@@ -128,9 +124,8 @@ impl AiSystem for ScorecardLender {
         self.prev_adr.clone_from(&feedback.per_user);
 
         if !self.train_labels.is_empty() {
-            let data = eqimpact_ml::Dataset::from_flat(
-                self.train_rows.width(),
-                self.train_rows.as_slice(),
+            let data = eqimpact_ml::Dataset::from_columns(
+                &self.train_rows.col_slices(),
                 &self.train_labels,
             )
             .expect("rows built consistently");
@@ -180,28 +175,30 @@ impl AiSystem for ScorecardLender {
 }
 
 impl ShardableAi for ScorecardLender {
-    fn signals_rows(&self, k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-        for (j, i) in visible.rows().enumerate() {
-            let v = visible.row(i);
-            let loan = self.multiple * v[VISIBLE_INCOME_K];
-            out[j] = if k < self.warmup_steps {
-                loan
-            } else {
-                match &self.model {
-                    None => loan, // no scorecard yet: keep approving
-                    Some(m) => {
-                        // Users beyond the last feedback carry a clean
-                        // history (ADR 0), matching the retrain sizing.
-                        let prev = self.prev_adr.get(i).copied().unwrap_or(0.0);
-                        let features = [prev, v[VISIBLE_INCOME_CODE]];
-                        if m.linear_score(&features) >= self.cutoff {
-                            loan
-                        } else {
-                            0.0
-                        }
-                    }
-                }
-            };
+    fn signals_batch(&self, k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        // Sized offers for everyone first; the scorecard then zeroes the
+        // denials in place.
+        for (o, &income) in out.iter_mut().zip(visible.col(VISIBLE_INCOME_K)) {
+            *o = self.multiple * income;
+        }
+        if k < self.warmup_steps {
+            return;
+        }
+        let Some(m) = &self.model else {
+            return; // no scorecard yet: keep approving
+        };
+        // Users beyond the last feedback carry a clean history (ADR 0),
+        // matching the retrain sizing.
+        let prev: Vec<f64> = visible
+            .rows()
+            .map(|i| self.prev_adr.get(i).copied().unwrap_or(0.0))
+            .collect();
+        let mut scores = vec![0.0; out.len()];
+        m.linear_scores_into(&[&prev, visible.col(VISIBLE_INCOME_CODE)], &mut scores);
+        for (o, &s) in out.iter_mut().zip(&scores) {
+            if s < self.cutoff {
+                *o = 0.0;
+            }
         }
     }
 }
@@ -243,9 +240,7 @@ impl AiSystem for UniformExclusionLender {
         if self.defaulted.len() != visible.row_count() {
             self.defaulted = vec![false; visible.row_count()];
         }
-        out.clear();
-        out.resize(visible.row_count(), 0.0);
-        self.signals_rows(k, full_rows(visible), out);
+        self.signals_full(k, visible, out);
     }
 
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
@@ -276,11 +271,11 @@ impl AiSystem for UniformExclusionLender {
 }
 
 impl ShardableAi for UniformExclusionLender {
-    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-        for (j, i) in visible.rows().enumerate() {
+    fn signals_batch(&self, _k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        for (o, i) in out.iter_mut().zip(visible.rows()) {
             // Users beyond the last feedback have never defaulted.
             let defaulted = self.defaulted.get(i).copied().unwrap_or(false);
-            out[j] = if defaulted { 0.0 } else { self.amount_k };
+            *o = if defaulted { 0.0 } else { self.amount_k };
         }
     }
 }
@@ -302,18 +297,16 @@ impl IncomeMultipleLender {
 
 impl AiSystem for IncomeMultipleLender {
     fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
-        out.clear();
-        out.resize(visible.row_count(), 0.0);
-        self.signals_rows(k, full_rows(visible), out);
+        self.signals_full(k, visible, out);
     }
 
     fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
 }
 
 impl ShardableAi for IncomeMultipleLender {
-    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-        for (j, i) in visible.rows().enumerate() {
-            out[j] = self.multiple * visible.row(i)[VISIBLE_INCOME_K];
+    fn signals_batch(&self, _k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        for (o, &income) in out.iter_mut().zip(visible.col(VISIBLE_INCOME_K)) {
+            *o = self.multiple * income;
         }
     }
 }
@@ -354,7 +347,11 @@ mod tests {
             .map(|i| if i % 2 == 0 { 10.0 } else { 60.0 })
             .collect();
         let visible = visible_matrix(&incomes);
-        let signals: Vec<f64> = visible.rows().map(|v| 3.5 * v[VISIBLE_INCOME_K]).collect();
+        let signals: Vec<f64> = visible
+            .col(VISIBLE_INCOME_K)
+            .iter()
+            .map(|&v| 3.5 * v)
+            .collect();
         let actions: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
         let per_user: Vec<f64> = actions.iter().map(|&y| 1.0 - y).collect();
         let feedback = Feedback {

@@ -18,7 +18,7 @@ use eqimpact_census::{
 use eqimpact_core::closed_loop::UserPopulation;
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::shard::{
-    shard_bounds, PopulationShard, RowStreams, RowsMut, ShardablePopulation,
+    shard_bounds, ColsMut, PopulationShard, RowStreams, ShardablePopulation,
 };
 use eqimpact_stats::SimRng;
 use std::ops::Range;
@@ -83,18 +83,19 @@ fn year_of_step(start_year: u32, k: usize) -> u32 {
 }
 
 /// The shared observe sweep: resamples incomes (steps > 0) and writes the
-/// visible rows, drawing household `start_row + j`'s randomness from
+/// visible columns, drawing household `start_row + j`'s randomness from
 /// `streams.for_row(start_row + j)`.
-fn observe_household_rows(
+fn observe_household_cols(
     table: &IncomeTable,
     households: &mut [Household],
     start_row: usize,
     k: usize,
     year: u32,
     streams: &RowStreams,
-    mut out: RowsMut<'_>,
+    out: &mut ColsMut<'_>,
 ) {
     let sampler = HouseholdSampler::new(table);
+    let (code_col, income_col) = out.cols_pair_mut(VISIBLE_INCOME_CODE, VISIBLE_INCOME_K);
     for (j, h) in households.iter_mut().enumerate() {
         let i = start_row + j;
         // Step 0 keeps the generation-time incomes; later steps resample
@@ -105,9 +106,8 @@ fn observe_household_rows(
                 .sample_income(year, h.race, &mut rng)
                 .expect("year clamped into range");
         }
-        let row = out.row_mut(i);
-        row[VISIBLE_INCOME_CODE] = model::income_code(h.income);
-        row[VISIBLE_INCOME_K] = h.income;
+        code_col[j] = model::income_code(h.income);
+        income_col[j] = h.income;
     }
 }
 
@@ -137,14 +137,15 @@ impl UserPopulation for CreditPopulation {
         let year = self.year_of_step(k);
         let streams = RowStreams::observe(rng, k);
         out.reshape(n, VISIBLE_WIDTH);
-        observe_household_rows(
+        let mut cols = ColsMut::full(out);
+        observe_household_cols(
             &self.table,
             self.population.households_mut(),
             0,
             k,
             year,
             &streams,
-            RowsMut::new(out.as_mut_slice(), VISIBLE_WIDTH, 0..n),
+            &mut cols,
         );
     }
 
@@ -171,9 +172,9 @@ impl PopulationShard for CreditShard {
         self.start_row..self.start_row + self.households.len()
     }
 
-    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+    fn observe_cols(&mut self, k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
         let year = year_of_step(self.start_year, k);
-        observe_household_rows(
+        observe_household_cols(
             &self.table,
             &mut self.households,
             self.start_row,
@@ -270,9 +271,11 @@ mod tests {
         let visible = pop.observe(0, &mut rng);
         assert_eq!(visible.row_count(), 50);
         assert_eq!(visible.width(), VISIBLE_WIDTH);
-        for row in visible.rows() {
-            let code = row[VISIBLE_INCOME_CODE];
-            let income = row[VISIBLE_INCOME_K];
+        for (&code, &income) in visible
+            .col(VISIBLE_INCOME_CODE)
+            .iter()
+            .zip(visible.col(VISIBLE_INCOME_K))
+        {
             assert_eq!(code, model::income_code(income));
             assert!(income > 0.0);
         }
@@ -285,9 +288,10 @@ mod tests {
         let v0 = pop.observe(0, &mut rng);
         let v1 = pop.observe(1, &mut rng);
         let changed = v0
-            .rows()
-            .zip(v1.rows())
-            .filter(|(a, b)| a[VISIBLE_INCOME_K] != b[VISIBLE_INCOME_K])
+            .col(VISIBLE_INCOME_K)
+            .iter()
+            .zip(v1.col(VISIBLE_INCOME_K))
+            .filter(|(a, b)| a != b)
             .count();
         assert!(changed > 95, "only {changed} incomes changed");
     }
@@ -303,8 +307,9 @@ mod tests {
         assert!(actions.iter().all(|&y| y == 0.0));
         // Generous incomes with the paper's sizing mostly repay.
         let loans: Vec<f64> = visible
-            .rows()
-            .map(|v| model::income_multiple_loan(v[VISIBLE_INCOME_K]))
+            .col(VISIBLE_INCOME_K)
+            .iter()
+            .map(|&v| model::income_multiple_loan(v))
             .collect();
         let actions = pop.respond(0, &loans, &mut rng);
         let repay_rate = actions.iter().sum::<f64>() / 200.0;
@@ -339,29 +344,28 @@ mod tests {
             let mut seq_rng = root.clone();
             let visible = pop.observe(k, &mut seq_rng);
             let signals: Vec<f64> = visible
-                .rows()
-                .map(|v| model::income_multiple_loan(v[VISIBLE_INCOME_K]))
+                .col(VISIBLE_INCOME_K)
+                .iter()
+                .map(|&v| model::income_multiple_loan(v))
                 .collect();
             let actions = pop.respond(k, &signals, &mut seq_rng);
 
             let observe = RowStreams::observe(&root, k);
             let respond = RowStreams::respond(&root, k);
-            let mut vis = vec![0.0; n * VISIBLE_WIDTH];
+            let mut vis = FeatureMatrix::zeros(n, VISIBLE_WIDTH);
             let mut act = vec![0.0; n];
             for shard in shards.iter_mut() {
                 let rows = shard.rows();
-                shard.observe_rows(
-                    k,
-                    &observe,
-                    RowsMut::new(
-                        &mut vis[rows.start * VISIBLE_WIDTH..rows.end * VISIBLE_WIDTH],
-                        VISIBLE_WIDTH,
-                        rows.clone(),
-                    ),
-                );
+                let cols: Vec<&mut [f64]> = vis
+                    .col_slices_mut()
+                    .into_iter()
+                    .map(|c| &mut c[rows.start..rows.end])
+                    .collect();
+                let mut out = ColsMut::new(cols, rows.clone());
+                shard.observe_cols(k, &observe, &mut out);
                 shard.respond_rows(k, &signals[rows.clone()], &respond, &mut act[rows]);
             }
-            assert_eq!(vis, visible.as_slice(), "step {k} features");
+            assert_eq!(vis, visible, "step {k} features");
             assert_eq!(act, actions, "step {k} actions");
         }
     }

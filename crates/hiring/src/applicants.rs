@@ -13,7 +13,7 @@ use eqimpact_census::{HouseholdSampler, IncomeTable, Race, FIRST_YEAR, LAST_YEAR
 use eqimpact_core::closed_loop::UserPopulation;
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::shard::{
-    shard_bounds, PopulationShard, RowStreams, RowsMut, ShardablePopulation,
+    shard_bounds, ColsMut, PopulationShard, RowStreams, ShardablePopulation,
 };
 use eqimpact_stats::SimRng;
 use std::ops::Range;
@@ -109,18 +109,19 @@ fn year_of_round(start_year: u32, k: usize) -> u32 {
 }
 
 /// The shared observe sweep: resamples resources (rounds > 0) and writes
-/// the visible rows, drawing applicant `start_row + j`'s randomness from
-/// `streams.for_row(start_row + j)`.
-fn observe_applicant_rows(
+/// the visible columns, drawing applicant `start_row + j`'s randomness
+/// from `streams.for_row(start_row + j)`.
+fn observe_applicant_cols(
     table: &IncomeTable,
     applicants: &mut [Applicant],
     start_row: usize,
     k: usize,
     year: u32,
     streams: &RowStreams,
-    mut out: RowsMut<'_>,
+    out: &mut ColsMut<'_>,
 ) {
     let sampler = HouseholdSampler::new(table);
+    let (cred_col, exp_col) = out.cols_pair_mut(VISIBLE_CREDENTIAL, VISIBLE_EXPERIENCE);
     for (j, a) in applicants.iter_mut().enumerate() {
         let i = start_row + j;
         // Round 0 keeps the generation-time resources; later rounds
@@ -131,9 +132,8 @@ fn observe_applicant_rows(
                 .sample_income(year, a.race, &mut rng)
                 .expect("year clamped into range");
         }
-        let row = out.row_mut(i);
-        row[VISIBLE_CREDENTIAL] = model::credential_code(a.resources);
-        row[VISIBLE_EXPERIENCE] = a.experience;
+        cred_col[j] = model::credential_code(a.resources);
+        exp_col[j] = a.experience;
     }
 }
 
@@ -167,14 +167,15 @@ impl UserPopulation for ApplicantPool {
         let year = self.year_of_round(k);
         let streams = RowStreams::observe(rng, k);
         out.reshape(n, VISIBLE_WIDTH);
-        observe_applicant_rows(
+        let mut cols = ColsMut::full(out);
+        observe_applicant_cols(
             &self.table,
             &mut self.applicants,
             0,
             k,
             year,
             &streams,
-            RowsMut::new(out.as_mut_slice(), VISIBLE_WIDTH, 0..n),
+            &mut cols,
         );
     }
 
@@ -201,9 +202,9 @@ impl PopulationShard for ApplicantShard {
         self.start_row..self.start_row + self.applicants.len()
     }
 
-    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+    fn observe_cols(&mut self, k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
         let year = year_of_round(self.start_year, k);
-        observe_applicant_rows(
+        observe_applicant_cols(
             &self.table,
             &mut self.applicants,
             self.start_row,
@@ -299,9 +300,12 @@ mod tests {
         let visible = pool.observe(0, &mut rng);
         assert_eq!(visible.row_count(), 50);
         assert_eq!(visible.width(), VISIBLE_WIDTH);
-        for (row, a) in visible.rows().zip(pool.applicants()) {
-            assert_eq!(row[VISIBLE_CREDENTIAL], model::credential_code(a.resources));
-            assert_eq!(row[VISIBLE_EXPERIENCE], 0.0);
+        for (j, a) in pool.applicants().iter().enumerate() {
+            assert_eq!(
+                visible.col(VISIBLE_CREDENTIAL)[j],
+                model::credential_code(a.resources)
+            );
+            assert_eq!(visible.col(VISIBLE_EXPERIENCE)[j], 0.0);
         }
     }
 
@@ -350,27 +354,25 @@ mod tests {
         for k in 0..4 {
             let mut seq_rng = root.clone();
             let visible = pool.observe(k, &mut seq_rng);
-            let signals: Vec<f64> = visible.rows().map(|v| v[VISIBLE_CREDENTIAL]).collect();
+            let signals: Vec<f64> = visible.col(VISIBLE_CREDENTIAL).to_vec();
             let actions = pool.respond(k, &signals, &mut seq_rng);
 
             let observe = RowStreams::observe(&root, k);
             let respond = RowStreams::respond(&root, k);
-            let mut vis = vec![0.0; n * VISIBLE_WIDTH];
+            let mut vis = FeatureMatrix::zeros(n, VISIBLE_WIDTH);
             let mut act = vec![0.0; n];
             for shard in shards.iter_mut() {
                 let rows = shard.rows();
-                shard.observe_rows(
-                    k,
-                    &observe,
-                    RowsMut::new(
-                        &mut vis[rows.start * VISIBLE_WIDTH..rows.end * VISIBLE_WIDTH],
-                        VISIBLE_WIDTH,
-                        rows.clone(),
-                    ),
-                );
+                let cols: Vec<&mut [f64]> = vis
+                    .col_slices_mut()
+                    .into_iter()
+                    .map(|c| &mut c[rows.start..rows.end])
+                    .collect();
+                let mut out = ColsMut::new(cols, rows.clone());
+                shard.observe_cols(k, &observe, &mut out);
                 shard.respond_rows(k, &signals[rows.clone()], &respond, &mut act[rows]);
             }
-            assert_eq!(vis, visible.as_slice(), "round {k} features");
+            assert_eq!(vis, visible, "round {k} features");
             assert_eq!(act, actions, "round {k} actions");
         }
     }

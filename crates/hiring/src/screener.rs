@@ -18,7 +18,7 @@ use crate::applicants::VISIBLE_CREDENTIAL;
 use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::closed_loop::{AiSystem, Feedback};
 use eqimpact_core::features::FeatureMatrix;
-use eqimpact_core::shard::{full_rows, RowsView, ShardableAi};
+use eqimpact_core::shard::{ColsView, ShardableAi};
 use eqimpact_ml::logistic::{LogisticModel, LogisticRegression};
 
 /// The default warmup: rounds during which everyone is hired before the
@@ -91,9 +91,7 @@ impl AiSystem for AdaptiveScreener {
         if self.prev_track.len() != visible.row_count() {
             self.prev_track = vec![1.0; visible.row_count()];
         }
-        out.clear();
-        out.resize(visible.row_count(), 0.0);
-        self.signals_rows(k, full_rows(visible), out);
+        self.signals_full(k, visible, out);
     }
 
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
@@ -103,21 +101,18 @@ impl AiSystem for AdaptiveScreener {
         // Training rows pair the screener's *previous* knowledge of the
         // track record with this round's credential and outcome, hired
         // applicants only.
-        for i in 0..feedback.actions.len() {
+        let cred = feedback.visible.col(VISIBLE_CREDENTIAL);
+        for (i, &action) in feedback.actions.iter().enumerate() {
             if feedback.signals[i] > 0.0 {
-                self.train_rows.push_row(&[
-                    self.prev_track[i],
-                    feedback.visible.row(i)[VISIBLE_CREDENTIAL],
-                ]);
-                self.train_labels.push(feedback.actions[i]);
+                self.train_rows.push_row(&[self.prev_track[i], cred[i]]);
+                self.train_labels.push(action);
             }
         }
         self.prev_track.clone_from(&feedback.per_user);
 
         if !self.train_labels.is_empty() {
-            let data = eqimpact_ml::Dataset::from_flat(
-                self.train_rows.width(),
-                self.train_rows.as_slice(),
+            let data = eqimpact_ml::Dataset::from_columns(
+                &self.train_rows.col_slices(),
                 &self.train_labels,
             )
             .expect("rows built consistently");
@@ -167,26 +162,26 @@ impl AiSystem for AdaptiveScreener {
 }
 
 impl ShardableAi for AdaptiveScreener {
-    fn signals_rows(&self, k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-        for (j, i) in visible.rows().enumerate() {
-            out[j] = if k < self.warmup_rounds {
-                1.0
-            } else {
-                match &self.model {
-                    None => 1.0, // no model yet: keep hiring
-                    Some(m) => {
-                        // Applicants beyond the last feedback carry a
-                        // clean record, matching the retrain sizing.
-                        let prev = self.prev_track.get(i).copied().unwrap_or(1.0);
-                        let features = [prev, visible.row(i)[VISIBLE_CREDENTIAL]];
-                        if m.linear_score(&features) >= self.cutoff {
-                            1.0
-                        } else {
-                            0.0
-                        }
-                    }
-                }
-            };
+    fn signals_batch(&self, k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        if k < self.warmup_rounds || self.model.is_none() {
+            // Warmup, or no model yet: keep hiring.
+            for o in out.iter_mut() {
+                *o = 1.0;
+            }
+            return;
+        }
+        let m = self.model.as_ref().expect("checked above");
+        // Applicants beyond the last feedback carry a clean record,
+        // matching the retrain sizing; the whole lane is then scored in
+        // one batched pass.
+        let prev: Vec<f64> = visible
+            .rows()
+            .map(|i| self.prev_track.get(i).copied().unwrap_or(1.0))
+            .collect();
+        let mut scores = vec![0.0; out.len()];
+        m.linear_scores_into(&[&prev, visible.col(VISIBLE_CREDENTIAL)], &mut scores);
+        for (o, &s) in out.iter_mut().zip(&scores) {
+            *o = if s >= self.cutoff { 1.0 } else { 0.0 };
         }
     }
 }
@@ -204,19 +199,15 @@ impl CredentialScreener {
 
 impl AiSystem for CredentialScreener {
     fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
-        out.clear();
-        out.resize(visible.row_count(), 0.0);
-        self.signals_rows(k, full_rows(visible), out);
+        self.signals_full(k, visible, out);
     }
 
     fn retrain(&mut self, _k: usize, _feedback: &Feedback) {}
 }
 
 impl ShardableAi for CredentialScreener {
-    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-        for (j, i) in visible.rows().enumerate() {
-            out[j] = visible.row(i)[VISIBLE_CREDENTIAL];
-        }
+    fn signals_batch(&self, _k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        out.copy_from_slice(visible.col(VISIBLE_CREDENTIAL));
     }
 }
 

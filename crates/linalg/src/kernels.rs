@@ -1,0 +1,186 @@
+//! Chunked batch kernels for column-major (struct-of-arrays) hot paths.
+//!
+//! These are the primitive loops the workspace's columnar feature plane is
+//! built on: a score vector is produced by `fill` + one `axpy` per feature
+//! column + `offset` for the intercept, instead of a per-row dot product
+//! over a gathered row slice.
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel performs the *same per-element fold* as the row-major code
+//! it replaces, in the same order:
+//!
+//! * `axpy` adds `a * x[i]` onto `out[i]` — one product, one addition per
+//!   element, no fused multiply-add, no reassociation. Applying `axpy`
+//!   once per column (in column order) after `fill(out, 0.0)` therefore
+//!   reproduces the row-major left fold
+//!   `((0.0 + a₀x₀) + a₁x₁) + …` bitwise.
+//! * `offset` adds `c` onto every element — bitwise the `intercept + Σ`
+//!   shape of a scalar linear predictor (IEEE addition is commutative at
+//!   the bit level).
+//! * `dot_seq` / `sum_seq` use a single sequential accumulator (no lane
+//!   splitting), so they match the scalar `iter().zip().map().sum()` and
+//!   `iter().sum()` folds bitwise.
+//!
+//! The element-wise kernels process `LANES` elements per iteration purely
+//! to expose independent operations to the optimizer; because each element
+//! only ever touches its own accumulator slot, the lane width cannot
+//! change results.
+
+/// Elements processed per unrolled iteration in the element-wise kernels.
+pub const LANES: usize = 8;
+
+/// Sets every element of `out` to `v`.
+pub fn fill(out: &mut [f64], v: f64) {
+    for o in out.iter_mut() {
+        *o = v;
+    }
+}
+
+/// `out[i] += c` for every element.
+///
+/// Matches the scalar `intercept + acc` shape bit-for-bit — IEEE-754
+/// addition is commutative at the bit level (sign, rounding and zero
+/// handling included), so finishing a batched linear predictor with
+/// `offset` equals the per-row formula exactly.
+pub fn offset(out: &mut [f64], c: f64) {
+    let mut chunks = out.chunks_exact_mut(LANES);
+    for o in &mut chunks {
+        for v in o.iter_mut() {
+            *v += c;
+        }
+    }
+    for o in chunks.into_remainder() {
+        *o += c;
+    }
+}
+
+/// `out[i] += a * x[i]` for every element (BLAS `axpy` over slices).
+///
+/// # Panics
+///
+/// Panics if `out` and `x` differ in length.
+pub fn axpy(out: &mut [f64], a: f64, x: &[f64]) {
+    assert_eq!(out.len(), x.len(), "axpy: length mismatch");
+    let mut out_chunks = out.chunks_exact_mut(LANES);
+    let mut x_chunks = x.chunks_exact(LANES);
+    for (o, xs) in (&mut out_chunks).zip(&mut x_chunks) {
+        for l in 0..LANES {
+            o[l] += a * xs[l];
+        }
+    }
+    for (o, &v) in out_chunks
+        .into_remainder()
+        .iter_mut()
+        .zip(x_chunks.remainder())
+    {
+        *o += a * v;
+    }
+}
+
+/// Strictly sequential dot product: `Σᵢ a[i] * b[i]` with a single
+/// accumulator, matching the scalar `zip().map().sum()` fold bitwise.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_seq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot_seq: length mismatch");
+    let mut acc = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Strictly sequential sum with a single accumulator, matching the scalar
+/// `iter().sum()` fold bitwise.
+pub fn sum_seq(a: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &v in a {
+        acc += v;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_matches_scalar_fold_bitwise() {
+        // 19 elements: two full lanes plus a remainder of 3.
+        let x: Vec<f64> = (0..19).map(|i| (i as f64).sin() * 3.0).collect();
+        let y: Vec<f64> = (0..19).map(|i| (i as f64).cos() * 0.7).collect();
+        let a = 1.375e-3;
+        let mut out = y.clone();
+        axpy(&mut out, a, &x);
+        for i in 0..19 {
+            assert_eq!(out[i].to_bits(), (y[i] + a * x[i]).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "axpy: length mismatch")]
+    fn axpy_checks_lengths() {
+        axpy(&mut [0.0; 3], 1.0, &[1.0; 4]);
+    }
+
+    #[test]
+    fn fill_and_offset() {
+        let mut out = vec![f64::NAN; 11];
+        fill(&mut out, 2.0);
+        assert!(out.iter().all(|&v| v == 2.0));
+        offset(&mut out, -0.5);
+        assert!(out.iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn offset_matches_scalar_order() {
+        let vals: Vec<f64> = (0..10).map(|i| 0.1 * i as f64).collect();
+        let mut out = vals.clone();
+        let c = 0.3;
+        offset(&mut out, c);
+        for i in 0..10 {
+            assert_eq!(out[i].to_bits(), (c + vals[i]).to_bits());
+        }
+    }
+
+    #[test]
+    fn column_axpy_sweep_matches_row_dot_bitwise() {
+        // The contract the columnar feature plane relies on: fill + axpy
+        // per column + offset reproduces the per-row
+        // `intercept + zip().map().sum()` fold exactly.
+        let rows = 37;
+        let cols: Vec<Vec<f64>> = (0..3)
+            .map(|j| {
+                (0..rows)
+                    .map(|i| ((i * 7 + j * 13) as f64).sin() * 2.0)
+                    .collect()
+            })
+            .collect();
+        let coef = [0.25, -1.5, 3.0e-2];
+        let intercept = -0.125;
+        let mut out = vec![f64::NAN; rows];
+        fill(&mut out, 0.0);
+        for (b, col) in coef.iter().zip(&cols) {
+            axpy(&mut out, *b, col);
+        }
+        offset(&mut out, intercept);
+        for i in 0..rows {
+            let row: Vec<f64> = cols.iter().map(|c| c[i]).collect();
+            let scalar = intercept + coef.iter().zip(&row).map(|(b, v)| b * v).sum::<f64>();
+            assert_eq!(out[i].to_bits(), scalar.to_bits());
+        }
+    }
+
+    #[test]
+    fn dot_and_sum_are_sequential() {
+        let a: Vec<f64> = (0..13).map(|i| 1.0 / (i + 1) as f64).collect();
+        let b: Vec<f64> = (0..13).map(|i| (i as f64) * 0.3).collect();
+        let scalar: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot_seq(&a, &b).to_bits(), scalar.to_bits());
+        let s: f64 = a.iter().sum();
+        assert_eq!(sum_seq(&a).to_bits(), s.to_bits());
+    }
+}

@@ -8,7 +8,8 @@
 //!
 //! The central types are [`Vector`] and [`Matrix`] (row-major, `f64`).
 //! Factorizations live in [`lu`] and [`cholesky`]; iterative spectral
-//! methods in [`power`].
+//! methods in [`power`]. Chunked batch kernels for the columnar feature
+//! plane (slice-level `axpy`/`offset`/`fill`) live in [`kernels`].
 //!
 //! # Example
 //!
@@ -26,6 +27,7 @@
 
 pub mod cholesky;
 pub mod error;
+pub mod kernels;
 pub mod lu;
 pub mod matrix;
 pub mod norm;

@@ -1,6 +1,14 @@
-//! Labeled design matrices.
+//! Labeled design matrices, stored column-major.
+//!
+//! Since the columnar feature-plane redesign the dataset keeps one flat
+//! buffer per feature column (struct-of-arrays) instead of a row-major
+//! [`eqimpact_linalg::Matrix`]. Training and scoring walk whole columns
+//! through the `eqimpact_linalg::kernels` batch primitives, and the hot
+//! retrain paths build datasets straight from
+//! `eqimpact_core::features::FeatureMatrix` column slices with
+//! [`Dataset::from_columns`] — no transpose, no per-row gather.
 
-use eqimpact_linalg::{Matrix, Vector};
+use eqimpact_linalg::{kernels, Vector};
 use std::fmt;
 
 /// Errors from dataset construction.
@@ -51,11 +59,11 @@ impl fmt::Display for DatasetError {
 
 impl std::error::Error for DatasetError {}
 
-/// A binary-labeled dataset: feature matrix `X` (no intercept column — the
+/// A binary-labeled dataset: feature columns `X` (no intercept column — the
 /// model adds it) plus labels `y ∈ {0, 1}`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
-    x: Matrix,
+    cols: Vec<Vec<f64>>,
     y: Vector,
 }
 
@@ -83,16 +91,45 @@ impl Dataset {
     }
 
     /// Builds a dataset from an already-flat row-major feature buffer of
-    /// `labels.len()` rows by `width` columns (one copy of `flat`, no
-    /// nested-row traversal) — for callers that keep their features flat,
-    /// e.g. `eqimpact_core::features::FeatureMatrix::as_slice`.
+    /// `labels.len()` rows by `width` columns, for callers that keep their
+    /// features flat.
     pub fn from_flat(width: usize, flat: &[f64], labels: &[f64]) -> Result<Self, DatasetError> {
         Self::from_flat_buffer(width, flat.to_vec(), labels)
     }
 
-    /// All cell and label validation lives here; both public constructors
-    /// delegate to it, and the buffer they pass in becomes the design
-    /// matrix storage directly (no second copy past this point).
+    /// Builds a dataset straight from per-feature column slices — the
+    /// zero-transpose constructor for columnar callers such as
+    /// `FeatureMatrix::col_slices()`. Each column must have
+    /// `labels.len()` entries.
+    pub fn from_columns(cols: &[&[f64]], labels: &[f64]) -> Result<Self, DatasetError> {
+        if labels.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        for col in cols {
+            if col.len() != labels.len() {
+                return Err(DatasetError::LengthMismatch {
+                    rows: col.len(),
+                    labels: labels.len(),
+                });
+            }
+        }
+        for i in 0..labels.len() {
+            for (j, col) in cols.iter().enumerate() {
+                if !col[i].is_finite() {
+                    return Err(DatasetError::NonFiniteFeature { row: i, col: j });
+                }
+            }
+        }
+        validate_labels(labels)?;
+        Ok(Dataset {
+            cols: cols.iter().map(|c| c.to_vec()).collect(),
+            y: Vector::from_slice(labels),
+        })
+    }
+
+    /// All cell and label validation for the row-major constructors lives
+    /// here; the validated buffer is then transposed once into the
+    /// column-major storage.
     fn from_flat_buffer(
         width: usize,
         flat: Vec<f64>,
@@ -117,35 +154,44 @@ impl Dataset {
                 });
             }
         }
-        for (i, &l) in labels.iter().enumerate() {
-            if l != 0.0 && l != 1.0 {
-                return Err(DatasetError::NonBinaryLabel { index: i });
+        validate_labels(labels)?;
+        let n = labels.len();
+        let mut cols = vec![Vec::with_capacity(n); width];
+        for row in flat.chunks_exact(width.max(1)) {
+            for (col, &v) in cols.iter_mut().zip(row) {
+                col.push(v);
             }
         }
         Ok(Dataset {
-            x: Matrix::from_vec(labels.len(), width, flat).expect("consistent by construction"),
+            cols,
             y: Vector::from_slice(labels),
         })
     }
 
     /// Number of observations.
     pub fn len(&self) -> usize {
-        self.x.rows()
+        self.y.len()
     }
 
     /// Whether the dataset has no rows (never true for constructed values).
     pub fn is_empty(&self) -> bool {
-        self.x.rows() == 0
+        self.y.len() == 0
     }
 
     /// Number of features (without intercept).
     pub fn feature_count(&self) -> usize {
-        self.x.cols()
+        self.cols.len()
     }
 
-    /// The feature matrix.
-    pub fn features(&self) -> &Matrix {
-        &self.x
+    /// Feature column `j` as a contiguous slice.
+    pub fn feature_col(&self, j: usize) -> &[f64] {
+        &self.cols[j]
+    }
+
+    /// All feature columns, in order — the shape the batch kernels and
+    /// `LogisticModel::linear_scores_into` consume.
+    pub fn feature_columns(&self) -> Vec<&[f64]> {
+        self.cols.iter().map(|c| c.as_slice()).collect()
     }
 
     /// The labels.
@@ -153,9 +199,10 @@ impl Dataset {
         &self.y
     }
 
-    /// Feature row `i`.
-    pub fn row(&self, i: usize) -> &[f64] {
-        self.x.row_slice(i)
+    /// Feature row `i`, gathered across columns (inspection/test
+    /// convenience; the hot paths stay columnar).
+    pub fn row(&self, i: usize) -> Vec<f64> {
+        self.cols.iter().map(|c| c[i]).collect()
     }
 
     /// Fraction of positive labels.
@@ -164,7 +211,8 @@ impl Dataset {
     }
 
     /// Concatenates another dataset with the same width below this one —
-    /// the "accumulating the training data" filter of Fig. 1.
+    /// the "accumulating the training data" filter of Fig. 1. Column-major
+    /// storage makes this a per-column `extend_from_slice`.
     ///
     /// # Panics
     /// Panics when widths differ.
@@ -174,39 +222,36 @@ impl Dataset {
             other.feature_count(),
             "Dataset::extend: width mismatch"
         );
-        let mut rows: Vec<Vec<f64>> = (0..self.len()).map(|i| self.row(i).to_vec()).collect();
-        rows.extend((0..other.len()).map(|i| other.row(i).to_vec()));
+        for (col, oc) in self.cols.iter_mut().zip(&other.cols) {
+            col.extend_from_slice(oc);
+        }
         let mut labels: Vec<f64> = self.y.as_slice().to_vec();
         labels.extend_from_slice(other.y.as_slice());
-        *self = Dataset::new(&rows, &labels).expect("both datasets were valid");
+        self.y = Vector::from_slice(&labels);
     }
 
     /// Per-column mean and standard deviation (population), used for
     /// standardization. Degenerate columns (zero spread) report sd = 1 so
-    /// that standardization is a no-op on them.
+    /// that standardization is a no-op on them. Accumulation runs over each
+    /// column in row order, so results are bit-identical to the old
+    /// row-major sweep.
     pub fn column_stats(&self) -> (Vec<f64>, Vec<f64>) {
         let n = self.len() as f64;
-        let d = self.feature_count();
-        let mut means = vec![0.0; d];
-        for i in 0..self.len() {
-            for (j, &v) in self.row(i).iter().enumerate() {
-                means[j] += v;
-            }
+        let mut means = Vec::with_capacity(self.cols.len());
+        for col in &self.cols {
+            means.push(kernels::sum_seq(col) / n);
         }
-        for m in &mut means {
-            *m /= n;
-        }
-        let mut sds = vec![0.0; d];
-        for i in 0..self.len() {
-            for (j, &v) in self.row(i).iter().enumerate() {
-                sds[j] += (v - means[j]) * (v - means[j]);
+        let mut sds = Vec::with_capacity(self.cols.len());
+        for (col, &m) in self.cols.iter().zip(&means) {
+            let mut s = 0.0;
+            for &v in col {
+                s += (v - m) * (v - m);
             }
-        }
-        for s in &mut sds {
-            *s = (*s / n).sqrt();
-            if *s < 1e-12 {
-                *s = 1.0;
+            s = (s / n).sqrt();
+            if s < 1e-12 {
+                s = 1.0;
             }
+            sds.push(s);
         }
         (means, sds)
     }
@@ -215,18 +260,27 @@ impl Dataset {
     /// `(means, sds)` used, so predictions can apply the same transform.
     pub fn standardized(&self) -> (Dataset, Vec<f64>, Vec<f64>) {
         let (means, sds) = self.column_stats();
-        let rows: Vec<Vec<f64>> = (0..self.len())
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &v)| (v - means[j]) / sds[j])
-                    .collect()
-            })
+        let cols: Vec<Vec<f64>> = self
+            .cols
+            .iter()
+            .enumerate()
+            .map(|(j, col)| col.iter().map(|&v| (v - means[j]) / sds[j]).collect())
             .collect();
-        let ds = Dataset::new(&rows, self.y.as_slice()).expect("transform preserves validity");
+        let ds = Dataset {
+            cols,
+            y: self.y.clone(),
+        };
         (ds, means, sds)
     }
+}
+
+fn validate_labels(labels: &[f64]) -> Result<(), DatasetError> {
+    for (i, &l) in labels.iter().enumerate() {
+        if l != 0.0 && l != 1.0 {
+            return Err(DatasetError::NonBinaryLabel { index: i });
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -249,6 +303,44 @@ mod tests {
         assert_eq!(ds.row(1), &[3.0, 4.0]);
         assert!((ds.positive_rate() - 2.0 / 3.0).abs() < 1e-15);
         assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn storage_is_columnar() {
+        let ds = toy();
+        assert_eq!(ds.feature_col(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(ds.feature_col(1), &[2.0, 4.0, 6.0]);
+        let cols = ds.feature_columns();
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[1], &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn from_columns_matches_row_constructor() {
+        let by_rows = toy();
+        let by_cols =
+            Dataset::from_columns(&[&[1.0, 3.0, 5.0], &[2.0, 4.0, 6.0]], &[0.0, 1.0, 1.0]).unwrap();
+        assert_eq!(by_rows, by_cols);
+    }
+
+    #[test]
+    fn from_columns_rejects_invalid_inputs() {
+        assert_eq!(
+            Dataset::from_columns(&[], &[]).unwrap_err(),
+            DatasetError::Empty
+        );
+        assert!(matches!(
+            Dataset::from_columns(&[&[1.0, 2.0][..]], &[0.0]).unwrap_err(),
+            DatasetError::LengthMismatch { rows: 2, labels: 1 }
+        ));
+        assert!(matches!(
+            Dataset::from_columns(&[&[0.0][..], &[f64::NAN][..]], &[0.0]).unwrap_err(),
+            DatasetError::NonFiniteFeature { row: 0, col: 1 }
+        ));
+        assert!(matches!(
+            Dataset::from_columns(&[&[1.0][..]], &[0.25]).unwrap_err(),
+            DatasetError::NonBinaryLabel { index: 0 }
+        ));
     }
 
     #[test]
@@ -279,6 +371,7 @@ mod tests {
         a.extend(&b);
         assert_eq!(a.len(), 4);
         assert_eq!(a.row(3), &[7.0, 8.0]);
+        assert_eq!(a.feature_col(0), &[1.0, 3.0, 5.0, 7.0]);
         assert_eq!(a.labels()[3], 0.0);
     }
 

@@ -8,7 +8,7 @@
 
 use crate::dataset::Dataset;
 use eqimpact_linalg::cholesky::solve_spd_with_ridge;
-use eqimpact_linalg::{Matrix, Vector};
+use eqimpact_linalg::{kernels, Matrix, Vector};
 use std::fmt;
 
 /// Training-time failures.
@@ -124,14 +124,49 @@ impl LogisticModel {
         }
     }
 
-    /// Average log-loss on a dataset.
+    /// Batched linear predictor over columnar features:
+    /// `out[i] = β₀ + Σⱼ βⱼ · colsⱼ[i]`.
+    ///
+    /// This is the hot-path twin of [`Self::linear_score`]: one
+    /// `kernels::axpy` pass per feature column plus a `kernels::offset`
+    /// for the intercept, bit-identical to calling `linear_score` on each
+    /// gathered row (same per-element fold, no reassociation).
+    ///
+    /// # Panics
+    /// Panics when the number of columns differs from the number of
+    /// coefficients, or when any column's length differs from `out`'s.
+    pub fn linear_scores_into(&self, cols: &[&[f64]], out: &mut [f64]) {
+        assert_eq!(
+            cols.len(),
+            self.coefficients.len(),
+            "linear_scores_into: column count mismatch"
+        );
+        kernels::fill(out, 0.0);
+        for (b, col) in self.coefficients.iter().zip(cols) {
+            kernels::axpy(out, *b, col);
+        }
+        kernels::offset(out, self.intercept);
+    }
+
+    /// Batched predicted probabilities: [`Self::linear_scores_into`]
+    /// followed by an in-place sigmoid.
+    pub fn predict_probas_into(&self, cols: &[&[f64]], out: &mut [f64]) {
+        self.linear_scores_into(cols, out);
+        for v in out.iter_mut() {
+            *v = sigmoid(*v);
+        }
+    }
+
+    /// Average log-loss on a dataset, scored through the batch kernels.
     pub fn log_loss(&self, data: &Dataset) -> f64 {
         let n = data.len();
+        let mut scores = vec![0.0; n];
+        self.linear_scores_into(&data.feature_columns(), &mut scores);
+        let y = data.labels();
         let mut total = 0.0;
-        for i in 0..n {
-            let p = self.predict_proba(data.row(i)).clamp(1e-12, 1.0 - 1e-12);
-            let y = data.labels()[i];
-            total -= y * p.ln() + (1.0 - y) * (1.0 - p).ln();
+        for (i, &s) in scores.iter().enumerate() {
+            let p = sigmoid(s).clamp(1e-12, 1.0 - 1e-12);
+            total -= y[i] * p.ln() + (1.0 - y[i]) * (1.0 - p).ln();
         }
         total / n as f64
     }
@@ -151,18 +186,11 @@ impl LogisticRegression {
             return Err(TrainError::DegenerateLabels);
         }
 
-        // Design matrix with intercept column.
-        let x = Matrix::from_fn(
-            n,
-            d + 1,
-            |i, j| {
-                if j == 0 {
-                    1.0
-                } else {
-                    data.row(i)[j - 1]
-                }
-            },
-        );
+        // The design matrix stays implicit: the intercept column is all
+        // ones, and the feature columns come straight from the columnar
+        // dataset storage.
+        let cols = data.feature_columns();
+        let xat = |i: usize, j: usize| if j == 0 { 1.0 } else { cols[j - 1][i] };
         let y = data.labels();
 
         let mut beta = Vector::zeros(d + 1);
@@ -172,29 +200,54 @@ impl LogisticRegression {
 
         let mut iterations = 0usize;
         let mut converged = false;
+        let mut eta = vec![0.0; n];
+        let mut p = vec![0.0; n];
+        let mut w = vec![0.0; n];
+        let mut resid = vec![0.0; n];
 
         for _ in 0..self.max_iter {
             iterations += 1;
+            // η = X β through the batch kernels: per element this is the
+            // same left fold as a row-major mat-vec, one column at a time.
+            kernels::fill(&mut eta, 0.0);
+            kernels::offset(&mut eta, beta[0]);
+            for (j, col) in cols.iter().enumerate() {
+                kernels::axpy(&mut eta, beta[j + 1], col);
+            }
             // p = σ(X β); W = diag(p (1 - p)).
-            let eta = x.mat_vec(&beta);
-            let p = eta.map(sigmoid);
-            let w = p.map(|q| (q * (1.0 - q)).max(1e-10));
-            // Gradient of penalized log-likelihood: Xᵀ(y − p) − λβ.
-            let resid = y.checked_sub(&p).expect("same length");
-            let mut grad = x.transpose_mat_vec(&resid);
-            grad.axpy(-self.ridge, &beta).expect("same length");
-            // Hessian: Xᵀ W X + λI.
-            let mut h = Matrix::zeros(d + 1, d + 1);
             for i in 0..n {
-                let row = x.row_slice(i);
-                let wi = w[i];
+                p[i] = sigmoid(eta[i]);
+                w[i] = (p[i] * (1.0 - p[i])).max(1e-10);
+                resid[i] = y[i] - p[i];
+            }
+            // Gradient of penalized log-likelihood: Xᵀ(y − p) − λβ.
+            // Accumulates over rows in ascending order with a skip on
+            // zero residuals, exactly like the row-major transpose
+            // mat-vec it replaces (skipping vs adding a signed zero can
+            // differ bitwise, so the skip is part of the contract).
+            let mut grad = Vector::zeros(d + 1);
+            for a in 0..=d {
+                let mut acc = 0.0;
+                for (i, &vi) in resid.iter().enumerate() {
+                    if vi == 0.0 {
+                        continue;
+                    }
+                    acc += vi * xat(i, a);
+                }
+                grad[a] = acc;
+            }
+            grad.axpy(-self.ridge, &beta).expect("same length");
+            // Hessian: Xᵀ W X + λI, same row-outer accumulation order as
+            // the dense design-matrix loop.
+            let mut h = Matrix::zeros(d + 1, d + 1);
+            for (i, &wi) in w.iter().enumerate() {
                 for a in 0..=d {
-                    let ra = row[a] * wi;
+                    let ra = xat(i, a) * wi;
                     if ra == 0.0 {
                         continue;
                     }
                     for b in 0..=d {
-                        h[(a, b)] += ra * row[b];
+                        h[(a, b)] += ra * xat(i, b);
                     }
                 }
             }
@@ -387,6 +440,35 @@ mod tests {
             "income coef = {}",
             model.coefficients[1]
         );
+    }
+
+    #[test]
+    fn batch_scores_match_per_row_bitwise() {
+        let data = synthetic(500, 0.25, &[1.5, -0.75], 9);
+        let model = LogisticRegression::default().fit(&data).unwrap();
+        let cols = data.feature_columns();
+        let mut scores = vec![f64::NAN; data.len()];
+        model.linear_scores_into(&cols, &mut scores);
+        let mut probas = vec![f64::NAN; data.len()];
+        model.predict_probas_into(&cols, &mut probas);
+        for i in 0..data.len() {
+            let row = data.row(i);
+            assert_eq!(scores[i].to_bits(), model.linear_score(&row).to_bits());
+            assert_eq!(probas[i].to_bits(), model.predict_proba(&row).to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn batch_scores_check_column_count() {
+        let model = LogisticModel {
+            intercept: 0.0,
+            coefficients: vec![1.0, 2.0],
+            iterations: 0,
+            converged: true,
+        };
+        let mut out = [0.0; 2];
+        model.linear_scores_into(&[&[1.0, 2.0]], &mut out);
     }
 
     #[test]

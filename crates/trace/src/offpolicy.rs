@@ -348,7 +348,7 @@ mod tests {
     impl AiSystem for EchoAi {
         fn signals_into(&mut self, _k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
             out.clear();
-            out.extend(visible.rows().map(|row| row[0]));
+            out.extend_from_slice(visible.col(0));
         }
         fn retrain(&mut self, _k: usize, _feedback: &Feedback) {
             self.retrains += 1;

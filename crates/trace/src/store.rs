@@ -278,7 +278,6 @@ pub struct TraceWriter<W: Write> {
     payload: Vec<u8>,
     block: Vec<u8>,
     words: Vec<u64>,
-    column: Vec<f64>,
 }
 
 impl<W: Write> TraceWriter<W> {
@@ -297,7 +296,6 @@ impl<W: Write> TraceWriter<W> {
             payload: Vec::new(),
             block: Vec::new(),
             words: Vec::new(),
-            column: Vec::new(),
         })
     }
 
@@ -345,14 +343,12 @@ impl<W: Write> TraceWriter<W> {
         write_varint(&mut self.payload, n as u64);
         write_varint(&mut self.payload, visible.width() as u64);
         let mut block = std::mem::take(&mut self.block);
-        // One column per visible feature (strided gather: interleaved
-        // features would destroy delta locality), then the three
-        // per-user channels.
+        // One column per visible feature — the run's columnar layout is
+        // already the trace layout, so each column encodes straight from
+        // its storage with no gather — then the three per-user channels.
         for j in 0..visible.width() {
-            self.column.clear();
-            self.column.extend((0..n).map(|i| visible.row(i)[j]));
             block.clear();
-            encode_f64_column(&self.column, &mut self.words, &mut block);
+            encode_f64_column(visible.col(j), &mut self.words, &mut block);
             write_varint(&mut self.payload, block.len() as u64);
             self.payload.extend_from_slice(&block);
         }
@@ -818,9 +814,7 @@ fn decode_step(
     frame.visible.reshape(rows, width);
     for j in 0..width {
         channel(&mut pos, rows, words, column)?;
-        for (i, &v) in column.iter().enumerate() {
-            frame.visible.row_mut(i)[j] = v;
-        }
+        frame.visible.col_mut(j).copy_from_slice(column);
     }
     channel(&mut pos, rows, words, &mut frame.signals)?;
     channel(&mut pos, rows, words, &mut frame.actions)?;

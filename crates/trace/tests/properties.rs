@@ -111,7 +111,7 @@ proptest! {
         for (k, (visible, signals, actions, filtered)) in step_data.iter().enumerate() {
             prop_assert!(reader.next_step(&mut frame).expect("step"));
             prop_assert_eq!(frame.step, k);
-            prop_assert_eq!(bits(frame.visible.as_slice()), bits(visible));
+            prop_assert_eq!(bits(&frame.visible.to_row_major()), bits(visible));
             prop_assert_eq!(bits(&frame.signals), bits(signals));
             prop_assert_eq!(bits(&frame.actions), bits(actions));
             prop_assert_eq!(bits(&frame.filtered), bits(filtered));

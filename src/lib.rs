@@ -35,7 +35,7 @@ pub mod prelude {
         ScenarioConfig, ScenarioError, ScenarioReport,
     };
     pub use eqimpact_core::shard::{
-        full_rows, shard_bounds, PopulationShard, RowStreams, RowsMut, RowsView, ShardableAi,
+        full_cols, shard_bounds, ColsMut, ColsView, PopulationShard, RowStreams, ShardableAi,
         ShardablePopulation, ShardedRunner,
     };
     pub use eqimpact_core::trials::{run_trials, run_trials_with, run_trials_with_budget};

@@ -1,0 +1,209 @@
+//! Columnar parity: the batched column path must be bit-identical —
+//! `LoopRecord`s AND EQTRACE1 bytes — to a row-at-a-time baseline that
+//! scores through single-row views in the pre-redesign row-major order,
+//! across shard counts (1, 4, 16) and record policies (Full, Thin), for
+//! both paper scenarios (credit and hiring). The scoring-kernel leg of
+//! the claim (batched `linear_scores_into` ≡ per-row gather + dot fold)
+//! is a property test over random matrices and models.
+
+use eqimpact_core::closed_loop::{AiSystem, Feedback, LoopBuilder};
+use eqimpact_core::features::FeatureMatrix;
+use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
+use eqimpact_core::scenario::Scale;
+use eqimpact_core::shard::{ColsView, ShardableAi};
+use eqimpact_credit::adr::AdrFilter;
+use eqimpact_credit::lender::ScorecardLender;
+use eqimpact_credit::users::CreditPopulation;
+use eqimpact_hiring::applicants::ApplicantPool;
+use eqimpact_hiring::screener::AdaptiveScreener;
+use eqimpact_hiring::track::TrackRecordFilter;
+use eqimpact_ml::logistic::LogisticModel;
+use eqimpact_stats::SimRng;
+use eqimpact_trace::{TraceHeader, TraceStepSink, FORMAT_VERSION};
+use proptest::prelude::*;
+
+/// The row-major baseline: forwards every batch request one row at a
+/// time through single-row views, so the inner AI computes each score in
+/// exactly the per-row order the pre-redesign row-major sweep used. Any
+/// cross-row coupling the batched kernels might introduce (lane
+/// reassociation, shared accumulators) would break parity with this.
+struct RowAtATime<A>(A);
+
+impl<A: ShardableAi> AiSystem for RowAtATime<A> {
+    fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
+        self.signals_full(k, visible, out);
+    }
+    fn retrain(&mut self, k: usize, feedback: &Feedback) {
+        self.0.retrain(k, feedback);
+    }
+}
+
+impl<A: ShardableAi> ShardableAi for RowAtATime<A> {
+    fn signals_batch(&self, k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        for (j, i) in visible.rows().enumerate() {
+            let cols: Vec<&[f64]> = (0..visible.width())
+                .map(|c| &visible.col(c)[j..j + 1])
+                .collect();
+            let view = ColsView::new(cols, i..i + 1);
+            self.0.signals_batch(k, &view, &mut out[j..j + 1]);
+        }
+    }
+}
+
+proptest! {
+    /// Batched columnar scoring (`fill` → per-column `axpy` → `offset`)
+    /// reproduces the per-row `intercept + Σ βⱼxⱼ` fold bit-for-bit, on
+    /// full views and on the single-row views of the sharding limit.
+    #[test]
+    fn batched_scores_match_row_major_fold_bitwise(
+        n in 1usize..120,
+        width in 1usize..7,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut mat = FeatureMatrix::zeros(n, width);
+        for j in 0..width {
+            for cell in mat.col_mut(j).iter_mut() {
+                *cell = rng.uniform_in(-3.0, 3.0);
+            }
+        }
+        let model = LogisticModel {
+            intercept: rng.uniform_in(-1.0, 1.0),
+            coefficients: (0..width).map(|_| rng.uniform_in(-2.0, 2.0)).collect(),
+            iterations: 0,
+            converged: true,
+        };
+
+        // Row-major baseline: per-row gather + dot fold.
+        let mut buf = Vec::new();
+        let rowwise: Vec<u64> = (0..n)
+            .map(|i| {
+                mat.copy_row_into(i, &mut buf);
+                model.linear_score(&buf).to_bits()
+            })
+            .collect();
+
+        // Batched columnar path over the full matrix.
+        let mut batched = vec![0.0; n];
+        model.linear_scores_into(&mat.col_slices(), &mut batched);
+        let batched: Vec<u64> = batched.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&batched, &rowwise, "full-view batch diverged");
+
+        // Row-at-a-time through single-row views (the sharding limit).
+        let mut single = vec![0.0; n];
+        for (j, s) in single.iter_mut().enumerate() {
+            let cols: Vec<&[f64]> = (0..width).map(|c| &mat.col(c)[j..j + 1]).collect();
+            model.linear_scores_into(&cols, std::slice::from_mut(s));
+        }
+        let single: Vec<u64> = single.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(&single, &rowwise, "single-row batch diverged");
+    }
+}
+
+/// One header for every leg of a scenario (`shards` pinned to 1), so the
+/// compared EQTRACE1 byte streams can differ only in the per-step
+/// payload, never in recording metadata.
+fn header(scenario: &str, seed: u64, policy: RecordPolicy) -> TraceHeader {
+    TraceHeader {
+        version: FORMAT_VERSION,
+        scenario: scenario.to_string(),
+        variant: "columnar-parity".to_string(),
+        trial: 0,
+        scale: Scale::Quick,
+        seed,
+        shards: 1,
+        delay: 1,
+        policy,
+        checkpoints: false,
+    }
+}
+
+/// Runs one credit loop (`shards: None` = sequential `LoopRunner`),
+/// recording the trace to memory. Replicates `run_trial`'s stream
+/// derivation so the legs share populations.
+fn credit_leg<A: ShardableAi + 'static>(
+    ai: A,
+    policy: RecordPolicy,
+    shards: Option<usize>,
+) -> (LoopRecord, Vec<u8>) {
+    const SEED: u64 = 404;
+    let root = SimRng::new(SEED);
+    let mut pop_rng = root.split(1);
+    let mut loop_rng = root.split(2);
+    let population = CreditPopulation::generate(180, &mut pop_rng);
+    let builder = LoopBuilder::new(ai, population)
+        .filter(AdrFilter::new())
+        .delay(1)
+        .record(policy);
+    let mut sink =
+        TraceStepSink::new(Vec::new(), &header("credit", SEED, policy)).expect("in-memory trace");
+    let record = match shards {
+        None => builder.build().run_with_sink(10, &mut loop_rng, &mut sink),
+        Some(s) => builder
+            .shards(s)
+            .build_sharded()
+            .run_with_sink(10, &mut loop_rng, &mut sink),
+    };
+    (record, sink.finish().expect("trace finishes"))
+}
+
+/// The hiring analog of [`credit_leg`].
+fn hiring_leg<A: ShardableAi + 'static>(
+    ai: A,
+    policy: RecordPolicy,
+    shards: Option<usize>,
+) -> (LoopRecord, Vec<u8>) {
+    const SEED: u64 = 1_990;
+    let root = SimRng::new(SEED);
+    let mut pool_rng = root.split(1);
+    let mut loop_rng = root.split(2);
+    let pool = ApplicantPool::generate(150, &mut pool_rng);
+    let builder = LoopBuilder::new(ai, pool)
+        .filter(TrackRecordFilter::new())
+        .delay(1)
+        .record(policy);
+    let mut sink =
+        TraceStepSink::new(Vec::new(), &header("hiring", SEED, policy)).expect("in-memory trace");
+    let record = match shards {
+        None => builder.build().run_with_sink(8, &mut loop_rng, &mut sink),
+        Some(s) => builder
+            .shards(s)
+            .build_sharded()
+            .run_with_sink(8, &mut loop_rng, &mut sink),
+    };
+    (record, sink.finish().expect("trace finishes"))
+}
+
+#[test]
+fn credit_records_and_trace_bytes_match_row_major_baseline() {
+    for policy in [RecordPolicy::Full, RecordPolicy::Thin] {
+        let (ref_record, ref_bytes) =
+            credit_leg(RowAtATime(ScorecardLender::paper_default()), policy, None);
+        for shards in [1usize, 4, 16] {
+            let (record, bytes) =
+                credit_leg(ScorecardLender::paper_default(), policy, Some(shards));
+            assert_eq!(record, ref_record, "credit {shards} shards, {policy:?}");
+            assert_eq!(
+                bytes, ref_bytes,
+                "credit {shards} shards, {policy:?}: EQTRACE1 bytes differ"
+            );
+        }
+    }
+}
+
+#[test]
+fn hiring_records_and_trace_bytes_match_row_major_baseline() {
+    for policy in [RecordPolicy::Full, RecordPolicy::Thin] {
+        let (ref_record, ref_bytes) =
+            hiring_leg(RowAtATime(AdaptiveScreener::default_config()), policy, None);
+        for shards in [1usize, 4, 16] {
+            let (record, bytes) =
+                hiring_leg(AdaptiveScreener::default_config(), policy, Some(shards));
+            assert_eq!(record, ref_record, "hiring {shards} shards, {policy:?}");
+            assert_eq!(
+                bytes, ref_bytes,
+                "hiring {shards} shards, {policy:?}: EQTRACE1 bytes differ"
+            );
+        }
+    }
+}

@@ -22,8 +22,8 @@ impl UserPopulation for TwoClassUsers {
     }
     fn observe_into(&mut self, _k: usize, _rng: &mut SimRng, out: &mut FeatureMatrix) {
         out.reshape(self.classes.len(), 1);
-        for (i, &c) in self.classes.iter().enumerate() {
-            out.row_mut(i)[0] = c as f64;
+        for (cell, &c) in out.col_mut(0).iter_mut().zip(&self.classes) {
+            *cell = c as f64;
         }
     }
     fn respond(&mut self, _k: usize, signals: &[f64], rng: &mut SimRng) -> Vec<f64> {

@@ -9,8 +9,7 @@ use eqimpact::core::pool::WorkerPool;
 use eqimpact::core::recorder::{LoopRecord, RecordPolicy};
 use eqimpact::core::scenario::Scale;
 use eqimpact::core::shard::{
-    full_rows, shard_bounds, PopulationShard, RowStreams, RowsMut, RowsView, ShardableAi,
-    ShardablePopulation,
+    shard_bounds, ColsMut, ColsView, PopulationShard, RowStreams, ShardableAi, ShardablePopulation,
 };
 use eqimpact::stats::SimRng;
 use eqimpact::trace::{
@@ -30,11 +29,13 @@ struct SynthShard {
     width: usize,
 }
 
-fn observe(k: usize, streams: &RowStreams, mut out: RowsMut<'_>) {
-    for i in out.rows() {
+fn observe(k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
+    // Row-major draw order (all of row i's cells from row i's stream)
+    // even though the storage is columnar.
+    for (j, i) in out.rows().enumerate() {
         let mut rng = streams.for_row(i);
-        for cell in out.row_mut(i) {
-            *cell = rng.uniform() + 0.01 * k as f64;
+        for c in 0..out.width() {
+            out.col_mut(c)[j] = rng.uniform() + 0.01 * k as f64;
         }
     }
 }
@@ -54,11 +55,7 @@ impl UserPopulation for SynthUsers {
     fn observe_into(&mut self, k: usize, rng: &mut SimRng, out: &mut FeatureMatrix) {
         out.reshape(self.n, self.width);
         let streams = RowStreams::observe(rng, k);
-        observe(
-            k,
-            &streams,
-            RowsMut::new(out.as_mut_slice(), self.width, 0..self.n),
-        );
+        observe(k, &streams, &mut ColsMut::full(out));
     }
     fn respond_into(&mut self, k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
         out.clear();
@@ -94,7 +91,7 @@ impl PopulationShard for SynthShard {
     fn rows(&self) -> Range<usize> {
         self.rows.clone()
     }
-    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+    fn observe_cols(&mut self, k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
         observe(k, streams, out);
     }
     fn respond_rows(&mut self, _k: usize, signals: &[f64], streams: &RowStreams, out: &mut [f64]) {
@@ -111,9 +108,7 @@ struct SumAi {
 
 impl AiSystem for SumAi {
     fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
-        out.clear();
-        out.resize(visible.row_count(), 0.0);
-        self.signals_rows(k, full_rows(visible), out);
+        self.signals_full(k, visible, out);
     }
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
         self.level = feedback.aggregate;
@@ -121,9 +116,10 @@ impl AiSystem for SumAi {
 }
 
 impl ShardableAi for SumAi {
-    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-        for (j, i) in visible.rows().enumerate() {
-            out[j] = self.level + 0.2 * visible.row(i).iter().sum::<f64>();
+    fn signals_batch(&self, _k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            let sum: f64 = (0..visible.width()).map(|c| visible.col(c)[j]).sum();
+            *o = self.level + 0.2 * sum;
         }
     }
 }

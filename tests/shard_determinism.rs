@@ -8,8 +8,7 @@ use eqimpact_core::closed_loop::{AiSystem, Feedback, LoopBuilder, UserPopulation
 use eqimpact_core::features::FeatureMatrix;
 use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
 use eqimpact_core::shard::{
-    full_rows, shard_bounds, PopulationShard, RowStreams, RowsMut, RowsView, ShardableAi,
-    ShardablePopulation,
+    shard_bounds, ColsMut, ColsView, PopulationShard, RowStreams, ShardableAi, ShardablePopulation,
 };
 use eqimpact_credit::sim::{run_trial, CreditConfig, LenderKind};
 use eqimpact_stats::SimRng;
@@ -32,11 +31,12 @@ struct PropShard {
     bias: f64,
 }
 
-fn observe_prop(k: usize, bias: f64, streams: &RowStreams, mut out: RowsMut<'_>) {
-    for i in out.rows() {
+fn observe_prop(k: usize, bias: f64, streams: &RowStreams, out: &mut ColsMut<'_>) {
+    // Row-major draw order from row-keyed streams, columnar writes.
+    for (j, i) in out.rows().enumerate() {
         let mut rng = streams.for_row(i);
-        for (c, cell) in out.row_mut(i).iter_mut().enumerate() {
-            *cell = rng.uniform() + bias * (c + 1) as f64 + k as f64 * 0.01;
+        for c in 0..out.width() {
+            out.col_mut(c)[j] = rng.uniform() + bias * (c + 1) as f64 + k as f64 * 0.01;
         }
     }
 }
@@ -62,12 +62,7 @@ impl UserPopulation for PropUsers {
     fn observe_into(&mut self, k: usize, rng: &mut SimRng, out: &mut FeatureMatrix) {
         out.reshape(self.n, self.width);
         let streams = RowStreams::observe(rng, k);
-        observe_prop(
-            k,
-            self.bias,
-            &streams,
-            RowsMut::new(out.as_mut_slice(), self.width, 0..self.n),
-        );
+        observe_prop(k, self.bias, &streams, &mut ColsMut::full(out));
     }
     fn respond_into(&mut self, k: usize, signals: &[f64], rng: &mut SimRng, out: &mut Vec<f64>) {
         out.clear();
@@ -104,7 +99,7 @@ impl PopulationShard for PropShard {
     fn rows(&self) -> Range<usize> {
         self.rows.clone()
     }
-    fn observe_rows(&mut self, k: usize, streams: &RowStreams, out: RowsMut<'_>) {
+    fn observe_cols(&mut self, k: usize, streams: &RowStreams, out: &mut ColsMut<'_>) {
         observe_prop(k, self.bias, streams, out);
     }
     fn respond_rows(&mut self, _k: usize, signals: &[f64], streams: &RowStreams, out: &mut [f64]) {
@@ -123,9 +118,7 @@ struct GainAi {
 
 impl AiSystem for GainAi {
     fn signals_into(&mut self, k: usize, visible: &FeatureMatrix, out: &mut Vec<f64>) {
-        out.clear();
-        out.resize(visible.row_count(), 0.0);
-        self.signals_rows(k, full_rows(visible), out);
+        self.signals_full(k, visible, out);
     }
     fn retrain(&mut self, _k: usize, feedback: &Feedback) {
         self.level = 0.5 * self.level + 0.5 * feedback.aggregate;
@@ -133,10 +126,10 @@ impl AiSystem for GainAi {
 }
 
 impl ShardableAi for GainAi {
-    fn signals_rows(&self, _k: usize, visible: RowsView<'_>, out: &mut [f64]) {
-        for (j, i) in visible.rows().enumerate() {
-            let features: f64 = visible.row(i).iter().sum();
-            out[j] = self.level + self.gain * features;
+    fn signals_batch(&self, _k: usize, visible: &ColsView<'_>, out: &mut [f64]) {
+        for (j, o) in out.iter_mut().enumerate() {
+            let features: f64 = (0..visible.width()).map(|c| visible.col(c)[j]).sum();
+            *o = self.level + self.gain * features;
         }
     }
 }
