@@ -17,7 +17,11 @@
 //! the equivalent JSON dump. The counterfactual-lab bench (P7) writes
 //! `BENCH_sweep.json` (`BENCH_SWEEP_OUT`): checkpointed-replay vs
 //! re-simulate wall-clock plus the timing of a default-grid off-policy
-//! sweep over the recorded trace. The columnar bench (P8) writes
+//! sweep over the recorded trace. The certification bench (P9) writes
+//! `BENCH_certify.json` (`BENCH_CERTIFY_OUT`): certification wall-time
+//! over one checkpointed credit trace, split into its
+//! streaming-extraction and theory-analysis halves. The columnar
+//! bench (P8) writes
 //! `BENCH_columnar.json` (`BENCH_COLUMNAR_OUT`): batched column-kernel
 //! scoring versus a row-gathering baseline replicating the pre-redesign
 //! row-major hot path, on the same loop at the same scale.
@@ -498,6 +502,44 @@ fn bench_sweep(_c: &mut Criterion) {
     println!("perf/sweep: wrote {path}");
 }
 
+/// P9: the certification plane. Records one **checkpointed** credit
+/// trial to an in-memory trace, then times the plane over it: streaming
+/// extraction alone, the theory-analysis passes alone, and the full
+/// engine run. Self-measured through `eqimpact_bench::perf_certify` and
+/// exported to `BENCH_certify.json` (path overridable via
+/// `BENCH_CERTIFY_OUT`).
+fn bench_certify(_c: &mut Criterion) {
+    use eqimpact_bench::perf_certify;
+    use eqimpact_core::scenario::Scale as ScenarioScale;
+    use eqimpact_stats::json::ToJson;
+
+    let quick = criterion::is_quick();
+    let scale = if quick {
+        ScenarioScale::Quick
+    } else {
+        ScenarioScale::Paper
+    };
+    println!("\n-- group: perf/certify ({scale:?} checkpointed credit trial) --");
+    let r = perf_certify(scale, None);
+    println!(
+        "perf/certify/extract                               median {:>10.2} ms  ({} states, {} transitions)",
+        r.extract_ms, r.states, r.transitions
+    );
+    println!(
+        "perf/certify/analyze                               median {:>10.2} ms  ({} checks)",
+        r.analyze_ms, r.checks
+    );
+    println!(
+        "perf/certify/full_engine: {} bytes certified in {:.2} ms",
+        r.trace_bytes, r.certify_ms
+    );
+    let path = std::env::var("BENCH_CERTIFY_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_certify.json").to_string()
+    });
+    std::fs::write(&path, r.to_json().render_pretty()).expect("write BENCH_certify.json");
+    println!("perf/certify: wrote {path}");
+}
+
 /// Feature width of the columnar bench population: wide enough that the
 /// per-column kernel passes dominate the fixed loop overhead.
 const COLUMNAR_WIDTH: usize = 8;
@@ -813,6 +855,7 @@ criterion_group!(
     bench_sharded_loop,
     bench_trace_store,
     bench_sweep,
+    bench_certify,
     bench_columnar,
     bench_loop_step,
     bench_irls,

@@ -36,6 +36,15 @@
 //!       scenarios without sweep support. The ranking is deterministic:
 //!       same traces + same seed give the same report at any thread
 //!       count.
+//!   certify <scenario> [--traces DIR] [--seed N] [--threads N] [--out DIR]
+//!       The certification plane: extract the scenario's empirical
+//!       transition structure from every recorded trace under --traces
+//!       (default `traces/`) and run the theory passes over it —
+//!       primitivity, unique ergodicity + equal impact, contractivity,
+//!       Lyapunov stability, incremental ISS — writing a per-scenario
+//!       verdict artifact (JSON + text). Exits 3 for scenarios without
+//!       certify support. The artifact is byte-identical across runs and
+//!       thread counts for a fixed seed.
 //!
 //! Flags:
 //!   --quick      reduced CI scale instead of the paper's parameters
@@ -56,6 +65,7 @@
 //! known names instead of being silently ignored.
 
 use eqimpact_bench::registry;
+use eqimpact_certify::{run_certification, CertifyConfig};
 use eqimpact_core::pool::ThreadBudget;
 use eqimpact_core::scenario::{write_artifacts, DynScenario, Scale, ScenarioConfig};
 use eqimpact_lab::{run_sweep, CandidateGrid, FileTrace, SweepConfig, TraceSource};
@@ -72,6 +82,9 @@ const RECORD_FLAGS: &str = "--quick, --seed N, --shards N, --threads N, --out DI
 
 /// Flags accepted by `sweep`.
 const SWEEP_FLAGS: &str = "--traces DIR, --grid SPEC, --quick, --seed N, --threads N, --out DIR";
+
+/// Flags accepted by `certify`.
+const CERTIFY_FLAGS: &str = "--traces DIR, --seed N, --threads N, --out DIR";
 
 /// A CLI failure, carrying its exit status: 2 for usage/validation
 /// errors, 3 for "this scenario lacks the requested capability" — no
@@ -129,8 +142,9 @@ fn real_main() -> Result<(), CliError> {
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("certify") => cmd_certify(&args[1..]),
         Some(other) => Err(CliError::usage(format!(
-            "unknown command `{other}` (known commands: list, run, record, replay, sweep, help)"
+            "unknown command `{other}` (known commands: list, run, record, replay, sweep, certify, help)"
         ))),
     }
 }
@@ -151,6 +165,9 @@ fn print_usage() {
     println!("  experiments replay <trace> [--policy NAME] [--out DIR]");
     println!(
         "  experiments sweep <scenario> [--traces DIR] [--grid SPEC] [--quick] [--seed N] [--threads N] [--out DIR]"
+    );
+    println!(
+        "  experiments certify <scenario> [--traces DIR] [--seed N] [--threads N] [--out DIR]"
     );
     println!();
     println!("  --threads N caps the process-wide thread budget: trials x shards");
@@ -185,6 +202,38 @@ fn print_scenarios() {
             sweep.known_filters().join(", ")
         );
     }
+    println!();
+    println!("certifiable scenarios (experiments certify):");
+    for target in registry::certifies() {
+        let spec = target.spec();
+        println!(
+            "  {:<11} state range [{}, {}] in {} bins, model fields: {}",
+            target.name(),
+            spec.state_lo,
+            spec.state_hi,
+            spec.bins,
+            spec.model_fields.join(", ")
+        );
+    }
+}
+
+/// The `list --json` payload: one object per scenario (deterministically
+/// sorted by name) with its capability flags, so consumers — the CI
+/// smoke matrix — can gate record/sweep/certify legs without hardcoding
+/// scenario knowledge.
+fn list_json() -> String {
+    let entries: Vec<String> = registry::sorted_names()
+        .iter()
+        .map(|name| {
+            format!(
+                "{{\"name\":\"{name}\",\"trace\":{},\"sweep\":{},\"certify\":{}}}",
+                registry::find_tracer(name).is_some(),
+                registry::find_sweep(name).is_some(),
+                registry::find_certify(name).is_some(),
+            )
+        })
+        .collect();
+    format!("[{}]", entries.join(","))
 }
 
 fn cmd_list(args: &[String]) -> Result<(), CliError> {
@@ -194,11 +243,7 @@ fn cmd_list(args: &[String]) -> Result<(), CliError> {
             Ok(())
         }
         [flag] if flag == "--json" => {
-            let names: Vec<String> = registry::sorted_names()
-                .iter()
-                .map(|n| format!("\"{n}\""))
-                .collect();
-            println!("[{}]", names.join(","));
+            println!("{}", list_json());
             Ok(())
         }
         _ => Err(CliError::usage(format!(
@@ -554,10 +599,13 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
     let reader = TraceReader::new(&mut input as &mut dyn std::io::Read)
         .map_err(|e| CliError::usage(format!("{}: {e}", trace_path.display())))?;
     let header = reader.header().clone();
-    // Exit 3, not 2: the trace is well-formed and the command is valid —
-    // the scenario just lacks the replay capability. CI legs iterating
-    // recorded traces can skip these cleanly, same as `record` on an
-    // untraceable scenario.
+    // Same exit-code contract as every scenario-taking command: a
+    // scenario name the registry has never heard of is exit 2 (the trace
+    // names something that does not exist here — a typo or a foreign
+    // trace), while a known scenario that simply lacks a replayer is
+    // exit 3, the clean capability skip for CI legs iterating recorded
+    // traces.
+    find_scenario(&header.scenario)?;
     let tracer = registry::find_tracer(&header.scenario).ok_or_else(|| {
         CliError::unsupported(format!(
             "trace was recorded by scenario `{}`, which has no registered replayer \
@@ -798,6 +846,136 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_certify(args: &[String]) -> Result<(), CliError> {
+    let mut scenario: Option<String> = None;
+    let mut traces_dir = PathBuf::from("traces");
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+    let mut out_dir = PathBuf::from("results");
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--traces" => {
+                traces_dir = PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| CliError::usage("--traces requires a directory argument"))?
+                        .clone(),
+                );
+            }
+            "--seed" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--seed requires a u64 value"))?;
+                seed = Some(value.parse().map_err(|_| {
+                    CliError::usage(format!("--seed requires a u64, got `{value}`"))
+                })?);
+            }
+            "--threads" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::usage("--threads requires a positive lane count"))?;
+                threads = Some(parse_threads(value)?);
+            }
+            "--out" => {
+                out_dir = PathBuf::from(
+                    iter.next()
+                        .ok_or_else(|| CliError::usage("--out requires a directory argument"))?
+                        .clone(),
+                );
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::usage(format!(
+                    "unknown flag `{flag}` (known flags: {CERTIFY_FLAGS})"
+                )));
+            }
+            positional if scenario.is_none() => scenario = Some(positional.to_string()),
+            positional => {
+                return Err(CliError::usage(format!(
+                    "`certify` takes one scenario name (unexpected: {positional})"
+                )));
+            }
+        }
+    }
+    let certify_names: Vec<&str> = registry::certifies().iter().map(|c| c.name()).collect();
+    let name = scenario.ok_or_else(|| {
+        CliError::usage(format!(
+            "`certify` needs a scenario name (certifiable scenarios: {})",
+            certify_names.join(", ")
+        ))
+    })?;
+    // Unknown scenario is exit 2 (a typo); a known scenario without a
+    // certification target is exit 3 (a clean capability skip for CI).
+    find_scenario(&name)?;
+    let target = registry::find_certify(&name).ok_or_else(|| {
+        CliError::unsupported(format!(
+            "scenario `{name}` does not support certification (certifiable scenarios: {})",
+            certify_names.join(", ")
+        ))
+    })?;
+    if let Some(threads) = threads {
+        ThreadBudget::init_global(threads).map_err(|existing| {
+            CliError::usage(format!(
+                "--threads {threads} rejected: the thread budget was already \
+                 fixed at {existing} lanes (set it before any parallel work)"
+            ))
+        })?;
+    }
+
+    // Every trace the scenario recorded under --traces, in deterministic
+    // (sorted-filename) order — the order certificates appear in the
+    // report and per-check verdicts fold over.
+    let mut trace_paths: Vec<PathBuf> = std::fs::read_dir(&traces_dir)
+        .map_err(|e| CliError::usage(format!("cannot read {}: {e}", traces_dir.display())))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            path.extension().is_some_and(|ext| ext == "eqtrace")
+                && path
+                    .file_name()
+                    .and_then(|f| f.to_str())
+                    .is_some_and(|f| f.starts_with(&format!("{name}-")))
+        })
+        .collect();
+    trace_paths.sort();
+    if trace_paths.is_empty() {
+        return Err(CliError::usage(format!(
+            "no `{name}-*.eqtrace` files under {} (record some with: experiments record {name})",
+            traces_dir.display()
+        )));
+    }
+    let traces: Vec<FileTrace> = trace_paths.iter().map(FileTrace::new).collect();
+    let sources: Vec<&dyn TraceSource> = traces.iter().map(|t| t as &dyn TraceSource).collect();
+
+    let config = CertifyConfig {
+        seed: seed.unwrap_or(CertifyConfig::default().seed),
+        ..CertifyConfig::default()
+    };
+    println!(
+        "eqimpact experiments — certifying {name}: {} traces, seed {}, threads {}",
+        sources.len(),
+        config.seed,
+        match threads {
+            Some(n) => n.to_string(),
+            None => format!("{} (auto)", ThreadBudget::global().capacity()),
+        }
+    );
+    let report = run_certification(target, &sources, &config, ThreadBudget::global())
+        .map_err(|e| CliError::usage(format!("certification failed: {e}")))?;
+
+    println!();
+    print!("{}", report.render_text());
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| CliError::usage(format!("cannot create {}: {e}", out_dir.display())))?;
+    let json_path = out_dir.join(format!("certify_{name}.json"));
+    std::fs::write(&json_path, report.to_json().render_pretty())
+        .map_err(|e| CliError::usage(format!("cannot write {}: {e}", json_path.display())))?;
+    let text_path = out_dir.join(format!("certify_{name}.txt"));
+    std::fs::write(&text_path, report.render_text())
+        .map_err(|e| CliError::usage(format!("cannot write {}: {e}", text_path.display())))?;
+    println!("wrote {}", json_path.display());
+    println!("wrote {}", text_path.display());
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,5 +1001,101 @@ mod tests {
         let err = parse_threads("lots").unwrap_err();
         assert_eq!(err.code, 2);
         assert!(err.message.contains("lots"));
+    }
+
+    /// Writes a minimal empty-but-well-formed trace whose header names
+    /// `scenario`, so `replay` gets past parsing and hits the registry
+    /// gates exactly like a real recorded trace would.
+    fn write_stub_trace(scenario: &str) -> PathBuf {
+        use eqimpact_core::recorder::RecordPolicy;
+        use eqimpact_core::scenario::{Scale, TraceMeta};
+        use eqimpact_trace::{TraceHeader, TraceWriter};
+        let header = TraceHeader::from_meta(&TraceMeta {
+            scenario: scenario.to_string(),
+            variant: "stub".to_string(),
+            trial: 0,
+            scale: Scale::Quick,
+            seed: 0,
+            shards: 1,
+            delay: 0,
+            policy: RecordPolicy::Full,
+        });
+        let writer = TraceWriter::new(Vec::new(), &header).unwrap();
+        let bytes = writer.finish().unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "eqimpact-exitcode-{scenario}-{}.eqtrace",
+            std::process::id()
+        ));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn scenario_commands_agree_on_exit_codes_for_unknown_and_unsupported() {
+        // The shared contract across every scenario-taking command:
+        // exit 2 = the name is not a registered scenario at all (and the
+        // message lists the known names), exit 3 = the scenario exists
+        // but lacks this capability (the clean CI matrix skip).
+        let unknown_record = cmd_record(&strings(&["nope"])).unwrap_err();
+        let unknown_sweep = cmd_sweep(&strings(&["nope"])).unwrap_err();
+        let unknown_certify = cmd_certify(&strings(&["nope"])).unwrap_err();
+        for err in [&unknown_record, &unknown_sweep, &unknown_certify] {
+            assert_eq!(err.code, 2, "unknown scenario must exit 2: {}", err.message);
+            assert!(
+                err.message.contains("credit") && err.message.contains("hiring"),
+                "unknown-scenario error should list known names: {}",
+                err.message
+            );
+        }
+
+        // `ablations` is registered but records no traces, so every
+        // trace-consuming capability is a clean unsupported skip.
+        let unsup_record = cmd_record(&strings(&["ablations"])).unwrap_err();
+        let unsup_sweep = cmd_sweep(&strings(&["ablations"])).unwrap_err();
+        let unsup_certify = cmd_certify(&strings(&["ablations"])).unwrap_err();
+        for err in [&unsup_record, &unsup_sweep, &unsup_certify] {
+            assert_eq!(
+                err.code, 3,
+                "known-but-unsupported scenario must exit 3: {}",
+                err.message
+            );
+        }
+
+        // `replay` reads the scenario name from the trace header instead
+        // of argv, but must apply the same contract.
+        let unknown_trace = write_stub_trace("nope");
+        let err = cmd_replay(&strings(&[unknown_trace.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_file(&unknown_trace).ok();
+        assert_eq!(err.code, 2, "replay of unknown scenario: {}", err.message);
+        assert!(
+            err.message.contains("credit") && err.message.contains("hiring"),
+            "replay unknown-scenario error should list known names: {}",
+            err.message
+        );
+
+        let unsup_trace = write_stub_trace("ablations");
+        let err = cmd_replay(&strings(&[unsup_trace.to_str().unwrap()])).unwrap_err();
+        std::fs::remove_file(&unsup_trace).ok();
+        assert_eq!(
+            err.code, 3,
+            "replay of unsupported scenario: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn list_json_reports_per_scenario_capability_flags() {
+        let json = list_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains(r#"{"name":"credit","trace":true,"sweep":true,"certify":true}"#));
+        assert!(json.contains(r#"{"name":"hiring","trace":true,"sweep":true,"certify":true}"#));
+        assert!(
+            json.contains(r#"{"name":"ablations","trace":false,"sweep":false,"certify":false}"#)
+        );
+        // Deterministically sorted by name, so the CI matrix is stable.
+        let credit = json.find(r#""name":"credit""#).unwrap();
+        let ablations = json.find(r#""name":"ablations""#).unwrap();
+        let hiring = json.find(r#""name":"hiring""#).unwrap();
+        assert!(ablations < credit && credit < hiring);
     }
 }

@@ -881,6 +881,136 @@ pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> PerfSweepResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// P9 — certification plane: extraction vs analysis wall-time
+// ---------------------------------------------------------------------------
+
+/// P9 result: wall-clock of certifying one paper-scale credit trace,
+/// split into its streaming-extraction and theory-analysis halves.
+#[derive(Debug, Clone)]
+pub struct PerfCertifyResult {
+    /// Users in the recorded trace.
+    pub users: usize,
+    /// Steps in the recorded trace.
+    pub steps: usize,
+    /// Recorded trace size, bytes.
+    pub trace_bytes: usize,
+    /// Occupied discrete states in the extracted chain.
+    pub states: usize,
+    /// Pooled transition samples in the extracted chain.
+    pub transitions: u64,
+    /// Median wall-clock of streaming extraction (one trace pass), ms.
+    pub extract_ms: f64,
+    /// Median wall-clock of the analysis passes over the extraction, ms.
+    pub analyze_ms: f64,
+    /// Wall-clock of the full `run_certification` over the trace, ms.
+    pub certify_ms: f64,
+    /// Checks rendered in the certificate (the five theory passes).
+    pub checks: usize,
+}
+
+impl ToJson for PerfCertifyResult {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("users", self.users.to_json()),
+            ("steps", self.steps.to_json()),
+            ("trace_bytes", self.trace_bytes.to_json()),
+            ("states", self.states.to_json()),
+            ("transitions", (self.transitions as usize).to_json()),
+            ("extract_ms", self.extract_ms.to_json()),
+            ("analyze_ms", self.analyze_ms.to_json()),
+            ("certify_ms", self.certify_ms.to_json()),
+            ("checks", self.checks.to_json()),
+        ])
+    }
+}
+
+/// P9: records one paper-shape credit trial (N = 1000; 400 under
+/// `--quick`) to an in-memory **checkpointed** trace, then measures the
+/// certification plane over it: streaming extraction alone, the theory
+/// analysis alone, and the full engine run. `seed` overrides the
+/// protocol's base seed.
+pub fn perf_certify(scale: Scale, seed: Option<u64>) -> PerfCertifyResult {
+    use eqimpact_certify::{
+        certificate_of, extract, run_certification, CertifyConfig, CertifyTarget,
+    };
+    use eqimpact_core::pool::ThreadBudget;
+    use eqimpact_core::scenario::TraceMeta;
+    use eqimpact_credit::sim::run_trial_sunk;
+    use eqimpact_credit::CreditCertify;
+    use eqimpact_lab::{MemTrace, TraceSource};
+    use eqimpact_trace::{TraceHeader, TraceStepSink};
+
+    let base = credit_config(scale, LenderKind::Scorecard);
+    let config = CreditConfig {
+        trials: 1,
+        seed: seed.unwrap_or(base.seed),
+        ..base
+    };
+    let header = TraceHeader::from_meta(&TraceMeta {
+        scenario: "credit".to_string(),
+        variant: eqimpact_credit::scenario::TRACE_VARIANT.to_string(),
+        trial: 0,
+        scale,
+        seed: config.seed,
+        shards: config.shards,
+        delay: config.delay,
+        policy: config.policy,
+    })
+    .with_checkpoints();
+    let mut sink = TraceStepSink::new(Vec::new(), &header).expect("in-memory trace");
+    run_trial_sunk(&config, 0, &mut sink);
+    let bytes = sink.finish().expect("in-memory trace finishes");
+    let trace_bytes = bytes.len();
+
+    let spec = CreditCertify.spec();
+    let extract_ms = median_ms(|| {
+        let mut input: &[u8] = &bytes;
+        let ex =
+            extract(&spec, &mut input as &mut dyn std::io::Read).expect("perf certify extracts");
+        assert_eq!(ex.steps, config.steps);
+    });
+    let mut input: &[u8] = &bytes;
+    let ex = extract(&spec, &mut input as &mut dyn std::io::Read).expect("perf certify extracts");
+
+    let certify_config = CertifyConfig {
+        seed: config.seed,
+        ..CertifyConfig::default()
+    };
+    let rng = SimRng::new(certify_config.seed).split(0);
+    let mut checks = 0;
+    let analyze_ms = median_ms(|| {
+        let cert = certificate_of("perf-certify.eqtrace", &ex, &certify_config, &rng);
+        checks = cert.checks.len();
+        assert!(checks >= 5, "missing theory passes");
+    });
+
+    let trace = MemTrace::new("credit-perf.eqtrace", bytes);
+    let sources: [&dyn TraceSource; 1] = [&trace];
+    let start = std::time::Instant::now();
+    let report = run_certification(
+        &CreditCertify,
+        &sources,
+        &certify_config,
+        ThreadBudget::global(),
+    )
+    .expect("perf certify runs");
+    let certify_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.certificates.len(), 1);
+
+    PerfCertifyResult {
+        users: config.users,
+        steps: config.steps,
+        trace_bytes,
+        states: ex.occupied_states(),
+        transitions: ex.transition_count(),
+        extract_ms,
+        analyze_ms,
+        certify_ms,
+        checks,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -14,14 +14,15 @@ use crate::experiments::{
     perf_sweep, perf_trace,
 };
 use eqimpact_census::FIRST_YEAR;
+use eqimpact_certify::CertifyTarget;
 use eqimpact_core::scenario::{
     validate_artifacts, Artifact, ArtifactSpec, DynScenario, ScenarioConfig, ScenarioError,
     ScenarioReport,
 };
 use eqimpact_credit::report;
 use eqimpact_credit::sim::{run_trials_protocol, CreditConfig, LenderKind};
-use eqimpact_credit::{CreditScenario, CreditSweep, CreditTracer};
-use eqimpact_hiring::{HiringScenario, HiringSweep, HiringTracer};
+use eqimpact_credit::{CreditCertify, CreditScenario, CreditSweep, CreditTracer};
+use eqimpact_hiring::{HiringCertify, HiringScenario, HiringSweep, HiringTracer};
 use eqimpact_lab::SweepTarget;
 use eqimpact_stats::ToJson;
 use eqimpact_trace::TraceReplayer;
@@ -435,6 +436,19 @@ pub fn find_sweep(name: &str) -> Option<&'static dyn SweepTarget> {
     sweeps().iter().copied().find(|s| s.name() == name)
 }
 
+/// Every registered certification target (the scenarios whose recorded
+/// traces the certification plane can turn into verdict artifacts), in
+/// listing order.
+pub fn certifies() -> &'static [&'static dyn CertifyTarget] {
+    static CERTIFIES: [&dyn CertifyTarget; 2] = [&CreditCertify, &HiringCertify];
+    &CERTIFIES
+}
+
+/// Looks a certification target up by its scenario name.
+pub fn find_certify(name: &str) -> Option<&'static dyn CertifyTarget> {
+    certifies().iter().copied().find(|c| c.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -522,6 +536,27 @@ mod tests {
         }
         assert!(find_sweep("credit").is_some());
         assert!(find_sweep("ablations").is_none());
+    }
+
+    #[test]
+    fn certifies_mirror_the_tracer_registrations() {
+        // The certification plane certifies exactly the scenarios that
+        // record replayable traces — a certify target without a tracer
+        // could never get input, a tracer without a certify target would
+        // be a silent gap in `experiments certify`.
+        let certify_names: Vec<&str> = certifies().iter().map(|c| c.name()).collect();
+        let tracer_names: Vec<&str> = tracers().iter().map(|t| t.name()).collect();
+        assert_eq!(certify_names, tracer_names);
+        for target in certifies() {
+            assert!(find(target.name()).is_some(), "{}", target.name());
+            let spec = target.spec();
+            assert!(spec.bins > 0, "{}", target.name());
+            assert!(spec.state_lo < spec.state_hi, "{}", target.name());
+            assert!(!spec.model_fields.is_empty(), "{}", target.name());
+        }
+        assert!(find_certify("credit").is_some());
+        assert!(find_certify("hiring").is_some());
+        assert!(find_certify("ablations").is_none());
     }
 
     #[test]

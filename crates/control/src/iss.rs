@@ -275,6 +275,29 @@ mod tests {
     }
 
     #[test]
+    fn zero_pair_budget_is_inconclusive_not_a_panic() {
+        // No sampled pairs means no evidence: the report must come back
+        // with finite comparison-function parameters, a zero validation
+        // pass rate, and `consistent == false` — never a certificate and
+        // never a NaN. The certification plane hits this path when a
+        // recorded trace is too short to sample any ISS pairs from.
+        let mut rng = SimRng::new(9);
+        let report = estimate_iss(
+            linear_step(0.7),
+            1,
+            40,
+            0,
+            &mut rng,
+            |r| vec![r.uniform_in(-5.0, 5.0)],
+            |r| r.uniform_in(-1.0, 1.0),
+        );
+        assert!(!report.consistent, "{report:?}");
+        assert_eq!(report.validation_pass_rate, 0.0);
+        assert!(report.beta.c.is_finite() && report.beta.lambda.is_finite());
+        assert!(report.gamma.g.is_finite());
+    }
+
+    #[test]
     fn kl_and_k_evaluation() {
         let b = ExpKl::new(2.0, 0.5);
         assert_eq!(b.eval(1.0, 0), 2.0);

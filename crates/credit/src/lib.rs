@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod adr;
+pub mod certify;
 pub mod lender;
 pub mod model;
 pub mod report;
@@ -43,6 +44,7 @@ pub mod trace;
 pub mod users;
 
 pub use adr::{AdrFilter, AdrTracker};
+pub use certify::CreditCertify;
 pub use lender::{IncomeMultipleLender, ScorecardLender, UniformExclusionLender};
 pub use scenario::CreditScenario;
 pub use sim::{run_trial, run_trials_protocol, CreditConfig, CreditOutcome, LenderKind};

@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 pub mod applicants;
+pub mod certify;
 pub mod model;
 pub mod scenario;
 pub mod screener;
@@ -59,6 +60,7 @@ pub mod trace;
 pub mod track;
 
 pub use applicants::{Applicant, ApplicantPool, ApplicantShard};
+pub use certify::HiringCertify;
 pub use scenario::HiringScenario;
 pub use screener::{AdaptiveScreener, CredentialScreener};
 pub use sim::{run_trial, run_trials_protocol, HiringConfig, HiringOutcome, ScreenerKind};

@@ -223,6 +223,34 @@ mod tests {
     }
 
     #[test]
+    fn identity_map_is_exactly_neutral_with_no_nan() {
+        // The pure identity system — the surrogate the certification
+        // plane fits when a model's weights never move — must report a
+        // factor of exactly one from every evaluated pair: not
+        // contractive, not expanding, and with finite evidence numbers.
+        let ms = Ifs::builder(2)
+            .map_const(|x: &[f64]| x.to_vec(), 1.0)
+            .build()
+            .unwrap()
+            .as_markov_system()
+            .clone();
+        let mut rng = SimRng::new(7);
+        let report = estimate_contraction_factor(
+            &ms,
+            MetricKind::Euclidean,
+            300,
+            &mut rng,
+            box_sampler(vec![-1.0, -1.0], vec![1.0, 1.0]),
+        );
+        assert!(report.pairs_evaluated > 0);
+        assert!((report.estimated_factor - 1.0).abs() < 1e-12);
+        assert!(!report.estimated_factor.is_nan());
+        assert!(!report.is_contractive());
+        let (a, b) = report.worst_pair.expect("evaluated pairs record a worst");
+        assert!(a.iter().chain(&b).all(|v| v.is_finite()));
+    }
+
+    #[test]
     #[should_panic(expected = "empty box side")]
     fn box_sampler_rejects_empty_box() {
         let _sampler = box_sampler(vec![1.0], vec![1.0]);

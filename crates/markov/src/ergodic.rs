@@ -232,6 +232,50 @@ mod tests {
     }
 
     #[test]
+    fn single_state_chain_analyzes_without_panicking() {
+        // The degenerate one-state chain (a single whole-space cell with
+        // one self-loop) is what trace extraction produces when every
+        // sample lands in the same bin. It must analyze cleanly: the
+        // trivial graph is irreducible and aperiodic, and the verdict
+        // hinges entirely on the sampled contraction factor.
+        let contracting = MarkovSystem::builder(1)
+            .edge(0, 0, |x| vec![0.5 * x[0]], |_| 1.0)
+            .build()
+            .unwrap();
+        let mut rng = SimRng::new(11);
+        let report = analyze(
+            &contracting,
+            MetricKind::Euclidean,
+            200,
+            &mut rng,
+            box_sampler(vec![-1.0], vec![1.0]),
+        );
+        assert!(report.irreducible);
+        assert_eq!(report.period, Some(1));
+        assert!(report.primitive);
+        assert_eq!(report.verdict, ErgodicityVerdict::UniquelyErgodic);
+
+        // The identity self-loop is the fully-information-free case:
+        // nothing contracts, so the verdict must stop at "invariant
+        // measure exists" with a clean factor of one — no NaN, no panic.
+        let frozen = MarkovSystem::builder(1)
+            .edge(0, 0, |x| vec![x[0]], |_| 1.0)
+            .build()
+            .unwrap();
+        let report = analyze(
+            &frozen,
+            MetricKind::Euclidean,
+            200,
+            &mut rng,
+            box_sampler(vec![-1.0], vec![1.0]),
+        );
+        assert!(report.irreducible && report.primitive);
+        assert!((report.contractivity.estimated_factor - 1.0).abs() < 1e-12);
+        assert!(!report.contractivity.estimated_factor.is_nan());
+        assert_eq!(report.verdict, ErgodicityVerdict::InvariantMeasureExists);
+    }
+
+    #[test]
     fn reducible_system_flagged() {
         let ms = reducible_system();
         let mut rng = SimRng::new(3);

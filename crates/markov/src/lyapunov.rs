@@ -36,9 +36,15 @@ impl LyapunovEstimate {
 /// by `(matrices, weights)` using the norm-growth method with periodic
 /// renormalization, averaged over `replicas` independent runs.
 ///
+/// A zero-length trajectory budget (`steps == 0` or `replicas == 0`)
+/// carries no information, so it yields an explicitly inconclusive
+/// estimate — exponent `0.0` with infinite standard error, which
+/// [`LyapunovEstimate::is_stable`] never certifies — rather than a panic
+/// or a NaN.
+///
 /// # Panics
 /// Panics for empty/mismatched input, non-square or differently sized
-/// matrices, invalid weights, or `steps == 0` / `replicas == 0`.
+/// matrices, or invalid weights.
 pub fn lyapunov_exponent(
     matrices: &[Matrix],
     weights: &[f64],
@@ -48,7 +54,14 @@ pub fn lyapunov_exponent(
 ) -> LyapunovEstimate {
     assert!(!matrices.is_empty(), "lyapunov: no matrices");
     assert_eq!(matrices.len(), weights.len(), "lyapunov: weights mismatch");
-    assert!(steps > 0 && replicas > 0, "lyapunov: empty budget");
+    if steps == 0 || replicas == 0 {
+        return LyapunovEstimate {
+            exponent: 0.0,
+            std_error: f64::INFINITY,
+            steps,
+            replicas,
+        };
+    }
     let n = matrices[0].rows();
     for m in matrices {
         assert!(
@@ -173,6 +186,23 @@ mod tests {
         let mut rng = SimRng::new(6);
         let est = lyapunov_exponent(&[nil], &[1.0], 100, 2, &mut rng);
         assert!(est.exponent < -100.0);
+    }
+
+    #[test]
+    fn zero_length_trajectory_is_inconclusive_not_a_panic() {
+        // An empty simulation budget carries no stability information:
+        // the estimate must come back finite-field, never certify, and
+        // never NaN — the certification plane feeds degenerate budgets
+        // through here when a trace is too short to fit a surrogate.
+        let mut rng = SimRng::new(7);
+        for (steps, replicas) in [(0, 4), (200, 0), (0, 0)] {
+            let est = lyapunov_exponent(&[diag2(0.5, 0.5)], &[1.0], steps, replicas, &mut rng);
+            assert_eq!(est.exponent, 0.0);
+            assert_eq!(est.std_error, f64::INFINITY);
+            assert_eq!((est.steps, est.replicas), (steps, replicas));
+            assert!(!est.is_stable(), "no-data estimate must not certify");
+            assert!(!est.exponent.is_nan() && !est.std_error.is_nan());
+        }
     }
 
     #[test]

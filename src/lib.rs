@@ -9,6 +9,7 @@
 
 pub use eqimpact_bench as bench;
 pub use eqimpact_census as census;
+pub use eqimpact_certify as certify;
 pub use eqimpact_control as control;
 pub use eqimpact_core as core;
 pub use eqimpact_credit as credit;
