@@ -24,7 +24,12 @@
 //! bench (P8) writes
 //! `BENCH_columnar.json` (`BENCH_COLUMNAR_OUT`): batched column-kernel
 //! scoring versus a row-gathering baseline replicating the pre-redesign
-//! row-major hot path, on the same loop at the same scale.
+//! row-major hot path, on the same loop at the same scale. The
+//! observability bench (P10) writes `BENCH_obs.json` (`BENCH_OBS_OUT`):
+//! the instrumented `LoopRunner` with the telemetry recorder disabled
+//! and enabled against a hand-rolled uninstrumented twin of the same
+//! loop, asserting the disabled-recorder overhead stays within
+//! measurement noise of the twin.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eqimpact_core::closed_loop::{
@@ -755,6 +760,171 @@ fn bench_columnar(_c: &mut Criterion) {
     println!("perf/columnar: wrote {path}");
 }
 
+/// A hand-rolled uninstrumented twin of [`LoopRunner::run`]: the same
+/// hooks in the same order with the same buffer recycling, but with no
+/// telemetry statements compiled in at all — the baseline the
+/// disabled-recorder overhead is measured against. Kept bit-identical to
+/// the real runner (asserted in [`bench_observability`] before timing).
+fn uninstrumented_twin(users: usize, steps: usize) -> eqimpact_core::recorder::LoopRecord {
+    use std::collections::VecDeque;
+
+    let mut ai = ThresholdAi;
+    let mut population = SyntheticUsers { n: users };
+    let mut filter = MeanFilter::default();
+    let delay = 1usize;
+    let mut rng = SimRng::new(42);
+    let n = population.user_count();
+    let mut record = eqimpact_core::recorder::LoopRecord::with_policy(n, RecordPolicy::Thin);
+    record.reserve(steps);
+    let mut pending: VecDeque<Feedback> = VecDeque::new();
+    let mut spare: Vec<Feedback> = Vec::new();
+    let mut visible = FeatureMatrix::default();
+    let mut signals = Vec::new();
+    let mut actions = Vec::new();
+    for k in 0..steps {
+        population.observe_into(k, &mut rng, &mut visible);
+        ai.signals_into(k, &visible, &mut signals);
+        population.respond_into(k, &signals, &mut rng, &mut actions);
+        let mut feedback = spare.pop().unwrap_or_default();
+        filter.apply_into(k, &visible, &signals, &actions, &mut feedback);
+        record.push_step(&signals, &actions, &feedback.per_user);
+        pending.push_back(feedback);
+        if pending.len() > delay {
+            let due = pending.pop_front().expect("non-empty by check");
+            ai.retrain(k, &due);
+            spare.push(due);
+        }
+    }
+    record
+}
+
+/// One timed run of the observability bench. Arm 0 is the uninstrumented
+/// twin, arm 1 the instrumented [`LoopRunner`] with no recorder
+/// installed, arm 2 the same runner with the recorder enabled.
+fn time_obs_run(users: usize, steps: usize, arm: usize) -> f64 {
+    if arm == 0 {
+        let start = Instant::now();
+        let record = uninstrumented_twin(users, steps);
+        let elapsed = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(record.steps(), steps);
+        return elapsed;
+    }
+    if arm == 2 {
+        eqimpact_telemetry::Recorder::install();
+    }
+    let mut runner = LoopBuilder::new(ThresholdAi, SyntheticUsers { n: users })
+        .filter(MeanFilter::default())
+        .delay(1)
+        .record(RecordPolicy::Thin)
+        .build();
+    let start = Instant::now();
+    let record = runner.run(steps, &mut SimRng::new(42));
+    let elapsed = start.elapsed().as_secs_f64() * 1e3;
+    if arm == 2 {
+        eqimpact_telemetry::Recorder::uninstall();
+    }
+    assert_eq!(record.steps(), steps);
+    elapsed
+}
+
+/// P10: the telemetry plane's overhead contract. The instrumented loop
+/// with the recorder **disabled** must stay within measurement noise of
+/// a hand-rolled uninstrumented twin (the disabled path is one relaxed
+/// atomic load per instrument site); the **enabled** cost is recorded
+/// for information, not asserted. Samples rotate round-robin as in P5
+/// and the medians land in `BENCH_obs.json` (`BENCH_OBS_OUT`).
+fn bench_observability(_c: &mut Criterion) {
+    use eqimpact_stats::json::{Json, ToJson};
+
+    let quick = criterion::is_quick();
+    let (users, steps) = (100_000usize, 50usize);
+    let reps = if quick { 2 } else { 10 };
+
+    println!("\n-- group: perf/observability ({users} users x {steps} steps) --");
+
+    // The twin and the real runner are the same computation — proven
+    // here (records compare bit-for-bit), so the timing compares equal
+    // work and the twin cannot silently drift as the runner evolves.
+    {
+        let _t = eqimpact_telemetry::test_guard();
+        let mut runner = LoopBuilder::new(ThresholdAi, SyntheticUsers { n: 1_000 })
+            .filter(MeanFilter::default())
+            .delay(1)
+            .record(RecordPolicy::Thin)
+            .build();
+        assert_eq!(
+            uninstrumented_twin(1_000, 20),
+            runner.run(20, &mut SimRng::new(42)),
+            "uninstrumented twin diverged from the instrumented LoopRunner"
+        );
+    }
+
+    let _t = eqimpact_telemetry::test_guard();
+    let mut samples: Vec<Vec<f64>> = (0..3).map(|_| Vec::with_capacity(reps)).collect();
+    time_obs_run(users, steps, 1); // warm-up
+    for rep in 0..reps {
+        for j in 0..3 {
+            let c = (j + rep) % 3;
+            samples[c].push(time_obs_run(users, steps, c));
+        }
+    }
+
+    let baseline_ms = median(&mut samples[0]);
+    let disabled_ms = median(&mut samples[1]);
+    let enabled_ms = median(&mut samples[2]);
+    println!("perf/observability/uninstrumented_twin            median {baseline_ms:>10.2} ms");
+    println!(
+        "perf/observability/recorder_disabled               median {disabled_ms:>10.2} ms  overhead x{:.3}",
+        disabled_ms / baseline_ms
+    );
+    println!(
+        "perf/observability/recorder_enabled                median {enabled_ms:>10.2} ms  overhead x{:.3}",
+        enabled_ms / baseline_ms
+    );
+
+    // The hardware-independent invariant the whole plane is built on:
+    // while no recorder is installed the instruments are a guaranteed
+    // no-op, so the instrumented runner must match the uninstrumented
+    // twin modulo measurement noise.
+    assert!(
+        disabled_ms <= baseline_ms * 1.10 + 5.0,
+        "disabled-recorder loop ({disabled_ms:.2} ms) regressed vs the \
+         uninstrumented twin ({baseline_ms:.2} ms)"
+    );
+
+    let doc = Json::obj([
+        ("users", users.to_json()),
+        ("steps", steps.to_json()),
+        ("record_policy", "thin".to_json()),
+        ("reps", reps.to_json()),
+        (
+            "note",
+            "same loop, same record (bit-identical, asserted): the twin \
+             is LoopRunner::run with every telemetry statement removed; \
+             disabled = instrumented runner with no recorder installed \
+             (one relaxed atomic load per site); enabled = recorder \
+             installed, phase spans and counters live."
+                .to_json(),
+        ),
+        ("uninstrumented_twin_ms", baseline_ms.to_json()),
+        ("recorder_disabled_ms", disabled_ms.to_json()),
+        ("recorder_enabled_ms", enabled_ms.to_json()),
+        (
+            "disabled_overhead_ratio",
+            (disabled_ms / baseline_ms).to_json(),
+        ),
+        (
+            "enabled_overhead_ratio",
+            (enabled_ms / baseline_ms).to_json(),
+        ),
+    ]);
+    let path = std::env::var("BENCH_OBS_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json").to_string()
+    });
+    std::fs::write(&path, doc.render_pretty()).expect("write BENCH_obs.json");
+    println!("perf/observability: wrote {path}");
+}
+
 fn bench_loop_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("perf/credit_loop");
     group.sample_size(10);
@@ -857,6 +1027,7 @@ criterion_group!(
     bench_sweep,
     bench_certify,
     bench_columnar,
+    bench_observability,
     bench_loop_step,
     bench_irls,
     bench_markov_operator,

@@ -58,6 +58,14 @@
 //!                sequentially
 //!   --out DIR    output directory (default `results/`; `traces/` for
 //!                record)
+//!   --telemetry  install the in-process telemetry recorder and write a
+//!                `telemetry_<scenario>.json` snapshot under --out. The
+//!                snapshot's deterministic section (step/frame/byte
+//!                counts) is byte-identical across runs and --threads
+//!                values; durations and pool scheduling live in the
+//!                wall-clock section.
+//!   --progress   print a once-a-second progress heartbeat to stderr
+//!                (completed units, rate, ETA); implies recording
 //! ```
 //!
 //! Scenario names, artifact names, policies and flags are all validated:
@@ -70,21 +78,32 @@ use eqimpact_core::pool::ThreadBudget;
 use eqimpact_core::scenario::{write_artifacts, DynScenario, Scale, ScenarioConfig};
 use eqimpact_lab::{run_sweep, CandidateGrid, FileTrace, SweepConfig, TraceSource};
 use eqimpact_stats::ToJson;
+use eqimpact_telemetry::metrics as tm;
+use eqimpact_telemetry::progress::{start_heartbeat, Heartbeat};
+use eqimpact_telemetry::{ManualTimer, Recorder};
 use eqimpact_trace::{TraceDirFactory, TraceReader};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Flags accepted by `run`, for the unknown-flag error message.
-const RUN_FLAGS: &str = "--all, --quick, --seed N, --shards N, --threads N, --out DIR";
+const RUN_FLAGS: &str =
+    "--all, --quick, --seed N, --shards N, --threads N, --out DIR, --telemetry, --progress";
 
 /// Flags accepted by `record`.
-const RECORD_FLAGS: &str = "--quick, --seed N, --shards N, --threads N, --out DIR";
+const RECORD_FLAGS: &str =
+    "--quick, --seed N, --shards N, --threads N, --out DIR, --telemetry, --progress";
+
+/// Flags accepted by `replay`.
+const REPLAY_FLAGS: &str = "--policy NAME, --out DIR, --telemetry, --progress";
 
 /// Flags accepted by `sweep`.
-const SWEEP_FLAGS: &str = "--traces DIR, --grid SPEC, --quick, --seed N, --threads N, --out DIR";
+const SWEEP_FLAGS: &str =
+    "--traces DIR, --grid SPEC, --quick, --seed N, --threads N, --out DIR, --telemetry, --progress";
 
 /// Flags accepted by `certify`.
-const CERTIFY_FLAGS: &str = "--traces DIR, --seed N, --threads N, --out DIR";
+const CERTIFY_FLAGS: &str =
+    "--traces DIR, --seed N, --threads N, --out DIR, --telemetry, --progress";
 
 /// A CLI failure, carrying its exit status: 2 for usage/validation
 /// errors, 3 for "this scenario lacks the requested capability" — no
@@ -173,6 +192,11 @@ fn print_usage() {
     println!("  --threads N caps the process-wide thread budget: trials x shards");
     println!("  lease lanes from it, so the host is never oversubscribed.");
     println!();
+    println!("  every command also accepts --telemetry (write a telemetry_<scenario>.json");
+    println!("  snapshot under --out; its deterministic section is byte-identical across");
+    println!("  runs and --threads values) and --progress (a once-a-second stderr");
+    println!("  heartbeat with completed units, rate and ETA).");
+    println!();
     print_scenarios();
 }
 
@@ -225,8 +249,11 @@ fn list_json() -> String {
     let entries: Vec<String> = registry::sorted_names()
         .iter()
         .map(|name| {
+            // `telemetry` is a CLI-level capability — every scenario can
+            // run under the recorder — but it is reported per entry so
+            // CI legs gate on the payload alone, like the other flags.
             format!(
-                "{{\"name\":\"{name}\",\"trace\":{},\"sweep\":{},\"certify\":{}}}",
+                "{{\"name\":\"{name}\",\"trace\":{},\"sweep\":{},\"certify\":{},\"telemetry\":true}}",
                 registry::find_tracer(name).is_some(),
                 registry::find_sweep(name).is_some(),
                 registry::find_certify(name).is_some(),
@@ -262,6 +289,8 @@ struct CommonFlags {
     shards: usize,
     threads: Option<usize>,
     out_dir: Option<PathBuf>,
+    telemetry: bool,
+    progress: bool,
     scenario: Option<String>,
     positionals: Vec<String>,
 }
@@ -309,6 +338,8 @@ fn parse_common(
                         .clone(),
                 ));
             }
+            "--telemetry" => flags.telemetry = true,
+            "--progress" => flags.progress = true,
             flag if flag.starts_with("--") => {
                 // The pre-redesign CLI swallowed unknown flags as artifact
                 // names, so a typo silently selected nothing. Reject them.
@@ -338,6 +369,61 @@ fn parse_threads(value: &str) -> Result<usize, CliError> {
         return Ok(1);
     }
     Ok(threads)
+}
+
+/// Per-command observability: installs the telemetry [`Recorder`] when
+/// requested, runs the stderr progress heartbeat, and times the whole
+/// command so every subcommand prints the same timing footer.
+/// `--progress` implies recording (the heartbeat reads the catalog's
+/// step counters), but only `--telemetry` writes the snapshot artifact.
+struct CommandObs {
+    telemetry: bool,
+    heartbeat: Option<Heartbeat>,
+    timer: ManualTimer,
+}
+
+impl CommandObs {
+    fn start(telemetry: bool, progress: bool) -> Self {
+        if telemetry || progress {
+            Recorder::install();
+        }
+        CommandObs {
+            telemetry,
+            heartbeat: progress.then(|| start_heartbeat(Duration::from_secs(1))),
+            timer: tm::CLI_COMMAND.start_timer(),
+        }
+    }
+
+    /// Prints the timing footer; under `--telemetry` also prints the
+    /// thread-budget lease summary (granted vs requested lanes) and
+    /// writes `telemetry_<label>.json` under `out_dir`.
+    fn finish(self, command: &str, label: &str, out_dir: &Path) -> Result<(), CliError> {
+        drop(self.heartbeat);
+        let ms = self.timer.stop_ms();
+        if self.telemetry {
+            let leases = tm::POOL_LEASES.total();
+            if leases > 0 {
+                println!(
+                    "telemetry: budget granted {} of {} requested lanes across {} leases \
+                     ({} clamped)",
+                    tm::POOL_LANES_GRANTED.total(),
+                    tm::POOL_LANES_REQUESTED.total(),
+                    leases,
+                    tm::POOL_LEASES_CLAMPED.total()
+                );
+            }
+            let snapshot = Recorder::snapshot();
+            std::fs::create_dir_all(out_dir).map_err(|e| {
+                CliError::usage(format!("cannot create {}: {e}", out_dir.display()))
+            })?;
+            let path = out_dir.join(format!("telemetry_{label}.json"));
+            std::fs::write(&path, snapshot.render_json())
+                .map_err(|e| CliError::usage(format!("cannot write {}: {e}", path.display())))?;
+            println!("wrote {}", path.display());
+        }
+        println!("{command} completed in {ms:.1} ms");
+        Ok(())
+    }
 }
 
 fn scale_of(quick: bool) -> Scale {
@@ -395,6 +481,7 @@ fn find_scenario(name: &str) -> Result<&'static dyn DynScenario, CliError> {
 fn cmd_run(args: &[String]) -> Result<(), CliError> {
     let flags = parse_common(args, RUN_FLAGS, true)?;
     apply_thread_cap(&flags)?;
+    let obs = CommandObs::start(flags.telemetry, flags.progress);
     let out_dir = flags
         .out_dir
         .clone()
@@ -469,7 +556,12 @@ fn cmd_run(args: &[String]) -> Result<(), CliError> {
         }
     }
     println!("\ndone.");
-    Ok(())
+    let label = if flags.all {
+        "all".to_string()
+    } else {
+        flags.scenario.clone().unwrap_or_default()
+    };
+    obs.finish("run", &label, &out_dir)
 }
 
 fn cmd_record(args: &[String]) -> Result<(), CliError> {
@@ -520,6 +612,7 @@ fn cmd_record(args: &[String]) -> Result<(), CliError> {
              (record it with --shards 1)"
         )));
     }
+    let obs = CommandObs::start(flags.telemetry, flags.progress);
     let out_dir = flags
         .out_dir
         .clone()
@@ -554,13 +647,15 @@ fn cmd_record(args: &[String]) -> Result<(), CliError> {
         println!("  recorded {}", path.display());
     }
     println!("\ndone. replay with: experiments replay <trace>");
-    Ok(())
+    obs.finish("record", &name, &out_dir)
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), CliError> {
     let mut trace_path: Option<PathBuf> = None;
     let mut policy: Option<String> = None;
     let mut out_dir = PathBuf::from("results");
+    let mut telemetry = false;
+    let mut progress = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -578,9 +673,11 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
                         .clone(),
                 );
             }
+            "--telemetry" => telemetry = true,
+            "--progress" => progress = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::usage(format!(
-                    "unknown flag `{flag}` (known flags: --policy NAME, --out DIR)"
+                    "unknown flag `{flag}` (known flags: {REPLAY_FLAGS})"
                 )));
             }
             positional if trace_path.is_none() => trace_path = Some(PathBuf::from(positional)),
@@ -618,6 +715,7 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
                 .join(", ")
         ))
     })?;
+    let obs = CommandObs::start(telemetry, progress);
     println!(
         "trace {}: scenario {}, variant {}, trial {}, scale {:?}, seed {}, shards {}, delay {}",
         trace_path.display(),
@@ -641,7 +739,6 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
                 summary.record.steps(),
                 summary.record.user_count()
             );
-            Ok(())
         }
         Some(policy) => {
             let report = tracer
@@ -679,9 +776,9 @@ fn cmd_replay(args: &[String]) -> Result<(), CliError> {
                 CliError::usage(format!("cannot write {}: {e}", out_path.display()))
             })?;
             println!("  wrote {}", out_path.display());
-            Ok(())
         }
     }
+    obs.finish("replay", &header.scenario, &out_dir)
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
@@ -692,6 +789,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut out_dir = PathBuf::from("results");
+    let mut telemetry = false;
+    let mut progress = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -735,6 +834,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
                         .clone(),
                 );
             }
+            "--telemetry" => telemetry = true,
+            "--progress" => progress = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::usage(format!(
                     "unknown flag `{flag}` (known flags: {SWEEP_FLAGS})"
@@ -773,6 +874,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         })?;
     }
 
+    let obs = CommandObs::start(telemetry, progress);
     let grid = match &grid_spec {
         None => target.default_grid(),
         Some(spec) => CandidateGrid::parse(spec, &target.default_grid())
@@ -843,7 +945,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::usage(format!("cannot write {}: {e}", text_path.display())))?;
     println!("wrote {}", json_path.display());
     println!("wrote {}", text_path.display());
-    Ok(())
+    obs.finish("sweep", &name, &out_dir)
 }
 
 fn cmd_certify(args: &[String]) -> Result<(), CliError> {
@@ -852,6 +954,8 @@ fn cmd_certify(args: &[String]) -> Result<(), CliError> {
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut out_dir = PathBuf::from("results");
+    let mut telemetry = false;
+    let mut progress = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -883,6 +987,8 @@ fn cmd_certify(args: &[String]) -> Result<(), CliError> {
                         .clone(),
                 );
             }
+            "--telemetry" => telemetry = true,
+            "--progress" => progress = true,
             flag if flag.starts_with("--") => {
                 return Err(CliError::usage(format!(
                     "unknown flag `{flag}` (known flags: {CERTIFY_FLAGS})"
@@ -921,6 +1027,7 @@ fn cmd_certify(args: &[String]) -> Result<(), CliError> {
         })?;
     }
 
+    let obs = CommandObs::start(telemetry, progress);
     // Every trace the scenario recorded under --traces, in deterministic
     // (sorted-filename) order — the order certificates appear in the
     // report and per-check verdicts fold over.
@@ -973,7 +1080,7 @@ fn cmd_certify(args: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::usage(format!("cannot write {}: {e}", text_path.display())))?;
     println!("wrote {}", json_path.display());
     println!("wrote {}", text_path.display());
-    Ok(())
+    obs.finish("certify", &name, &out_dir)
 }
 
 #[cfg(test)]
@@ -1087,11 +1194,15 @@ mod tests {
     fn list_json_reports_per_scenario_capability_flags() {
         let json = list_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
-        assert!(json.contains(r#"{"name":"credit","trace":true,"sweep":true,"certify":true}"#));
-        assert!(json.contains(r#"{"name":"hiring","trace":true,"sweep":true,"certify":true}"#));
-        assert!(
-            json.contains(r#"{"name":"ablations","trace":false,"sweep":false,"certify":false}"#)
-        );
+        assert!(json.contains(
+            r#"{"name":"credit","trace":true,"sweep":true,"certify":true,"telemetry":true}"#
+        ));
+        assert!(json.contains(
+            r#"{"name":"hiring","trace":true,"sweep":true,"certify":true,"telemetry":true}"#
+        ));
+        assert!(json.contains(
+            r#"{"name":"ablations","trace":false,"sweep":false,"certify":false,"telemetry":true}"#
+        ));
         // Deterministically sorted by name, so the CI matrix is stable.
         let credit = json.find(r#""name":"credit""#).unwrap();
         let ablations = json.find(r#""name":"ablations""#).unwrap();

@@ -568,10 +568,10 @@ pub fn perf_shard(scale: Scale, shards: usize, seed: Option<u64>) -> PerfShardRe
     let time = |config: &CreditConfig| -> f64 {
         let mut samples: Vec<f64> = (0..3)
             .map(|_| {
-                let start = std::time::Instant::now();
-                let outcome = eqimpact_credit::sim::run_trial(config, 0);
+                let (outcome, ms) = eqimpact_telemetry::metrics::BENCH_SAMPLE
+                    .time_ms(|| eqimpact_credit::sim::run_trial(config, 0));
                 assert_eq!(outcome.record.steps(), steps);
-                start.elapsed().as_secs_f64() * 1e3
+                ms
             })
             .collect();
         samples.sort_by(|a, b| a.total_cmp(b));
@@ -675,11 +675,7 @@ fn trace_json_dump(bytes: &[u8]) -> Json {
 
 fn median_ms(mut f: impl FnMut()) -> f64 {
     let mut samples: Vec<f64> = (0..3)
-        .map(|_| {
-            let start = std::time::Instant::now();
-            f();
-            start.elapsed().as_secs_f64() * 1e3
-        })
+        .map(|_| eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(&mut f).1)
         .collect();
     samples.sort_by(|a, b| a.total_cmp(b));
     samples[samples.len() / 2]
@@ -857,16 +853,16 @@ pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> PerfSweepResult {
         seed: config.seed,
         ..SweepConfig::default()
     };
-    let start = std::time::Instant::now();
-    let report = run_sweep(
-        &CreditSweep,
-        &sources,
-        &grid,
-        &sweep_config,
-        ThreadBudget::global(),
-    )
-    .expect("perf sweep runs");
-    let sweep_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (report, sweep_ms) = eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(|| {
+        run_sweep(
+            &CreditSweep,
+            &sources,
+            &grid,
+            &sweep_config,
+            ThreadBudget::global(),
+        )
+        .expect("perf sweep runs")
+    });
     assert_eq!(report.ranked.len(), candidates);
 
     PerfSweepResult {
@@ -987,15 +983,15 @@ pub fn perf_certify(scale: Scale, seed: Option<u64>) -> PerfCertifyResult {
 
     let trace = MemTrace::new("credit-perf.eqtrace", bytes);
     let sources: [&dyn TraceSource; 1] = [&trace];
-    let start = std::time::Instant::now();
-    let report = run_certification(
-        &CreditCertify,
-        &sources,
-        &certify_config,
-        ThreadBudget::global(),
-    )
-    .expect("perf certify runs");
-    let certify_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (report, certify_ms) = eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(|| {
+        run_certification(
+            &CreditCertify,
+            &sources,
+            &certify_config,
+            ThreadBudget::global(),
+        )
+        .expect("perf certify runs")
+    });
     assert_eq!(report.certificates.len(), 1);
 
     PerfCertifyResult {

@@ -12,6 +12,7 @@ use crate::CertifyTarget;
 use eqimpact_core::pool::{PoolJob, ThreadBudget, WorkerPool};
 use eqimpact_lab::sweep::TraceSource;
 use eqimpact_stats::SimRng;
+use eqimpact_telemetry::metrics as tm;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -118,6 +119,7 @@ pub fn run_certification(
 
     // One lease for the whole batch; zero extra lanes degrades to running
     // every cell inline on this thread with identical results.
+    eqimpact_telemetry::progress::add_goal(traces.len() as u64);
     let lease = budget.lease(traces.len());
     let mut pool = WorkerPool::new(lease.extra());
     let jobs: Vec<PoolJob> = results
@@ -127,16 +129,27 @@ pub fn run_certification(
             let trace = traces[index];
             Box::new(move || {
                 let rng = SimRng::new(config.seed).split(index as u64);
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    certify_trace(target, trace, config, &rng)
-                }));
+                let outcome = {
+                    let _cell = tm::CERTIFY_CELLS.enter();
+                    catch_unwind(AssertUnwindSafe(|| {
+                        certify_trace(target, trace, config, &rng)
+                    }))
+                };
                 *slot = Some(match outcome {
-                    Ok(result) => result,
-                    Err(payload) => Err(format!(
-                        "{}: certification panicked: {}",
-                        trace.label(),
-                        panic_message(payload.as_ref())
-                    )),
+                    Ok(result) => {
+                        if result.is_err() {
+                            tm::CERTIFY_CELL_ERRORS.incr();
+                        }
+                        result
+                    }
+                    Err(payload) => {
+                        tm::CERTIFY_CELL_ERRORS.incr();
+                        Err(format!(
+                            "{}: certification panicked: {}",
+                            trace.label(),
+                            panic_message(payload.as_ref())
+                        ))
+                    }
                 });
             }) as PoolJob
         })

@@ -18,6 +18,7 @@ use crate::checkpoint::ModelCheckpoint;
 use crate::features::FeatureMatrix;
 use crate::recorder::{LoopRecord, RecordPolicy, StepSink};
 use eqimpact_stats::SimRng;
+use eqimpact_telemetry::metrics as tm;
 use std::collections::VecDeque;
 
 /// The filtered feedback package delivered (after the delay) to the AI
@@ -395,22 +396,32 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopRunner<S, P, F> {
         record.reserve(steps);
         let wants_checkpoints = sink.wants_checkpoints();
         let mut checkpoint = ModelCheckpoint::new();
+        eqimpact_telemetry::progress::add_goal(steps as u64);
 
         for k in 0..steps {
-            self.population.observe_into(k, rng, &mut self.visible);
+            {
+                let _phase = tm::LOOP_OBSERVE.enter();
+                self.population.observe_into(k, rng, &mut self.visible);
+            }
             debug_assert_eq!(
                 self.visible.row_count(),
                 n,
                 "observe must return N feature rows"
             );
-            self.ai.signals_into(k, &self.visible, &mut self.signals);
+            {
+                let _phase = tm::LOOP_SIGNAL.enter();
+                self.ai.signals_into(k, &self.visible, &mut self.signals);
+            }
             assert_eq!(
                 self.signals.len(),
                 n,
                 "AiSystem must emit one signal per user"
             );
-            self.population
-                .respond_into(k, &self.signals, rng, &mut self.actions);
+            {
+                let _phase = tm::LOOP_RESPOND.enter();
+                self.population
+                    .respond_into(k, &self.signals, rng, &mut self.actions);
+            }
             assert_eq!(
                 self.actions.len(),
                 n,
@@ -418,24 +429,31 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopRunner<S, P, F> {
             );
 
             let mut feedback = self.spare.pop().unwrap_or_default();
-            self.filter.apply_into(
-                k,
-                &self.visible,
-                &self.signals,
-                &self.actions,
-                &mut feedback,
-            );
-            record.push_step(&self.signals, &self.actions, &feedback.per_user);
-            sink.on_step(
-                k,
-                &self.visible,
-                &self.signals,
-                &self.actions,
-                &feedback.per_user,
-            );
+            {
+                let _phase = tm::LOOP_FILTER.enter();
+                self.filter.apply_into(
+                    k,
+                    &self.visible,
+                    &self.signals,
+                    &self.actions,
+                    &mut feedback,
+                );
+            }
+            {
+                let _phase = tm::LOOP_RECORD.enter();
+                record.push_step(&self.signals, &self.actions, &feedback.per_user);
+                sink.on_step(
+                    k,
+                    &self.visible,
+                    &self.signals,
+                    &self.actions,
+                    &feedback.per_user,
+                );
+            }
 
             self.pending.push_back(feedback);
             if self.pending.len() > self.delay {
+                let _phase = tm::LOOP_RETRAIN.enter();
                 let due = self.pending.pop_front().expect("non-empty by check");
                 self.ai.retrain(k, &due);
                 // Recycle the package: its buffers become the next step's.
@@ -448,6 +466,7 @@ impl<S: AiSystem, P: UserPopulation, F: FeedbackFilter> LoopRunner<S, P, F> {
                     }
                 }
             }
+            tm::LOOP_STEPS.incr();
         }
         record
     }

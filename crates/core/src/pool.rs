@@ -63,12 +63,14 @@
 //! barrier, **poisons** the pool (later `run` calls fail fast — the
 //! caller's data may be half-written) and re-raises the first panic.
 
+use eqimpact_telemetry::metrics as tm;
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::OnceLock;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A job submitted to a [`WorkerPool`] batch: it may borrow anything that
 /// outlives the [`WorkerPool::run`] call that executes it.
@@ -158,9 +160,23 @@ impl ThreadBudget {
                 granted = want.min(free);
                 Some(free - granted)
             });
+        // The lease remembers whether its grant was metered, so the
+        // busy-lanes gauge never sees a `sub` without its `add` when the
+        // recorder toggles mid-lease.
+        let metered = eqimpact_telemetry::enabled();
+        if metered {
+            tm::POOL_LEASES.incr();
+            tm::POOL_LANES_REQUESTED.add(lanes.max(1) as u64);
+            tm::POOL_LANES_GRANTED.add(granted as u64 + 1);
+            if granted < want {
+                tm::POOL_LEASES_CLAMPED.incr();
+            }
+            tm::POOL_LANES_BUSY.add(granted as u64);
+        }
         BudgetLease {
             budget: self,
             extra: granted,
+            metered,
         }
     }
 }
@@ -194,6 +210,8 @@ fn capacity_from_env(var: Option<String>, mut warn: impl FnMut(&str)) -> usize {
 pub struct BudgetLease<'b> {
     budget: &'b ThreadBudget,
     extra: usize,
+    /// Whether this lease's grant was counted into the telemetry gauge.
+    metered: bool,
 }
 
 impl BudgetLease<'_> {
@@ -212,6 +230,9 @@ impl BudgetLease<'_> {
 impl Drop for BudgetLease<'_> {
     fn drop(&mut self) {
         self.budget.free.fetch_add(self.extra, Ordering::AcqRel);
+        if self.metered {
+            tm::POOL_LANES_BUSY.sub(self.extra as u64);
+        }
     }
 }
 
@@ -299,9 +320,25 @@ impl WorkerPool {
         let lanes = self.senders.len() + 1;
         let mut own: Vec<PoolJob<'scope>> = Vec::new();
         let mut sent = 0usize;
+        // Decided once per batch: metered batches wrap each worker-lane
+        // job to record queue wait and lane occupancy (the wrapper
+        // allocation only exists on the enabled path).
+        let metered = eqimpact_telemetry::enabled();
         for (i, job) in jobs.into_iter().enumerate() {
             let lane = i % lanes;
             if lane < self.senders.len() {
+                let job: PoolJob<'scope> = if metered {
+                    let submitted = Instant::now();
+                    Box::new(move || {
+                        tm::POOL_QUEUE_WAIT
+                            .record_ns(submitted.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+                        tm::POOL_JOBS_RUN.incr();
+                        tm::POOL_LANE_JOBS.record(lane + 1, 1);
+                        job();
+                    })
+                } else {
+                    job
+                };
                 // SAFETY: the barrier below blocks until a completion
                 // message has arrived for every submitted job, on the
                 // success and the panic path alike, so everything the
@@ -327,6 +364,8 @@ impl WorkerPool {
         let own_result = catch_unwind(AssertUnwindSafe(|| {
             for job in own {
                 job();
+                tm::POOL_JOBS_INLINE.incr();
+                tm::POOL_LANE_JOBS.record(0, 1);
             }
         }));
 
@@ -336,6 +375,7 @@ impl WorkerPool {
             match self.done_rx.recv() {
                 Ok(Ok(())) => {}
                 Ok(Err(payload)) => {
+                    tm::POOL_PANICS.incr();
                     failure.get_or_insert(payload);
                 }
                 Err(_) => {
@@ -347,6 +387,7 @@ impl WorkerPool {
             }
         }
         if let Err(payload) = own_result {
+            tm::POOL_PANICS.incr();
             failure.get_or_insert(payload);
         }
         if let Some(payload) = failure {

@@ -48,6 +48,7 @@ use crate::features::FeatureMatrix;
 use crate::pool::{PoolJob, ThreadBudget, WorkerPool};
 use crate::recorder::{LoopRecord, RecordPolicy, StepSink};
 use eqimpact_stats::SimRng;
+use eqimpact_telemetry::metrics as tm;
 use std::collections::VecDeque;
 use std::ops::Range;
 
@@ -562,6 +563,7 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
         self.actions.resize(n, 0.0);
         let wants_checkpoints = sink.wants_checkpoints();
         let mut checkpoint = ModelCheckpoint::new();
+        eqimpact_telemetry::progress::add_goal(steps as u64);
 
         for k in 0..steps {
             let observe = RowStreams::observe(rng, k);
@@ -619,24 +621,31 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
             // The step barrier: filter, record and retrain run on the
             // merged buffers, in the sequential runner's exact order.
             let mut feedback = self.spare.pop().unwrap_or_default();
-            self.filter.apply_into(
-                k,
-                &self.visible,
-                &self.signals,
-                &self.actions,
-                &mut feedback,
-            );
-            record.push_step(&self.signals, &self.actions, &feedback.per_user);
-            sink.on_step(
-                k,
-                &self.visible,
-                &self.signals,
-                &self.actions,
-                &feedback.per_user,
-            );
+            {
+                let _phase = tm::LOOP_FILTER.enter();
+                self.filter.apply_into(
+                    k,
+                    &self.visible,
+                    &self.signals,
+                    &self.actions,
+                    &mut feedback,
+                );
+            }
+            {
+                let _phase = tm::LOOP_RECORD.enter();
+                record.push_step(&self.signals, &self.actions, &feedback.per_user);
+                sink.on_step(
+                    k,
+                    &self.visible,
+                    &self.signals,
+                    &self.actions,
+                    &feedback.per_user,
+                );
+            }
 
             self.pending.push_back(feedback);
             if self.pending.len() > self.delay {
+                let _phase = tm::LOOP_RETRAIN.enter();
                 let due = self.pending.pop_front().expect("non-empty by check");
                 self.ai.retrain(k, &due);
                 self.spare.push(due);
@@ -648,13 +657,16 @@ impl<S: ShardableAi, P: ShardablePopulation, F: FeedbackFilter> ShardedRunner<S,
                     }
                 }
             }
+            tm::LOOP_STEPS.incr();
         }
         record
     }
 }
 
 /// One shard's slice of one step: observe → signal → respond over its own
-/// rows.
+/// rows. Each phase runs under its telemetry span, so in a sharded run
+/// the `loop.observe/signal/respond` counts are `steps × shards` — still
+/// deterministic for a fixed shard count.
 #[allow(clippy::too_many_arguments)]
 fn sweep_shard<S: ShardableAi, Sh: PopulationShard>(
     ai: &S,
@@ -666,9 +678,18 @@ fn sweep_shard<S: ShardableAi, Sh: PopulationShard>(
     observe: &RowStreams,
     respond: &RowStreams,
 ) {
-    shard.observe_cols(k, observe, &mut cols);
-    ai.signals_batch(k, &cols.as_view(), sig);
-    shard.respond_rows(k, sig, respond, act);
+    {
+        let _phase = tm::LOOP_OBSERVE.enter();
+        shard.observe_cols(k, observe, &mut cols);
+    }
+    {
+        let _phase = tm::LOOP_SIGNAL.enter();
+        ai.signals_batch(k, &cols.as_view(), sig);
+    }
+    {
+        let _phase = tm::LOOP_RESPOND.enter();
+        shard.respond_rows(k, sig, respond, act);
+    }
 }
 
 #[cfg(test)]

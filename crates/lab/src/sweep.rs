@@ -20,6 +20,7 @@ use crate::grid::{CandidateGrid, CandidateSpec};
 use crate::report::{RankedCandidate, SweepReport};
 use eqimpact_core::pool::{PoolJob, ThreadBudget, WorkerPool};
 use eqimpact_stats::{bootstrap_mean_ci, bootstrap_stratified_ci, ConfidenceInterval, SimRng};
+use eqimpact_telemetry::metrics as tm;
 use eqimpact_trace::{OffPolicyOutcome, TraceError, TraceHeader};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -376,6 +377,7 @@ pub fn run_sweep(
     // One lease for the whole sweep: at most one lane per cell, and
     // whatever the budget can spare. With zero extra lanes the pool runs
     // every cell inline on this thread — same results, sequentially.
+    eqimpact_telemetry::progress::add_goal(cells as u64);
     let lease = budget.lease(cells);
     let mut pool = WorkerPool::new(lease.extra());
     let jobs: Vec<PoolJob> = results
@@ -387,16 +389,24 @@ pub fn run_sweep(
             Box::new(move || {
                 // Cells must not poison the pool (a panic in WorkerPool
                 // jobs aborts the batch): catch here, report per cell.
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| evaluate_cell(target, trace, candidate)));
+                let outcome = {
+                    let _cell = tm::SWEEP_CELLS.enter();
+                    catch_unwind(AssertUnwindSafe(|| evaluate_cell(target, trace, candidate)))
+                };
                 *slot = Some(match outcome {
                     Ok(Ok(stats)) => Ok(stats),
-                    Ok(Err(e)) => Err(format!("{}: {e}", trace.label())),
-                    Err(payload) => Err(format!(
-                        "{}: candidate panicked: {}",
-                        trace.label(),
-                        panic_message(payload.as_ref())
-                    )),
+                    Ok(Err(e)) => {
+                        tm::SWEEP_CELL_ERRORS.incr();
+                        Err(format!("{}: {e}", trace.label()))
+                    }
+                    Err(payload) => {
+                        tm::SWEEP_CELL_ERRORS.incr();
+                        Err(format!(
+                            "{}: candidate panicked: {}",
+                            trace.label(),
+                            panic_message(payload.as_ref())
+                        ))
+                    }
                 });
             }) as PoolJob
         })

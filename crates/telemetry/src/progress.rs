@@ -1,0 +1,141 @@
+//! The `--progress` heartbeat: a background thread printing work rate
+//! and ETA to stderr for long runs. "Work units" are whatever the
+//! instrumented engines complete — loop steps plus sweep/certify cells
+//! — and the goal is registered incrementally by the engines themselves
+//! ([`add_goal`]) as runs start, so nested work (trials × steps) simply
+//! accumulates.
+
+use crate::metrics;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Work units the instrumented engines expect to complete.
+static GOAL: AtomicU64 = AtomicU64::new(0);
+
+/// Registers `n` upcoming work units (loop steps or cells). No-op while
+/// the recorder is disabled, so uninstrumented runs never pay for it.
+#[inline]
+pub fn add_goal(n: u64) {
+    if crate::enabled() {
+        GOAL.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// The registered goal.
+pub fn goal() -> u64 {
+    GOAL.load(Ordering::Relaxed)
+}
+
+/// Zeroes the goal (part of [`crate::Recorder::reset`]).
+pub fn reset_goal() {
+    GOAL.store(0, Ordering::Relaxed);
+}
+
+/// Work units completed so far: loop steps plus sweep and certify cells.
+pub fn done() -> u64 {
+    metrics::LOOP_STEPS.total() + metrics::SWEEP_CELLS.count() + metrics::CERTIFY_CELLS.count()
+}
+
+/// A running heartbeat thread; dropping it stops the thread promptly.
+pub struct Heartbeat {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Starts the heartbeat: every `interval` it prints completed units,
+/// rate, and — when a goal is registered — the ETA, to stderr. Ticks
+/// with nothing completed yet stay silent.
+pub fn start_heartbeat(interval: Duration) -> Heartbeat {
+    let stop = Arc::new((Mutex::new(false), Condvar::new()));
+    let shared = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("eqimpact-progress".to_string())
+        .spawn(move || {
+            let (lock, cv) = &*shared;
+            let mut last_done = done();
+            let mut last_at = Instant::now();
+            let mut stopped = lock.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                let (guard, _) = cv
+                    .wait_timeout(stopped, interval)
+                    .unwrap_or_else(PoisonError::into_inner);
+                stopped = guard;
+                if *stopped {
+                    return;
+                }
+                let now = Instant::now();
+                let current = done();
+                let dt = now.duration_since(last_at).as_secs_f64();
+                let rate = if dt > 0.0 {
+                    current.saturating_sub(last_done) as f64 / dt
+                } else {
+                    0.0
+                };
+                last_done = current;
+                last_at = now;
+                if current == 0 {
+                    continue;
+                }
+                let goal = goal();
+                if goal > current && rate > 0.0 {
+                    let eta = (goal - current) as f64 / rate;
+                    eprintln!("[progress] {current}/{goal} units · {rate:.0}/s · eta {eta:.1}s");
+                } else if goal > 0 {
+                    eprintln!("[progress] {current}/{goal} units · {rate:.0}/s");
+                } else {
+                    eprintln!("[progress] {current} units · {rate:.0}/s");
+                }
+            }
+        })
+        .expect("progress heartbeat: failed to spawn");
+    Heartbeat {
+        stop,
+        handle: Some(handle),
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        let (lock, cv) = &*self.stop;
+        *lock.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        cv.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{test_guard, Recorder};
+
+    #[test]
+    fn goal_accumulates_only_while_enabled() {
+        let _t = test_guard();
+        Recorder::reset();
+        add_goal(10);
+        assert_eq!(goal(), 0);
+        Recorder::install();
+        add_goal(10);
+        add_goal(5);
+        assert_eq!(goal(), 15);
+        Recorder::uninstall();
+        Recorder::reset();
+        assert_eq!(goal(), 0);
+    }
+
+    #[test]
+    fn heartbeat_starts_and_stops_cleanly() {
+        let _t = test_guard();
+        Recorder::install();
+        metrics::LOOP_STEPS.add(2);
+        let hb = start_heartbeat(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(hb);
+        Recorder::uninstall();
+        Recorder::reset();
+    }
+}

@@ -30,13 +30,13 @@
 use eqimpact_stats::codec::{read_varint, write_varint, zigzag_decode, zigzag_encode};
 
 /// Tag bit selecting the run-length form (`(run, delta)` pairs).
-const TAG_RLE_BIT: u8 = 1;
+pub(crate) const TAG_RLE_BIT: u8 = 1;
 
 /// Tag bit selecting the byte-swapped word domain (float columns only).
-const TAG_SWAP_BIT: u8 = 2;
+pub(crate) const TAG_SWAP_BIT: u8 = 2;
 
 /// All tag bits a valid block may carry.
-const TAG_MASK: u8 = TAG_RLE_BIT | TAG_SWAP_BIT;
+pub(crate) const TAG_MASK: u8 = TAG_RLE_BIT | TAG_SWAP_BIT;
 
 /// Appends the zigzag varint of the delta `current - previous` (wrapping).
 #[inline]

@@ -33,7 +33,10 @@
 //! is streaming — one frame is resident at a time, so memory is bounded
 //! by the widest step, not the trace length.
 
-use crate::column::{decode_column, decode_f64_column, encode_column, encode_f64_column};
+use crate::column::{
+    decode_column, decode_f64_column, encode_column, encode_f64_column, TAG_MASK, TAG_RLE_BIT,
+    TAG_SWAP_BIT,
+};
 use crate::TraceError;
 use eqimpact_core::checkpoint::ModelCheckpoint;
 use eqimpact_core::features::FeatureMatrix;
@@ -41,6 +44,7 @@ use eqimpact_core::recorder::{LoopRecord, RecordPolicy};
 use eqimpact_core::scenario::{Scale, TraceMeta};
 use eqimpact_stats::codec::{crc32, read_varint, write_varint};
 use eqimpact_stats::json::{parse, Json, ToJson};
+use eqimpact_telemetry::metrics as tm;
 use std::io::{Read, Write};
 
 /// The stream magic.
@@ -261,7 +265,28 @@ fn write_frame<W: Write>(out: &mut W, kind: u8, payload: &[u8]) -> Result<usize,
     out.write_all(&(payload.len() as u32).to_le_bytes())?;
     out.write_all(&crc32(payload).to_le_bytes())?;
     out.write_all(payload)?;
+    tm::TRACE_FRAMES_WRITTEN.incr();
+    tm::TRACE_FRAME_BYTES.observe(payload.len() as u64);
     Ok(1 + 4 + 4 + payload.len())
+}
+
+/// Tallies one encoded f64 column into the per-codec-choice byte
+/// counters (raw = 8 bytes per value; the block's first byte is its
+/// codec tag).
+fn note_column_encoding(values: usize, block: &[u8]) {
+    if !eqimpact_telemetry::enabled() {
+        return;
+    }
+    let raw = (values as u64) * 8;
+    let encoded = block.len() as u64;
+    let (raw_counter, enc_counter) = match block.first().map_or(0, |tag| tag & TAG_MASK) {
+        0 => (&tm::TRACE_RAW_BYTES_PLAIN, &tm::TRACE_ENC_BYTES_PLAIN),
+        TAG_RLE_BIT => (&tm::TRACE_RAW_BYTES_RLE, &tm::TRACE_ENC_BYTES_RLE),
+        TAG_SWAP_BIT => (&tm::TRACE_RAW_BYTES_SWAP, &tm::TRACE_ENC_BYTES_SWAP),
+        _ => (&tm::TRACE_RAW_BYTES_SWAP_RLE, &tm::TRACE_ENC_BYTES_SWAP_RLE),
+    };
+    raw_counter.add(raw);
+    enc_counter.add(encoded);
 }
 
 /// Streaming writer of the trace format. Create with a header, feed it
@@ -349,12 +374,14 @@ impl<W: Write> TraceWriter<W> {
         for j in 0..visible.width() {
             block.clear();
             encode_f64_column(visible.col(j), &mut self.words, &mut block);
+            note_column_encoding(visible.col(j).len(), &block);
             write_varint(&mut self.payload, block.len() as u64);
             self.payload.extend_from_slice(&block);
         }
         for channel in [signals, actions, filtered] {
             block.clear();
             encode_f64_column(channel, &mut self.words, &mut block);
+            note_column_encoding(channel.len(), &block);
             write_varint(&mut self.payload, block.len() as u64);
             self.payload.extend_from_slice(&block);
         }
@@ -379,6 +406,7 @@ impl<W: Write> TraceWriter<W> {
             write_varint(&mut self.payload, values.len() as u64);
             block.clear();
             encode_f64_column(values, &mut self.words, &mut block);
+            note_column_encoding(values.len(), &block);
             write_varint(&mut self.payload, block.len() as u64);
             self.payload.extend_from_slice(&block);
         }
@@ -639,11 +667,13 @@ fn read_frame_into<R: Read>(
     payload.resize(len as usize, 0);
     read_exact_or(input, payload, "frame payload")?;
     if crc32(payload) != expected {
+        tm::TRACE_CHECKSUM_FAILURES.incr();
         return Err(TraceError::ChecksumMismatch {
             frame: *frame_index,
         });
     }
     *frame_index += 1;
+    tm::TRACE_FRAMES_READ.incr();
     Ok(Some(kind[0]))
 }
 
