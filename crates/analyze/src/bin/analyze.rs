@@ -1,0 +1,98 @@
+//! `analyze` — run the conformance rules over a workspace.
+//!
+//! ```text
+//! analyze [ROOT] [--json PATH] [--quiet]
+//! ```
+//!
+//! * `ROOT` — workspace root (default: current directory).
+//! * `--json PATH` — additionally write the deterministic JSON report.
+//! * `--quiet` — suppress the text report; only the result line prints.
+//!
+//! Exit codes (same contract as `experiments`): `0` clean, `1` one or
+//! more unwaived findings, `2` bad arguments or unreadable workspace.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: Option<PathBuf>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: analyze [ROOT] [--json PATH] [--quiet]";
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => {
+                let Some(p) = it.next() else {
+                    return Err("--json requires a path".to_string());
+                };
+                json = Some(PathBuf::from(p));
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+            }
+            positional => {
+                if root.is_some() {
+                    return Err(format!("unexpected extra argument `{positional}`\n{USAGE}"));
+                }
+                root = Some(PathBuf::from(positional));
+            }
+        }
+    }
+    Ok(Args {
+        root: root.unwrap_or_else(|| PathBuf::from(".")),
+        json,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match eqimpact_analyze::analyze(&args.root) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("analyze: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &args.json {
+        if let Err(e) = std::fs::write(path, report.render_json()) {
+            eprintln!("analyze: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if args.quiet {
+        println!(
+            "analyze: {} finding(s), {} waiver(s)",
+            report.active_count(),
+            report.waivers.len()
+        );
+    } else {
+        print!("{}", report.render_text());
+    }
+
+    if report.active_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,545 @@
+//! A minimal Rust lexer: just enough structure for contract scanning.
+//!
+//! The analyzer's rules are lexical (identifier sequences like
+//! `Instant :: now`), but a plain substring grep would fire on doc
+//! comments, string literals, and `#[cfg(test)]` code. This lexer
+//! splits a source file into tokens with line numbers, keeping
+//! comments as trivia so the rule engine can
+//!
+//! * match code patterns against non-comment tokens only,
+//! * inspect comment text for `// SAFETY:` audits and
+//!   `// analyze::allow(...)` waivers.
+//!
+//! It understands line comments, nested block comments, string /
+//! raw-string / byte-string / char literals, lifetimes (so `'a` is not
+//! mistaken for an unterminated char literal), raw identifiers, and
+//! numeric literals. It does not build an AST: items, expressions and
+//! types all stay flat token runs, which is all the rules need.
+
+/// The coarse classification the rules match against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`Instant`, `unsafe`, `fn`, ...).
+    Ident,
+    /// Punctuation. Multi-character operators are not glued together
+    /// except `::`, which the rules match constantly.
+    Punct,
+    /// String / char / byte / numeric literal (contents opaque).
+    Literal,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// `// ...` comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// `/* ... */` comment, including doc block comments.
+    BlockComment,
+}
+
+/// One token with its source text and 1-based starting line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Exact source text (for comments: without the delimiters).
+    pub text: String,
+    /// 1-based line on which the token starts.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+
+    /// True for both comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a flat token stream, comments included.
+///
+/// The lexer is total: malformed input (say, an unterminated string)
+/// never panics, it simply consumes to end-of-file as a literal. That
+/// keeps the analyzer usable on fixture snippets and mid-edit files.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::LineComment,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::BlockComment,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw strings / byte strings / raw identifiers: r" r#" br" b" b'.
+        if c == 'r' || c == 'b' {
+            if let Some((tok, next, lines)) = lex_prefixed_literal(&chars, i, line) {
+                toks.push(tok);
+                i = next;
+                line += lines;
+                continue;
+            }
+        }
+        // Plain identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if c == '"' {
+            let start = i;
+            let start_line = line;
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                if chars[i] == '\n' {
+                    line += 1;
+                }
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: chars[start..i].iter().collect(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // `'\x'` escapes are always char literals.
+            if i + 1 < n && chars[i + 1] == '\\' {
+                let start = i;
+                i += 2; // consume ' and backslash
+                if i < n {
+                    i += 1; // escaped char
+                }
+                // Consume up to the closing quote (handles \u{..}).
+                while i < n && chars[i] != '\'' {
+                    i += 1;
+                }
+                if i < n {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            if i + 1 < n && is_ident_start(chars[i + 1]) {
+                // Scan the identifier run after the quote.
+                let mut j = i + 1;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                if j < n && chars[j] == '\'' {
+                    // 'a' — char literal.
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: chars[i..=j].iter().collect(),
+                        line,
+                    });
+                    i = j + 1;
+                } else {
+                    // 'a / 'static — lifetime.
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: chars[i..j].iter().collect(),
+                        line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // `'('` style single-char literal.
+            let start = i;
+            i += 1;
+            if i < n {
+                i += 1;
+            }
+            if i < n && chars[i] == '\'' {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < n && (is_ident_continue(chars[i])) {
+                i += 1;
+            }
+            // Fractional part: only when a digit follows the dot, so
+            // ranges (`0..n`) and method calls stay separate tokens.
+            if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+            }
+            // Exponent sign (`1e-3`): the `e` was consumed above, a
+            // trailing +/- digit run may remain.
+            if i < n
+                && (chars[i] == '+' || chars[i] == '-')
+                && chars[i - 1].is_ascii_alphabetic()
+                && (chars[i - 1] == 'e' || chars[i - 1] == 'E')
+                && i + 1 < n
+                && chars[i + 1].is_ascii_digit()
+            {
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Literal,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        // `::` is glued; every other punct is one char.
+        if c == ':' && i + 1 < n && chars[i + 1] == ':' {
+            toks.push(Tok {
+                kind: TokKind::Punct,
+                text: "::".to_string(),
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Tries to lex a literal with an `r`/`b`/`br` prefix starting at `i`.
+///
+/// Returns `(token, next_index, newline_count)` on success; `None`
+/// means the prefix was an ordinary identifier and the caller should
+/// lex it as such. Raw identifiers (`r#match`) come back as `Ident`.
+fn lex_prefixed_literal(chars: &[char], i: usize, line: u32) -> Option<(Tok, usize, u32)> {
+    let n = chars.len();
+    let mut j = i;
+    // Optional b, then optional r.
+    let mut saw_r = false;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == 'r' {
+            saw_r = true;
+            j += 1;
+        }
+    } else if chars[j] == 'r' {
+        saw_r = true;
+        j += 1;
+    }
+    if saw_r {
+        // Count hashes.
+        let mut hashes = 0usize;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && chars[j] == '"' {
+            // Raw (byte) string: scan to `"` followed by `hashes` #s.
+            j += 1;
+            let mut lines = 0u32;
+            while j < n {
+                if chars[j] == '"' {
+                    let mut k = 0usize;
+                    while k < hashes && j + 1 + k < n && chars[j + 1 + k] == '#' {
+                        k += 1;
+                    }
+                    if k == hashes {
+                        j += 1 + hashes;
+                        let tok = Tok {
+                            kind: TokKind::Literal,
+                            text: chars[i..j].iter().collect(),
+                            line,
+                        };
+                        return Some((tok, j, lines));
+                    }
+                }
+                if chars[j] == '\n' {
+                    lines += 1;
+                }
+                j += 1;
+            }
+            // Unterminated: consume the rest as a literal.
+            let tok = Tok {
+                kind: TokKind::Literal,
+                text: chars[i..n].iter().collect(),
+                line,
+            };
+            return Some((tok, n, lines));
+        }
+        if hashes == 1 && j < n && is_ident_start(chars[j]) && chars[i] == 'r' {
+            // Raw identifier `r#ident`.
+            let start = j;
+            while j < n && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let tok = Tok {
+                kind: TokKind::Ident,
+                text: chars[start..j].iter().collect(),
+                line,
+            };
+            return Some((tok, j, 0));
+        }
+        return None;
+    }
+    // b"..." / b'.'
+    if j < n && chars[j] == '"' {
+        j += 1;
+        let mut lines = 0u32;
+        while j < n {
+            if chars[j] == '\\' && j + 1 < n {
+                j += 2;
+                continue;
+            }
+            if chars[j] == '"' {
+                j += 1;
+                break;
+            }
+            if chars[j] == '\n' {
+                lines += 1;
+            }
+            j += 1;
+        }
+        let tok = Tok {
+            kind: TokKind::Literal,
+            text: chars[i..j].iter().collect(),
+            line,
+        };
+        return Some((tok, j, lines));
+    }
+    if j < n && chars[j] == '\'' {
+        // Byte char literal b'x' / b'\n'.
+        j += 1;
+        if j < n && chars[j] == '\\' {
+            j += 2;
+        } else if j < n {
+            j += 1;
+        }
+        while j < n && chars[j] != '\'' {
+            j += 1;
+        }
+        if j < n {
+            j += 1;
+        }
+        let tok = Tok {
+            kind: TokKind::Literal,
+            text: chars[i..j].iter().collect(),
+            line,
+        };
+        return Some((tok, j, 0));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_are_trivia_not_code() {
+        let toks = kinds("let x = 1; // Instant::now() in prose\n/* HashMap */ y");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "x", "y"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::LineComment && t.contains("Instant::now")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::BlockComment && t.contains("HashMap")));
+    }
+
+    #[test]
+    fn strings_swallow_code_like_text() {
+        let toks = kinds(r#"let s = "Instant::now() and HashMap"; t"#);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "t"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let toks = kinds("r#\"SystemTime \"quoted\"\"# r#match b\"unsafe\"");
+        assert_eq!(toks[0].0, TokKind::Literal);
+        assert!(toks[0].1.contains("SystemTime"));
+        assert_eq!(toks[1], (TokKind::Ident, "match".to_string()));
+        assert_eq!(toks[2].0, TokKind::Literal);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_following_code() {
+        let toks = kinds("fn f<'a>(x: &'a str) { 'b': loop {} }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'a"));
+        // The code after the lifetimes still lexes as idents.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "str"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "loop"));
+    }
+
+    #[test]
+    fn char_literals_including_quote_escape() {
+        let toks = kinds(r"let c = 'x'; let q = '\''; let nl = '\n'; done");
+        let lits: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Literal)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lits, ["'x'", r"'\''", r"'\n'"]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "done"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_advance_across_multiline_tokens() {
+        let toks = lex("a\n\"two\nline\"\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // b after the 2-line string
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = kinds("Instant::now()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokKind::Ident, "Instant".to_string()),
+                (TokKind::Punct, "::".to_string()),
+                (TokKind::Ident, "now".to_string()),
+                (TokKind::Punct, "(".to_string()),
+                (TokKind::Punct, ")".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_literals_do_not_merge_with_ranges() {
+        let toks = kinds("for i in 0..n { let x = 1.5e-3f64; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Literal && t == "1.5e-3f64"));
+        // The range dots survive as punct.
+        let dots = toks
+            .iter()
+            .filter(|(k, t)| *k == TokKind::Punct && t == ".")
+            .count();
+        assert_eq!(dots, 2);
+    }
+}

@@ -1,0 +1,152 @@
+//! Integration tests over the fixture mini-workspace in
+//! `tests/fixtures/ws`: every rule fires on a known line, near-miss
+//! text in comments/strings/test code stays silent, and the rendered
+//! report is byte-identical across runs.
+
+use std::path::{Path, PathBuf};
+
+use eqimpact_analyze::{analyze, Report};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn run() -> Report {
+    analyze(&fixture_root()).expect("fixture workspace analyzes")
+}
+
+/// The complete expected set of active findings, as (rule, file, line).
+const EXPECTED_ACTIVE: &[(&str, &str, u32)] = &[
+    ("R0", "crates/ml/src/logistic.rs", 14),
+    ("R0", "crates/ml/src/logistic.rs", 19),
+    ("R0", "crates/ml/src/logistic.rs", 24),
+    ("R1", "crates/core/src/lib.rs", 5),
+    ("R1", "crates/core/src/lib.rs", 10),
+    ("R2", "crates/core/src/lib.rs", 15),
+    ("R3", "crates/core/src/lib.rs", 19),
+    ("R4", "crates/bench/src/lib.rs", 1),
+    ("R4", "crates/core/src/lib.rs", 25),
+    ("R5", "crates/bench/src/experiments.rs", 5),
+    ("R5", "crates/bench/src/experiments.rs", 9),
+    ("R5", "crates/bench/src/experiments.rs", 13),
+    ("R6", "crates/ml/src/logistic.rs", 5),
+    ("R6", "crates/ml/src/logistic.rs", 25),
+    ("R7", "Cargo.toml", 9),
+    ("R7", "crates/bench/Cargo.toml", 8),
+];
+
+#[test]
+fn every_rule_fires_on_its_fixture_line() {
+    let report = run();
+    let mut active: Vec<(String, String, u32)> = report
+        .active()
+        .map(|f| (f.rule.clone(), f.file.clone(), f.line))
+        .collect();
+    active.sort();
+    let expected: Vec<(String, String, u32)> = EXPECTED_ACTIVE
+        .iter()
+        .map(|&(r, f, l)| (r.to_string(), f.to_string(), l))
+        .collect();
+    assert_eq!(active, expected);
+    // Each of R0..R7 fires at least once.
+    for id in ["R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7"] {
+        assert!(
+            active.iter().any(|(r, _, _)| r == id),
+            "{id} never fired on the fixtures"
+        );
+    }
+}
+
+#[test]
+fn near_misses_stay_silent() {
+    let report = run();
+    // The sanctioned wall-clock module reads the clock without findings.
+    assert!(
+        !report.findings.iter().any(|f| f.file.contains("telemetry")),
+        "telemetry fixture must be clean"
+    );
+    // The string literal naming thread::spawn (core lib.rs line 23) and
+    // the #[cfg(test)] HashSet/Instant uses (lines 36-37) never fire.
+    for silent_line in [23, 36, 37] {
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| f.file == "crates/core/src/lib.rs" && f.line == silent_line),
+            "line {silent_line} of the core fixture must stay silent"
+        );
+    }
+}
+
+#[test]
+fn valid_waiver_suppresses_and_is_listed() {
+    let report = run();
+    // The waived R6 fold is present but inactive.
+    let waived: Vec<_> = report.findings.iter().filter(|f| f.waived).collect();
+    assert_eq!(waived.len(), 1);
+    assert_eq!(waived[0].rule, "R6");
+    assert_eq!(waived[0].file, "crates/ml/src/logistic.rs");
+    assert_eq!(waived[0].line, 10);
+    // Exactly one valid waiver, reason preserved.
+    assert_eq!(report.waivers.len(), 1);
+    assert_eq!(report.waivers[0].rule, "R6");
+    assert_eq!(report.waivers[0].line, 9);
+    assert_eq!(
+        report.waivers[0].reason,
+        "fixture demonstrates a waived fold"
+    );
+}
+
+#[test]
+fn unsafe_inventory_tracks_documentation() {
+    let report = run();
+    let inv: Vec<_> = report
+        .unsafe_inventory
+        .iter()
+        .map(|u| (u.file.as_str(), u.line, u.documented))
+        .collect();
+    assert_eq!(
+        inv,
+        vec![
+            ("crates/core/src/lib.rs", 25, false),
+            ("crates/core/src/lib.rs", 30, true),
+        ]
+    );
+    // Crate audits: the unsafe-bearing crate is exempt from the forbid
+    // requirement; the forbidding crates are recorded as such.
+    let audit = |name: &str| {
+        report
+            .crates
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("crate {name} audited"))
+    };
+    assert!(!audit("fixture-core").forbids_unsafe);
+    assert_eq!(audit("fixture-core").unsafe_count, 2);
+    assert!(audit("fixture-ml").forbids_unsafe);
+    assert!(audit("fixture-telemetry").forbids_unsafe);
+    assert!(!audit("fixture-bench").forbids_unsafe);
+}
+
+#[test]
+fn reports_are_byte_identical_across_runs() {
+    let a = run();
+    let b = run();
+    assert_eq!(a.render_json(), b.render_json());
+    assert_eq!(a.render_text(), b.render_text());
+    // No absolute paths leak into either rendering.
+    let root = fixture_root();
+    let root_str = root.to_string_lossy();
+    assert!(!a.render_json().contains(root_str.as_ref()));
+    assert!(!a.render_text().contains(root_str.as_ref()));
+}
+
+#[test]
+fn scan_counts_cover_the_fixture_tree() {
+    let report = run();
+    // 7 source files: core lib, bench lib + experiments, ml lib +
+    // logistic, telemetry lib + instruments.
+    assert_eq!(report.files_scanned, 7);
+    // 5 manifests: the root plus four crates.
+    assert_eq!(report.manifests_scanned, 5);
+}

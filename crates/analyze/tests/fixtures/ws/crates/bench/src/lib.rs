@@ -1,0 +1,3 @@
+//! Fixture: unsafe-free crate missing #![forbid(unsafe_code)] (R4).
+
+pub mod experiments;

@@ -1,0 +1,4 @@
+//! Fixture: the wall-clock home (scope negative for R1).
+#![forbid(unsafe_code)]
+
+pub mod instruments;

@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("delay_sweep_quick", |b| {
         b.iter(|| {
-            let a4 = ablate_delay(Scale::Quick, None);
+            let a4 = ablate_delay(Scale::Quick, None).expect("ablate_delay");
             assert_eq!(a4.delays.len(), 4);
             a4
         })

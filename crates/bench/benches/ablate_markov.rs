@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("attractivity_quick", |b| {
         b.iter(|| {
-            let a3 = ablate_markov(Scale::Quick, None);
+            let a3 = ablate_markov(Scale::Quick, None).expect("ablate_markov");
             assert!(a3.ifs_converged);
             a3
         })

@@ -8,7 +8,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("uniform_vs_income_quick", |b| {
         b.iter(|| {
-            let a1 = ablate_policy(Scale::Quick, None);
+            let a1 = ablate_policy(Scale::Quick, None).expect("ablate_policy");
             assert!(a1.approval_gaps.0 > a1.approval_gaps.1);
             a1
         })

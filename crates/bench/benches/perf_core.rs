@@ -449,7 +449,7 @@ fn bench_trace_store(_c: &mut Criterion) {
         ScenarioScale::Paper
     };
     println!("\n-- group: perf/trace_store ({scale:?} credit trial) --");
-    let r = perf_trace(scale, None);
+    let r = perf_trace(scale, None).expect("perf_trace");
     println!(
         "perf/trace_store/resimulate                        median {:>10.2} ms",
         r.resimulate_ms
@@ -487,7 +487,7 @@ fn bench_sweep(_c: &mut Criterion) {
         ScenarioScale::Paper
     };
     println!("\n-- group: perf/sweep ({scale:?} checkpointed credit trial) --");
-    let r = perf_sweep(scale, None);
+    let r = perf_sweep(scale, None).expect("perf_sweep");
     println!(
         "perf/sweep/resimulate                              median {:>10.2} ms",
         r.resimulate_ms
@@ -525,7 +525,7 @@ fn bench_certify(_c: &mut Criterion) {
         ScenarioScale::Paper
     };
     println!("\n-- group: perf/certify ({scale:?} checkpointed credit trial) --");
-    let r = perf_certify(scale, None);
+    let r = perf_certify(scale, None).expect("perf_certify");
     println!(
         "perf/certify/extract                               median {:>10.2} ms  ({} states, {} transitions)",
         r.extract_ms, r.states, r.transitions

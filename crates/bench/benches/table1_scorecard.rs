@@ -9,7 +9,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("scorecard_from_loop_quick", |b| {
         b.iter(|| {
-            let t1 = table1_scorecard(Scale::Quick);
+            let t1 = table1_scorecard(Scale::Quick).expect("table1_scorecard");
             assert!(t1.history_points < 0.0);
             assert!(t1.income_points > 0.0);
             t1

@@ -36,14 +36,15 @@ fn credit_config(scale: Scale, lender: LenderKind) -> CreditConfig {
 pub use eqimpact_credit::report::Table1Scorecard as Table1Result;
 
 /// T1: runs the closed loop at the given scale and extracts the final
-/// scorecard.
-pub fn table1_scorecard(scale: Scale) -> Table1Result {
+/// scorecard. Fails (with a named error, per the CLI panic contract)
+/// when no trial produced a fitted scorecard.
+pub fn table1_scorecard(scale: Scale) -> Result<Table1Result, String> {
     let outcomes = run_trials_protocol(&credit_config(scale, LenderKind::Scorecard));
     let card = outcomes
         .iter()
         .find_map(|o| o.scorecard.clone())
-        .expect("scorecard lender always refits");
-    Table1Result::from_scorecard(&card)
+        .ok_or_else(|| "table1: no trial produced a scorecard (lender never refit)".to_string())?;
+    Ok(Table1Result::from_scorecard(&card))
 }
 
 // ---------------------------------------------------------------------------
@@ -137,12 +138,12 @@ impl ToJson for PolicyAblation {
 
 /// A1: compares the introduction's two policies on a long horizon.
 /// `seed` overrides the protocol's base seed (`None` = the default).
-pub fn ablate_policy(scale: Scale, seed: Option<u64>) -> PolicyAblation {
+pub fn ablate_policy(scale: Scale, seed: Option<u64>) -> Result<PolicyAblation, String> {
     let steps = match scale {
         Scale::Paper => 60,
         Scale::Quick => 30,
     };
-    let run = |lender: LenderKind| -> ([f64; 3], [f64; 3]) {
+    let run = |lender: LenderKind| -> Result<([f64; 3], [f64; 3]), String> {
         let base = credit_config(scale, lender);
         let config = CreditConfig {
             steps,
@@ -169,24 +170,27 @@ pub fn ablate_policy(scale: Scale, seed: Option<u64>) -> PolicyAblation {
                 }
             }
             approval[race.index()] = approved as f64 / total.max(1) as f64;
-            final_adr[race.index()] = *outcome.race_adr_series(race).last().expect("steps > 0");
+            final_adr[race.index()] = *outcome
+                .race_adr_series(race)
+                .last()
+                .ok_or_else(|| "ablate-policy: empty ADR series (zero steps)".to_string())?;
         }
-        (approval, final_adr)
+        Ok((approval, final_adr))
     };
-    let (uniform_approval, uniform_final_adr) = run(LenderKind::UniformExclusion);
-    let (income_approval, income_final_adr) = run(LenderKind::IncomeMultiple);
+    let (uniform_approval, uniform_final_adr) = run(LenderKind::UniformExclusion)?;
+    let (income_approval, income_final_adr) = run(LenderKind::IncomeMultiple)?;
     let gap = |a: &[f64; 3]| {
         let hi = a.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let lo = a.iter().cloned().fold(f64::INFINITY, f64::min);
         hi - lo
     };
-    PolicyAblation {
+    Ok(PolicyAblation {
         approval_gaps: (gap(&uniform_approval), gap(&income_approval)),
         uniform_approval,
         income_multiple_approval: income_approval,
         uniform_final_adr,
         income_multiple_final_adr: income_final_adr,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -290,28 +294,35 @@ impl ToJson for MarkovAblation {
 
 /// A3: invariant-measure attractivity for primitive vs periodic chains and
 /// a contractive IFS. `seed` overrides the study's RNG seeds (`None` =
-/// the defaults).
-pub fn ablate_markov(scale: Scale, seed: Option<u64>) -> MarkovAblation {
+/// the defaults). The chains and the IFS are built from constants, but
+/// construction failures surface as named errors instead of panics (the
+/// CLI panic contract).
+pub fn ablate_markov(scale: Scale, seed: Option<u64>) -> Result<MarkovAblation, String> {
     let (particles, iters) = match scale {
         Scale::Paper => (4_000, 150),
         Scale::Quick => (500, 60),
     };
 
-    let primitive =
-        FiniteChain::new(eqimpact_linalg::Matrix::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]).unwrap())
-            .unwrap();
-    let periodic =
-        FiniteChain::new(eqimpact_linalg::Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]).unwrap())
-            .unwrap();
+    let chain = |rows: &[&[f64]], label: &str| -> Result<FiniteChain, String> {
+        let matrix = eqimpact_linalg::Matrix::from_rows(rows)
+            .map_err(|e| format!("ablate-markov: {label} chain rows: {e}"))?;
+        FiniteChain::new(matrix).map_err(|e| format!("ablate-markov: {label} chain: {e}"))
+    };
+    let primitive = chain(&[&[0.9, 0.1], &[0.4, 0.6]], "primitive")?;
+    let periodic = chain(&[&[0.0, 1.0], &[1.0, 0.0]], "periodic")?;
     let nu = eqimpact_linalg::Vector::from_slice(&[1.0, 0.0]);
-    let primitive_tv = primitive.tv_decay(&nu, 30).unwrap();
-    let periodic_tv = periodic.tv_decay(&nu, 30).unwrap();
+    let primitive_tv = primitive
+        .tv_decay(&nu, 30)
+        .map_err(|e| format!("ablate-markov: primitive TV decay: {e}"))?;
+    let periodic_tv = periodic
+        .tv_decay(&nu, 30)
+        .map_err(|e| format!("ablate-markov: periodic TV decay: {e}"))?;
 
     let ifs: MarkovSystem = Ifs::builder(1)
         .map_const(affine1d(0.5, 0.0), 0.5)
         .map_const(affine1d(0.5, 0.5), 0.5)
         .build()
-        .unwrap()
+        .map_err(|e| format!("ablate-markov: IFS build: {e}"))?
         .as_markov_system()
         .clone();
     let mut rng = SimRng::new(seed.unwrap_or(1987));
@@ -332,13 +343,13 @@ pub fn ablate_markov(scale: Scale, seed: Option<u64>) -> MarkovAblation {
         box_sampler(vec![0.0], vec![1.0]),
     );
 
-    MarkovAblation {
+    Ok(MarkovAblation {
         primitive_tv,
         periodic_tv,
         ifs_converged: estimate.converged,
         ifs_distances: estimate.iterate_distances,
         ifs_verdict: verdict.verdict,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -371,7 +382,7 @@ impl ToJson for DelayAblation {
 /// artifact of that choice (small delays only slow the scorecard's
 /// reaction). `seed` overrides the protocol's base seed (`None` = the
 /// default).
-pub fn ablate_delay(scale: Scale, seed: Option<u64>) -> DelayAblation {
+pub fn ablate_delay(scale: Scale, seed: Option<u64>) -> Result<DelayAblation, String> {
     let delays = vec![0usize, 1, 2, 4];
     let mut race_spread = Vec::with_capacity(delays.len());
     let mut mean_adr = Vec::with_capacity(delays.len());
@@ -386,8 +397,12 @@ pub fn ablate_delay(scale: Scale, seed: Option<u64>) -> DelayAblation {
         let outcome = &run_trials_protocol(&config)[0];
         let finals: Vec<f64> = Race::ALL
             .iter()
-            .map(|&r| *outcome.race_adr_series(r).last().expect("steps > 0"))
-            .collect();
+            .map(|&r| {
+                outcome.race_adr_series(r).last().copied().ok_or_else(|| {
+                    format!("ablate-delay: empty ADR series at delay {delay} (zero steps)")
+                })
+            })
+            .collect::<Result<_, String>>()?;
         let hi = finals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let lo = finals.iter().cloned().fold(f64::INFINITY, f64::min);
         race_spread.push(hi - lo);
@@ -396,11 +411,11 @@ pub fn ablate_delay(scale: Scale, seed: Option<u64>) -> DelayAblation {
             outcome.record.filtered(last).iter().sum::<f64>() / outcome.record.user_count() as f64;
         mean_adr.push(pop_mean);
     }
-    DelayAblation {
+    Ok(DelayAblation {
         delays,
         race_spread,
         mean_adr,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -645,10 +660,11 @@ impl ToJson for PerfTraceResult {
 /// Renders the exact information content of a trace as the JSON dump the
 /// artifact pipeline would otherwise persist: header fields, group
 /// codes, and the four per-step channels.
-fn trace_json_dump(bytes: &[u8]) -> Json {
+fn trace_json_dump(bytes: &[u8]) -> Result<Json, String> {
     use eqimpact_trace::{StepFrame, TraceReader};
     let mut input: &[u8] = bytes;
-    let mut reader = TraceReader::new(&mut input).expect("perf trace reads back");
+    let mut reader =
+        TraceReader::new(&mut input).map_err(|e| format!("perf-trace: trace reads back: {e}"))?;
     let header = reader.header().clone();
     let groups: Vec<Json> = reader
         .groups()
@@ -656,7 +672,10 @@ fn trace_json_dump(bytes: &[u8]) -> Json {
         .unwrap_or_default();
     let mut steps = Vec::new();
     let mut frame = StepFrame::default();
-    while reader.next_step(&mut frame).expect("perf trace steps") {
+    while reader
+        .next_step(&mut frame)
+        .map_err(|e| format!("perf-trace: trace step read: {e}"))?
+    {
         steps.push(Json::obj([
             ("visible", frame.visible.to_row_major().to_json()),
             ("signals", frame.signals.to_json()),
@@ -664,29 +683,36 @@ fn trace_json_dump(bytes: &[u8]) -> Json {
             ("filtered", frame.filtered.to_json()),
         ]));
     }
-    Json::obj([
+    Ok(Json::obj([
         ("scenario", header.scenario.as_str().to_json()),
         ("variant", header.variant.as_str().to_json()),
         ("seed", header.seed.to_string().as_str().to_json()),
         ("groups", Json::Arr(groups)),
         ("steps", Json::Arr(steps)),
-    ])
+    ]))
 }
 
-fn median_ms(mut f: impl FnMut()) -> f64 {
-    let mut samples: Vec<f64> = (0..3)
-        .map(|_| eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(&mut f).1)
-        .collect();
+/// Median of three timed samples. The sampled closure reports its own
+/// verification failures (replay mismatches, read errors) through the
+/// `Result` instead of panicking.
+fn median_ms(mut f: impl FnMut() -> Result<(), String>) -> Result<f64, String> {
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let (result, ms) = eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(&mut f);
+        result?;
+        samples.push(ms);
+    }
     samples.sort_by(|a, b| a.total_cmp(b));
-    samples[samples.len() / 2]
+    Ok(samples[samples.len() / 2])
 }
 
 /// P-TR: records one paper-shape credit trial (N = 1000; 400 under
 /// `--quick`) to an in-memory trace, then measures (a) verified replay
 /// against re-simulating the trial from scratch and (b) the trace's
 /// bytes against the equivalent JSON dump. `seed` overrides the
-/// protocol's base seed.
-pub fn perf_trace(scale: Scale, seed: Option<u64>) -> PerfTraceResult {
+/// protocol's base seed. Trace I/O and verification failures surface
+/// as named errors.
+pub fn perf_trace(scale: Scale, seed: Option<u64>) -> Result<PerfTraceResult, String> {
     use eqimpact_core::scenario::TraceMeta;
     use eqimpact_credit::sim::run_trial_sunk;
     use eqimpact_credit::CreditTracer;
@@ -709,27 +735,42 @@ pub fn perf_trace(scale: Scale, seed: Option<u64>) -> PerfTraceResult {
         delay: config.delay,
         policy: config.policy,
     });
-    let mut sink = TraceStepSink::new(Vec::new(), &header).expect("in-memory trace");
+    let mut sink = TraceStepSink::new(Vec::new(), &header)
+        .map_err(|e| format!("perf-trace: in-memory trace sink: {e}"))?;
     let outcome = run_trial_sunk(&config, 0, &mut sink);
-    let bytes = sink.finish().expect("in-memory trace finishes");
+    let bytes = sink
+        .finish()
+        .map_err(|e| format!("perf-trace: trace finish: {e}"))?;
 
     let resimulate_ms = median_ms(|| {
         let again = eqimpact_credit::sim::run_trial(&config, 0);
-        assert_eq!(again.record.steps(), config.steps);
-    });
+        if again.record.steps() != config.steps {
+            return Err(format!(
+                "perf-trace: re-simulation produced {} steps, expected {}",
+                again.record.steps(),
+                config.steps
+            ));
+        }
+        Ok(())
+    })?;
     let replay_ms = median_ms(|| {
         let mut input: &[u8] = &bytes;
-        let reader =
-            TraceReader::new(&mut input as &mut dyn std::io::Read).expect("perf trace opens");
-        let summary = CreditTracer.replay(reader).expect("verified replay");
-        assert_eq!(summary.record, outcome.record);
-    });
+        let reader = TraceReader::new(&mut input as &mut dyn std::io::Read)
+            .map_err(|e| format!("perf-trace: trace opens: {e}"))?;
+        let summary = CreditTracer
+            .replay(reader)
+            .map_err(|e| format!("perf-trace: verified replay: {e}"))?;
+        if summary.record != outcome.record {
+            return Err("perf-trace: replayed record differs from the live record".to_string());
+        }
+        Ok(())
+    })?;
 
-    let dump = trace_json_dump(&bytes);
+    let dump = trace_json_dump(&bytes)?;
     let json_bytes = dump.render_pretty().len() as u64;
     let compact_json_bytes = dump.render().len() as u64;
     let trace_bytes = bytes.len() as u64;
-    PerfTraceResult {
+    Ok(PerfTraceResult {
         users: config.users,
         steps: config.steps,
         resimulate_ms,
@@ -740,7 +781,7 @@ pub fn perf_trace(scale: Scale, seed: Option<u64>) -> PerfTraceResult {
         compact_json_bytes,
         json_ratio: json_bytes as f64 / trace_bytes as f64,
         compact_json_ratio: compact_json_bytes as f64 / trace_bytes as f64,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -795,8 +836,9 @@ impl ToJson for PerfSweepResult {
 /// (a) verified checkpointed replay against re-simulating the trial from
 /// scratch — the counterfactual lab's fast-path — and (b) a default-grid
 /// off-policy sweep over the recorded trace. `seed` overrides the
-/// protocol's base seed.
-pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> PerfSweepResult {
+/// protocol's base seed. Trace I/O, replay-verification and sweep
+/// failures surface as named errors.
+pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> Result<PerfSweepResult, String> {
     use eqimpact_core::pool::ThreadBudget;
     use eqimpact_core::scenario::TraceMeta;
     use eqimpact_credit::sim::run_trial_sunk;
@@ -821,29 +863,43 @@ pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> PerfSweepResult {
         policy: config.policy,
     })
     .with_checkpoints();
-    let mut sink = TraceStepSink::new(Vec::new(), &header).expect("in-memory trace");
+    let mut sink = TraceStepSink::new(Vec::new(), &header)
+        .map_err(|e| format!("perf-sweep: in-memory trace sink: {e}"))?;
     let outcome = run_trial_sunk(&config, 0, &mut sink);
-    let bytes = sink.finish().expect("in-memory trace finishes");
+    let bytes = sink
+        .finish()
+        .map_err(|e| format!("perf-sweep: trace finish: {e}"))?;
 
     let resimulate_ms = median_ms(|| {
         let again = eqimpact_credit::sim::run_trial(&config, 0);
-        assert_eq!(again.record.steps(), config.steps);
-    });
+        if again.record.steps() != config.steps {
+            return Err(format!(
+                "perf-sweep: re-simulation produced {} steps, expected {}",
+                again.record.steps(),
+                config.steps
+            ));
+        }
+        Ok(())
+    })?;
     let mut checkpoints_restored = 0;
     let checkpointed_replay_ms = median_ms(|| {
         let mut input: &[u8] = &bytes;
-        let reader =
-            TraceReader::new(&mut input as &mut dyn std::io::Read).expect("perf sweep opens");
+        let reader = TraceReader::new(&mut input as &mut dyn std::io::Read)
+            .map_err(|e| format!("perf-sweep: trace opens: {e}"))?;
         let mut runner =
             ReplayRunner::new(reader, ScorecardLender::paper_default(), AdrFilter::new());
-        let record = runner.run().expect("verified checkpointed replay");
-        assert_eq!(record, outcome.record);
+        let record = runner
+            .run()
+            .map_err(|e| format!("perf-sweep: verified checkpointed replay: {e}"))?;
+        if record != outcome.record {
+            return Err("perf-sweep: replayed record differs from the live record".to_string());
+        }
         checkpoints_restored = runner.checkpoints_restored();
-        assert!(
-            checkpoints_restored > 0,
-            "checkpoint fast-path never engaged"
-        );
-    });
+        if checkpoints_restored == 0 {
+            return Err("perf-sweep: checkpoint fast-path never engaged".to_string());
+        }
+        Ok(())
+    })?;
 
     let trace = MemTrace::new("perf-sweep.eqtrace", bytes);
     let sources: [&dyn TraceSource; 1] = [&trace];
@@ -853,7 +909,7 @@ pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> PerfSweepResult {
         seed: config.seed,
         ..SweepConfig::default()
     };
-    let (report, sweep_ms) = eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(|| {
+    let (sweep_result, sweep_ms) = eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(|| {
         run_sweep(
             &CreditSweep,
             &sources,
@@ -861,11 +917,17 @@ pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> PerfSweepResult {
             &sweep_config,
             ThreadBudget::global(),
         )
-        .expect("perf sweep runs")
     });
-    assert_eq!(report.ranked.len(), candidates);
+    let report = sweep_result.map_err(|e| format!("perf-sweep: sweep run: {e}"))?;
+    if report.ranked.len() != candidates {
+        return Err(format!(
+            "perf-sweep: sweep ranked {} candidates, expected {}",
+            report.ranked.len(),
+            candidates
+        ));
+    }
 
-    PerfSweepResult {
+    Ok(PerfSweepResult {
         users: config.users,
         steps: config.steps,
         resimulate_ms,
@@ -874,7 +936,7 @@ pub fn perf_sweep(scale: Scale, seed: Option<u64>) -> PerfSweepResult {
         checkpoints_restored,
         candidates,
         sweep_ms,
-    }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -925,8 +987,9 @@ impl ToJson for PerfCertifyResult {
 /// `--quick`) to an in-memory **checkpointed** trace, then measures the
 /// certification plane over it: streaming extraction alone, the theory
 /// analysis alone, and the full engine run. `seed` overrides the
-/// protocol's base seed.
-pub fn perf_certify(scale: Scale, seed: Option<u64>) -> PerfCertifyResult {
+/// protocol's base seed. Trace I/O and certification failures surface
+/// as named errors.
+pub fn perf_certify(scale: Scale, seed: Option<u64>) -> Result<PerfCertifyResult, String> {
     use eqimpact_certify::{
         certificate_of, extract, run_certification, CertifyConfig, CertifyTarget,
     };
@@ -954,20 +1017,30 @@ pub fn perf_certify(scale: Scale, seed: Option<u64>) -> PerfCertifyResult {
         policy: config.policy,
     })
     .with_checkpoints();
-    let mut sink = TraceStepSink::new(Vec::new(), &header).expect("in-memory trace");
+    let mut sink = TraceStepSink::new(Vec::new(), &header)
+        .map_err(|e| format!("perf-certify: in-memory trace sink: {e}"))?;
     run_trial_sunk(&config, 0, &mut sink);
-    let bytes = sink.finish().expect("in-memory trace finishes");
+    let bytes = sink
+        .finish()
+        .map_err(|e| format!("perf-certify: trace finish: {e}"))?;
     let trace_bytes = bytes.len();
 
     let spec = CreditCertify.spec();
     let extract_ms = median_ms(|| {
         let mut input: &[u8] = &bytes;
-        let ex =
-            extract(&spec, &mut input as &mut dyn std::io::Read).expect("perf certify extracts");
-        assert_eq!(ex.steps, config.steps);
-    });
+        let ex = extract(&spec, &mut input as &mut dyn std::io::Read)
+            .map_err(|e| format!("perf-certify: extraction: {e}"))?;
+        if ex.steps != config.steps {
+            return Err(format!(
+                "perf-certify: extraction saw {} steps, expected {}",
+                ex.steps, config.steps
+            ));
+        }
+        Ok(())
+    })?;
     let mut input: &[u8] = &bytes;
-    let ex = extract(&spec, &mut input as &mut dyn std::io::Read).expect("perf certify extracts");
+    let ex = extract(&spec, &mut input as &mut dyn std::io::Read)
+        .map_err(|e| format!("perf-certify: extraction: {e}"))?;
 
     let certify_config = CertifyConfig {
         seed: config.seed,
@@ -978,23 +1051,33 @@ pub fn perf_certify(scale: Scale, seed: Option<u64>) -> PerfCertifyResult {
     let analyze_ms = median_ms(|| {
         let cert = certificate_of("perf-certify.eqtrace", &ex, &certify_config, &rng);
         checks = cert.checks.len();
-        assert!(checks >= 5, "missing theory passes");
-    });
+        if checks < 5 {
+            return Err(format!(
+                "perf-certify: certificate rendered {checks} checks, expected the 5 theory passes"
+            ));
+        }
+        Ok(())
+    })?;
 
     let trace = MemTrace::new("credit-perf.eqtrace", bytes);
     let sources: [&dyn TraceSource; 1] = [&trace];
-    let (report, certify_ms) = eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(|| {
+    let (certify_result, certify_ms) = eqimpact_telemetry::metrics::BENCH_SAMPLE.time_ms(|| {
         run_certification(
             &CreditCertify,
             &sources,
             &certify_config,
             ThreadBudget::global(),
         )
-        .expect("perf certify runs")
     });
-    assert_eq!(report.certificates.len(), 1);
+    let report = certify_result.map_err(|e| format!("perf-certify: engine run: {e}"))?;
+    if report.certificates.len() != 1 {
+        return Err(format!(
+            "perf-certify: engine produced {} certificates, expected 1",
+            report.certificates.len()
+        ));
+    }
 
-    PerfCertifyResult {
+    Ok(PerfCertifyResult {
         users: config.users,
         steps: config.steps,
         trace_bytes,
@@ -1004,7 +1087,7 @@ pub fn perf_certify(scale: Scale, seed: Option<u64>) -> PerfCertifyResult {
         analyze_ms,
         certify_ms,
         checks,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -1013,7 +1096,7 @@ mod tests {
 
     #[test]
     fn table1_quick_has_paper_shape() {
-        let t1 = table1_scorecard(Scale::Quick);
+        let t1 = table1_scorecard(Scale::Quick).unwrap();
         // The income factor is the strongly identified one (the paper's
         // +5.77); the history factor's final-year magnitude is weakly
         // identified below paper scale (ADR contrast has collapsed by
@@ -1044,7 +1127,7 @@ mod tests {
 
     #[test]
     fn policy_ablation_shows_uniform_access_gap() {
-        let a1 = ablate_policy(Scale::Quick, None);
+        let a1 = ablate_policy(Scale::Quick, None).unwrap();
         // The income-scaled policy approves everyone: zero access gap.
         assert!(
             a1.approval_gaps.1 < 1e-12,
@@ -1071,7 +1154,7 @@ mod tests {
 
     #[test]
     fn delay_ablation_robustness() {
-        let a4 = ablate_delay(Scale::Quick, None);
+        let a4 = ablate_delay(Scale::Quick, None).unwrap();
         assert_eq!(a4.delays.len(), 4);
         // The equal-impact conclusion survives every delay: small spread.
         for (d, spread) in a4.delays.iter().zip(&a4.race_spread) {
@@ -1103,7 +1186,7 @@ mod tests {
 
     #[test]
     fn markov_ablation_contrast() {
-        let a3 = ablate_markov(Scale::Quick, None);
+        let a3 = ablate_markov(Scale::Quick, None).unwrap();
         assert!(a3.primitive_tv.last().unwrap() < &1e-6);
         assert!((a3.periodic_tv.last().unwrap() - 0.5).abs() < 1e-9);
         assert!(a3.ifs_converged);

@@ -4,6 +4,7 @@
 //! `experiments` binary and the Criterion benches — plus the static
 //! scenario [`registry`] the binary is driven by.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -88,7 +88,11 @@ impl DynScenario for AblationScenario {
         let scale = config.scale;
         let mut out = ScenarioReport::default();
         if config.wants("ablate-policy") {
-            let a1 = ablate_policy(scale, config.seed);
+            let a1 =
+                ablate_policy(scale, config.seed).map_err(|message| ScenarioError::Failed {
+                    scenario: DynScenario::name(self),
+                    message,
+                })?;
             out.summary.push(format!(
                 "A1 — access gaps: uniform-exclusion {:.4}, income-multiple {:.4}",
                 a1.approval_gaps.0, a1.approval_gaps.1
@@ -128,7 +132,11 @@ impl DynScenario for AblationScenario {
             });
         }
         if config.wants("ablate-markov") {
-            let a3 = ablate_markov(scale, config.seed);
+            let a3 =
+                ablate_markov(scale, config.seed).map_err(|message| ScenarioError::Failed {
+                    scenario: DynScenario::name(self),
+                    message,
+                })?;
             out.summary.push(format!(
                 "A3 — primitive TV {:.2e}, periodic TV {:.4}, IFS converged: {}, verdict {:?}",
                 a3.primitive_tv.last().copied().unwrap_or(f64::NAN),
@@ -143,7 +151,10 @@ impl DynScenario for AblationScenario {
             });
         }
         if config.wants("ablate-delay") {
-            let a4 = ablate_delay(scale, config.seed);
+            let a4 = ablate_delay(scale, config.seed).map_err(|message| ScenarioError::Failed {
+                scenario: DynScenario::name(self),
+                message,
+            })?;
             out.summary
                 .push("A4 — delay | final race ADR spread | final mean ADR".to_string());
             for i in 0..a4.delays.len() {
@@ -268,7 +279,10 @@ impl DynScenario for PerfTraceScenario {
                 scenario: DynScenario::name(self),
             });
         }
-        let r = perf_trace(config.scale, config.seed);
+        let r = perf_trace(config.scale, config.seed).map_err(|message| ScenarioError::Failed {
+            scenario: DynScenario::name(self),
+            message,
+        })?;
         let summary = vec![
             format!(
                 "{} users x {} steps: re-simulate {:.2} ms, verified replay {:.2} ms (x{:.2} faster)",
@@ -330,7 +344,10 @@ impl DynScenario for PerfSweepScenario {
                 scenario: DynScenario::name(self),
             });
         }
-        let r = perf_sweep(config.scale, config.seed);
+        let r = perf_sweep(config.scale, config.seed).map_err(|message| ScenarioError::Failed {
+            scenario: DynScenario::name(self),
+            message,
+        })?;
         let summary = vec![
             format!(
                 "{} users x {} steps: re-simulate {:.2} ms, checkpointed replay {:.2} ms (x{:.2} faster, {} checkpoints restored)",

@@ -27,6 +27,7 @@
 //! assert!(income > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod brackets;

@@ -32,6 +32,7 @@
 //! assert!((tail - 0.5).abs() < 0.06);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod controller;

@@ -328,6 +328,9 @@ impl WorkerPool {
             let lane = i % lanes;
             if lane < self.senders.len() {
                 let job: PoolJob<'scope> = if metered {
+                    // The queue-wait latency is wall-clock telemetry; it lands
+                    // in the nondeterministic half of the snapshot only.
+                    // analyze::allow(R1): queue-wait latency is wall-clock telemetry
                     let submitted = Instant::now();
                     Box::new(move || {
                         tm::POOL_QUEUE_WAIT
@@ -416,6 +419,31 @@ impl std::fmt::Debug for WorkerPool {
             .field("poisoned", &self.poisoned)
             .finish()
     }
+}
+
+/// Runs every job on its own scoped OS thread and returns once all of
+/// them have finished.
+///
+/// This is the workspace's only sanctioned scoped-spawn entry point
+/// (thread-hygiene rule R3): callers that already hold a
+/// [`ThreadBudget`] lease — such as `trials::run_trials_with_budget`,
+/// whose stripes are long-lived and uniform, so the parked
+/// [`WorkerPool`] would buy nothing — hand their stripe closures here
+/// instead of touching `std::thread` themselves.
+///
+/// Panic behaviour matches `std::thread::scope`: every job is joined
+/// first, then the first panic (if any) is re-raised. Callers that
+/// must aggregate panics deterministically should catch them inside
+/// the job, as the trial runner does.
+pub fn scoped_run<F>(jobs: Vec<F>)
+where
+    F: FnOnce() + Send,
+{
+    std::thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(job);
+        }
+    });
 }
 
 #[cfg(test)]

@@ -284,6 +284,14 @@ pub enum ScenarioError {
         /// Every failure the sink factory collected.
         message: String,
     },
+    /// The scenario's workload itself failed (an experiment returned a
+    /// named error instead of an outcome).
+    Failed {
+        /// The scenario that was running.
+        scenario: &'static str,
+        /// The experiment's error message.
+        message: String,
+    },
     /// Writing an artifact (or creating the output directory) failed.
     Io {
         /// The scenario whose artifact was being written.
@@ -317,6 +325,9 @@ impl fmt::Display for ScenarioError {
             ),
             ScenarioError::Trace { scenario, message } => {
                 write!(f, "scenario `{scenario}`: trace recording failed: {message}")
+            }
+            ScenarioError::Failed { scenario, message } => {
+                write!(f, "scenario `{scenario}`: {message}")
             }
             ScenarioError::Io {
                 scenario,

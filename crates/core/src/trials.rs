@@ -70,11 +70,15 @@ where
         stripes
     };
 
-    std::thread::scope(|scope| {
-        for stripe in stripes {
+    // One closure per stripe, all spawned through the sanctioned
+    // scoped-run entry point in `pool` (thread-hygiene rule R3: this
+    // module never touches `std::thread` directly).
+    let jobs: Vec<_> = stripes
+        .into_iter()
+        .map(|stripe| {
             let factory = &factory;
             let failure = &failure;
-            scope.spawn(move || {
+            move || {
                 for (t, slot) in stripe {
                     match catch_unwind(AssertUnwindSafe(|| factory(t))) {
                         Ok(outcome) => *slot = Some(outcome),
@@ -94,9 +98,10 @@ where
                         }
                     }
                 }
-            });
-        }
-    });
+            }
+        })
+        .collect();
+    crate::pool::scoped_run(jobs);
 
     if let Some((t, message)) = failure.into_inner().unwrap_or_else(|e| e.into_inner()) {
         panic!("trial {t} panicked: {message}");

@@ -30,6 +30,7 @@
 //! assert_eq!(outcome.record.steps(), 19); // 2002..=2020
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adr;

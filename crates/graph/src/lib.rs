@@ -33,6 +33,7 @@
 //! assert!(g.is_primitive());
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod condensation;

@@ -47,6 +47,7 @@
 //! assert_eq!(outcome.record.steps(), 6);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod applicants;

@@ -27,6 +27,7 @@
 //! candidate's policy equals the recorded variant, so the fast-path is
 //! sound by construction and every other candidate retrains as usual.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod grid;

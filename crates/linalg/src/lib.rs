@@ -23,6 +23,7 @@
 //! assert!(r.norm2() < 1e-12);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cholesky;

@@ -39,6 +39,7 @@
 //! assert!((mean - 0.5).abs() < 0.05);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod contractivity;

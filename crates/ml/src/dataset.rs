@@ -207,7 +207,7 @@ impl Dataset {
 
     /// Fraction of positive labels.
     pub fn positive_rate(&self) -> f64 {
-        self.y.sum() / self.y.len() as f64
+        kernels::sum_seq(self.y.as_slice()) / self.y.len() as f64
     }
 
     /// Concatenates another dataset with the same width below this one —

@@ -31,6 +31,7 @@
 //! assert_eq!(card.decide(&[0.9, 0.0]), CreditDecision::Denied);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod counterfactual;

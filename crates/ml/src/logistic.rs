@@ -101,13 +101,10 @@ impl LogisticModel {
             self.coefficients.len(),
             "linear_score: feature length mismatch"
         );
-        self.intercept
-            + self
-                .coefficients
-                .iter()
-                .zip(x)
-                .map(|(b, v)| b * v)
-                .sum::<f64>()
+        // `dot_seq` matches the scalar `zip().map().sum()` fold bitwise
+        // (see linalg::kernels), keeping scores reproducible while the
+        // reduction stays inside the documented kernel home (rule R6).
+        self.intercept + kernels::dot_seq(&self.coefficients, x)
     }
 
     /// The predicted probability `P(y = 1 | x)`.

@@ -105,13 +105,16 @@ impl Scorecard {
             self.rows.len(),
             "Scorecard::score: feature length mismatch"
         );
-        self.base_points
-            + self
-                .rows
-                .iter()
-                .zip(features)
-                .map(|(r, &v)| r.points_per_unit * v)
-                .sum::<f64>()
+        // Strict sequential accumulation, bitwise identical to the
+        // former `zip().map().sum::<f64>()` fold (same operand order:
+        // the products reduce from 0.0, then shift by the base). The
+        // factor weights live in struct rows, so this is the manual
+        // twin of `kernels::dot_seq` (rule R6).
+        let mut acc = 0.0;
+        for (r, &v) in self.rows.iter().zip(features) {
+            acc += r.points_per_unit * v;
+        }
+        self.base_points + acc
     }
 
     /// The decision for a feature vector.

@@ -19,6 +19,7 @@
 //! * [`codec`] — zigzag / varint / CRC-32 bit utilities shared with the
 //!   binary trace store (`eqimpact-trace`).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bootstrap;

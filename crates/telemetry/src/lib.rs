@@ -30,6 +30,8 @@
 //! the wall-clock section, so the deterministic section can be byte-
 //! compared in tests and CI.
 
+#![forbid(unsafe_code)]
+
 pub mod instruments;
 pub mod metrics;
 pub mod progress;

@@ -43,6 +43,7 @@
 //! sequential step barrier, a trace recorded under **any shard count**
 //! replays byte-identically.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod column;

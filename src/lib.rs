@@ -5,6 +5,7 @@
 //! re-exports them under stable names and hosts the workspace-level
 //! examples and integration tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use eqimpact_bench as bench;
